@@ -1,0 +1,89 @@
+// FIG4: GROUP by Region on Sold (paper §3.2, Figure 4), scaling in the
+// number of input data rows. The paper's key structural property — the
+// grouped table's width grows linearly with the instance height (one
+// Sold-block per data row) — makes GROUP inherently quadratic in output
+// cells; the bench exposes that shape, and measures the §3.4 compaction
+// (CLEAN-UP) that follows it.
+
+#include <benchmark/benchmark.h>
+
+#include "algebra/ops.h"
+#include "core/sales_data.h"
+
+namespace {
+
+using tabular::core::Symbol;
+using tabular::core::Table;
+
+Symbol S(const char* s) { return Symbol::Name(s); }
+
+void BM_GroupByRegionOnSold(benchmark::State& state) {
+  const size_t parts = static_cast<size_t>(state.range(0));
+  const size_t regions = static_cast<size_t>(state.range(1));
+  Table flat = tabular::fixtures::SyntheticSales(parts, regions);
+  for (auto _ : state) {
+    auto r = tabular::algebra::Group(flat, {S("Region")}, {S("Sold")},
+                                     S("Sales"));
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["rows"] = static_cast<double>(flat.height());
+  state.counters["out_cells"] = static_cast<double>(
+      (flat.height() + 2) * (flat.height() + 2));
+  state.SetItemsProcessed(state.iterations() * flat.height());
+}
+BENCHMARK(BM_GroupByRegionOnSold)
+    ->Args({4, 4})
+    ->Args({8, 8})
+    ->Args({16, 8})
+    ->Args({32, 8})
+    ->Args({64, 8})
+    ->Args({128, 8});
+
+void BM_GroupThenCleanUp(benchmark::State& state) {
+  const size_t parts = static_cast<size_t>(state.range(0));
+  Table flat = tabular::fixtures::SyntheticSales(parts, 8);
+  auto grouped =
+      tabular::algebra::Group(flat, {S("Region")}, {S("Sold")}, S("Sales"));
+  if (!grouped.ok()) {
+    state.SkipWithError(grouped.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto r = tabular::algebra::CleanUp(*grouped, {S("Part")},
+                                       {Symbol::Null()}, S("Sales"));
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["grouped_cells"] =
+      static_cast<double>(grouped->num_rows() * grouped->num_cols());
+  state.SetItemsProcessed(state.iterations() * flat.height());
+}
+BENCHMARK(BM_GroupThenCleanUp)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+// The full Figure 4 + §3.4 pipeline, end to end.
+void BM_GroupCleanPurgePipeline(benchmark::State& state) {
+  const size_t parts = static_cast<size_t>(state.range(0));
+  const size_t regions = static_cast<size_t>(state.range(1));
+  Table flat = tabular::fixtures::SyntheticSales(parts, regions);
+  for (auto _ : state) {
+    auto grouped = tabular::algebra::Group(flat, {S("Region")}, {S("Sold")},
+                                           S("Sales"));
+    auto cleaned = tabular::algebra::CleanUp(*grouped, {S("Part")},
+                                             {Symbol::Null()}, S("Sales"));
+    auto purged = tabular::algebra::Purge(*cleaned, {S("Sold")},
+                                          {S("Region")}, S("Sales"));
+    if (!purged.ok()) state.SkipWithError(purged.status().ToString().c_str());
+    benchmark::DoNotOptimize(purged);
+  }
+  state.SetItemsProcessed(state.iterations() * flat.height());
+}
+BENCHMARK(BM_GroupCleanPurgePipeline)
+    ->Args({8, 4})
+    ->Args({16, 8})
+    ->Args({32, 8})
+    ->Args({64, 16});
+
+}  // namespace
+
+BENCHMARK_MAIN();

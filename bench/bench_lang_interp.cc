@@ -1,0 +1,98 @@
+// LANG: interpreter machinery — parse cost, wildcard enumeration over
+// many tables, while-loop stepping, and the per-statement overhead of the
+// program layer relative to direct kernel calls (compare with
+// bench_fig1_restructure's BM_Info1ToInfo2ViaProgram).
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "core/sales_data.h"
+#include "lang/interpreter.h"
+#include "lang/parser.h"
+
+namespace {
+
+using tabular::core::Symbol;
+using tabular::core::Table;
+using tabular::core::TabularDatabase;
+
+void BM_ParseProgram(benchmark::State& state) {
+  // A program of state.range(0) statements.
+  std::string src;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    src += "T" + std::to_string(i) +
+           " <- group by {Region} on {Sold} (Sales);\n";
+  }
+  for (auto _ : state) {
+    auto p = tabular::lang::ParseProgram(src);
+    if (!p.ok()) state.SkipWithError(p.status().ToString().c_str());
+    benchmark::DoNotOptimize(p);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ParseProgram)->Arg(1)->Arg(16)->Arg(256);
+
+void BM_WildcardEnumeration(benchmark::State& state) {
+  // `*1 <- transpose (*1);` over N tables: N instantiations per run.
+  TabularDatabase base;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    Table t = tabular::fixtures::SyntheticSales(4, 4);
+    t.set_name(Symbol::Name("T" + std::to_string(i)));
+    base.Add(std::move(t));
+  }
+  auto p = tabular::lang::ParseProgram("*1 <- transpose (*1);");
+  for (auto _ : state) {
+    TabularDatabase db = base;
+    tabular::Status st = tabular::lang::RunProgram(*p, &db);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    benchmark::DoNotOptimize(db);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_WildcardEnumeration)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_WhileLoopDrain(benchmark::State& state) {
+  // Each iteration removes the rows matching one region via difference;
+  // the loop runs until Work is empty (region count = range(0)).
+  const size_t regions = static_cast<size_t>(state.range(0));
+  Table flat = tabular::fixtures::SyntheticSales(8, regions, 0);
+  auto p = tabular::lang::ParseProgram(R"(
+    while Work do {
+      Work <- difference (Work, Work);
+    }
+  )");
+  for (auto _ : state) {
+    TabularDatabase db;
+    Table work = flat;
+    work.set_name(Symbol::Name("Work"));
+    db.Add(std::move(work));
+    tabular::Status st = tabular::lang::RunProgram(*p, &db);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    benchmark::DoNotOptimize(db);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WhileLoopDrain)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_StatementDispatchOverhead(benchmark::State& state) {
+  // A no-op-ish statement (projection keeping everything) over one table:
+  // measures the per-statement fixed cost of the interpreter.
+  TabularDatabase base;
+  base.Add(tabular::fixtures::SyntheticSales(
+      static_cast<size_t>(state.range(0)) / 8, 8));
+  auto p = tabular::lang::ParseProgram(
+      "Copy <- project {Part, Region, Sold} (Sales);");
+  for (auto _ : state) {
+    TabularDatabase db = base;
+    tabular::Status st = tabular::lang::RunProgram(*p, &db);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+    benchmark::DoNotOptimize(db);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StatementDispatchOverhead)->Arg(8)->Arg(512)->Arg(8192);
+
+}  // namespace
+
+BENCHMARK_MAIN();

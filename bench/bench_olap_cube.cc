@@ -1,0 +1,128 @@
+// OLAP-C (paper §4.3/§5): roll-up, CUBE, and summary absorption. The CUBE
+// operator runs 2^d roll-ups (d = dimensions); absorption is linear in the
+// table cells; classification is a single scan.
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "core/sales_data.h"
+#include "olap/cube.h"
+#include "olap/pivot.h"
+#include "olap/summarize.h"
+#include "relational/canonical.h"
+
+namespace {
+
+using tabular::core::Symbol;
+using tabular::olap::AggFn;
+using tabular::rel::Relation;
+
+Symbol S(const char* s) { return Symbol::Name(s); }
+
+/// Fact table with `dims` dimensions of `card` values each, one measure.
+Relation SyntheticFacts(size_t dims, size_t card, size_t tuples) {
+  tabular::core::SymbolVec attrs;
+  for (size_t d = 0; d < dims; ++d) {
+    attrs.push_back(Symbol::Name("D" + std::to_string(d)));
+  }
+  attrs.push_back(S("M"));
+  Relation out(S("F"), attrs);
+  uint64_t seed = 0x2545F4914F6CDD1DULL;
+  for (size_t i = 0; i < tuples; ++i) {
+    tabular::core::SymbolVec tuple;
+    for (size_t d = 0; d < dims; ++d) {
+      seed = seed * 6364136223846793005ULL + 1442695040888963407ULL;
+      tuple.push_back(Symbol::Value(
+          "v" + std::to_string((seed >> 33) % card)));
+    }
+    tuple.push_back(Symbol::Number(static_cast<int64_t>(i % 97)));
+    tabular::Status st = out.Insert(std::move(tuple));
+    (void)st;
+  }
+  return out;
+}
+
+tabular::olap::Cube MakeCube(const Relation& facts, size_t dims) {
+  tabular::core::SymbolVec dim_names;
+  for (size_t d = 0; d < dims; ++d) {
+    dim_names.push_back(Symbol::Name("D" + std::to_string(d)));
+  }
+  auto c = tabular::olap::Cube::Make(facts, dim_names, S("M"));
+  return std::move(c).value();
+}
+
+void BM_Rollup(benchmark::State& state) {
+  const size_t dims = static_cast<size_t>(state.range(0));
+  const size_t tuples = static_cast<size_t>(state.range(1));
+  Relation facts = SyntheticFacts(dims, 8, tuples);
+  tabular::olap::Cube cube = MakeCube(facts, dims);
+  for (auto _ : state) {
+    auto r = cube.Rollup({S("D0")}, AggFn::kSum, S("R"));
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * facts.size());
+}
+BENCHMARK(BM_Rollup)
+    ->Args({2, 256})
+    ->Args({2, 4096})
+    ->Args({3, 4096})
+    ->Args({4, 4096});
+
+void BM_CubeAggregate(benchmark::State& state) {
+  const size_t dims = static_cast<size_t>(state.range(0));
+  const size_t tuples = static_cast<size_t>(state.range(1));
+  Relation facts = SyntheticFacts(dims, 4, tuples);
+  tabular::olap::Cube cube = MakeCube(facts, dims);
+  for (auto _ : state) {
+    auto r = cube.CubeAggregate(AggFn::kSum, S("Total"), S("C"));
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["groupings"] = static_cast<double>(size_t{1} << dims);
+  state.SetItemsProcessed(state.iterations() * facts.size());
+}
+BENCHMARK(BM_CubeAggregate)
+    ->Args({2, 1024})
+    ->Args({3, 1024})
+    ->Args({4, 1024})
+    ->Args({5, 1024});
+
+void BM_AbsorbTotals(benchmark::State& state) {
+  const size_t parts = static_cast<size_t>(state.range(0));
+  auto facts = tabular::rel::TableToRelation(
+      tabular::fixtures::SyntheticSales(parts, 16));
+  auto pivoted = tabular::olap::PivotHash(*facts, S("Part"), S("Region"),
+                                          S("Sold"), S("Sales"));
+  for (auto _ : state) {
+    auto r = tabular::olap::AbsorbTotals(*pivoted, S("Region"), S("Sold"),
+                                         AggFn::kSum, S("Total"));
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * pivoted->num_rows() *
+                          pivoted->num_cols());
+}
+BENCHMARK(BM_AbsorbTotals)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_Classify(benchmark::State& state) {
+  Relation facts = SyntheticFacts(2, 8, static_cast<size_t>(state.range(0)));
+  std::vector<tabular::olap::Bin> bins;
+  for (int b = 0; b < 10; ++b) {
+    bins.push_back({Symbol::Value("c" + std::to_string(b)), b * 10.0,
+                    (b + 1) * 10.0});
+  }
+  for (auto _ : state) {
+    auto r = tabular::olap::Classify(facts, S("M"), bins, S("Class"),
+                                     S("C"));
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * facts.size());
+}
+BENCHMARK(BM_Classify)->Arg(256)->Arg(4096)->Arg(65536);
+
+}  // namespace
+
+BENCHMARK_MAIN();

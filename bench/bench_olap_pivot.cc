@@ -1,0 +1,126 @@
+// OLAP-P (paper §4.3): pivot and unpivot, the tabular-algebra pipeline vs
+// a direct hash-based baseline. The qualitative expectation: the hash
+// baseline wins by a constant-to-quadratic factor (the algebra pipeline
+// materializes the uneconomical Figure-4 intermediate, whose size is
+// rows × rows), while both produce the same table — the algebra's value
+// is expressiveness and uniformity, not raw speed; the crossover never
+// favors the pipeline.
+
+#include <benchmark/benchmark.h>
+
+#include "core/sales_data.h"
+#include "olap/pivot.h"
+#include "relational/canonical.h"
+
+namespace {
+
+using tabular::core::Symbol;
+using tabular::rel::Relation;
+
+Symbol S(const char* s) { return Symbol::Name(s); }
+
+Relation Facts(size_t parts, size_t regions) {
+  auto r = tabular::rel::TableToRelation(
+      tabular::fixtures::SyntheticSales(parts, regions));
+  return *r;
+}
+
+void BM_PivotViaAlgebra(benchmark::State& state) {
+  Relation facts = Facts(static_cast<size_t>(state.range(0)),
+                         static_cast<size_t>(state.range(1)));
+  for (auto _ : state) {
+    auto r = tabular::olap::PivotViaAlgebra(facts, S("Part"), S("Region"),
+                                            S("Sold"), S("Sales"));
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * facts.size());
+}
+BENCHMARK(BM_PivotViaAlgebra)
+    ->Args({8, 4})
+    ->Args({16, 8})
+    ->Args({32, 8})
+    ->Args({64, 8})
+    ->Args({128, 8})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_PivotHashBaseline(benchmark::State& state) {
+  Relation facts = Facts(static_cast<size_t>(state.range(0)),
+                         static_cast<size_t>(state.range(1)));
+  for (auto _ : state) {
+    auto r = tabular::olap::PivotHash(facts, S("Part"), S("Region"),
+                                      S("Sold"), S("Sales"));
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * facts.size());
+}
+BENCHMARK(BM_PivotHashBaseline)
+    ->Args({8, 4})
+    ->Args({16, 8})
+    ->Args({32, 8})
+    ->Args({64, 8})
+    ->Args({128, 8})
+    ->Args({1024, 32})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_UnpivotViaAlgebra(benchmark::State& state) {
+  Relation facts = Facts(static_cast<size_t>(state.range(0)),
+                         static_cast<size_t>(state.range(1)));
+  auto pivoted = tabular::olap::PivotHash(facts, S("Part"), S("Region"),
+                                          S("Sold"), S("Sales"));
+  for (auto _ : state) {
+    auto r = tabular::olap::UnpivotViaAlgebra(*pivoted, S("Region"),
+                                              S("Sold"), S("Sales"));
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * facts.size());
+}
+BENCHMARK(BM_UnpivotViaAlgebra)
+    ->Args({16, 8})
+    ->Args({64, 8})
+    ->Args({256, 8})
+    ->Args({64, 64})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_UnpivotHashBaseline(benchmark::State& state) {
+  Relation facts = Facts(static_cast<size_t>(state.range(0)),
+                         static_cast<size_t>(state.range(1)));
+  auto pivoted = tabular::olap::PivotHash(facts, S("Part"), S("Region"),
+                                          S("Sold"), S("Sales"));
+  for (auto _ : state) {
+    auto r = tabular::olap::UnpivotHash(*pivoted, S("Region"), S("Sold"),
+                                        S("Sales"));
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * facts.size());
+}
+BENCHMARK(BM_UnpivotHashBaseline)
+    ->Args({16, 8})
+    ->Args({64, 8})
+    ->Args({256, 8})
+    ->Args({64, 64})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_CrossTab(benchmark::State& state) {
+  Relation facts = Facts(static_cast<size_t>(state.range(0)),
+                         static_cast<size_t>(state.range(1)));
+  for (auto _ : state) {
+    auto r = tabular::olap::CrossTab(facts, S("Region"), S("Part"),
+                                     S("Sold"), S("Sales"));
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * facts.size());
+}
+BENCHMARK(BM_CrossTab)
+    ->Args({64, 8})
+    ->Args({256, 32})
+    ->Args({1024, 32})
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+// SPLIT / COLLAPSE (paper §3.2): Figure 1's SalesInfo4 at scale. SPLIT is
+// a single scan producing one table per group; COLLAPSE is merge-per-table
+// followed by a fold of tabular unions — whose ⊥ padding makes the
+// "uneconomical" intermediate quadratic in the number of groups, the cost
+// the §3.4 compaction then pays down.
+
+#include <benchmark/benchmark.h>
+
+#include "algebra/ops.h"
+#include "core/sales_data.h"
+
+namespace {
+
+using tabular::core::Symbol;
+using tabular::core::Table;
+
+Symbol S(const char* s) { return Symbol::Name(s); }
+
+void BM_SplitOnRegion(benchmark::State& state) {
+  const size_t parts = static_cast<size_t>(state.range(0));
+  const size_t regions = static_cast<size_t>(state.range(1));
+  Table flat = tabular::fixtures::SyntheticSales(parts, regions);
+  for (auto _ : state) {
+    auto r = tabular::algebra::Split(flat, {S("Region")}, S("Sales"));
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["groups"] = static_cast<double>(regions);
+  state.SetItemsProcessed(state.iterations() * flat.height());
+}
+BENCHMARK(BM_SplitOnRegion)
+    ->Args({64, 4})
+    ->Args({64, 16})
+    ->Args({64, 64})
+    ->Args({256, 16})
+    ->Args({1024, 16});
+
+void BM_CollapseByRegion(benchmark::State& state) {
+  const size_t parts = static_cast<size_t>(state.range(0));
+  const size_t regions = static_cast<size_t>(state.range(1));
+  Table flat = tabular::fixtures::SyntheticSales(parts, regions);
+  auto split = tabular::algebra::Split(flat, {S("Region")}, S("Sales"));
+  if (!split.ok()) {
+    state.SkipWithError(split.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto r = tabular::algebra::Collapse(*split, {S("Region")}, S("Sales"));
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["groups"] = static_cast<double>(split->size());
+  state.SetItemsProcessed(state.iterations() * flat.height());
+}
+BENCHMARK(BM_CollapseByRegion)
+    ->Args({64, 4})
+    ->Args({64, 16})
+    ->Args({64, 64})
+    ->Args({256, 16});
+
+void BM_SplitCollapseCompactRoundTrip(benchmark::State& state) {
+  const size_t parts = static_cast<size_t>(state.range(0));
+  Table flat = tabular::fixtures::SyntheticSales(parts, 8);
+  for (auto _ : state) {
+    auto split = tabular::algebra::Split(flat, {S("Region")}, S("Sales"));
+    auto collapsed =
+        tabular::algebra::Collapse(*split, {S("Region")}, S("Sales"));
+    auto purged = tabular::algebra::Purge(
+        *collapsed, {S("Part"), S("Region"), S("Sold")}, {}, S("Sales"));
+    auto deduped = tabular::algebra::DeduplicateRows(*purged, S("Sales"));
+    if (!deduped.ok()) {
+      state.SkipWithError(deduped.status().ToString().c_str());
+    }
+    benchmark::DoNotOptimize(deduped);
+  }
+  state.SetItemsProcessed(state.iterations() * flat.height());
+}
+BENCHMARK(BM_SplitCollapseCompactRoundTrip)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

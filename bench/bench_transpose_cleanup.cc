@@ -1,0 +1,101 @@
+// TRANS: transposition (§3.3) and redundancy removal (§3.4) scaling.
+// TRANSPOSE is a cache-unfriendly O(cells) permutation; SWITCH is a scan
+// plus two swaps; CLEAN-UP hashes rows by (row attribute, 𝒜 value sets)
+// and merges position-wise; PURGE pays two transposes on top of CLEAN-UP.
+
+#include <benchmark/benchmark.h>
+
+#include "algebra/ops.h"
+#include "core/sales_data.h"
+#include "olap/pivot.h"
+#include "relational/canonical.h"
+
+namespace {
+
+using tabular::core::Symbol;
+using tabular::core::Table;
+
+Symbol S(const char* s) { return Symbol::Name(s); }
+
+void BM_Transpose(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  Table t = tabular::fixtures::SyntheticSales(rows / 8, 8, 0);
+  for (auto _ : state) {
+    auto r = tabular::algebra::Transpose(t, S("T"));
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows() * t.num_cols());
+}
+BENCHMARK(BM_Transpose)->Range(64, 65536);
+
+void BM_Switch(benchmark::State& state) {
+  const size_t rows = static_cast<size_t>(state.range(0));
+  Table t = tabular::fixtures::SyntheticSales(rows / 8, 8, 0);
+  // A unique entry somewhere in the middle.
+  t.set(t.num_rows() / 2, 2, Symbol::Value("unique-needle"));
+  for (auto _ : state) {
+    auto r = tabular::algebra::Switch(t, Symbol::Value("unique-needle"),
+                                      std::optional<Symbol>(S("T")));
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations() * t.num_rows() * t.num_cols());
+}
+BENCHMARK(BM_Switch)->Range(64, 65536);
+
+void BM_CleanUpDuplicateHeavy(benchmark::State& state) {
+  // Many duplicate rows: every row repeated `dup` times.
+  const size_t base_rows = static_cast<size_t>(state.range(0));
+  const size_t dup = static_cast<size_t>(state.range(1));
+  Table base = tabular::fixtures::SyntheticSales(base_rows / 8, 8, 0);
+  Table t(1, base.num_cols());
+  t.set_name(base.name());
+  for (size_t j = 1; j < base.num_cols(); ++j) t.set(0, j, base.at(0, j));
+  for (size_t d = 0; d < dup; ++d) {
+    for (size_t i = 1; i <= base.height(); ++i) t.AppendRow(base.Row(i));
+  }
+  for (auto _ : state) {
+    auto r = tabular::algebra::DeduplicateRows(t, S("T"));
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["dup_factor"] = static_cast<double>(dup);
+  state.SetItemsProcessed(state.iterations() * t.height());
+}
+BENCHMARK(BM_CleanUpDuplicateHeavy)
+    ->Args({64, 2})
+    ->Args({64, 8})
+    ->Args({512, 2})
+    ->Args({512, 8})
+    ->Args({2048, 4});
+
+void BM_PurgeWideTable(benchmark::State& state) {
+  // A pivoted table with many duplicate column copies to purge.
+  const size_t parts = static_cast<size_t>(state.range(0));
+  const size_t regions = static_cast<size_t>(state.range(1));
+  Table flat = tabular::fixtures::SyntheticSales(parts, regions);
+  auto grouped =
+      tabular::algebra::Group(flat, {S("Region")}, {S("Sold")}, S("Sales"));
+  auto cleaned = tabular::algebra::CleanUp(*grouped, {S("Part")},
+                                           {Symbol::Null()}, S("Sales"));
+  if (!cleaned.ok()) {
+    state.SkipWithError(cleaned.status().ToString().c_str());
+    return;
+  }
+  for (auto _ : state) {
+    auto r = tabular::algebra::Purge(*cleaned, {S("Sold")}, {S("Region")},
+                                     S("Sales"));
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["width_before"] = static_cast<double>(cleaned->width());
+  state.SetItemsProcessed(state.iterations() * cleaned->width());
+}
+BENCHMARK(BM_PurgeWideTable)
+    ->Args({16, 4})
+    ->Args({32, 8})
+    ->Args({64, 8})
+    ->Args({128, 8});
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,114 @@
+// GOOD (paper §1, contribution (4)): the graph-based object-oriented data
+// model embeds in the tabular model. A family graph is transformed with
+// GOOD's pattern operations, natively and through the generated
+// tabular-algebra program, and the results compared.
+
+#include <cstdio>
+
+#include "good/operations.h"
+#include "io/grid_format.h"
+#include "lang/interpreter.h"
+#include "relational/canonical.h"
+
+namespace {
+
+using tabular::core::Symbol;
+using tabular::good::GoodGraph;
+using tabular::good::GoodOp;
+using tabular::good::GoodProgram;
+using tabular::good::Pattern;
+
+Symbol N(const char* s) { return Symbol::Name(s); }
+Symbol V(const char* s) { return Symbol::Value(s); }
+
+int Fail(const tabular::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  GoodGraph g;
+  for (const char* person : {"alice", "bob", "carol", "dave", "erin"}) {
+    if (tabular::Status st = g.AddNode(V(person), N("Person")); !st.ok()) {
+      return Fail(st);
+    }
+  }
+  (void)g.AddEdge(V("bob"), N("parent"), V("alice"));
+  (void)g.AddEdge(V("carol"), N("parent"), V("bob"));
+  (void)g.AddEdge(V("dave"), N("parent"), V("bob"));
+  (void)g.AddEdge(V("erin"), N("parent"), V("carol"));
+  std::printf("Input %s\n", g.ToString().c_str());
+
+  // 1. Derive grandparent edges; 2. materialize a Household object per
+  //    parent relationship (GOOD's object creation).
+  Pattern grandparent;
+  grandparent.nodes = {{"x", N("Person")}, {"y", N("Person")},
+                       {"z", N("Person")}};
+  grandparent.edges = {{"x", N("parent"), "y"}, {"y", N("parent"), "z"}};
+  Pattern parenthood;
+  parenthood.nodes = {{"c", N("Person")}, {"p", N("Person")}};
+  parenthood.edges = {{"c", N("parent"), "p"}};
+
+  GoodProgram program;
+  program.items.push_back(
+      GoodOp::EdgeAddition(grandparent, "x", N("grandparent"), "z"));
+  program.items.push_back(GoodOp::NodeAddition(
+      parenthood, N("Household"),
+      {{N("child"), "c"}, {N("parent"), "p"}}));
+
+  GoodGraph native = g;
+  if (tabular::Status st = tabular::good::RunGoodProgram(program, &native);
+      !st.ok()) {
+    return Fail(st);
+  }
+  std::printf("After GOOD (native): %zu nodes, %zu edges; grandparent "
+              "edges derived, one Household per parenthood\n",
+              native.num_nodes(), native.num_edges());
+
+  // The same program through the tabular algebra.
+  auto ta = tabular::good::TranslateGoodToTabular(program);
+  if (!ta.ok()) return Fail(ta.status());
+  std::printf("Generated TA program: %zu statements\n",
+              ta->program.statements.size());
+
+  tabular::core::TabularDatabase tdb = tabular::rel::RelationalToTabular(
+      tabular::good::GraphToRelational(g));
+  for (const auto& t : ta->prelude_tables) tdb.Add(t);
+  tabular::lang::Interpreter interp;
+  if (tabular::Status st = interp.Run(ta->program, &tdb); !st.ok()) {
+    return Fail(st);
+  }
+
+  // Pull the Nodes/Edges tables back into a graph.
+  tabular::rel::RelationalDatabase out;
+  for (Symbol name :
+       {tabular::good::GoodNodesName(), tabular::good::GoodEdgesName()}) {
+    auto r = tabular::rel::TableToRelation(tdb.Named(name)[0]);
+    if (!r.ok()) return Fail(r.status());
+    auto aligned = tabular::rel::Project(
+        *r,
+        name == tabular::good::GoodNodesName()
+            ? tabular::core::SymbolVec{N("Id"), N("Label")}
+            : tabular::core::SymbolVec{N("Src"), N("Label"), N("Dst")},
+        name);
+    if (!aligned.ok()) return Fail(aligned.status());
+    out.Put(*aligned);
+  }
+  auto ta_graph = tabular::good::RelationalToGraph(out);
+  if (!ta_graph.ok()) return Fail(ta_graph.status());
+
+  bool same = ta_graph->Fingerprint() == native.Fingerprint();
+  std::printf("TA simulation: %zu nodes, %zu edges — %s\n",
+              ta_graph->num_nodes(), ta_graph->num_edges(),
+              same ? "structurally identical to the native run "
+                     "(embedding verified)"
+                   : "MISMATCH (bug!)");
+  std::printf("\nThe graph, as tables:\n%s",
+              tabular::io::PrettyPrintDatabase(
+                  tabular::rel::RelationalToTabular(
+                      tabular::good::GraphToRelational(*ta_graph)))
+                  .c_str());
+  return same ? 0 : 1;
+}

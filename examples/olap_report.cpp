@@ -1,0 +1,93 @@
+// OLAP workflow (paper §4.3): ingest a CSV fact table, build a cube,
+// roll up, slice, produce the absorbed-summary report of Figure 1, and
+// classify measures — the "classification and summarization"
+// functionalities §5 lists for OLAP.
+
+#include <cstdio>
+
+#include "io/csv.h"
+#include "io/grid_format.h"
+#include "olap/cube.h"
+#include "olap/pivot.h"
+#include "olap/summarize.h"
+
+namespace {
+
+using tabular::core::Symbol;
+using tabular::olap::AggFn;
+
+int Fail(const tabular::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  // A three-dimensional fact table: Part × Region × Quarter.
+  const char* csv =
+      "Part,Region,Quarter,Sold\n"
+      "nuts,east,q1,20\nnuts,east,q2,30\nnuts,west,q1,25\nnuts,west,q2,35\n"
+      "nuts,south,q1,40\nscrews,west,q1,50\nscrews,north,q1,25\n"
+      "screws,north,q2,35\nscrews,south,q2,50\nbolts,east,q1,30\n"
+      "bolts,east,q2,40\nbolts,north,q1,40\n";
+  auto facts = tabular::io::ReadCsvRelation("Sales", csv);
+  if (!facts.ok()) return Fail(facts.status());
+  std::printf("Fact table: %zu tuples over (Part, Region, Quarter, Sold)\n\n",
+              facts->size());
+
+  auto cube = tabular::olap::Cube::Make(
+      *facts,
+      {Symbol::Name("Part"), Symbol::Name("Region"), Symbol::Name("Quarter")},
+      Symbol::Name("Sold"));
+  if (!cube.ok()) return Fail(cube.status());
+
+  // Roll-ups: per part, per region, grand total.
+  for (const char* dim : {"Part", "Region"}) {
+    auto rolled = cube->Rollup({Symbol::Name(dim)}, AggFn::kSum,
+                               Symbol::Name("Rollup"));
+    if (!rolled.ok()) return Fail(rolled.status());
+    std::printf("SUM(Sold) by %s:\n%s\n", dim, rolled->ToString().c_str());
+  }
+  auto grand = cube->Rollup({}, AggFn::kSum, Symbol::Name("Grand"));
+  if (!grand.ok()) return Fail(grand.status());
+  std::printf("Grand total:\n%s\n", grand->ToString().c_str());
+
+  // Slice q1 and render the 2-D pivot with absorbed totals — exactly the
+  // shape of Figure 1's SalesInfo2 with its regular-outline summaries.
+  auto q1 = cube->Slice(Symbol::Name("Quarter"), Symbol::Value("q1"));
+  if (!q1.ok()) return Fail(q1.status());
+  auto pivot = q1->ToPivotTable(Symbol::Name("Part"), Symbol::Name("Region"),
+                                AggFn::kSum, Symbol::Name("SalesQ1"));
+  if (!pivot.ok()) return Fail(pivot.status());
+  auto with_totals = tabular::olap::AbsorbTotals(
+      *pivot, Symbol::Name("Region"), Symbol::Name("Sold"), AggFn::kSum,
+      Symbol::Name("Total"));
+  if (!with_totals.ok()) return Fail(with_totals.status());
+  std::printf("Q1 report with absorbed totals (Figure 1 style):\n%s\n",
+              tabular::io::PrettyPrint(*with_totals).c_str());
+
+  // The CUBE operator: every grouping at once, Total as the ALL marker.
+  auto cube_agg = cube->CubeAggregate(AggFn::kSum, Symbol::Name("Total"),
+                                      Symbol::Name("CubeOut"));
+  if (!cube_agg.ok()) return Fail(cube_agg.status());
+  std::printf("CUBE(Part, Region, Quarter): %zu aggregate tuples\n\n",
+              cube_agg->size());
+
+  // Classification (§5): bin the measure.
+  std::vector<tabular::olap::Bin> bins{
+      {Symbol::Value("small"), 0, 30},
+      {Symbol::Value("medium"), 30, 45},
+      {Symbol::Value("large"), 45, 1000},
+  };
+  auto classified = tabular::olap::Classify(
+      *facts, Symbol::Name("Sold"), bins, Symbol::Name("Class"),
+      Symbol::Name("Classified"));
+  if (!classified.ok()) return Fail(classified.status());
+  auto counts = tabular::olap::GroupAggregate(
+      *classified, {Symbol::Name("Class")}, Symbol::Name("Sold"),
+      AggFn::kCount, Symbol::Name("N"), Symbol::Name("SizeHistogram"));
+  if (!counts.ok()) return Fail(counts.status());
+  std::printf("Sales size classes:\n%s", counts->ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,93 @@
+// SchemaLog_d (paper §4.2): schema-querying rules whose variables range
+// over attribute and relation names as well as data, evaluated natively
+// and — per Theorem 4.5 — through the generated tabular-algebra program.
+
+#include <cstdio>
+
+#include "io/grid_format.h"
+#include "lang/interpreter.h"
+#include "relational/canonical.h"
+#include "schemalog/parser.h"
+#include "schemalog/translate.h"
+
+namespace {
+
+using tabular::core::Symbol;
+using tabular::rel::RelationalDatabase;
+
+int Fail(const tabular::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main() {
+  // Two departments publish "the same" data under different schemas — the
+  // interoperability scenario SchemaLog was designed for.
+  RelationalDatabase db;
+  db.Put(tabular::rel::Relation::Make(
+      "east_sales", {"part", "sold"},
+      {{"nuts", "50"}, {"bolts", "70"}}));
+  db.Put(tabular::rel::Relation::Make(
+      "west_sales", {"part", "sold"},
+      {{"nuts", "60"}, {"screws", "50"}}));
+
+  tabular::slog::FactBase edb = tabular::slog::FactsFromRelational(db);
+  std::printf("EDB: %zu quadruple facts from 2 relations\n\n", edb.size());
+
+  // The rule's ?R variable ranges over *relation names*: it folds every
+  // per-region relation into one, turning schema (the region encoded in
+  // the relation name) into data — restructuring beyond first-order SQL.
+  auto program = tabular::slog::ParseSlogProgram(R"(
+    -- unify the per-region relations; keep their origin as data
+    all_sales[?T: ?A -> ?V]     :- ?R[?T: ?A -> ?V], ?R != all_sales.
+    all_sales[?T: origin -> ?R] :- ?R[?T: part -> ?V], ?R != all_sales.
+  )");
+  if (!program.ok()) return Fail(program.status());
+  std::printf("Program:\n%s\n", program->ToString().c_str());
+
+  auto result = tabular::slog::Evaluate(*program, edb);
+  if (!result.ok()) return Fail(result.status());
+
+  tabular::core::TabularDatabase tables =
+      tabular::slog::FactsToTabular(*result, /*keep_tids=*/false);
+  for (const auto& t : tables.tables()) {
+    if (t.name() == Symbol::Name("all_sales")) {
+      std::printf("all_sales (variable-width, built by the rules):\n%s\n",
+                  tabular::io::PrettyPrint(t).c_str());
+    }
+  }
+
+  // Theorem 4.5: the same program as a tabular-algebra program.
+  auto ta = tabular::slog::TranslateSlogToTabular(*program);
+  if (!ta.ok()) return Fail(ta.status());
+  std::printf("Generated TA program: %zu statements (+%zu constant tables)\n",
+              ta->program.statements.size(), ta->prelude_tables.size());
+
+  tabular::core::TabularDatabase tdb;
+  tdb.Add(tabular::rel::RelationToTable(
+      tabular::slog::FactsToRelation(edb)));
+  for (const auto& t : ta->prelude_tables) tdb.Add(t);
+  tabular::lang::Interpreter interp;
+  tabular::Status st = interp.Run(ta->program, &tdb);
+  if (!st.ok()) return Fail(st);
+
+  auto sl = tdb.Named(tabular::slog::SlogFactsName());
+  auto back = tabular::rel::TableToRelation(sl[0]);
+  if (!back.ok()) return Fail(back.status());
+  auto aligned = tabular::rel::Project(
+      *back,
+      {Symbol::Name("Rel"), Symbol::Name("Tid"), Symbol::Name("Attr"),
+       Symbol::Name("Val")},
+      tabular::slog::SlogFactsName());
+  if (!aligned.ok()) return Fail(aligned.status());
+  auto ta_facts = tabular::slog::RelationToFacts(*aligned);
+  if (!ta_facts.ok()) return Fail(ta_facts.status());
+
+  std::printf("Native fixpoint: %zu facts; TA simulation: %zu facts; %s\n",
+              result->size(), ta_facts->size(),
+              *ta_facts == *result ? "identical (Theorem 4.5 verified)"
+                                   : "DIFFER (bug!)");
+  return 0;
+}

@@ -1,0 +1,141 @@
+// tabular_shell: run tabular-algebra programs against database files.
+//
+//   tabular_shell db.tdb                    -- interactive REPL
+//   tabular_shell db.tdb program.ta         -- batch: run, print database
+//   tabular_shell db.tdb program.ta out.tdb -- batch: run, save result
+//
+// The database format is the grid format of io/grid_format.h; programs use
+// the surface syntax of lang/parser.h. REPL extras:
+//   :tables          list table names
+//   :show <name>     pretty-print the tables named <name>
+//   :save <path>     write the database
+//   :quit            leave
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/database.h"
+#include "io/grid_format.h"
+#include "lang/interpreter.h"
+#include "lang/parser.h"
+
+namespace {
+
+using tabular::core::Symbol;
+using tabular::core::TabularDatabase;
+
+int Fail(const tabular::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+bool RunSource(const std::string& source, TabularDatabase* db) {
+  auto program = tabular::lang::ParseProgram(source);
+  if (!program.ok()) {
+    std::fprintf(stderr, "parse error: %s\n",
+                 program.status().ToString().c_str());
+    return false;
+  }
+  tabular::Status st = tabular::lang::RunProgram(*program, db);
+  if (!st.ok()) {
+    std::fprintf(stderr, "runtime error: %s\n", st.ToString().c_str());
+    return false;
+  }
+  return true;
+}
+
+void HandleCommand(const std::string& line, TabularDatabase* db) {
+  if (line == ":tables") {
+    for (Symbol nm : db->TableNames()) {
+      std::printf("  %s (%zu table%s)\n", nm.ToString().c_str(),
+                  db->Named(nm).size(),
+                  db->Named(nm).size() == 1 ? "" : "s");
+    }
+    return;
+  }
+  if (line.rfind(":show ", 0) == 0) {
+    Symbol nm = Symbol::Name(line.substr(6));
+    for (const auto& t : db->Named(nm)) {
+      std::printf("%s\n", tabular::io::PrettyPrint(t).c_str());
+    }
+    if (!db->HasTableNamed(nm)) std::printf("no table named %s\n",
+                                            nm.ToString().c_str());
+    return;
+  }
+  if (line.rfind(":save ", 0) == 0) {
+    tabular::Status st =
+        tabular::io::SaveDatabaseFile(*db, line.substr(6));
+    std::printf("%s\n", st.ok() ? "saved" : st.ToString().c_str());
+    return;
+  }
+  std::printf("commands: :tables, :show <name>, :save <path>, :quit\n");
+}
+
+int Repl(TabularDatabase* db) {
+  std::printf("tabular shell — statements end with ';', :help for "
+              "commands\n");
+  std::string pending;
+  std::string line;
+  while (true) {
+    std::printf("%s", pending.empty() ? "ta> " : "...> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (pending.empty() && !line.empty() && line[0] == ':') {
+      if (line == ":quit" || line == ":q") break;
+      HandleCommand(line, db);
+      continue;
+    }
+    pending += line + "\n";
+    // Execute once the statement(s) look complete (trailing ';' or '}').
+    std::string trimmed = pending;
+    while (!trimmed.empty() &&
+           std::isspace(static_cast<unsigned char>(trimmed.back()))) {
+      trimmed.pop_back();
+    }
+    if (trimmed.empty()) {
+      pending.clear();
+      continue;
+    }
+    if (trimmed.back() != ';' && trimmed.back() != '}') continue;
+    RunSource(pending, db);
+    pending.clear();
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || argc > 4) {
+    std::fprintf(stderr,
+                 "usage: %s <db.tdb> [program.ta] [out.tdb]\n", argv[0]);
+    return 2;
+  }
+  auto db = tabular::io::LoadDatabaseFile(argv[1]);
+  if (!db.ok()) return Fail(db.status());
+  std::printf("loaded %zu table(s) from %s\n", db->size(), argv[1]);
+
+  if (argc == 2) return Repl(&*db);
+
+  std::ifstream in(argv[2]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", argv[2]);
+    return 2;
+  }
+  std::ostringstream source;
+  source << in.rdbuf();
+  if (!RunSource(source.str(), &*db)) return 1;
+
+  if (argc == 4) {
+    tabular::Status st = tabular::io::SaveDatabaseFile(*db, argv[3]);
+    if (!st.ok()) return Fail(st);
+    std::printf("wrote %zu table(s) to %s\n", db->size(), argv[3]);
+  } else {
+    std::printf("%s", tabular::io::PrettyPrintDatabase(*db).c_str());
+  }
+  return 0;
+}

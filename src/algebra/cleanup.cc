@@ -1,0 +1,120 @@
+#include "algebra/cleanup.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "algebra/transpose.h"
+
+namespace tabular::algebra {
+
+using core::StripNull;
+using core::SymbolSet;
+
+namespace {
+
+void AppendSymbolFingerprint(Symbol s, std::string* out) {
+  out->push_back(static_cast<char>('0' + static_cast<int>(s.kind())));
+  out->append(s.is_null() ? "" : s.text());
+  out->push_back('\x1f');
+}
+
+/// Grouping key: row attribute plus, per 𝒜-attribute, the ⊥-stripped set
+/// of entries under columns with that attribute.
+std::string GroupKey(const Table& t, size_t row, const SymbolVec& by_attrs) {
+  std::string key;
+  AppendSymbolFingerprint(t.at(row, 0), &key);
+  for (Symbol a : by_attrs) {
+    key.push_back('\x1e');
+    for (Symbol s : StripNull(t.RowEntries(row, a))) {
+      AppendSymbolFingerprint(s, &key);
+    }
+  }
+  return key;
+}
+
+/// Attempts the position-wise least common subsumer of `rows`; returns true
+/// and fills `merged` iff every column's non-⊥ entries agree.
+bool TryMerge(const Table& t, const std::vector<size_t>& rows,
+              SymbolVec* merged) {
+  merged->assign(t.num_cols(), Symbol::Null());
+  (*merged)[0] = t.at(rows.front(), 0);
+  for (size_t j = 1; j < t.num_cols(); ++j) {
+    Symbol cell = Symbol::Null();
+    for (size_t i : rows) {
+      Symbol s = t.at(i, j);
+      if (s.is_null()) continue;
+      if (cell.is_null()) {
+        cell = s;
+      } else if (cell != s) {
+        return false;
+      }
+    }
+    (*merged)[j] = cell;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<Table> CleanUp(const Table& rho, const SymbolVec& by_attrs,
+                      const SymbolVec& on_row_attrs, Symbol result_name) {
+  SymbolSet candidate_attrs(on_row_attrs.begin(), on_row_attrs.end());
+
+  // Group candidate rows, remembering first-appearance order.
+  std::map<std::string, size_t> group_index;
+  std::vector<std::vector<size_t>> groups;
+  // For output ordering: for each data row, either "pass through" or "group
+  // g emitted at its first member's position".
+  std::vector<long> row_group(rho.num_rows(), -1);
+  for (size_t i = 1; i <= rho.height(); ++i) {
+    if (!candidate_attrs.contains(rho.at(i, 0))) continue;
+    std::string key = GroupKey(rho, i, by_attrs);
+    auto [it, inserted] = group_index.try_emplace(std::move(key), groups.size());
+    if (inserted) groups.emplace_back();
+    groups[it->second].push_back(i);
+    row_group[i] = static_cast<long>(it->second);
+  }
+
+  // Decide each group's merged row (or keep originals on conflict).
+  std::vector<bool> group_merged(groups.size(), false);
+  std::vector<SymbolVec> merged_rows(groups.size());
+  for (size_t g = 0; g < groups.size(); ++g) {
+    if (groups[g].size() < 2) continue;
+    group_merged[g] = TryMerge(rho, groups[g], &merged_rows[g]);
+  }
+
+  Table out(1, rho.num_cols());
+  out.set_name(result_name);
+  for (size_t j = 1; j < rho.num_cols(); ++j) out.set(0, j, rho.at(0, j));
+  for (size_t i = 1; i <= rho.height(); ++i) {
+    long g = row_group[i];
+    if (g < 0 || !group_merged[g]) {
+      out.AppendRow(rho.Row(i));
+      continue;
+    }
+    // Emit the merged tuple at the group's first member only.
+    if (groups[g].front() == i) out.AppendRow(merged_rows[g]);
+  }
+  return out;
+}
+
+Result<Table> Purge(const Table& rho, const SymbolVec& on_col_attrs,
+                    const SymbolVec& by_attrs, Symbol result_name) {
+  Table t = rho.Transposed();
+  TABULAR_ASSIGN_OR_RETURN(Table cleaned,
+                           CleanUp(t, by_attrs, on_col_attrs, rho.name()));
+  Table out = cleaned.Transposed();
+  out.set_name(result_name);
+  return out;
+}
+
+Result<Table> DeduplicateRows(const Table& rho, Symbol result_name) {
+  SymbolVec by = rho.ColumnAttributes();
+  SymbolVec on = rho.RowAttributes();
+  // Ensure unnamed rows participate even if the table has no data rows yet.
+  on.push_back(core::Symbol::Null());
+  return CleanUp(rho, by, on, result_name);
+}
+
+}  // namespace tabular::algebra

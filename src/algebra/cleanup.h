@@ -1,0 +1,51 @@
+#ifndef TABULAR_ALGEBRA_CLEANUP_H_
+#define TABULAR_ALGEBRA_CLEANUP_H_
+
+#include "core/status.h"
+#include "core/symbol.h"
+#include "core/table.h"
+
+namespace tabular::algebra {
+
+using tabular::Result;
+using core::Symbol;
+using core::SymbolVec;
+using core::Table;
+
+/// Redundancy removal (paper §3.4). CLEAN-UP generalizes duplicate-row
+/// elimination; PURGE is its column dual. Classical union of two
+/// union-compatible relations = tabular union, then PURGE (redundant
+/// columns), then CLEAN-UP (duplicate rows).
+
+/// `T <- CLEAN-UP by 𝒜 on ℬ (R)`.
+///
+/// Candidate rows are the data rows whose row attribute lies in ℬ (ℬ may
+/// contain ⊥, selecting the unnamed rows, as in the paper's
+/// `CLEAN-UP by Part on ⊥`). Candidates are grouped by (row attribute,
+/// per-a∈𝒜 set of non-⊥ entries under columns named a). Each group is
+/// replaced by its least common subsuming tuple when one exists; otherwise
+/// the original rows are retained. Non-candidate rows pass through in
+/// place.
+///
+/// paper-gap #5: the least common subsumer is computed *position-wise* —
+/// for every column the group's non-⊥ entries must agree, and the merged
+/// cell is that entry (or ⊥). This is the unique choice that makes the
+/// paper's §3.4 pipeline `CLEAN-UP by Part on ⊥` then
+/// `PURGE on Sold by Region` reproduce SalesInfo2 exactly from Figure 4;
+/// a purely set-based merge may scramble the region/value alignment.
+Result<Table> CleanUp(const Table& rho, const SymbolVec& by_attrs,
+                      const SymbolVec& on_row_attrs, Symbol result_name);
+
+/// `T <- PURGE on ℬ by 𝒜 (R)`: the column dual — merges the columns whose
+/// attribute lies in ℬ, keyed per-a∈𝒜 by their entries in the rows named
+/// a. Implemented as TRANSPOSE ∘ CLEAN-UP ∘ TRANSPOSE.
+Result<Table> Purge(const Table& rho, const SymbolVec& on_col_attrs,
+                    const SymbolVec& by_attrs, Symbol result_name);
+
+/// Convenience: CLEAN-UP keyed by *all* non-ℬ attributes — plain duplicate
+/// row elimination under subsumption.
+Result<Table> DeduplicateRows(const Table& rho, Symbol result_name);
+
+}  // namespace tabular::algebra
+
+#endif  // TABULAR_ALGEBRA_CLEANUP_H_

@@ -1,0 +1,97 @@
+#include "algebra/derived.h"
+
+#include <algorithm>
+#include <string>
+
+namespace tabular::algebra {
+
+using tabular::Status;
+
+namespace {
+
+SymbolVec DistinctAttributes(const Table& t) {
+  SymbolVec out;
+  core::SymbolSet seen;
+  for (size_t j = 1; j < t.num_cols(); ++j) {
+    if (seen.insert(t.at(0, j)).second) out.push_back(t.at(0, j));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Table> ClassicalUnion(const Table& rho, const Table& sigma,
+                             Symbol result_name) {
+  TABULAR_ASSIGN_OR_RETURN(Table u, Union(rho, sigma, result_name));
+  TABULAR_ASSIGN_OR_RETURN(
+      Table purged, Purge(u, DistinctAttributes(u), {}, result_name));
+  return DeduplicateRows(purged, result_name);
+}
+
+Result<Table> ProjectAway(const Table& rho, const SymbolSet& attrs,
+                          Symbol result_name) {
+  SymbolSet keep;
+  for (size_t j = 1; j < rho.num_cols(); ++j) {
+    if (!attrs.contains(rho.at(0, j))) keep.insert(rho.at(0, j));
+  }
+  return Project(rho, keep, result_name);
+}
+
+Result<Table> NaturalJoinTables(const Table& rho, const Table& sigma,
+                                Symbol result_name) {
+  // Shared attributes (⊥ never joins).
+  SymbolSet rho_attrs;
+  for (size_t j = 1; j < rho.num_cols(); ++j) rho_attrs.insert(rho.at(0, j));
+  SymbolVec shared;
+  for (Symbol a : DistinctAttributes(sigma)) {
+    if (!a.is_null() && rho_attrs.contains(a)) shared.push_back(a);
+  }
+  // Rename σ's shared attributes apart, take the product, select equal,
+  // project the primed copies away.
+  Table renamed = sigma;
+  SymbolVec primed;
+  for (Symbol a : shared) {
+    Symbol p = Symbol::Name("join$" + a.ToString());
+    TABULAR_ASSIGN_OR_RETURN(renamed,
+                             Rename(renamed, a, p, renamed.name()));
+    primed.push_back(p);
+  }
+  TABULAR_ASSIGN_OR_RETURN(Table product,
+                           CartesianProduct(rho, renamed, result_name));
+  for (size_t i = 0; i < shared.size(); ++i) {
+    TABULAR_ASSIGN_OR_RETURN(
+        product, Select(product, shared[i], primed[i], result_name));
+  }
+  SymbolSet drop(primed.begin(), primed.end());
+  TABULAR_ASSIGN_OR_RETURN(Table joined,
+                           ProjectAway(product, drop, result_name));
+  return DeduplicateRows(joined, result_name);
+}
+
+Result<Table> SelectRowsByAttribute(const Table& rho,
+                                    const SymbolSet& attrs,
+                                    Symbol result_name) {
+  // TRANSPOSE ∘ PROJECT ∘ TRANSPOSE: after the first transpose, the row
+  // attributes are the column attributes, projection keeps them, and the
+  // second transpose restores the orientation.
+  TABULAR_ASSIGN_OR_RETURN(Table t, Transpose(rho, rho.name()));
+  TABULAR_ASSIGN_OR_RETURN(Table p, Project(t, attrs, rho.name()));
+  return Transpose(p, result_name);
+}
+
+Result<Table> SelectColumnsWhere(const Table& rho, Symbol row_attr,
+                                 Symbol value, Symbol result_name) {
+  TABULAR_ASSIGN_OR_RETURN(Table t, Transpose(rho, rho.name()));
+  TABULAR_ASSIGN_OR_RETURN(
+      Table s, SelectConstant(t, row_attr, value, rho.name()));
+  return Transpose(s, result_name);
+}
+
+Result<Table> Compact(const Table& rho, const SymbolVec& col_attrs,
+                      Symbol result_name) {
+  TABULAR_ASSIGN_OR_RETURN(Table purged,
+                           Purge(rho, col_attrs, {}, result_name));
+  return DeduplicateRows(purged, result_name);
+}
+
+}  // namespace tabular::algebra

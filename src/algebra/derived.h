@@ -1,0 +1,61 @@
+#ifndef TABULAR_ALGEBRA_DERIVED_H_
+#define TABULAR_ALGEBRA_DERIVED_H_
+
+#include "algebra/cleanup.h"
+#include "algebra/restructure.h"
+#include "algebra/traditional.h"
+#include "algebra/transpose.h"
+
+namespace tabular::algebra {
+
+using core::SymbolSet;
+
+/// Derived operations (paper §5: "we are developing additional derived
+/// operations ... allowing high level expression of transformations").
+/// Everything here is defined *by composition* of the primitive operators
+/// of §3 — no new expressive power, just convenient idioms — and each doc
+/// comment records its defining composition.
+
+/// Classical set union of two relation-shaped tables over the same
+/// attribute list: tabular UNION, then PURGE (merging the duplicated
+/// column copies, keyed by attribute alone), then duplicate-row CLEAN-UP
+/// (the §3.4 recipe).
+Result<Table> ClassicalUnion(const Table& rho, const Table& sigma,
+                             Symbol result_name);
+
+/// Projection onto the complement: keeps every column whose attribute is
+/// *not* in `attrs` (the negative-list projection `{* ~ attrs}` of the
+/// parameter language, as a kernel).
+Result<Table> ProjectAway(const Table& rho, const SymbolSet& attrs,
+                          Symbol result_name);
+
+/// Classical natural join of two relation-shaped tables (distinct
+/// attributes, ⊥ row attributes): σ-chain over the shared attributes of
+/// the Cartesian product, the duplicated join columns purged away, rows
+/// deduplicated. Defined as
+///   CLEAN-UP ∘ PURGE ∘ σ_{a=a'} ∘ … ∘ (ρ × σ').
+Result<Table> NaturalJoinTables(const Table& rho, const Table& sigma,
+                                Symbol result_name);
+
+/// Row-attribute selection: keeps the data rows whose row attribute lies
+/// in `attrs` — the column dual of projection, expressed as
+/// TRANSPOSE ∘ PROJECT ∘ TRANSPOSE (§3.3's dual construction).
+Result<Table> SelectRowsByAttribute(const Table& rho,
+                                    const SymbolSet& attrs,
+                                    Symbol result_name);
+
+/// Column dual of constant selection: keeps the columns whose entry in
+/// the rows named `row_attr` weakly equals {value}. Expressed as
+/// TRANSPOSE ∘ σ_{row_attr='value'} ∘ TRANSPOSE.
+Result<Table> SelectColumnsWhere(const Table& rho, Symbol row_attr,
+                                 Symbol value, Symbol result_name);
+
+/// The "uneconomical-to-economical" compaction used throughout the paper
+/// after GROUP/COLLAPSE: PURGE on `col_attrs` keyed by attribute alone,
+/// then duplicate-row CLEAN-UP.
+Result<Table> Compact(const Table& rho, const SymbolVec& col_attrs,
+                      Symbol result_name);
+
+}  // namespace tabular::algebra
+
+#endif  // TABULAR_ALGEBRA_DERIVED_H_

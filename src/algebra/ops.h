@@ -1,0 +1,13 @@
+#ifndef TABULAR_ALGEBRA_OPS_H_
+#define TABULAR_ALGEBRA_OPS_H_
+
+/// Umbrella header: every tabular-algebra operator kernel (paper §3).
+
+#include "algebra/cleanup.h"      // IWYU pragma: export
+#include "algebra/derived.h"      // IWYU pragma: export
+#include "algebra/restructure.h"  // IWYU pragma: export
+#include "algebra/tagging.h"      // IWYU pragma: export
+#include "algebra/traditional.h"  // IWYU pragma: export
+#include "algebra/transpose.h"    // IWYU pragma: export
+
+#endif  // TABULAR_ALGEBRA_OPS_H_

@@ -1,0 +1,295 @@
+#include "algebra/restructure.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <string>
+
+#include "algebra/traditional.h"
+
+namespace tabular::algebra {
+
+using tabular::Status;
+using core::SymbolSet;
+
+namespace {
+
+constexpr size_t kNoColumn = std::numeric_limits<size_t>::max();
+
+std::vector<size_t> ColumnsWithAttrIn(const Table& t, const SymbolSet& attrs,
+                                      bool complement) {
+  std::vector<size_t> out;
+  for (size_t j = 1; j < t.num_cols(); ++j) {
+    if (attrs.contains(t.at(0, j)) != complement) out.push_back(j);
+  }
+  return out;
+}
+
+size_t FirstColumnNamed(const Table& t, Symbol attr) {
+  for (size_t j = 1; j < t.num_cols(); ++j) {
+    if (t.at(0, j) == attr) return j;
+  }
+  return kNoColumn;
+}
+
+/// Lexicographic order on symbol tuples via Symbol::Compare, for use as a
+/// deterministic map key.
+struct SymbolVecLess {
+  bool operator()(const SymbolVec& a, const SymbolVec& b) const {
+    return std::lexicographical_compare(
+        a.begin(), a.end(), b.begin(), b.end(),
+        [](Symbol x, Symbol y) { return Symbol::Compare(x, y) < 0; });
+  }
+};
+
+SymbolVec DistinctInOrder(const SymbolVec& attrs) {
+  SymbolVec out;
+  SymbolSet seen;
+  for (Symbol a : attrs) {
+    if (seen.insert(a).second) out.push_back(a);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Table> Group(const Table& rho, const SymbolVec& by_attrs,
+                    const SymbolVec& on_attrs, Symbol result_name) {
+  if (by_attrs.empty() || on_attrs.empty()) {
+    return Status::InvalidArgument("GROUP needs non-empty 'by' and 'on'");
+  }
+  const SymbolVec a_attrs = DistinctInOrder(by_attrs);
+  const SymbolVec b_attrs = DistinctInOrder(on_attrs);
+  SymbolSet a_set(a_attrs.begin(), a_attrs.end());
+  SymbolSet b_set(b_attrs.begin(), b_attrs.end());
+  for (Symbol a : a_attrs) {
+    if (b_set.contains(a)) {
+      return Status::InvalidArgument("GROUP 'by' and 'on' overlap at " +
+                                     a.ToString());
+    }
+    if (FirstColumnNamed(rho, a) == kNoColumn) {
+      return Status::InvalidArgument("GROUP 'by' attribute " + a.ToString() +
+                                     " labels no column");
+    }
+  }
+  SymbolSet drop = a_set;
+  drop.insert(b_set.begin(), b_set.end());
+  const std::vector<size_t> kept =
+      ColumnsWithAttrIn(rho, drop, /*complement=*/true);
+  const std::vector<size_t> b_cols =
+      ColumnsWithAttrIn(rho, b_set, /*complement=*/false);
+  if (b_cols.empty()) {
+    return Status::InvalidArgument("GROUP 'on' attributes label no column");
+  }
+  const size_t m = rho.height();
+  const size_t block = b_cols.size();
+  Table out(1, 1 + kept.size() + m * block);
+  out.set_name(result_name);
+  for (size_t c = 0; c < kept.size(); ++c) {
+    out.set(0, 1 + c, rho.at(0, kept[c]));
+  }
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t c = 0; c < block; ++c) {
+      out.set(0, 1 + kept.size() + i * block + c, rho.at(0, b_cols[c]));
+    }
+  }
+  // Leading rows: one per grouping attribute.
+  for (Symbol a : a_attrs) {
+    const size_t a_col = FirstColumnNamed(rho, a);
+    SymbolVec row(out.num_cols(), Symbol::Null());
+    row[0] = a;
+    for (size_t i = 0; i < m; ++i) {
+      Symbol v = rho.at(i + 1, a_col);
+      for (size_t c = 0; c < block; ++c) {
+        row[1 + kept.size() + i * block + c] = v;
+      }
+    }
+    out.AppendRow(row);
+  }
+  // One sparse row per input data row.
+  for (size_t i = 0; i < m; ++i) {
+    SymbolVec row(out.num_cols(), Symbol::Null());
+    row[0] = rho.at(i + 1, 0);
+    for (size_t c = 0; c < kept.size(); ++c) {
+      row[1 + c] = rho.at(i + 1, kept[c]);
+    }
+    for (size_t c = 0; c < block; ++c) {
+      row[1 + kept.size() + i * block + c] = rho.at(i + 1, b_cols[c]);
+    }
+    out.AppendRow(row);
+  }
+  return out;
+}
+
+Result<Table> Merge(const Table& rho, const SymbolVec& on_attrs,
+                    const SymbolVec& by_attrs, Symbol result_name) {
+  if (on_attrs.empty() || by_attrs.empty()) {
+    return Status::InvalidArgument("MERGE needs non-empty 'on' and 'by'");
+  }
+  const SymbolVec b_attrs = DistinctInOrder(on_attrs);
+  const SymbolVec a_attrs = DistinctInOrder(by_attrs);
+  SymbolSet b_set(b_attrs.begin(), b_attrs.end());
+
+  // The k-th occurrence of each ℬ-attribute forms block k (paper-gap #4);
+  // attributes with fewer occurrences read ⊥ in the later blocks.
+  std::vector<std::vector<size_t>> occurrences(b_attrs.size());
+  for (size_t b = 0; b < b_attrs.size(); ++b) {
+    occurrences[b] = rho.ColumnsNamed(b_attrs[b]);
+  }
+  size_t nblocks = 0;
+  for (const auto& occ : occurrences) nblocks = std::max(nblocks, occ.size());
+  if (nblocks == 0) {
+    return Status::InvalidArgument("MERGE 'on' attributes label no column");
+  }
+
+  // Rows supplying the values of the new 𝒜-columns.
+  std::vector<std::vector<size_t>> a_rows(a_attrs.size());
+  for (size_t a = 0; a < a_attrs.size(); ++a) {
+    a_rows[a] = rho.RowsNamed(a_attrs[a]);
+    if (a_rows[a].empty()) {
+      return Status::InvalidArgument("MERGE 'by' attribute " +
+                                     a_attrs[a].ToString() +
+                                     " names no row");
+    }
+  }
+  SymbolSet a_name_set(a_attrs.begin(), a_attrs.end());
+
+  const std::vector<size_t> kept =
+      ColumnsWithAttrIn(rho, b_set, /*complement=*/true);
+
+  Table out(1, 1 + kept.size() + a_attrs.size() + b_attrs.size());
+  out.set_name(result_name);
+  size_t col = 1;
+  for (size_t k : kept) out.set(0, col++, rho.at(0, k));
+  for (Symbol a : a_attrs) out.set(0, col++, a);
+  for (Symbol b : b_attrs) out.set(0, col++, b);
+
+  // Cross product over the 𝒜-row choices (usually a single combination).
+  std::vector<size_t> choice(a_attrs.size(), 0);
+  auto advance_choice = [&]() -> bool {
+    for (size_t a = 0; a < choice.size(); ++a) {
+      if (++choice[a] < a_rows[a].size()) return true;
+      choice[a] = 0;
+    }
+    return false;
+  };
+
+  for (size_t i = 1; i <= rho.height(); ++i) {
+    if (a_name_set.contains(rho.at(i, 0))) continue;  // consumed
+    for (size_t k = 0; k < nblocks; ++k) {
+      size_t block_first = kNoColumn;
+      for (size_t b = 0; b < b_attrs.size() && block_first == kNoColumn;
+           ++b) {
+        if (k < occurrences[b].size()) block_first = occurrences[b][k];
+      }
+      std::fill(choice.begin(), choice.end(), 0);
+      do {
+        SymbolVec row;
+        row.reserve(out.num_cols());
+        row.push_back(rho.at(i, 0));
+        for (size_t c : kept) row.push_back(rho.at(i, c));
+        for (size_t a = 0; a < a_attrs.size(); ++a) {
+          size_t src_row = a_rows[a][choice[a]];
+          row.push_back(block_first == kNoColumn
+                            ? Symbol::Null()
+                            : rho.at(src_row, block_first));
+        }
+        for (size_t b = 0; b < b_attrs.size(); ++b) {
+          row.push_back(k < occurrences[b].size()
+                            ? rho.at(i, occurrences[b][k])
+                            : Symbol::Null());
+        }
+        out.AppendRow(row);
+      } while (advance_choice());
+    }
+  }
+  return out;
+}
+
+Result<std::vector<Table>> Split(const Table& rho, const SymbolVec& attrs,
+                                 Symbol result_name) {
+  if (attrs.empty()) {
+    return Status::InvalidArgument("SPLIT needs a non-empty attribute set");
+  }
+  const SymbolVec a_attrs = DistinctInOrder(attrs);
+  std::vector<size_t> key_cols;
+  for (Symbol a : a_attrs) {
+    size_t j = FirstColumnNamed(rho, a);
+    if (j == kNoColumn) {
+      return Status::InvalidArgument("SPLIT attribute " + a.ToString() +
+                                     " labels no column");
+    }
+    key_cols.push_back(j);
+  }
+  SymbolSet a_set(a_attrs.begin(), a_attrs.end());
+  const std::vector<size_t> kept =
+      ColumnsWithAttrIn(rho, a_set, /*complement=*/true);
+
+  // Distinct key combinations in first-appearance order.
+  std::vector<SymbolVec> keys;
+  std::map<SymbolVec, size_t, SymbolVecLess> key_index;
+  std::vector<std::vector<size_t>> members;
+  for (size_t i = 1; i <= rho.height(); ++i) {
+    SymbolVec key;
+    key.reserve(key_cols.size());
+    for (size_t j : key_cols) key.push_back(rho.at(i, j));
+    auto [it, inserted] = key_index.try_emplace(key, keys.size());
+    if (inserted) {
+      keys.push_back(key);
+      members.emplace_back();
+    }
+    members[it->second].push_back(i);
+  }
+
+  std::vector<Table> out;
+  out.reserve(keys.size());
+  for (size_t g = 0; g < keys.size(); ++g) {
+    Table t(1, 1 + kept.size());
+    t.set_name(result_name);
+    for (size_t c = 0; c < kept.size(); ++c) {
+      t.set(0, 1 + c, rho.at(0, kept[c]));
+    }
+    for (size_t a = 0; a < a_attrs.size(); ++a) {
+      SymbolVec row(t.num_cols(), keys[g][a]);
+      row[0] = a_attrs[a];
+      t.AppendRow(row);
+    }
+    for (size_t i : members[g]) {
+      SymbolVec row;
+      row.reserve(t.num_cols());
+      row.push_back(rho.at(i, 0));
+      for (size_t c : kept) row.push_back(rho.at(i, c));
+      t.AppendRow(row);
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+Result<Table> Collapse(const std::vector<Table>& tables,
+                       const SymbolVec& attrs, Symbol result_name) {
+  if (attrs.empty()) {
+    return Status::InvalidArgument(
+        "COLLAPSE needs a non-empty attribute set");
+  }
+  if (tables.empty()) {
+    Table t;
+    t.set_name(result_name);
+    return t;
+  }
+  std::vector<Table> merged;
+  merged.reserve(tables.size());
+  for (const Table& t : tables) {
+    SymbolVec all_attrs = DistinctInOrder(t.ColumnAttributes());
+    TABULAR_ASSIGN_OR_RETURN(Table m,
+                             Merge(t, all_attrs, attrs, result_name));
+    merged.push_back(std::move(m));
+  }
+  Table acc = std::move(merged[0]);
+  for (size_t i = 1; i < merged.size(); ++i) {
+    TABULAR_ASSIGN_OR_RETURN(acc, Union(acc, merged[i], result_name));
+  }
+  return acc;
+}
+
+}  // namespace tabular::algebra

@@ -1,0 +1,198 @@
+#include "algebra/traditional.h"
+
+#include <map>
+#include <string>
+#include <unordered_set>
+
+namespace tabular::algebra {
+
+using tabular::Status;
+using core::WeaklyEqual;
+
+Result<Table> Union(const Table& rho, const Table& sigma,
+                    Symbol result_name) {
+  const size_t wr = rho.width();
+  const size_t ws = sigma.width();
+  Table out(1, 1 + wr + ws);
+  out.set_name(result_name);
+  for (size_t j = 1; j <= wr; ++j) out.set(0, j, rho.at(0, j));
+  for (size_t j = 1; j <= ws; ++j) out.set(0, wr + j, sigma.at(0, j));
+  for (size_t i = 1; i <= rho.height(); ++i) {
+    SymbolVec row(1 + wr + ws, Symbol::Null());
+    row[0] = rho.at(i, 0);
+    for (size_t j = 1; j <= wr; ++j) row[j] = rho.at(i, j);
+    out.AppendRow(row);
+  }
+  for (size_t k = 1; k <= sigma.height(); ++k) {
+    SymbolVec row(1 + wr + ws, Symbol::Null());
+    row[0] = sigma.at(k, 0);
+    for (size_t j = 1; j <= ws; ++j) row[wr + j] = sigma.at(k, j);
+    out.AppendRow(row);
+  }
+  return out;
+}
+
+namespace {
+
+/// Canonical fingerprint of a data row under mutual subsumption: the map
+/// attribute → ⊥-stripped entry set (empty sets omitted). Two rows of any
+/// two tables subsume each other iff their fingerprints are equal, which
+/// turns the quadratic subsumption scan of Difference into hashing.
+std::string RowSubsumptionKey(const Table& t, size_t i) {
+  std::map<Symbol, SymbolSet, core::SymbolLess> sets;
+  for (size_t j = 1; j < t.num_cols(); ++j) {
+    Symbol cell = t.at(i, j);
+    if (cell.is_null()) continue;
+    sets[t.at(0, j)].insert(cell);
+  }
+  std::string key;
+  for (const auto& [attr, values] : sets) {
+    key.push_back(static_cast<char>('0' + static_cast<int>(attr.kind())));
+    key.append(attr.is_null() ? "" : attr.text());
+    key.push_back('\x1e');
+    for (Symbol v : values) {
+      key.push_back(static_cast<char>('0' + static_cast<int>(v.kind())));
+      key.append(v.text());
+      key.push_back('\x1f');
+    }
+    key.push_back('\x1d');
+  }
+  return key;
+}
+
+}  // namespace
+
+Result<Table> Difference(const Table& rho, const Table& sigma,
+                         Symbol result_name) {
+  std::unordered_set<std::string> sigma_keys;
+  sigma_keys.reserve(sigma.height());
+  for (size_t k = 1; k <= sigma.height(); ++k) {
+    sigma_keys.insert(RowSubsumptionKey(sigma, k));
+  }
+  Table out(1, rho.num_cols());
+  out.set_name(result_name);
+  for (size_t j = 1; j < rho.num_cols(); ++j) out.set(0, j, rho.at(0, j));
+  for (size_t i = 1; i <= rho.height(); ++i) {
+    if (!sigma_keys.contains(RowSubsumptionKey(rho, i))) {
+      out.AppendRow(rho.Row(i));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// paper-gap: combined row attribute for a product row (see header).
+Symbol CombineRowAttributes(Symbol a, Symbol b) {
+  if (a == b) return a;
+  if (a.is_null()) return b;
+  if (b.is_null()) return a;
+  return Symbol::Null();
+}
+
+}  // namespace
+
+Result<Table> CartesianProduct(const Table& rho, const Table& sigma,
+                               Symbol result_name) {
+  const size_t wr = rho.width();
+  const size_t ws = sigma.width();
+  Table out(1, 1 + wr + ws);
+  out.set_name(result_name);
+  for (size_t j = 1; j <= wr; ++j) out.set(0, j, rho.at(0, j));
+  for (size_t j = 1; j <= ws; ++j) out.set(0, wr + j, sigma.at(0, j));
+  for (size_t i = 1; i <= rho.height(); ++i) {
+    for (size_t k = 1; k <= sigma.height(); ++k) {
+      SymbolVec row;
+      row.reserve(1 + wr + ws);
+      row.push_back(CombineRowAttributes(rho.at(i, 0), sigma.at(k, 0)));
+      for (size_t j = 1; j <= wr; ++j) row.push_back(rho.at(i, j));
+      for (size_t j = 1; j <= ws; ++j) row.push_back(sigma.at(k, j));
+      out.AppendRow(row);
+    }
+  }
+  return out;
+}
+
+Result<Table> Rename(const Table& rho, Symbol from, Symbol to,
+                     Symbol result_name) {
+  Table out = rho;
+  out.set_name(result_name);
+  for (size_t j = 1; j < out.num_cols(); ++j) {
+    if (out.at(0, j) == from) out.set(0, j, to);
+  }
+  return out;
+}
+
+Result<Table> Project(const Table& rho, const SymbolSet& attrs,
+                      Symbol result_name) {
+  std::vector<size_t> keep;
+  for (size_t j = 1; j < rho.num_cols(); ++j) {
+    if (attrs.contains(rho.at(0, j))) keep.push_back(j);
+  }
+  Table out(rho.num_rows(), 1 + keep.size());
+  out.set_name(result_name);
+  for (size_t i = 0; i < rho.num_rows(); ++i) {
+    if (i > 0) out.set(i, 0, rho.at(i, 0));
+    for (size_t c = 0; c < keep.size(); ++c) {
+      out.set(i, c + 1, rho.at(i, keep[c]));
+    }
+  }
+  return out;
+}
+
+Result<Table> Select(const Table& rho, Symbol attr_a, Symbol attr_b,
+                     Symbol result_name) {
+  Table out(1, rho.num_cols());
+  out.set_name(result_name);
+  for (size_t j = 1; j < rho.num_cols(); ++j) out.set(0, j, rho.at(0, j));
+  const std::vector<size_t> cols_a = rho.ColumnsNamed(attr_a);
+  const std::vector<size_t> cols_b = rho.ColumnsNamed(attr_b);
+  // Fast path: singleton columns — ⊥-stripped sets are equal iff the two
+  // cells coincide (covers the common relational shape without per-row set
+  // allocations).
+  if (cols_a.size() == 1 && cols_b.size() == 1) {
+    for (size_t i = 1; i <= rho.height(); ++i) {
+      if (rho.at(i, cols_a[0]) == rho.at(i, cols_b[0])) {
+        out.AppendRow(rho.Row(i));
+      }
+    }
+    return out;
+  }
+  for (size_t i = 1; i <= rho.height(); ++i) {
+    if (WeaklyEqual(rho.RowEntries(i, attr_a), rho.RowEntries(i, attr_b))) {
+      out.AppendRow(rho.Row(i));
+    }
+  }
+  return out;
+}
+
+Result<Table> SelectConstant(const Table& rho, Symbol attr, Symbol value,
+                             Symbol result_name) {
+  Table out(1, rho.num_cols());
+  out.set_name(result_name);
+  for (size_t j = 1; j < rho.num_cols(); ++j) out.set(0, j, rho.at(0, j));
+  const std::vector<size_t> cols = rho.ColumnsNamed(attr);
+  if (cols.size() == 1) {
+    for (size_t i = 1; i <= rho.height(); ++i) {
+      if (rho.at(i, cols[0]) == value) out.AppendRow(rho.Row(i));
+    }
+    return out;
+  }
+  SymbolSet target;
+  target.insert(value);
+  for (size_t i = 1; i <= rho.height(); ++i) {
+    if (WeaklyEqual(rho.RowEntries(i, attr), target)) {
+      out.AppendRow(rho.Row(i));
+    }
+  }
+  return out;
+}
+
+Result<Table> Intersection(const Table& rho, const Table& sigma,
+                           Symbol result_name) {
+  TABULAR_ASSIGN_OR_RETURN(Table diff,
+                           Difference(rho, sigma, result_name));
+  return Difference(rho, diff, result_name);
+}
+
+}  // namespace tabular::algebra

@@ -1,0 +1,68 @@
+#ifndef TABULAR_ALGEBRA_TRADITIONAL_H_
+#define TABULAR_ALGEBRA_TRADITIONAL_H_
+
+#include "core/status.h"
+#include "core/symbol.h"
+#include "core/table.h"
+
+namespace tabular::algebra {
+
+using tabular::Result;
+using core::Symbol;
+using core::SymbolSet;
+using core::SymbolVec;
+using core::Table;
+
+/// Adaptations of the relational-algebra operations to tables (paper §3.1,
+/// Figure 3). All are total on tables — union and difference always exist —
+/// and the classical relational versions are recovered by composing with the
+/// redundancy-removal operations of §3.4.
+
+/// `T <- R ∪ S`: the result is a table of width width(ρ)+width(σ) whose
+/// attribute row concatenates both attribute rows; ρ's data rows are padded
+/// with ⊥ on σ's columns and vice versa (Figure 3, left).
+Result<Table> Union(const Table& rho, const Table& sigma, Symbol result_name);
+
+/// `T <- R \ S`: keeps ρ's shape, dropping every data row ρ_i for which
+/// some data row σ_k subsumes it both ways (ρ_i ≈ σ_k).
+Result<Table> Difference(const Table& rho, const Table& sigma,
+                         Symbol result_name);
+
+/// `T <- R × S`: attribute rows concatenated; one data row per pair
+/// (ρ_i, σ_k) with the data entries concatenated.
+///
+/// paper-gap: the extended abstract's diagram does not fix the combined row
+/// attribute; we use ρ_i⁰ when the two agree or σ_k⁰ is ⊥, σ_k⁰ when ρ_i⁰
+/// is ⊥, and ⊥ otherwise.
+Result<Table> CartesianProduct(const Table& rho, const Table& sigma,
+                               Symbol result_name);
+
+/// `T <- RENAME_{B <- A}(R)`: replaces every occurrence of `from` in the
+/// attribute row (positions τ⁰_{>0}) by `to`.
+Result<Table> Rename(const Table& rho, Symbol from, Symbol to,
+                     Symbol result_name);
+
+/// `T <- PROJECT_𝒜(R)`: keeps the attribute column and exactly the columns
+/// whose attribute belongs to `attrs` (all occurrences, original order).
+Result<Table> Project(const Table& rho, const SymbolSet& attrs,
+                      Symbol result_name);
+
+/// `T <- SELECT_{A=B}(R)`: keeps the data rows ρ_i with ρ_i(A) ≈ ρ_i(B)
+/// (weak equality of entry sets; §3.1 notes weak equality replaces
+/// classical equality).
+Result<Table> Select(const Table& rho, Symbol attr_a, Symbol attr_b,
+                     Symbol result_name);
+
+/// `T <- σ_{A='V'}(R)`: constant selection (derived in the paper via
+/// switching, §3.3); keeps rows with ρ_i(A) ≈ {V}.
+Result<Table> SelectConstant(const Table& rho, Symbol attr, Symbol value,
+                             Symbol result_name);
+
+/// Intersection, defined from difference in the usual way:
+/// R ∩ S = R \ (R \ S).
+Result<Table> Intersection(const Table& rho, const Table& sigma,
+                           Symbol result_name);
+
+}  // namespace tabular::algebra
+
+#endif  // TABULAR_ALGEBRA_TRADITIONAL_H_

@@ -1,0 +1,43 @@
+#include "algebra/transpose.h"
+
+namespace tabular::algebra {
+
+Result<Table> Transpose(const Table& rho, Symbol result_name) {
+  Table out = rho.Transposed();
+  out.set_name(result_name);
+  return out;
+}
+
+Result<Table> Switch(const Table& rho, Symbol v,
+                     std::optional<Symbol> result_name) {
+  size_t hit_i = 0;
+  size_t hit_j = 0;
+  size_t count = 0;
+  for (size_t i = 0; i < rho.num_rows() && count < 2; ++i) {
+    for (size_t j = 0; j < rho.num_cols() && count < 2; ++j) {
+      if (rho.at(i, j) == v) {
+        hit_i = i;
+        hit_j = j;
+        ++count;
+      }
+    }
+  }
+  Table out = rho;
+  if (count == 1) {
+    // Swap row 0 <-> hit_i, then column 0 <-> hit_j.
+    for (size_t j = 0; j < out.num_cols(); ++j) {
+      Symbol tmp = out.at(0, j);
+      out.set(0, j, out.at(hit_i, j));
+      out.set(hit_i, j, tmp);
+    }
+    for (size_t i = 0; i < out.num_rows(); ++i) {
+      Symbol tmp = out.at(i, 0);
+      out.set(i, 0, out.at(i, hit_j));
+      out.set(i, hit_j, tmp);
+    }
+  }
+  if (result_name.has_value()) out.set_name(*result_name);
+  return out;
+}
+
+}  // namespace tabular::algebra

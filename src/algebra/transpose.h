@@ -1,0 +1,36 @@
+#ifndef TABULAR_ALGEBRA_TRANSPOSE_H_
+#define TABULAR_ALGEBRA_TRANSPOSE_H_
+
+#include <optional>
+
+#include "core/status.h"
+#include "core/symbol.h"
+#include "core/table.h"
+
+namespace tabular::algebra {
+
+using tabular::Result;
+using core::Symbol;
+using core::Table;
+
+/// The two transposition operators of paper §3.3. Together with the other
+/// operations they let every operation's row/column *dual* be expressed.
+
+/// `T <- TRANSPOSE(R)`: transposes ρ as a matrix (column attributes become
+/// row attributes and vice versa; the name cell stays put).
+Result<Table> Transpose(const Table& rho, Symbol result_name);
+
+/// `T <- SWITCH_V(R)`: if `v` occurs exactly once in ρ, say at position
+/// (i, j), swaps rows 0 and i and columns 0 and j (so `v` becomes the table
+/// name); otherwise the table is left unchanged.
+///
+/// If `result_name` is set, the name cell is overwritten afterwards (the
+/// statement form `T <- SWITCH_V(R)` with a literal target); pass nullopt
+/// to keep the switched-in name — the paper's wildcard-target form, which
+/// is what makes the promoted entry addressable by later statements.
+Result<Table> Switch(const Table& rho, Symbol v,
+                     std::optional<Symbol> result_name);
+
+}  // namespace tabular::algebra
+
+#endif  // TABULAR_ALGEBRA_TRANSPOSE_H_

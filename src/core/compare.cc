@@ -1,0 +1,243 @@
+#include "core/compare.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace tabular::core {
+
+namespace {
+
+constexpr int kNormalizeMaxIterations = 8;
+/// Upper bound on the number of column-permutation nodes explored by the
+/// exact fallback search before giving up (and trusting normalization).
+constexpr size_t kExactSearchBudget = 200000;
+
+bool SymbolVecLess(const SymbolVec& a, const SymbolVec& b) {
+  return std::lexicographical_compare(
+      a.begin(), a.end(), b.begin(), b.end(),
+      [](Symbol x, Symbol y) { return Symbol::Compare(x, y) < 0; });
+}
+
+/// Rebuilds `t` with data rows reordered by `row_order` (positions into
+/// 1..height) and data columns by `col_order` (positions into 1..width).
+Table Permuted(const Table& t, const std::vector<size_t>& row_order,
+               const std::vector<size_t>& col_order) {
+  Table out(t.num_rows(), t.num_cols());
+  out.set(0, 0, t.name());
+  for (size_t j = 0; j < col_order.size(); ++j) {
+    out.set(0, j + 1, t.at(0, col_order[j]));
+  }
+  for (size_t i = 0; i < row_order.size(); ++i) {
+    out.set(i + 1, 0, t.at(row_order[i], 0));
+    for (size_t j = 0; j < col_order.size(); ++j) {
+      out.set(i + 1, j + 1, t.at(row_order[i], col_order[j]));
+    }
+  }
+  return out;
+}
+
+std::vector<size_t> SortedDataColumnOrder(const Table& t) {
+  std::vector<size_t> order(t.width());
+  std::iota(order.begin(), order.end(), 1);
+  std::vector<SymbolVec> cols(t.num_cols());
+  for (size_t j = 1; j < t.num_cols(); ++j) cols[j] = t.Column(j);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return SymbolVecLess(cols[a], cols[b]);
+  });
+  return order;
+}
+
+std::vector<size_t> SortedDataRowOrder(const Table& t) {
+  std::vector<size_t> order(t.height());
+  std::iota(order.begin(), order.end(), 1);
+  std::vector<SymbolVec> rows(t.num_rows());
+  for (size_t i = 1; i < t.num_rows(); ++i) rows[i] = t.Row(i);
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return SymbolVecLess(rows[a], rows[b]);
+  });
+  return order;
+}
+
+std::vector<size_t> IdentityOrder(size_t n) {
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 1);
+  return order;
+}
+
+/// Multiset of row contents (each row sorted cell-wise is NOT correct — the
+/// row's cells keep their column positions' meaning only jointly with the
+/// attribute row, so we compare full physical rows).
+std::multiset<std::string> RowFingerprints(const Table& t) {
+  std::multiset<std::string> out;
+  for (size_t i = 1; i < t.num_rows(); ++i) {
+    std::string fp;
+    // Rows are position-sensitive, but as a *necessary* condition for
+    // equivalence we use the multiset of each row's sorted cells joined
+    // with its row attribute.
+    SymbolVec row = t.Row(i);
+    std::sort(row.begin() + 1, row.end(),
+              [](Symbol a, Symbol b) { return Symbol::Compare(a, b) < 0; });
+    for (Symbol s : row) {
+      fp += std::to_string(static_cast<int>(s.kind()));
+      fp += s.text();
+      fp += '\x1f';
+    }
+    out.insert(std::move(fp));
+  }
+  return out;
+}
+
+/// Exact check: exists a column bijection + row bijection mapping a to b.
+/// Backtracks over column assignments (grouped by attribute), verifying at
+/// the end that row multisets match.
+class ExactMatcher {
+ public:
+  ExactMatcher(const Table& a, const Table& b) : a_(a), b_(b) {}
+
+  bool Run() {
+    const size_t w = a_.width();
+    assignment_.assign(w + 1, 0);
+    used_.assign(w + 1, false);
+    nodes_ = 0;
+    budget_ok_ = true;
+    return Assign(1);
+  }
+
+  bool budget_exceeded() const { return !budget_ok_; }
+
+ private:
+  bool Assign(size_t j) {
+    if (++nodes_ > kExactSearchBudget) {
+      budget_ok_ = false;
+      return false;
+    }
+    if (j > a_.width()) return RowsMatch();
+    for (size_t l = 1; l <= b_.width(); ++l) {
+      if (used_[l]) continue;
+      if (a_.at(0, j) != b_.at(0, l)) continue;
+      used_[l] = true;
+      assignment_[j] = l;
+      if (Assign(j + 1)) return true;
+      used_[l] = false;
+      if (!budget_ok_) return false;
+    }
+    return false;
+  }
+
+  bool RowsMatch() {
+    // With columns fixed, rows of a (re-ordered through the column map)
+    // must be a permutation of rows of b: compare sorted row lists.
+    std::vector<SymbolVec> ra;
+    std::vector<SymbolVec> rb;
+    for (size_t i = 1; i < a_.num_rows(); ++i) {
+      SymbolVec row;
+      row.push_back(a_.at(i, 0));
+      for (size_t j = 1; j < a_.num_cols(); ++j) row.push_back(a_.at(i, j));
+      ra.push_back(std::move(row));
+    }
+    for (size_t i = 1; i < b_.num_rows(); ++i) {
+      SymbolVec row;
+      row.push_back(b_.at(i, 0));
+      for (size_t j = 1; j < a_.num_cols(); ++j) {
+        row.push_back(b_.at(i, assignment_[j]));
+      }
+      rb.push_back(std::move(row));
+    }
+    std::sort(ra.begin(), ra.end(), SymbolVecLess);
+    std::sort(rb.begin(), rb.end(), SymbolVecLess);
+    return ra == rb;
+  }
+
+  const Table& a_;
+  const Table& b_;
+  std::vector<size_t> assignment_;
+  std::vector<bool> used_;
+  size_t nodes_ = 0;
+  bool budget_ok_ = true;
+};
+
+}  // namespace
+
+Table NormalizeTable(const Table& table) {
+  Table current = table;
+  for (int iter = 0; iter < kNormalizeMaxIterations; ++iter) {
+    std::vector<size_t> col_order = SortedDataColumnOrder(current);
+    Table with_cols =
+        Permuted(current, IdentityOrder(current.height()), col_order);
+    std::vector<size_t> row_order = SortedDataRowOrder(with_cols);
+    Table next =
+        Permuted(with_cols, row_order, IdentityOrder(with_cols.width()));
+    if (next == current) return next;
+    current = std::move(next);
+  }
+  return current;
+}
+
+bool EquivalentUpToPermutation(const Table& a, const Table& b) {
+  if (a.num_rows() != b.num_rows() || a.num_cols() != b.num_cols()) {
+    return false;
+  }
+  if (a.name() != b.name()) return false;
+  Table na = NormalizeTable(a);
+  Table nb = NormalizeTable(b);
+  if (na == nb) return true;
+  // Fast refutations before the exact search.
+  SymbolVec attrs_a = na.ColumnAttributes();
+  SymbolVec attrs_b = nb.ColumnAttributes();
+  std::sort(attrs_a.begin(), attrs_a.end(),
+            [](Symbol x, Symbol y) { return Symbol::Compare(x, y) < 0; });
+  std::sort(attrs_b.begin(), attrs_b.end(),
+            [](Symbol x, Symbol y) { return Symbol::Compare(x, y) < 0; });
+  if (attrs_a != attrs_b) return false;
+  if (RowFingerprints(na) != RowFingerprints(nb)) return false;
+  ExactMatcher matcher(na, nb);
+  bool found = matcher.Run();
+  if (found) return true;
+  // Budget exhaustion on a still-ambiguous pair: trust normalization (which
+  // said "not equal"). Documented heuristic; never hit by realistic tables.
+  return false;
+}
+
+bool EquivalentDatabases(const TabularDatabase& a, const TabularDatabase& b) {
+  if (a.size() != b.size()) return false;
+  std::vector<const Table*> remaining;
+  for (const Table& t : b.tables()) remaining.push_back(&t);
+  // Greedy bipartite matching with backtracking over small candidate sets.
+  std::function<bool(size_t)> match = [&](size_t i) -> bool {
+    if (i == a.size()) return true;
+    const Table& ta = a.tables()[i];
+    for (size_t k = 0; k < remaining.size(); ++k) {
+      if (remaining[k] == nullptr) continue;
+      if (!EquivalentUpToPermutation(ta, *remaining[k])) continue;
+      const Table* saved = remaining[k];
+      remaining[k] = nullptr;
+      if (match(i + 1)) return true;
+      remaining[k] = saved;
+    }
+    return false;
+  };
+  return match(0);
+}
+
+Table MapTableSymbols(const Table& table,
+                      const std::function<Symbol(Symbol)>& f) {
+  Table out(table.num_rows(), table.num_cols());
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    for (size_t j = 0; j < table.num_cols(); ++j) {
+      out.set(i, j, f(table.at(i, j)));
+    }
+  }
+  return out;
+}
+
+TabularDatabase MapSymbols(const TabularDatabase& db,
+                           const std::function<Symbol(Symbol)>& f) {
+  TabularDatabase out;
+  for (const Table& t : db.tables()) out.Add(MapTableSymbols(t, f));
+  return out;
+}
+
+}  // namespace tabular::core

@@ -1,0 +1,43 @@
+#ifndef TABULAR_CORE_COMPARE_H_
+#define TABULAR_CORE_COMPARE_H_
+
+#include <functional>
+
+#include "core/database.h"
+#include "core/table.h"
+
+namespace tabular::core {
+
+/// Canonical form of a table under permutations of its non-attribute rows
+/// and non-attribute columns (the equivalence used by the paper's notion of
+/// database isomorphism, §4.1 condition (iii) of the definition).
+///
+/// Computed by alternately sorting data columns by full column content and
+/// data rows by full row content until a fixpoint (bounded iterations).
+/// Tables equal after normalization are always equivalent; the converse
+/// holds except for tables with highly symmetric content, for which
+/// `EquivalentUpToPermutation` falls back to an exact search.
+Table NormalizeTable(const Table& table);
+
+/// True iff `a` can be transformed into `b` by permuting non-attribute rows
+/// and non-attribute columns. Exact (uses backtracking when normalization
+/// is inconclusive and the table is small; see kExactSearchBudget).
+bool EquivalentUpToPermutation(const Table& a, const Table& b);
+
+/// True iff the databases contain equivalent tables in some bijection
+/// (tables may appear in any order; names must match exactly).
+bool EquivalentDatabases(const TabularDatabase& a, const TabularDatabase& b);
+
+/// Applies `f` to every cell of every table. With `f` a permutation of the
+/// symbol universe that fixes names and ⊥, this realizes the paper's
+/// genericity morphisms (§4.1 condition (i)).
+TabularDatabase MapSymbols(const TabularDatabase& db,
+                           const std::function<Symbol(Symbol)>& f);
+
+/// Table version of `MapSymbols`.
+Table MapTableSymbols(const Table& table,
+                      const std::function<Symbol(Symbol)>& f);
+
+}  // namespace tabular::core
+
+#endif  // TABULAR_CORE_COMPARE_H_

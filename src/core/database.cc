@@ -1,0 +1,55 @@
+#include "core/database.h"
+
+#include <algorithm>
+
+namespace tabular::core {
+
+std::vector<size_t> TabularDatabase::IndicesNamed(Symbol name) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    if (tables_[i].name() == name) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<Table> TabularDatabase::Named(Symbol name) const {
+  std::vector<Table> out;
+  for (const Table& t : tables_) {
+    if (t.name() == name) out.push_back(t);
+  }
+  return out;
+}
+
+bool TabularDatabase::HasTableNamed(Symbol name) const {
+  return std::any_of(tables_.begin(), tables_.end(),
+                     [&](const Table& t) { return t.name() == name; });
+}
+
+size_t TabularDatabase::RemoveNamed(Symbol name) {
+  size_t before = tables_.size();
+  std::erase_if(tables_, [&](const Table& t) { return t.name() == name; });
+  return before - tables_.size();
+}
+
+SymbolSet TabularDatabase::TableNames() const {
+  SymbolSet out;
+  for (const Table& t : tables_) out.insert(t.name());
+  return out;
+}
+
+SymbolSet TabularDatabase::AllSymbols() const {
+  SymbolSet out;
+  for (const Table& t : tables_) {
+    SymbolSet s = t.AllSymbols();
+    out.insert(s.begin(), s.end());
+  }
+  return out;
+}
+
+bool TabularDatabase::NameHasDataRows(Symbol name) const {
+  return std::any_of(tables_.begin(), tables_.end(), [&](const Table& t) {
+    return t.name() == name && t.HasDataRows();
+  });
+}
+
+}  // namespace tabular::core

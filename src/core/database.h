@@ -1,0 +1,59 @@
+#ifndef TABULAR_CORE_DATABASE_H_
+#define TABULAR_CORE_DATABASE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/symbol.h"
+#include "core/table.h"
+
+namespace tabular::core {
+
+/// A tabular database: a finite collection of tables (paper §2).
+///
+/// Several tables may carry the *same* name — Figure 1's `SalesInfo4` holds
+/// one `Sales` table per region — so this is a multiset keyed by table name,
+/// stored in insertion order. A *scheme* for a database is any finite name
+/// set containing all of its table names.
+class TabularDatabase {
+ public:
+  TabularDatabase() = default;
+
+  /// Adds a table (duplicates, including duplicate names, are allowed).
+  void Add(Table table) { tables_.push_back(std::move(table)); }
+
+  /// All tables, in insertion order.
+  const std::vector<Table>& tables() const { return tables_; }
+
+  size_t size() const { return tables_.size(); }
+  bool empty() const { return tables_.empty(); }
+
+  /// Indices of the tables named `name`, in insertion order.
+  std::vector<size_t> IndicesNamed(Symbol name) const;
+
+  /// Copies of the tables named `name`, in insertion order.
+  std::vector<Table> Named(Symbol name) const;
+
+  /// True if at least one table is named `name`.
+  bool HasTableNamed(Symbol name) const;
+
+  /// Removes every table named `name`; returns how many were removed.
+  size_t RemoveNamed(Symbol name);
+
+  /// The set of table names occurring in the database (the minimal scheme).
+  SymbolSet TableNames() const;
+
+  /// |D|: every symbol occurring anywhere in the database.
+  SymbolSet AllSymbols() const;
+
+  /// True if some table named `name` has at least one data row — the
+  /// condition of the paper's `while R ≠ ∅` construct.
+  bool NameHasDataRows(Symbol name) const;
+
+ private:
+  std::vector<Table> tables_;
+};
+
+}  // namespace tabular::core
+
+#endif  // TABULAR_CORE_DATABASE_H_

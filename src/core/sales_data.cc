@@ -1,0 +1,234 @@
+#include "core/sales_data.h"
+
+#include <string>
+
+namespace tabular::fixtures {
+
+using core::Table;
+using core::TabularDatabase;
+
+Table SalesFlat() {
+  return Table::Parse({
+      {"!Sales", "!Part", "!Region", "!Sold"},
+      {"#", "nuts", "east", "50"},
+      {"#", "nuts", "west", "60"},
+      {"#", "nuts", "south", "40"},
+      {"#", "screws", "west", "50"},
+      {"#", "screws", "north", "60"},
+      {"#", "screws", "south", "50"},
+      {"#", "bolts", "east", "70"},
+      {"#", "bolts", "north", "40"},
+  });
+}
+
+TabularDatabase SalesInfo1(bool with_summaries) {
+  TabularDatabase db;
+  db.Add(SalesFlat());
+  if (with_summaries) {
+    db.Add(Table::Parse({
+        {"!TotalPartSales", "!Part", "!Total"},
+        {"#", "nuts", "150"},
+        {"#", "screws", "160"},
+        {"#", "bolts", "110"},
+    }));
+    db.Add(Table::Parse({
+        {"!TotalRegionSales", "!Region", "!Total"},
+        {"#", "east", "120"},
+        {"#", "west", "110"},
+        {"#", "north", "100"},
+        {"#", "south", "90"},
+    }));
+    db.Add(Table::Parse({
+        {"!GrandTotal", "!Total"},
+        {"#", "420"},
+    }));
+  }
+  return db;
+}
+
+Table SalesInfo2Table(bool with_summaries) {
+  if (with_summaries) {
+    return Table::Parse({
+        {"!Sales", "!Part", "!Sold", "!Sold", "!Sold", "!Sold", "!Sold"},
+        {"!Region", "#", "east", "west", "north", "south", "!Total"},
+        {"#", "nuts", "50", "60", "#", "40", "150"},
+        {"#", "screws", "#", "50", "60", "50", "160"},
+        {"#", "bolts", "70", "#", "40", "#", "110"},
+        {"!Total", "#", "120", "110", "100", "90", "420"},
+    });
+  }
+  return Table::Parse({
+      {"!Sales", "!Part", "!Sold", "!Sold", "!Sold", "!Sold"},
+      {"!Region", "#", "east", "west", "north", "south"},
+      {"#", "nuts", "50", "60", "#", "40"},
+      {"#", "screws", "#", "50", "60", "50"},
+      {"#", "bolts", "70", "#", "40", "#"},
+  });
+}
+
+TabularDatabase SalesInfo2(bool with_summaries) {
+  TabularDatabase db;
+  db.Add(SalesInfo2Table(with_summaries));
+  return db;
+}
+
+Table SalesInfo3Table(bool with_summaries) {
+  if (with_summaries) {
+    return Table::Parse({
+        {"!Sales", "nuts", "screws", "bolts", "!Total"},
+        {"east", "50", "#", "70", "120"},
+        {"west", "60", "50", "#", "110"},
+        {"north", "#", "60", "40", "100"},
+        {"south", "40", "50", "#", "90"},
+        {"!Total", "150", "160", "110", "420"},
+    });
+  }
+  return Table::Parse({
+      {"!Sales", "nuts", "screws", "bolts"},
+      {"east", "50", "#", "70"},
+      {"west", "60", "50", "#"},
+      {"north", "#", "60", "40"},
+      {"south", "40", "50", "#"},
+  });
+}
+
+TabularDatabase SalesInfo3(bool with_summaries) {
+  TabularDatabase db;
+  db.Add(SalesInfo3Table(with_summaries));
+  return db;
+}
+
+TabularDatabase SalesInfo4(bool with_summaries) {
+  TabularDatabase db;
+  if (with_summaries) {
+    db.Add(Table::Parse({
+        {"!Sales", "!Part", "!Sold"},
+        {"!Region", "east", "east"},
+        {"#", "nuts", "50"},
+        {"#", "bolts", "70"},
+        {"!Total", "#", "120"},
+    }));
+    db.Add(Table::Parse({
+        {"!Sales", "!Part", "!Sold"},
+        {"!Region", "west", "west"},
+        {"#", "nuts", "60"},
+        {"#", "screws", "50"},
+        {"!Total", "#", "110"},
+    }));
+    db.Add(Table::Parse({
+        {"!Sales", "!Part", "!Sold"},
+        {"!Region", "north", "north"},
+        {"#", "screws", "60"},
+        {"#", "bolts", "40"},
+        {"!Total", "#", "100"},
+    }));
+    db.Add(Table::Parse({
+        {"!Sales", "!Part", "!Sold"},
+        {"!Region", "south", "south"},
+        {"#", "nuts", "40"},
+        {"#", "screws", "50"},
+        {"!Total", "#", "90"},
+    }));
+    db.Add(Table::Parse({
+        {"!Sales", "!Part", "!Sold"},
+        {"!Region", "!Total", "!Total"},
+        {"#", "nuts", "150"},
+        {"#", "screws", "160"},
+        {"#", "bolts", "110"},
+        {"!Total", "#", "420"},
+    }));
+    return db;
+  }
+  db.Add(Table::Parse({
+      {"!Sales", "!Part", "!Sold"},
+      {"!Region", "east", "east"},
+      {"#", "nuts", "50"},
+      {"#", "bolts", "70"},
+  }));
+  db.Add(Table::Parse({
+      {"!Sales", "!Part", "!Sold"},
+      {"!Region", "west", "west"},
+      {"#", "nuts", "60"},
+      {"#", "screws", "50"},
+  }));
+  db.Add(Table::Parse({
+      {"!Sales", "!Part", "!Sold"},
+      {"!Region", "north", "north"},
+      {"#", "screws", "60"},
+      {"#", "bolts", "40"},
+  }));
+  db.Add(Table::Parse({
+      {"!Sales", "!Part", "!Sold"},
+      {"!Region", "south", "south"},
+      {"#", "nuts", "40"},
+      {"#", "screws", "50"},
+  }));
+  return db;
+}
+
+Table Figure4Input() { return SalesFlat(); }
+
+Table Figure4GroupedGolden() {
+  // GROUP by Region on Sold: Part column kept, one Sold column per input
+  // data row (eight), a leading Region data row carrying the Region value
+  // of each input row under "its" Sold column, and one sparse row per
+  // input row with its Sold value in its own column.
+  return Table::Parse({
+      {"!Sales", "!Part", "!Sold", "!Sold", "!Sold", "!Sold", "!Sold",
+       "!Sold", "!Sold", "!Sold"},
+      {"!Region", "#", "east", "west", "south", "west", "north", "south",
+       "east", "north"},
+      {"#", "nuts", "50", "#", "#", "#", "#", "#", "#", "#"},
+      {"#", "nuts", "#", "60", "#", "#", "#", "#", "#", "#"},
+      {"#", "nuts", "#", "#", "40", "#", "#", "#", "#", "#"},
+      {"#", "screws", "#", "#", "#", "50", "#", "#", "#", "#"},
+      {"#", "screws", "#", "#", "#", "#", "60", "#", "#", "#"},
+      {"#", "screws", "#", "#", "#", "#", "#", "50", "#", "#"},
+      {"#", "bolts", "#", "#", "#", "#", "#", "#", "70", "#"},
+      {"#", "bolts", "#", "#", "#", "#", "#", "#", "#", "40"},
+  });
+}
+
+Table Figure5MergedGolden() {
+  // MERGE on Sold by Region applied to the bold part of SalesInfo2: one
+  // tuple per (data row, Sold column), keeping the ⊥ combinations.
+  return Table::Parse({
+      {"!Sales", "!Part", "!Region", "!Sold"},
+      {"#", "nuts", "east", "50"},
+      {"#", "nuts", "west", "60"},
+      {"#", "nuts", "north", "#"},
+      {"#", "nuts", "south", "40"},
+      {"#", "screws", "east", "#"},
+      {"#", "screws", "west", "50"},
+      {"#", "screws", "north", "60"},
+      {"#", "screws", "south", "50"},
+      {"#", "bolts", "east", "70"},
+      {"#", "bolts", "west", "#"},
+      {"#", "bolts", "north", "40"},
+      {"#", "bolts", "south", "#"},
+  });
+}
+
+Table SyntheticSales(size_t parts, size_t regions,
+                     unsigned sparsity_permille) {
+  using core::Symbol;
+  Table t = Table::Parse({{"!Sales", "!Part", "!Region", "!Sold"}});
+  // Deterministic LCG so benchmarks and tests are reproducible.
+  uint64_t state = 0x9e3779b97f4a7c15ULL;
+  auto next = [&state]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<unsigned>(state >> 33);
+  };
+  for (size_t i = 0; i < parts; ++i) {
+    Symbol part = Symbol::Value("p" + std::to_string(i));
+    for (size_t j = 0; j < regions; ++j) {
+      if (next() % 1000 < sparsity_permille) continue;
+      Symbol region = Symbol::Value("r" + std::to_string(j));
+      Symbol sold = Symbol::Number(static_cast<int64_t>((i * 37 + j * 11) % 997));
+      t.AppendRow({Symbol::Null(), part, region, sold});
+    }
+  }
+  return t;
+}
+
+}  // namespace tabular::fixtures

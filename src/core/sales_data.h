@@ -1,0 +1,70 @@
+#ifndef TABULAR_CORE_SALES_DATA_H_
+#define TABULAR_CORE_SALES_DATA_H_
+
+#include "core/database.h"
+#include "core/table.h"
+
+namespace tabular::fixtures {
+
+/// The paper's running example (Figure 1): the same sales data as four
+/// tabular databases `SalesInfo1..4`, each available in the "bold" form
+/// (raw data only) or the full form with the absorbed OLAP summaries
+/// (per-part totals, per-region totals, grand total) shown in regular
+/// outline in the figure.
+///
+/// Symbol sorts follow the paper's typesetting: `Sales`, `Part`, `Region`,
+/// `Sold`, `Total`, `TotalPartSales`, `TotalRegionSales`, `GrandTotal` are
+/// names (typewriter font); `nuts`, `east`, `50`, ... are values.
+///
+/// One transcription note: Figure 1's OCR for SalesInfo3's `north` row is
+/// internally inconsistent with SalesInfo1; we use the unique assignment
+/// consistent with the base data and the printed totals
+/// (north: nuts ⊥, screws 60, bolts 40, total 100).
+
+/// SalesInfo1's `Sales` relation as a table: attributes Part, Region, Sold;
+/// eight data rows; all row attributes ⊥ (the tabular image of a relation).
+core::Table SalesFlat();
+
+/// SalesInfo1: the relational representation. With summaries, adds the
+/// `TotalPartSales`, `TotalRegionSales` and `GrandTotal` relations the
+/// paper notes must be stored separately in the relational model.
+core::TabularDatabase SalesInfo1(bool with_summaries);
+
+/// SalesInfo2's `Sales` table: data organized per region — one `Sold`
+/// column per region, region labels in the data row named `Region`.
+core::Table SalesInfo2Table(bool with_summaries);
+core::TabularDatabase SalesInfo2(bool with_summaries);
+
+/// SalesInfo3's `Sales` table: parts × regions cross-tab where row and
+/// column "attributes" are themselves data (values in attribute positions).
+core::Table SalesInfo3Table(bool with_summaries);
+core::TabularDatabase SalesInfo3(bool with_summaries);
+
+/// SalesInfo4: one `Sales` table per region, all with the same name. With
+/// summaries, each table gains its `Total` row and a fifth per-part totals
+/// table (region slot = the name `Total`) is added.
+core::TabularDatabase SalesInfo4(bool with_summaries);
+
+/// Figure 4 (top): identical to `SalesFlat()` but named per the example.
+core::Table Figure4Input();
+
+/// Figure 4 (bottom): the exact "uneconomical" result of
+/// `Sales <- GROUP by Region on Sold (Sales)` — Part plus eight `Sold`
+/// columns, a leading `Region` data row, one sparse row per input row.
+core::Table Figure4GroupedGolden();
+
+/// Figure 5: the exact result of `Sales <- MERGE on Sold by Region` applied
+/// to the bold part of SalesInfo2 — 3 parts × 4 regions = 12 rows including
+/// the ⊥-Sold combinations the paper prints.
+core::Table Figure5MergedGolden();
+
+/// A scaled synthetic analogue of `SalesFlat()` for benchmarks: `parts` ×
+/// `regions` rows (part `p<i>`, region `r<j>`, sold value derived from
+/// (i, j)); a fraction `sparsity_permille` of combinations is omitted to
+/// exercise ⊥ handling, deterministically.
+core::Table SyntheticSales(size_t parts, size_t regions,
+                           unsigned sparsity_permille = 125);
+
+}  // namespace tabular::fixtures
+
+#endif  // TABULAR_CORE_SALES_DATA_H_

@@ -1,0 +1,145 @@
+#ifndef TABULAR_CORE_STATUS_H_
+#define TABULAR_CORE_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace tabular {
+
+/// Error category for a failed operation.
+///
+/// The library does not throw exceptions across API boundaries; fallible
+/// operations return `Status` (or `Result<T>`), in the style of Arrow and
+/// RocksDB.
+enum class StatusCode {
+  kOk = 0,
+  /// A caller-supplied argument violated an operation's contract
+  /// (e.g., an attribute parameter that names no column).
+  kInvalidArgument,
+  /// The operation is undefined on the given input per the paper's
+  /// semantics (e.g., SWITCH on a non-unique entry leaves the table
+  /// unchanged, but CLEAN-UP with an unsatisfiable merge is an error
+  /// only when requested strictly).
+  kUndefined,
+  /// A guard limit was exceeded (SETNEW powerset blowup, while-loop
+  /// iteration cap, interpreter step cap).
+  kResourceExhausted,
+  /// Malformed textual input (table grid format, TA program, SchemaLog).
+  kParseError,
+  /// An internal invariant was violated; indicates a library bug.
+  kInternal,
+};
+
+/// Returns a short human-readable label for `code` (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus a human-readable message.
+///
+/// `Status` is cheap to copy in the OK case (empty message). Use the
+/// `TABULAR_RETURN_NOT_OK` macro to propagate errors.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status Undefined(std::string msg) {
+    return Status(StatusCode::kUndefined, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type `T` or an error `Status`.
+///
+/// Access the value only after checking `ok()`; accessing the value of an
+/// errored result aborts in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value: enables `return some_table;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status: enables
+  /// `return Status::InvalidArgument(...)`. The status must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok() && "value() on errored Result");
+    return *value_;
+  }
+  T& value() & {
+    assert(ok() && "value() on errored Result");
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok() && "value() on errored Result");
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value, or `fallback` on error.
+  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK `Status` from the current function.
+#define TABULAR_RETURN_NOT_OK(expr)            \
+  do {                                         \
+    ::tabular::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                 \
+  } while (false)
+
+/// Evaluates a `Result<T>` expression; assigns the value to `lhs` or
+/// propagates the error.
+#define TABULAR_ASSIGN_OR_RETURN(lhs, rexpr)   \
+  auto TABULAR_CONCAT_(_res_, __LINE__) = (rexpr);                  \
+  if (!TABULAR_CONCAT_(_res_, __LINE__).ok())                       \
+    return TABULAR_CONCAT_(_res_, __LINE__).status();               \
+  lhs = std::move(TABULAR_CONCAT_(_res_, __LINE__)).value()
+
+#define TABULAR_CONCAT_IMPL_(a, b) a##b
+#define TABULAR_CONCAT_(a, b) TABULAR_CONCAT_IMPL_(a, b)
+
+}  // namespace tabular
+
+#endif  // TABULAR_CORE_STATUS_H_

@@ -1,0 +1,154 @@
+#include "core/symbol.h"
+
+#include <cassert>
+#include <charconv>
+#include <cstdio>
+#include <mutex>
+#include <shared_mutex>
+#include <deque>
+#include <unordered_map>
+
+namespace tabular::core {
+
+namespace {
+
+/// Process-wide interning pool. Id 0 is reserved for ⊥. Entries are never
+/// removed, so returned references stay valid for the process lifetime.
+class SymbolPool {
+ public:
+  static SymbolPool& Instance() {
+    // Function-local static pointer: intentionally leaked so the pool has a
+    // trivial "destructor" at process exit (Google style for non-trivially
+    // destructible statics).
+    static SymbolPool* pool = new SymbolPool();
+    return *pool;
+  }
+
+  uint32_t Intern(Symbol::Kind kind, std::string_view text) {
+    std::string key;
+    key.reserve(text.size() + 1);
+    key.push_back(kind == Symbol::Kind::kName ? 'N' : 'V');
+    key.append(text);
+    {
+      std::shared_lock lock(mutex_);
+      auto it = ids_.find(key);
+      if (it != ids_.end()) return it->second;
+    }
+    std::unique_lock lock(mutex_);
+    auto [it, inserted] = ids_.emplace(std::move(key), 0);
+    if (!inserted) return it->second;
+    entries_.push_back(Entry{kind, std::string(text)});
+    it->second = static_cast<uint32_t>(entries_.size() - 1);
+    return it->second;
+  }
+
+  Symbol::Kind KindOf(uint32_t id) const {
+    std::shared_lock lock(mutex_);
+    return entries_[id].kind;
+  }
+
+  const std::string& TextOf(uint32_t id) const {
+    std::shared_lock lock(mutex_);
+    return entries_[id].text;
+  }
+
+ private:
+  struct Entry {
+    Symbol::Kind kind;
+    std::string text;
+  };
+
+  SymbolPool() {
+    entries_.push_back(Entry{Symbol::Kind::kNull, std::string()});
+  }
+
+  mutable std::shared_mutex mutex_;
+  std::unordered_map<std::string, uint32_t> ids_;
+  // Deque: references returned by TextOf() must survive later interning
+  // (a vector would invalidate them on reallocation).
+  std::deque<Entry> entries_;
+};
+
+}  // namespace
+
+Symbol Symbol::Name(std::string_view text) {
+  return UncheckedFromRaw(SymbolPool::Instance().Intern(Kind::kName, text));
+}
+
+Symbol Symbol::Value(std::string_view text) {
+  return UncheckedFromRaw(SymbolPool::Instance().Intern(Kind::kValue, text));
+}
+
+Symbol Symbol::Number(int64_t v) { return Value(std::to_string(v)); }
+
+Symbol Symbol::Number(double v) {
+  if (v == static_cast<double>(static_cast<int64_t>(v))) {
+    return Number(static_cast<int64_t>(v));
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", v);
+  return Value(buf);
+}
+
+Symbol::Kind Symbol::kind() const {
+  if (id_ == 0) return Kind::kNull;
+  return SymbolPool::Instance().KindOf(id_);
+}
+
+const std::string& Symbol::text() const {
+  return SymbolPool::Instance().TextOf(id_);
+}
+
+std::optional<double> Symbol::AsNumber() const {
+  if (!is_value()) return std::nullopt;
+  const std::string& t = text();
+  if (t.empty()) return std::nullopt;
+  double out = 0;
+  auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), out);
+  if (ec != std::errc() || ptr != t.data() + t.size()) return std::nullopt;
+  return out;
+}
+
+int Symbol::Compare(Symbol a, Symbol b) {
+  if (a.id_ == b.id_) return 0;
+  Kind ka = a.kind();
+  Kind kb = b.kind();
+  if (ka != kb) return ka < kb ? -1 : 1;
+  int c = a.text().compare(b.text());
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
+
+std::string Symbol::ToString() const {
+  if (is_null()) return "⊥";
+  return text();
+}
+
+bool WeaklyContained(const SymbolSet& a, const SymbolSet& b) {
+  for (Symbol s : a) {
+    if (s.is_null()) continue;
+    if (!b.contains(s)) return false;
+  }
+  return true;
+}
+
+bool WeaklyEqual(const SymbolSet& a, const SymbolSet& b) {
+  return WeaklyContained(a, b) && WeaklyContained(b, a);
+}
+
+SymbolSet StripNull(const SymbolSet& s) {
+  SymbolSet out = s;
+  out.erase(Symbol::Null());
+  return out;
+}
+
+Symbol ParseCell(std::string_view text) {
+  if (text == "#") return Symbol::Null();
+  if (!text.empty() && text[0] == '!') return Symbol::Name(text.substr(1));
+  if (text.size() >= 2 && text[0] == '\\' &&
+      (text[1] == '#' || text[1] == '!' || text[1] == '\\')) {
+    return Symbol::Value(text.substr(1));
+  }
+  return Symbol::Value(text);
+}
+
+}  // namespace tabular::core

@@ -1,0 +1,124 @@
+#ifndef TABULAR_CORE_SYMBOL_H_
+#define TABULAR_CORE_SYMBOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tabular::core {
+
+/// An atom of the tabular model's symbol universe S = N ∪ V ∪ {⊥}.
+///
+/// The paper (§2) distinguishes two sorts of symbols — *names* N (a
+/// generalization of relation and attribute names, which operations may
+/// inspect) and *values* V (plain data, which generic operations must not
+/// distinguish) — plus the inapplicable null ⊥ used where a table has no
+/// entry for a row/column combination.
+///
+/// `Symbol` is a trivially copyable 4-byte handle into a process-wide
+/// interning pool, so equality is a single integer compare. The total order
+/// used for deterministic output is (kind, text) with ⊥ < names < values.
+class Symbol {
+ public:
+  enum class Kind : uint8_t {
+    kNull = 0,   ///< The inapplicable null ⊥.
+    kName = 1,   ///< A symbol from N (typewriter font in the paper).
+    kValue = 2,  ///< A symbol from V (plain data).
+  };
+
+  /// Default-constructs ⊥.
+  Symbol() : id_(0) {}
+
+  /// The inapplicable null ⊥.
+  static Symbol Null() { return Symbol(); }
+  /// Interns (or reuses) the name `text` from N.
+  static Symbol Name(std::string_view text);
+  /// Interns (or reuses) the value `text` from V.
+  static Symbol Value(std::string_view text);
+  /// A value whose text is the decimal rendering of `v` (used by the OLAP
+  /// summarization layer; the core algebra treats it as an opaque value).
+  static Symbol Number(int64_t v);
+  /// As above for a floating-point measure; integral doubles render with no
+  /// fractional part so `Number(3.0) == Number(3)`.
+  static Symbol Number(double v);
+
+  Kind kind() const;
+  bool is_null() const { return id_ == 0; }
+  bool is_name() const { return kind() == Kind::kName; }
+  bool is_value() const { return kind() == Kind::kValue; }
+
+  /// The interned text. Empty for ⊥.
+  const std::string& text() const;
+
+  /// Parses the symbol's text as a decimal number; nullopt for ⊥, for
+  /// names, and for values that are not numerals.
+  std::optional<double> AsNumber() const;
+
+  /// Identity comparison (same sort and same text).
+  friend bool operator==(Symbol a, Symbol b) { return a.id_ == b.id_; }
+  friend bool operator!=(Symbol a, Symbol b) { return a.id_ != b.id_; }
+
+  /// Deterministic total order by (kind, text): ⊥ < names < values.
+  static int Compare(Symbol a, Symbol b);
+
+  /// Display form: "⊥" for null, plain text otherwise. Lossy with respect
+  /// to the name/value distinction; `io::Serialize` is the faithful form.
+  std::string ToString() const;
+
+  /// Stable integer identity within this process (for hashing).
+  uint32_t raw_id() const { return id_; }
+
+  /// Internal: rehydrates a handle from `raw_id()`. Only valid for ids
+  /// previously produced by this process's interning pool.
+  static Symbol UncheckedFromRaw(uint32_t id) { return Symbol(id); }
+
+ private:
+  explicit Symbol(uint32_t id) : id_(id) {}
+  uint32_t id_;
+};
+
+/// Strict weak order on symbols by (kind, text); gives tables and symbol
+/// sets a run-independent canonical ordering.
+struct SymbolLess {
+  bool operator()(Symbol a, Symbol b) const {
+    return Symbol::Compare(a, b) < 0;
+  }
+};
+
+/// An ordered set of symbols; iteration order is the deterministic
+/// (kind, text) order.
+using SymbolSet = std::set<Symbol, SymbolLess>;
+
+/// A sequence of symbols (a table row or column, an attribute list, ...).
+using SymbolVec = std::vector<Symbol>;
+
+/// Weak containment A ⊑ B (paper §2): A \ {⊥} ⊆ B \ {⊥}.
+bool WeaklyContained(const SymbolSet& a, const SymbolSet& b);
+
+/// Weak equality A ≈ B: A ⊑ B and B ⊑ A.
+bool WeaklyEqual(const SymbolSet& a, const SymbolSet& b);
+
+/// Copies `s` with ⊥ removed.
+SymbolSet StripNull(const SymbolSet& s);
+
+/// Parses a cell literal: "#" → ⊥, "!text" → Name("text"), anything else →
+/// Value(text). `"\\#"` and `"\\!"` escape a leading marker. This is the
+/// convention used by test fixtures and the io grid format.
+Symbol ParseCell(std::string_view text);
+
+}  // namespace tabular::core
+
+namespace std {
+template <>
+struct hash<tabular::core::Symbol> {
+  size_t operator()(tabular::core::Symbol s) const noexcept {
+    return std::hash<uint32_t>()(s.raw_id());
+  }
+};
+}  // namespace std
+
+#endif  // TABULAR_CORE_SYMBOL_H_

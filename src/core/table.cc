@@ -1,0 +1,214 @@
+#include "core/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace tabular::core {
+
+Table::Table() : Table(1, 1) {}
+
+Table::Table(size_t num_rows, size_t num_cols)
+    : num_rows_(num_rows), num_cols_(num_cols), cells_(num_rows * num_cols) {
+  assert(num_rows >= 1 && num_cols >= 1);
+}
+
+Result<Table> Table::FromRows(std::vector<SymbolVec> rows) {
+  if (rows.empty() || rows[0].empty()) {
+    return Status::InvalidArgument("table needs at least the name cell");
+  }
+  const size_t cols = rows[0].size();
+  for (const SymbolVec& r : rows) {
+    if (r.size() != cols) {
+      return Status::InvalidArgument("ragged rows: expected " +
+                                     std::to_string(cols) + " cells, got " +
+                                     std::to_string(r.size()));
+    }
+  }
+  Table t(rows.size(), cols);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (size_t j = 0; j < cols; ++j) t.set(i, j, rows[i][j]);
+  }
+  return t;
+}
+
+Table Table::Parse(
+    std::initializer_list<std::initializer_list<const char*>> rows) {
+  std::vector<SymbolVec> parsed;
+  parsed.reserve(rows.size());
+  for (const auto& row : rows) {
+    SymbolVec cells;
+    cells.reserve(row.size());
+    for (const char* cell : row) cells.push_back(ParseCell(cell));
+    parsed.push_back(std::move(cells));
+  }
+  Result<Table> t = FromRows(std::move(parsed));
+  assert(t.ok() && "Table::Parse fixture is ragged");
+  return std::move(t).value();
+}
+
+SymbolVec Table::ColumnAttributes() const {
+  SymbolVec out;
+  out.reserve(width());
+  for (size_t j = 1; j < num_cols_; ++j) out.push_back(at(0, j));
+  return out;
+}
+
+SymbolVec Table::RowAttributes() const {
+  SymbolVec out;
+  out.reserve(height());
+  for (size_t i = 1; i < num_rows_; ++i) out.push_back(at(i, 0));
+  return out;
+}
+
+SymbolVec Table::Row(size_t i) const {
+  SymbolVec out;
+  out.reserve(num_cols_);
+  for (size_t j = 0; j < num_cols_; ++j) out.push_back(at(i, j));
+  return out;
+}
+
+SymbolVec Table::Column(size_t j) const {
+  SymbolVec out;
+  out.reserve(num_rows_);
+  for (size_t i = 0; i < num_rows_; ++i) out.push_back(at(i, j));
+  return out;
+}
+
+void Table::AppendRow(const SymbolVec& row) {
+  assert(row.size() == num_cols_);
+  cells_.insert(cells_.end(), row.begin(), row.end());
+  ++num_rows_;
+}
+
+void Table::AppendColumn(const SymbolVec& col) {
+  assert(col.size() == num_rows_);
+  SymbolVec next;
+  next.reserve(num_rows_ * (num_cols_ + 1));
+  for (size_t i = 0; i < num_rows_; ++i) {
+    for (size_t j = 0; j < num_cols_; ++j) next.push_back(at(i, j));
+    next.push_back(col[i]);
+  }
+  cells_ = std::move(next);
+  ++num_cols_;
+}
+
+std::vector<size_t> Table::ColumnsNamed(Symbol attr) const {
+  std::vector<size_t> out;
+  for (size_t j = 1; j < num_cols_; ++j) {
+    if (at(0, j) == attr) out.push_back(j);
+  }
+  return out;
+}
+
+std::vector<size_t> Table::RowsNamed(Symbol attr) const {
+  std::vector<size_t> out;
+  for (size_t i = 1; i < num_rows_; ++i) {
+    if (at(i, 0) == attr) out.push_back(i);
+  }
+  return out;
+}
+
+SymbolSet Table::RowEntries(size_t i, Symbol attr) const {
+  SymbolSet out;
+  for (size_t j = 1; j < num_cols_; ++j) {
+    if (at(0, j) == attr) out.insert(at(i, j));
+  }
+  return out;
+}
+
+SymbolSet Table::ColumnEntries(size_t j, Symbol attr) const {
+  SymbolSet out;
+  for (size_t i = 1; i < num_rows_; ++i) {
+    if (at(i, 0) == attr) out.insert(at(i, j));
+  }
+  return out;
+}
+
+SymbolSet Table::AllSymbols() const {
+  SymbolSet out;
+  for (Symbol s : cells_) out.insert(s);
+  return out;
+}
+
+bool operator==(const Table& a, const Table& b) {
+  return a.num_rows_ == b.num_rows_ && a.num_cols_ == b.num_cols_ &&
+         a.cells_ == b.cells_;
+}
+
+namespace {
+
+/// Collects the distinct column attributes of both tables.
+SymbolSet JointColumnAttributes(const Table& rho, const Table& sigma) {
+  SymbolSet attrs;
+  for (size_t j = 1; j < rho.num_cols(); ++j) attrs.insert(rho.at(0, j));
+  for (size_t j = 1; j < sigma.num_cols(); ++j) attrs.insert(sigma.at(0, j));
+  return attrs;
+}
+
+}  // namespace
+
+bool Table::RowSubsumed(const Table& rho, size_t i, const Table& sigma,
+                        size_t k) {
+  for (Symbol a : JointColumnAttributes(rho, sigma)) {
+    if (!WeaklyContained(rho.RowEntries(i, a), sigma.RowEntries(k, a))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Table::RowsSubsumeEachOther(const Table& rho, size_t i,
+                                 const Table& sigma, size_t k) {
+  return RowSubsumed(rho, i, sigma, k) && RowSubsumed(sigma, k, rho, i);
+}
+
+bool Table::ColumnSubsumed(const Table& rho, size_t j, const Table& sigma,
+                           size_t l) {
+  return RowSubsumed(rho.Transposed(), j, sigma.Transposed(), l);
+}
+
+bool Table::ColumnsSubsumeEachOther(const Table& rho, size_t j,
+                                    const Table& sigma, size_t l) {
+  return ColumnSubsumed(rho, j, sigma, l) && ColumnSubsumed(sigma, l, rho, j);
+}
+
+Table Table::Transposed() const {
+  Table out(num_cols_, num_rows_);
+  for (size_t i = 0; i < num_rows_; ++i) {
+    for (size_t j = 0; j < num_cols_; ++j) out.set(j, i, at(i, j));
+  }
+  return out;
+}
+
+std::string Table::ToString() const {
+  std::vector<size_t> col_width(num_cols_, 1);
+  for (size_t j = 0; j < num_cols_; ++j) {
+    for (size_t i = 0; i < num_rows_; ++i) {
+      // ⊥ renders as a single display glyph but is 3 bytes in UTF-8; track
+      // display width.
+      size_t w = at(i, j).is_null() ? 1 : at(i, j).text().size();
+      col_width[j] = std::max(col_width[j], w);
+    }
+  }
+  std::ostringstream out;
+  for (size_t i = 0; i < num_rows_; ++i) {
+    for (size_t j = 0; j < num_cols_; ++j) {
+      Symbol s = at(i, j);
+      std::string cell = s.is_null() ? "⊥" : s.text();
+      size_t display = s.is_null() ? 1 : cell.size();
+      out << (j == 0 ? "| " : " ") << cell
+          << std::string(col_width[j] - display, ' ') << (j + 1 == num_cols_ ? " |" : " |");
+    }
+    out << '\n';
+    if (i == 0) {
+      for (size_t j = 0; j < num_cols_; ++j) {
+        out << '+' << std::string(col_width[j] + 2, '-');
+      }
+      out << "+\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace tabular::core

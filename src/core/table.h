@@ -1,0 +1,145 @@
+#ifndef TABULAR_CORE_TABLE_H_
+#define TABULAR_CORE_TABLE_H_
+
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+#include "core/symbol.h"
+
+namespace tabular::core {
+
+/// A table of the tabular database model (paper §2, Figure 2).
+///
+/// Formally a total mapping from {0..m} × {0..n} into the symbol universe,
+/// i.e. an (m+1) × (n+1) matrix of `Symbol`s, where m = `height()` and
+/// n = `width()` in the paper's convention. The four regions are:
+///
+///   * τ⁰₀           — the table name           (`name()`)
+///   * τ⁰_{>0}       — the column attributes    (`ColumnAttribute(j)`, j ≥ 1)
+///   * τ_{>0}⁰       — the row attributes       (`RowAttribute(i)`, i ≥ 1)
+///   * τ_{>0}^{>0}   — the data entries         (`Data(i, j)`)
+///
+/// Unlike relations, row and column attributes are optional (⊥), need not be
+/// distinct, and data may occur in attribute positions (Figure 1's
+/// SalesInfo3). Row/column indices in this API are *physical*: row 0 is the
+/// attribute row, column 0 the attribute column.
+class Table {
+ public:
+  /// The minimal table: a single cell holding ⊥ (height 0, width 0).
+  Table();
+
+  /// An all-⊥ table with `num_rows` × `num_cols` physical cells.
+  /// Both must be ≥ 1.
+  Table(size_t num_rows, size_t num_cols);
+
+  /// Builds a table from explicit cell rows; every row must have the same
+  /// length ≥ 1. The first row is the attribute row (first cell = name).
+  static Result<Table> FromRows(std::vector<SymbolVec> rows);
+
+  /// Convenience fixture builder: each cell is parsed with `ParseCell`
+  /// ("#" → ⊥, "!x" → name x, else value). Aborts on ragged input — for
+  /// tests and examples only.
+  static Table Parse(std::initializer_list<std::initializer_list<const char*>> rows);
+
+  // -- Dimensions -----------------------------------------------------------
+
+  /// Paper height m: number of data rows.
+  size_t height() const { return num_rows_ - 1; }
+  /// Paper width n: number of data columns.
+  size_t width() const { return num_cols_ - 1; }
+  /// Physical rows = height() + 1.
+  size_t num_rows() const { return num_rows_; }
+  /// Physical columns = width() + 1.
+  size_t num_cols() const { return num_cols_; }
+
+  // -- Cell access (physical indices) ---------------------------------------
+
+  Symbol at(size_t i, size_t j) const { return cells_[i * num_cols_ + j]; }
+  void set(size_t i, size_t j, Symbol s) { cells_[i * num_cols_ + j] = s; }
+
+  /// τ⁰₀, the table name.
+  Symbol name() const { return at(0, 0); }
+  void set_name(Symbol s) { set(0, 0, s); }
+
+  /// τ⁰_j for 1 ≤ j ≤ width().
+  Symbol ColumnAttribute(size_t j) const { return at(0, j); }
+  /// τ_i⁰ for 1 ≤ i ≤ height().
+  Symbol RowAttribute(size_t i) const { return at(i, 0); }
+  /// τ_i^j data entry for i, j ≥ 1.
+  Symbol Data(size_t i, size_t j) const { return at(i, j); }
+
+  /// The attribute row τ⁰_{>0} (without the name), in column order.
+  SymbolVec ColumnAttributes() const;
+  /// The attribute column τ_{>0}⁰ (without the name), in row order.
+  SymbolVec RowAttributes() const;
+
+  /// Physical row `i` as a vector of `num_cols()` symbols.
+  SymbolVec Row(size_t i) const;
+  /// Physical column `j` as a vector of `num_rows()` symbols.
+  SymbolVec Column(size_t j) const;
+
+  // -- Structural edits -----------------------------------------------------
+
+  /// Appends a physical row; `row.size()` must equal `num_cols()`.
+  void AppendRow(const SymbolVec& row);
+  /// Appends a physical column; `col.size()` must equal `num_rows()`.
+  void AppendColumn(const SymbolVec& col);
+
+  // -- Attribute-based access (paper §2 terminology) -------------------------
+
+  /// Physical indices j ≥ 1 of columns whose attribute equals `attr`.
+  std::vector<size_t> ColumnsNamed(Symbol attr) const;
+  /// Physical indices i ≥ 1 of rows whose attribute equals `attr`.
+  std::vector<size_t> RowsNamed(Symbol attr) const;
+
+  /// ρ_i(a): the *set* of data entries of row `i` appearing in columns
+  /// named `a` (paper §2). ⊥ entries are included; use with the weak
+  /// containment helpers, which ignore ⊥.
+  SymbolSet RowEntries(size_t i, Symbol attr) const;
+  /// Column dual of `RowEntries`.
+  SymbolSet ColumnEntries(size_t j, Symbol attr) const;
+
+  /// All symbols occurring anywhere in the table.
+  SymbolSet AllSymbols() const;
+
+  /// True if some data row exists (used by the `while R ≠ ∅` construct).
+  bool HasDataRows() const { return height() > 0; }
+
+  // -- Comparisons -----------------------------------------------------------
+
+  /// Exact cell-wise equality (same dimensions, same symbols).
+  friend bool operator==(const Table& a, const Table& b);
+
+  /// Row subsumption ρ_i ⊑ σ_k (paper §2): for every column attribute `a`
+  /// of either table, ρ_i(a) is weakly contained in σ_k(a).
+  static bool RowSubsumed(const Table& rho, size_t i, const Table& sigma,
+                          size_t k);
+  /// Mutual subsumption ρ_i ≈ σ_k.
+  static bool RowsSubsumeEachOther(const Table& rho, size_t i,
+                                   const Table& sigma, size_t k);
+  /// Column duals.
+  static bool ColumnSubsumed(const Table& rho, size_t j, const Table& sigma,
+                             size_t l);
+  static bool ColumnsSubsumeEachOther(const Table& rho, size_t j,
+                                      const Table& sigma, size_t l);
+
+  /// Matrix transpose (rows become columns); the name cell stays in place.
+  Table Transposed() const;
+
+  /// Debug rendering: an aligned grid (see io::PrettyPrint for the
+  /// figure-style renderer).
+  std::string ToString() const;
+
+ private:
+  size_t num_rows_;
+  size_t num_cols_;
+  SymbolVec cells_;  // Row-major, num_rows_ × num_cols_.
+};
+
+}  // namespace tabular::core
+
+#endif  // TABULAR_CORE_TABLE_H_

@@ -1,0 +1,130 @@
+#include "good/graph.h"
+
+#include <sstream>
+
+namespace tabular::good {
+
+Status GoodGraph::AddNode(Symbol id, Symbol label) {
+  auto [it, inserted] = nodes_.emplace(id, label);
+  if (!inserted && it->second != label) {
+    return Status::InvalidArgument("node " + id.ToString() +
+                                   " already exists with label " +
+                                   it->second.ToString());
+  }
+  return Status::OK();
+}
+
+Status GoodGraph::AddEdge(Symbol src, Symbol label, Symbol dst) {
+  if (!nodes_.contains(src) || !nodes_.contains(dst)) {
+    return Status::InvalidArgument("edge endpoint missing: " +
+                                   src.ToString() + " -> " + dst.ToString());
+  }
+  edges_.insert(Edge{src, label, dst});
+  return Status::OK();
+}
+
+void GoodGraph::RemoveNode(Symbol id) {
+  if (nodes_.erase(id) == 0) return;
+  for (auto it = edges_.begin(); it != edges_.end();) {
+    if (it->src == id || it->dst == id) {
+      it = edges_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void GoodGraph::RemoveEdge(const Edge& e) { edges_.erase(e); }
+
+Result<Symbol> GoodGraph::LabelOf(Symbol id) const {
+  auto it = nodes_.find(id);
+  if (it == nodes_.end()) {
+    return Status::InvalidArgument("unknown node " + id.ToString());
+  }
+  return it->second;
+}
+
+SymbolVec GoodGraph::NodesLabeled(Symbol label) const {
+  SymbolVec out;
+  for (const auto& [id, l] : nodes_) {
+    if (l == label) out.push_back(id);
+  }
+  return out;
+}
+
+SymbolSet GoodGraph::AllSymbols() const {
+  SymbolSet out;
+  for (const auto& [id, l] : nodes_) {
+    out.insert(id);
+    out.insert(l);
+  }
+  for (const Edge& e : edges_) out.insert(e.label);
+  return out;
+}
+
+std::map<std::string, size_t> GoodGraph::Fingerprint() const {
+  std::map<std::string, size_t> out;
+  for (const auto& [id, l] : nodes_) {
+    ++out["node:" + l.ToString()];
+  }
+  for (const Edge& e : edges_) {
+    ++out["edge:" + nodes_.at(e.src).ToString() + "-" + e.label.ToString() +
+          "->" + nodes_.at(e.dst).ToString()];
+  }
+  return out;
+}
+
+std::string GoodGraph::ToString() const {
+  std::ostringstream out;
+  out << "graph: " << nodes_.size() << " nodes, " << edges_.size()
+      << " edges\n";
+  for (const auto& [id, l] : nodes_) {
+    out << "  " << id.ToString() << " : " << l.ToString() << "\n";
+  }
+  for (const Edge& e : edges_) {
+    out << "  " << e.src.ToString() << " -" << e.label.ToString() << "-> "
+        << e.dst.ToString() << "\n";
+  }
+  return out.str();
+}
+
+Symbol GoodNodesName() { return Symbol::Name("Nodes"); }
+Symbol GoodEdgesName() { return Symbol::Name("Edges"); }
+
+rel::RelationalDatabase GraphToRelational(const GoodGraph& g) {
+  rel::Relation nodes(GoodNodesName(),
+                      {Symbol::Name("Id"), Symbol::Name("Label")});
+  for (const auto& [id, label] : g.nodes()) {
+    Status st = nodes.Insert({id, label});
+    (void)st;
+  }
+  rel::Relation edges(GoodEdgesName(),
+                      {Symbol::Name("Src"), Symbol::Name("Label"),
+                       Symbol::Name("Dst")});
+  for (const GoodGraph::Edge& e : g.edges()) {
+    Status st = edges.Insert({e.src, e.label, e.dst});
+    (void)st;
+  }
+  rel::RelationalDatabase out;
+  out.Put(std::move(nodes));
+  out.Put(std::move(edges));
+  return out;
+}
+
+Result<GoodGraph> RelationalToGraph(const rel::RelationalDatabase& db) {
+  TABULAR_ASSIGN_OR_RETURN(rel::Relation nodes, db.Get(GoodNodesName()));
+  TABULAR_ASSIGN_OR_RETURN(rel::Relation edges, db.Get(GoodEdgesName()));
+  if (nodes.arity() != 2 || edges.arity() != 3) {
+    return Status::InvalidArgument("Nodes/Edges have unexpected arity");
+  }
+  GoodGraph g;
+  for (const SymbolVec& t : nodes.tuples()) {
+    TABULAR_RETURN_NOT_OK(g.AddNode(t[0], t[1]));
+  }
+  for (const SymbolVec& t : edges.tuples()) {
+    TABULAR_RETURN_NOT_OK(g.AddEdge(t[0], t[1], t[2]));
+  }
+  return g;
+}
+
+}  // namespace tabular::good

@@ -1,0 +1,117 @@
+#ifndef TABULAR_GOOD_GRAPH_H_
+#define TABULAR_GOOD_GRAPH_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "core/status.h"
+#include "core/symbol.h"
+#include "relational/relation.h"
+
+namespace tabular::good {
+
+using core::Symbol;
+using core::SymbolSet;
+using core::SymbolVec;
+using tabular::Result;
+using tabular::Status;
+
+/// The data model of GOOD — the Graph-Oriented Object Database model of
+/// Gyssens, Paredaens and Van Gucht (PODS 1990), reference [9] of the
+/// paper — which §1 claims "can be embedded within the tabular database
+/// model". A database instance is a directed graph with labeled nodes and
+/// labeled edges.
+///
+/// Node identities are symbols (values); labels are names. Deterministic
+/// iteration everywhere.
+class GoodGraph {
+ public:
+  struct Edge {
+    Symbol src;
+    Symbol label;
+    Symbol dst;
+
+    friend auto operator<=>(const Edge& a, const Edge& b) {
+      if (int c = Symbol::Compare(a.src, b.src); c != 0) {
+        return c <=> 0;
+      }
+      if (int c = Symbol::Compare(a.label, b.label); c != 0) {
+        return c <=> 0;
+      }
+      return Symbol::Compare(a.dst, b.dst) <=> 0;
+    }
+    friend bool operator==(const Edge& a, const Edge& b) {
+      return a.src == b.src && a.label == b.label && a.dst == b.dst;
+    }
+  };
+
+  GoodGraph() = default;
+
+  /// Adds a node; re-adding an existing id with a different label is an
+  /// error (node identity is global).
+  Status AddNode(Symbol id, Symbol label);
+
+  /// Adds an edge; both endpoints must exist.
+  Status AddEdge(Symbol src, Symbol label, Symbol dst);
+
+  /// Removes a node and every incident edge. Missing nodes are ignored.
+  void RemoveNode(Symbol id);
+
+  /// Removes one edge if present.
+  void RemoveEdge(const Edge& e);
+
+  bool HasNode(Symbol id) const { return nodes_.contains(id); }
+  bool HasEdge(const Edge& e) const { return edges_.contains(e); }
+
+  /// The node's label, or an error for unknown ids.
+  Result<Symbol> LabelOf(Symbol id) const;
+
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_edges() const { return edges_.size(); }
+
+  const std::map<Symbol, Symbol, core::SymbolLess>& nodes() const {
+    return nodes_;
+  }
+  const std::set<Edge>& edges() const { return edges_; }
+
+  /// Node ids carrying `label`, in deterministic order.
+  SymbolVec NodesLabeled(Symbol label) const;
+
+  /// Every symbol in the graph (ids and labels) — the fresh-value basis.
+  SymbolSet AllSymbols() const;
+
+  /// Structural fingerprint: node count per label and edge count per
+  /// (src-label, edge-label, dst-label) triple. Equal fingerprints are a
+  /// necessary condition for graph isomorphism — the invariant the
+  /// embedding tests compare when fresh node ids differ.
+  std::map<std::string, size_t> Fingerprint() const;
+
+  friend bool operator==(const GoodGraph& a, const GoodGraph& b) {
+    return a.nodes_ == b.nodes_ && a.edges_ == b.edges_;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::map<Symbol, Symbol, core::SymbolLess> nodes_;  // id -> label
+  std::set<Edge> edges_;
+};
+
+/// Reserved table/relation names of the tabular image of a graph.
+Symbol GoodNodesName();  // "Nodes"  (Id, Label)
+Symbol GoodEdgesName();  // "Edges"  (Src, Label, Dst)
+
+/// The embedding of a GOOD instance into the relational (and thence
+/// tabular) world: two fixed-scheme relations Nodes(Id, Label) and
+/// Edges(Src, Label, Dst).
+rel::RelationalDatabase GraphToRelational(const GoodGraph& g);
+
+/// Reads the two relations back into a graph (validates edge endpoints).
+Result<GoodGraph> RelationalToGraph(const rel::RelationalDatabase& db);
+
+}  // namespace tabular::good
+
+#endif  // TABULAR_GOOD_GRAPH_H_

@@ -1,0 +1,417 @@
+#include "good/operations.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "algebra/tagging.h"
+
+namespace tabular::good {
+
+using rel::FoProgram;
+using rel::FoStatement;
+using rel::RelExpr;
+using rel::RelExprPtr;
+
+Status Pattern::Validate() const {
+  if (nodes.empty()) {
+    return Status::InvalidArgument("pattern needs at least one node");
+  }
+  for (const PatternEdge& e : edges) {
+    if (!nodes.contains(e.src) || !nodes.contains(e.dst)) {
+      return Status::InvalidArgument("pattern edge references undeclared "
+                                     "variable '" +
+                                     e.src + "' or '" + e.dst + "'");
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Embedding>> MatchPattern(const Pattern& pattern,
+                                            const GoodGraph& g) {
+  TABULAR_RETURN_NOT_OK(pattern.Validate());
+  std::vector<std::string> vars;
+  vars.reserve(pattern.nodes.size());
+  for (const auto& [v, label] : pattern.nodes) vars.push_back(v);
+
+  std::vector<Embedding> out;
+  Embedding current;
+  // Backtracking homomorphism search; edges checked as soon as both
+  // endpoints are bound.
+  std::function<void(size_t)> assign = [&](size_t i) {
+    if (i == vars.size()) {
+      out.push_back(current);
+      return;
+    }
+    const std::string& v = vars[i];
+    for (Symbol id : g.NodesLabeled(pattern.nodes.at(v))) {
+      current[v] = id;
+      bool ok = true;
+      for (const Pattern::PatternEdge& e : pattern.edges) {
+        auto s = current.find(e.src);
+        auto d = current.find(e.dst);
+        if (s == current.end() || d == current.end()) continue;
+        if (!g.HasEdge(GoodGraph::Edge{s->second, e.label, d->second})) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) assign(i + 1);
+      current.erase(v);
+    }
+  };
+  assign(0);
+  return out;
+}
+
+GoodOp GoodOp::NodeAddition(Pattern p, Symbol label,
+                            std::vector<NewEdge> edges) {
+  GoodOp op;
+  op.kind = Kind::kNodeAddition;
+  op.pattern = std::move(p);
+  op.new_label = label;
+  op.new_edges = std::move(edges);
+  return op;
+}
+
+GoodOp GoodOp::NodeDeletion(Pattern p, std::string target) {
+  GoodOp op;
+  op.kind = Kind::kNodeDeletion;
+  op.pattern = std::move(p);
+  op.target = std::move(target);
+  return op;
+}
+
+GoodOp GoodOp::EdgeAddition(Pattern p, std::string source, Symbol label,
+                            std::string target) {
+  GoodOp op;
+  op.kind = Kind::kEdgeAddition;
+  op.pattern = std::move(p);
+  op.source = std::move(source);
+  op.edge_label = label;
+  op.target = std::move(target);
+  return op;
+}
+
+GoodOp GoodOp::EdgeDeletion(Pattern p, std::string source, Symbol label,
+                            std::string target) {
+  GoodOp op = EdgeAddition(std::move(p), std::move(source), label,
+                           std::move(target));
+  op.kind = Kind::kEdgeDeletion;
+  return op;
+}
+
+namespace {
+
+Status CheckOpVars(const GoodOp& op) {
+  TABULAR_RETURN_NOT_OK(op.pattern.Validate());
+  auto need = [&](const std::string& v) -> Status {
+    if (!op.pattern.nodes.contains(v)) {
+      return Status::InvalidArgument("operation references undeclared "
+                                     "pattern variable '" +
+                                     v + "'");
+    }
+    return Status::OK();
+  };
+  switch (op.kind) {
+    case GoodOp::Kind::kNodeAddition:
+      for (const GoodOp::NewEdge& e : op.new_edges) {
+        TABULAR_RETURN_NOT_OK(need(e.to));
+      }
+      return Status::OK();
+    case GoodOp::Kind::kNodeDeletion:
+      return need(op.target);
+    case GoodOp::Kind::kEdgeAddition:
+    case GoodOp::Kind::kEdgeDeletion:
+      TABULAR_RETURN_NOT_OK(need(op.source));
+      return need(op.target);
+  }
+  return Status::Internal("unknown GOOD operation kind");
+}
+
+}  // namespace
+
+namespace {
+
+Status RunOneOp(const GoodOp& op, GoodGraph* g,
+                algebra::FreshValueGenerator* gen);
+
+Status RunItems(const std::vector<GoodItem>& items, GoodGraph* g,
+                algebra::FreshValueGenerator* gen,
+                const GoodOptions& options, size_t* steps) {
+  for (const GoodItem& item : items) {
+    if (++*steps > options.max_steps) {
+      return Status::ResourceExhausted("GOOD program step limit exceeded");
+    }
+    if (const auto* op = std::get_if<GoodOp>(&item.node)) {
+      TABULAR_RETURN_NOT_OK(RunOneOp(*op, g, gen));
+      continue;
+    }
+    const auto& loop = std::get<GoodWhile>(item.node);
+    for (size_t iter = 0;; ++iter) {
+      if (iter >= options.max_while_iterations) {
+        return Status::ResourceExhausted(
+            "GOOD while loop exceeded " +
+            std::to_string(options.max_while_iterations) + " iterations");
+      }
+      TABULAR_ASSIGN_OR_RETURN(std::vector<Embedding> m,
+                               MatchPattern(loop.guard, *g));
+      if (m.empty()) break;
+      TABULAR_RETURN_NOT_OK(RunItems(loop.body, g, gen, options, steps));
+    }
+  }
+  return Status::OK();
+}
+
+Status RunOneOp(const GoodOp& op, GoodGraph* g,
+                algebra::FreshValueGenerator* gen) {
+  {
+    TABULAR_RETURN_NOT_OK(CheckOpVars(op));
+    TABULAR_ASSIGN_OR_RETURN(std::vector<Embedding> embeddings,
+                             MatchPattern(op.pattern, *g));
+    switch (op.kind) {
+      case GoodOp::Kind::kNodeAddition:
+        for (const Embedding& m : embeddings) {
+          Symbol id = gen->Fresh();
+          TABULAR_RETURN_NOT_OK(g->AddNode(id, op.new_label));
+          for (const GoodOp::NewEdge& e : op.new_edges) {
+            TABULAR_RETURN_NOT_OK(g->AddEdge(id, e.label, m.at(e.to)));
+          }
+        }
+        break;
+      case GoodOp::Kind::kNodeDeletion:
+        for (const Embedding& m : embeddings) {
+          g->RemoveNode(m.at(op.target));
+        }
+        break;
+      case GoodOp::Kind::kEdgeAddition:
+        for (const Embedding& m : embeddings) {
+          TABULAR_RETURN_NOT_OK(g->AddEdge(m.at(op.source), op.edge_label,
+                                           m.at(op.target)));
+        }
+        break;
+      case GoodOp::Kind::kEdgeDeletion:
+        for (const Embedding& m : embeddings) {
+          g->RemoveEdge(GoodGraph::Edge{m.at(op.source), op.edge_label,
+                                        m.at(op.target)});
+        }
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status RunGoodProgram(const GoodProgram& program, GoodGraph* g,
+                      const GoodOptions& options) {
+  algebra::FreshValueGenerator gen(g->AllSymbols());
+  size_t steps = 0;
+  return RunItems(program.items, g, &gen, options, &steps);
+}
+
+// ---------------------------------------------------------------------------
+// GOOD → FO+while+new (and thence the tabular algebra)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+Symbol VarCol(const std::string& v) { return Symbol::Name("v$" + v); }
+
+/// Compiles a pattern into a relational expression over Nodes/Edges whose
+/// attributes are the v$-columns, one per pattern variable; each tuple is
+/// one embedding.
+RelExprPtr CompilePattern(const Pattern& pattern, size_t op_index) {
+  RelExprPtr expr;
+  for (const auto& [var, label] : pattern.nodes) {
+    RelExprPtr node = RelExpr::Rel(GoodNodesName());
+    Symbol lbl_col =
+        Symbol::Name("l$" + std::to_string(op_index) + "$" + var);
+    node = RelExpr::Ren(node, Symbol::Name("Id"), VarCol(var));
+    node = RelExpr::Ren(node, Symbol::Name("Label"), lbl_col);
+    node = RelExpr::SelConst(node, lbl_col, label);
+    node = RelExpr::Proj(node, {VarCol(var)});
+    expr = expr == nullptr ? node : RelExpr::Prod(std::move(expr), node);
+  }
+  for (size_t j = 0; j < pattern.edges.size(); ++j) {
+    const Pattern::PatternEdge& e = pattern.edges[j];
+    std::string tag = std::to_string(op_index) + "$" + std::to_string(j);
+    Symbol s_col = Symbol::Name("es$" + tag);
+    Symbol l_col = Symbol::Name("el$" + tag);
+    Symbol d_col = Symbol::Name("ed$" + tag);
+    RelExprPtr edge = RelExpr::Rel(GoodEdgesName());
+    edge = RelExpr::Ren(edge, Symbol::Name("Src"), s_col);
+    edge = RelExpr::Ren(edge, Symbol::Name("Label"), l_col);
+    edge = RelExpr::Ren(edge, Symbol::Name("Dst"), d_col);
+    edge = RelExpr::SelConst(edge, l_col, e.label);
+    edge = RelExpr::Proj(edge, {s_col, d_col});
+    expr = RelExpr::Prod(std::move(expr), std::move(edge));
+    expr = RelExpr::Sel(std::move(expr), VarCol(e.src), s_col);
+    expr = RelExpr::Sel(std::move(expr), VarCol(e.dst), d_col);
+  }
+  SymbolVec vars;
+  for (const auto& [var, label] : pattern.nodes) vars.push_back(VarCol(var));
+  return RelExpr::Proj(std::move(expr), vars);
+}
+
+/// Extends `expr` with `new_attr` duplicating the `src` column (needed
+/// when one pattern variable feeds two output positions).
+RelExprPtr DuplicateColumn(RelExprPtr expr, Symbol src, Symbol new_attr) {
+  RelExprPtr copy = RelExpr::Ren(RelExpr::Proj(expr, {src}), src, new_attr);
+  return RelExpr::Sel(RelExpr::Prod(std::move(expr), std::move(copy)), src,
+                      new_attr);
+}
+
+/// Builds π_{Src,Label,Dst}-shaped edge tuples from an embedding-like
+/// expression: `src_col` feeds Src, `dst_col` feeds Dst, `label` is
+/// constant. Handles src_col == dst_col via duplication.
+RelExprPtr EdgeTuples(RelExprPtr emb, Symbol src_col, Symbol label,
+                      Symbol dst_col) {
+  if (src_col == dst_col) {
+    Symbol dup = Symbol::Name("dup$" + dst_col.text());
+    emb = DuplicateColumn(std::move(emb), src_col, dup);
+    dst_col = dup;
+  }
+  RelExprPtr out = RelExpr::Proj(std::move(emb), {src_col, dst_col});
+  out = RelExpr::Ren(std::move(out), src_col, Symbol::Name("Src"));
+  out = RelExpr::Ren(std::move(out), dst_col, Symbol::Name("Dst"));
+  out = RelExpr::Prod(std::move(out),
+                      RelExpr::Const({Symbol::Name("Label")}, {label}));
+  return RelExpr::Proj(std::move(out),
+                       {Symbol::Name("Src"), Symbol::Name("Label"),
+                        Symbol::Name("Dst")});
+}
+
+}  // namespace
+
+namespace {
+
+Status TranslateOneOp(const GoodOp& op, size_t k,
+                      std::vector<FoStatement>* sink) {
+  const Symbol nodes = GoodNodesName();
+  const Symbol edges = GoodEdgesName();
+  FoProgram shim;
+  FoProgram& out = shim;
+  {
+    TABULAR_RETURN_NOT_OK(CheckOpVars(op));
+    Symbol emb_name = Symbol::Name("good_emb" + std::to_string(k));
+    out.statements.push_back(
+        FoStatement::Assign(emb_name, CompilePattern(op.pattern, k)));
+    RelExprPtr emb = RelExpr::Rel(emb_name);
+
+    switch (op.kind) {
+      case GoodOp::Kind::kEdgeAddition: {
+        out.statements.push_back(FoStatement::Assign(
+            edges,
+            RelExpr::Un(RelExpr::Rel(edges),
+                        EdgeTuples(emb, VarCol(op.source), op.edge_label,
+                                   VarCol(op.target)))));
+        break;
+      }
+      case GoodOp::Kind::kEdgeDeletion: {
+        out.statements.push_back(FoStatement::Assign(
+            edges,
+            RelExpr::Diff(RelExpr::Rel(edges),
+                          EdgeTuples(emb, VarCol(op.source), op.edge_label,
+                                     VarCol(op.target)))));
+        break;
+      }
+      case GoodOp::Kind::kNodeAddition: {
+        Symbol tagged_name = Symbol::Name("good_tag" + std::to_string(k));
+        Symbol new_id = Symbol::Name("NewId");
+        out.statements.push_back(
+            FoStatement::New(tagged_name, emb, new_id));
+        RelExprPtr tagged = RelExpr::Rel(tagged_name);
+        // New nodes.
+        RelExprPtr new_nodes = RelExpr::Ren(
+            RelExpr::Proj(tagged, {new_id}), new_id, Symbol::Name("Id"));
+        new_nodes = RelExpr::Prod(
+            std::move(new_nodes),
+            RelExpr::Const({Symbol::Name("Label")}, {op.new_label}));
+        new_nodes =
+            RelExpr::Proj(std::move(new_nodes),
+                          {Symbol::Name("Id"), Symbol::Name("Label")});
+        out.statements.push_back(FoStatement::Assign(
+            nodes, RelExpr::Un(RelExpr::Rel(nodes), std::move(new_nodes))));
+        // New edges from the created node to the matched nodes.
+        for (const GoodOp::NewEdge& e : op.new_edges) {
+          out.statements.push_back(FoStatement::Assign(
+              edges,
+              RelExpr::Un(RelExpr::Rel(edges),
+                          EdgeTuples(tagged, new_id, e.label,
+                                     VarCol(e.to)))));
+        }
+        break;
+      }
+      case GoodOp::Kind::kNodeDeletion: {
+        Symbol dead_col = Symbol::Name("DeadId");
+        RelExprPtr dead_ids = RelExpr::Ren(
+            RelExpr::Proj(emb, {VarCol(op.target)}), VarCol(op.target),
+            dead_col);
+        // Nodes \ matching ids.
+        RelExprPtr dead_nodes = RelExpr::Proj(
+            RelExpr::Sel(RelExpr::Prod(RelExpr::Rel(nodes), dead_ids),
+                         Symbol::Name("Id"), dead_col),
+            {Symbol::Name("Id"), Symbol::Name("Label")});
+        out.statements.push_back(FoStatement::Assign(
+            nodes,
+            RelExpr::Diff(RelExpr::Rel(nodes), std::move(dead_nodes))));
+        // Incident edges, by source then by destination.
+        for (Symbol endpoint : {Symbol::Name("Src"), Symbol::Name("Dst")}) {
+          RelExprPtr dead_edges = RelExpr::Proj(
+              RelExpr::Sel(RelExpr::Prod(RelExpr::Rel(edges), dead_ids),
+                           endpoint, dead_col),
+              {Symbol::Name("Src"), Symbol::Name("Label"),
+               Symbol::Name("Dst")});
+          out.statements.push_back(FoStatement::Assign(
+              edges,
+              RelExpr::Diff(RelExpr::Rel(edges), std::move(dead_edges))));
+        }
+        break;
+      }
+    }
+  }
+  for (FoStatement& st : out.statements) sink->push_back(std::move(st));
+  return Status::OK();
+}
+
+Status TranslateItems(const std::vector<GoodItem>& items,
+                      std::vector<FoStatement>* sink, size_t* counter) {
+  for (const GoodItem& item : items) {
+    const size_t k = (*counter)++;
+    if (const auto* op = std::get_if<GoodOp>(&item.node)) {
+      TABULAR_RETURN_NOT_OK(TranslateOneOp(*op, k, sink));
+      continue;
+    }
+    const auto& loop = std::get<GoodWhile>(item.node);
+    TABULAR_RETURN_NOT_OK(loop.guard.Validate());
+    Symbol guard_name = Symbol::Name("good_guard" + std::to_string(k));
+    sink->push_back(
+        FoStatement::Assign(guard_name, CompilePattern(loop.guard, k)));
+    std::vector<FoStatement> body;
+    TABULAR_RETURN_NOT_OK(TranslateItems(loop.body, &body, counter));
+    // Re-evaluate the guard after each pass (the FO while tests the
+    // materialized relation).
+    body.push_back(
+        FoStatement::Assign(guard_name, CompilePattern(loop.guard, k)));
+    sink->push_back(FoStatement::While(guard_name, std::move(body)));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<FoProgram> TranslateGoodToFo(const GoodProgram& program) {
+  FoProgram out;
+  size_t counter = 0;
+  TABULAR_RETURN_NOT_OK(
+      TranslateItems(program.items, &out.statements, &counter));
+  return out;
+}
+
+Result<rel::FoTranslation> TranslateGoodToTabular(
+    const GoodProgram& program) {
+  TABULAR_ASSIGN_OR_RETURN(FoProgram fo, TranslateGoodToFo(program));
+  return rel::TranslateFoToTabular(fo);
+}
+
+}  // namespace tabular::good

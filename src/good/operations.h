@@ -1,0 +1,123 @@
+#ifndef TABULAR_GOOD_OPERATIONS_H_
+#define TABULAR_GOOD_OPERATIONS_H_
+
+#include <map>
+#include <variant>
+#include <string>
+#include <vector>
+
+#include "good/graph.h"
+#include "relational/fo_while.h"
+
+namespace tabular::good {
+
+/// GOOD's pattern-based transformation language: the four elementary
+/// operations of [Gyssens–Paredaens–Van Gucht 1990] — node addition, node
+/// deletion, edge addition, edge deletion — each parameterized by a
+/// *pattern* (a labeled graph with variables) matched homomorphically
+/// against the instance.
+
+/// A pattern: variables with node labels, plus labeled edges between them.
+struct Pattern {
+  struct PatternEdge {
+    std::string src;
+    Symbol label;
+    std::string dst;
+  };
+
+  /// Variable name → required node label.
+  std::map<std::string, Symbol> nodes;
+  std::vector<PatternEdge> edges;
+
+  /// Checks edges reference declared variables.
+  Status Validate() const;
+};
+
+/// An embedding: variable → node id.
+using Embedding = std::map<std::string, Symbol>;
+
+/// Enumerates all homomorphic embeddings of `pattern` in `g`
+/// (deterministic order).
+Result<std::vector<Embedding>> MatchPattern(const Pattern& pattern,
+                                            const GoodGraph& g);
+
+/// One GOOD operation.
+struct GoodOp {
+  enum class Kind {
+    kNodeAddition,  // add one `new_label` node per embedding, wired by
+                    // `new_edges` to the matched nodes
+    kNodeDeletion,  // delete the node bound to `target` (and incident
+                    // edges) for every embedding
+    kEdgeAddition,  // add an `edge_label` edge from `source` to `target`
+    kEdgeDeletion,  // delete it
+  };
+
+  struct NewEdge {
+    Symbol label;
+    std::string to;  // pattern variable
+  };
+
+  Kind kind = Kind::kEdgeAddition;
+  Pattern pattern;
+  Symbol new_label;                // kNodeAddition
+  std::vector<NewEdge> new_edges;  // kNodeAddition
+  std::string source;              // kEdgeAddition / kEdgeDeletion
+  std::string target;              // all but kNodeAddition
+  Symbol edge_label;               // kEdgeAddition / kEdgeDeletion
+
+  static GoodOp NodeAddition(Pattern p, Symbol label,
+                             std::vector<NewEdge> edges);
+  static GoodOp NodeDeletion(Pattern p, std::string target);
+  static GoodOp EdgeAddition(Pattern p, std::string source, Symbol label,
+                             std::string target);
+  static GoodOp EdgeDeletion(Pattern p, std::string source, Symbol label,
+                             std::string target);
+};
+
+/// One program item: an operation, or a while-loop repeating a block as
+/// long as its guard pattern has at least one embedding (the iteration
+/// construct GOOD's transformation language acquires in [3], mirrored by
+/// the tabular algebra's own while of §3.5).
+struct GoodItem;
+
+/// A GOOD program: a sequence of operations and while-loops.
+struct GoodProgram {
+  std::vector<GoodItem> items;
+};
+
+struct GoodWhile {
+  Pattern guard;
+  std::vector<GoodItem> body;
+};
+
+struct GoodItem {
+  std::variant<GoodOp, GoodWhile> node;
+  GoodItem(GoodOp op) : node(std::move(op)) {}          // NOLINT
+  GoodItem(GoodWhile loop) : node(std::move(loop)) {}   // NOLINT
+};
+
+/// Guards for GOOD runs (loops make the language non-terminating in
+/// general).
+struct GoodOptions {
+  size_t max_while_iterations = 10000;
+  size_t max_steps = 1000000;
+};
+
+/// Runs the program directly on the graph. New node ids are drawn
+/// deterministically, avoiding existing symbols.
+Status RunGoodProgram(const GoodProgram& program, GoodGraph* g,
+                      const GoodOptions& options = GoodOptions());
+
+/// The embedding claimed in §1 item (4): compiles a GOOD program into an
+/// FO+while+new program over the Nodes/Edges relations (GraphToRelational)
+/// — and therefore, composing with rel::TranslateFoToTabular, into the
+/// tabular algebra. Pattern matching becomes joins; node addition becomes
+/// the `new` (tuple-tagging) construct — exactly the §3.5 operations.
+Result<rel::FoProgram> TranslateGoodToFo(const GoodProgram& program);
+
+/// Convenience: the full GOOD → FO → tabular-algebra compilation.
+Result<rel::FoTranslation> TranslateGoodToTabular(const GoodProgram& program);
+
+}  // namespace tabular::good
+
+#endif  // TABULAR_GOOD_OPERATIONS_H_

@@ -1,0 +1,159 @@
+#include "io/csv.h"
+
+#include <vector>
+
+namespace tabular::io {
+
+using core::Symbol;
+using core::SymbolVec;
+using rel::Relation;
+using tabular::Result;
+using tabular::Status;
+
+namespace {
+
+struct CsvField {
+  std::string text;
+  bool quoted = false;
+};
+
+/// Parses all records; handles quoted fields with embedded commas,
+/// newlines and doubled quotes.
+Result<std::vector<std::vector<CsvField>>> ParseCsv(std::string_view csv) {
+  std::vector<std::vector<CsvField>> records;
+  std::vector<CsvField> record;
+  CsvField field;
+  size_t i = 0;
+  bool in_quotes = false;
+  bool any = false;
+  while (i < csv.size()) {
+    char c = csv[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < csv.size() && csv[i + 1] == '"') {
+          field.text.push_back('"');
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      field.text.push_back(c);
+      ++i;
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!field.text.empty()) {
+          return Status::ParseError("quote inside unquoted CSV field");
+        }
+        in_quotes = true;
+        field.quoted = true;
+        any = true;
+        ++i;
+        break;
+      case ',':
+        record.push_back(std::move(field));
+        field = CsvField{};
+        any = true;
+        ++i;
+        break;
+      case '\r':
+        ++i;
+        break;
+      case '\n':
+        if (any || !field.text.empty() || !record.empty()) {
+          record.push_back(std::move(field));
+          records.push_back(std::move(record));
+        }
+        field = CsvField{};
+        record.clear();
+        any = false;
+        ++i;
+        break;
+      default:
+        field.text.push_back(c);
+        any = true;
+        ++i;
+        break;
+    }
+  }
+  if (in_quotes) return Status::ParseError("unterminated quoted CSV field");
+  if (any || !field.text.empty() || !record.empty()) {
+    record.push_back(std::move(field));
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+}  // namespace
+
+Result<Relation> ReadCsvRelation(std::string_view name,
+                                 std::string_view csv) {
+  TABULAR_ASSIGN_OR_RETURN(auto records, ParseCsv(csv));
+  if (records.empty()) {
+    return Status::ParseError("CSV needs a header record");
+  }
+  SymbolVec attrs;
+  for (const CsvField& f : records[0]) {
+    attrs.push_back(Symbol::Name(f.text));
+  }
+  Relation out(Symbol::Name(std::string(name)), std::move(attrs));
+  TABULAR_RETURN_NOT_OK(out.Validate());
+  for (size_t r = 1; r < records.size(); ++r) {
+    if (records[r].size() != out.arity()) {
+      return Status::ParseError("CSV record " + std::to_string(r) + " has " +
+                                std::to_string(records[r].size()) +
+                                " fields, header has " +
+                                std::to_string(out.arity()));
+    }
+    SymbolVec tuple;
+    tuple.reserve(out.arity());
+    for (const CsvField& f : records[r]) {
+      if (f.text.empty() && !f.quoted) {
+        tuple.push_back(Symbol::Null());
+      } else {
+        tuple.push_back(Symbol::Value(f.text));
+      }
+    }
+    TABULAR_RETURN_NOT_OK(out.Insert(std::move(tuple)));
+  }
+  return out;
+}
+
+namespace {
+
+std::string CsvEscape(std::string_view text) {
+  bool needs_quotes = text.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (text.empty()) return "\"\"";
+  if (!needs_quotes) return std::string(text);
+  std::string out = "\"";
+  for (char c : text) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+std::string WriteCsv(const Relation& relation) {
+  std::string out;
+  for (size_t j = 0; j < relation.arity(); ++j) {
+    if (j) out.push_back(',');
+    out += CsvEscape(relation.attributes()[j].text());
+  }
+  out.push_back('\n');
+  for (const SymbolVec& t : relation.tuples()) {
+    for (size_t j = 0; j < t.size(); ++j) {
+      if (j) out.push_back(',');
+      if (!t[j].is_null()) out += CsvEscape(t[j].text());
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace tabular::io

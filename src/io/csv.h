@@ -1,0 +1,24 @@
+#ifndef TABULAR_IO_CSV_H_
+#define TABULAR_IO_CSV_H_
+
+#include <string>
+#include <string_view>
+
+#include "relational/relation.h"
+
+namespace tabular::io {
+
+/// Minimal RFC-4180-style CSV ingestion for fact tables: the first record
+/// is the header (attribute names), the remaining records are tuples
+/// (values). Fields may be double-quoted; `""` escapes a quote inside a
+/// quoted field; an empty unquoted field reads as ⊥, an empty quoted
+/// field ("") as the empty-text value.
+tabular::Result<rel::Relation> ReadCsvRelation(std::string_view name,
+                                               std::string_view csv);
+
+/// Writes a relation as CSV (header + tuples); ⊥ becomes an empty field.
+std::string WriteCsv(const rel::Relation& relation);
+
+}  // namespace tabular::io
+
+#endif  // TABULAR_IO_CSV_H_

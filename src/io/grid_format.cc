@@ -1,0 +1,236 @@
+#include "io/grid_format.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace tabular::io {
+
+using core::Symbol;
+using core::SymbolVec;
+using tabular::Status;
+
+namespace {
+
+std::string EscapeCell(Symbol s) {
+  if (s.is_null()) return "#";
+  std::string out;
+  if (s.is_name()) out.push_back('!');
+  const std::string& text = s.text();
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    bool needs_escape = c == '|' || c == '\\';
+    // A leading marker character in a *value* must be escaped to survive
+    // reparsing; inside a name the '!' prefix already disambiguates.
+    if (!s.is_name() && i == 0 && (c == '#' || c == '!')) {
+      needs_escape = true;
+    }
+    // Leading/trailing blanks would be trimmed away.
+    if ((i == 0 || i + 1 == text.size()) && c == ' ') needs_escape = true;
+    if (needs_escape) out.push_back('\\');
+    out.push_back(c);
+  }
+  if (out.empty()) out = "''";  // empty-text value sentinel
+  return out;
+}
+
+Result<Symbol> UnescapeCell(std::string_view raw) {
+  if (raw == "#") return Symbol::Null();
+  if (raw == "''") return Symbol::Value("");
+  bool is_name = false;
+  size_t i = 0;
+  if (!raw.empty() && raw[0] == '!') {
+    is_name = true;
+    i = 1;
+  }
+  std::string text;
+  for (; i < raw.size(); ++i) {
+    if (raw[i] == '\\') {
+      if (i + 1 >= raw.size()) {
+        return Status::ParseError("dangling escape in cell '" +
+                                  std::string(raw) + "'");
+      }
+      text.push_back(raw[++i]);
+    } else {
+      text.push_back(raw[i]);
+    }
+  }
+  return is_name ? Symbol::Name(text) : Symbol::Value(text);
+}
+
+/// Splits a line into cells at unescaped '|', trimming blanks.
+Result<SymbolVec> ParseLine(std::string_view line) {
+  std::vector<std::string> raw_cells;
+  std::string current;
+  for (size_t i = 0; i < line.size(); ++i) {
+    if (line[i] == '\\' && i + 1 < line.size()) {
+      current.push_back(line[i]);
+      current.push_back(line[i + 1]);
+      ++i;
+    } else if (line[i] == '|') {
+      raw_cells.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(line[i]);
+    }
+  }
+  raw_cells.push_back(std::move(current));
+  SymbolVec out;
+  out.reserve(raw_cells.size());
+  for (std::string& cell : raw_cells) {
+    size_t begin = cell.find_first_not_of(" \t");
+    size_t end = cell.find_last_not_of(" \t");
+    std::string trimmed =
+        begin == std::string::npos ? "" : cell.substr(begin, end - begin + 1);
+    // Trim must not eat an escaped trailing blank: find_last_not_of keeps
+    // "\ " intact because the backslash is non-blank.
+    if (trimmed.empty()) {
+      return Status::ParseError("empty cell (use '#' for ⊥)");
+    }
+    TABULAR_ASSIGN_OR_RETURN(Symbol s, UnescapeCell(trimmed));
+    out.push_back(s);
+  }
+  return out;
+}
+
+bool IsBlankOrComment(std::string_view line) {
+  size_t i = line.find_first_not_of(" \t\r");
+  if (i == std::string_view::npos) return true;
+  return line.substr(i, 2) == "--";
+}
+
+}  // namespace
+
+std::string Serialize(const Table& table) {
+  // Column widths for human-readable alignment.
+  std::vector<size_t> width(table.num_cols(), 1);
+  std::vector<std::vector<std::string>> cells(table.num_rows());
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    cells[i].reserve(table.num_cols());
+    for (size_t j = 0; j < table.num_cols(); ++j) {
+      cells[i].push_back(EscapeCell(table.at(i, j)));
+      width[j] = std::max(width[j], cells[i][j].size());
+    }
+  }
+  std::ostringstream out;
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    for (size_t j = 0; j < table.num_cols(); ++j) {
+      if (j) out << " | ";
+      out << cells[i][j];
+      if (j + 1 < table.num_cols()) {
+        out << std::string(width[j] - cells[i][j].size(), ' ');
+      }
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string SerializeDatabase(const TabularDatabase& db) {
+  std::string out;
+  for (const Table& t : db.tables()) {
+    if (!out.empty()) out += "\n";
+    out += Serialize(t);
+  }
+  return out;
+}
+
+Result<Table> ParseTable(std::string_view text) {
+  std::vector<SymbolVec> rows;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    if (IsBlankOrComment(line)) continue;
+    TABULAR_ASSIGN_OR_RETURN(SymbolVec cells, ParseLine(line));
+    rows.push_back(std::move(cells));
+  }
+  return Table::FromRows(std::move(rows));
+}
+
+Result<TabularDatabase> ParseDatabase(std::string_view text) {
+  TabularDatabase db;
+  std::vector<SymbolVec> rows;
+  auto flush = [&]() -> Status {
+    if (rows.empty()) return Status::OK();
+    TABULAR_ASSIGN_OR_RETURN(Table t, Table::FromRows(std::move(rows)));
+    rows.clear();
+    db.Add(std::move(t));
+    return Status::OK();
+  };
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    if (IsBlankOrComment(line)) {
+      TABULAR_RETURN_NOT_OK(flush());
+      continue;
+    }
+    TABULAR_ASSIGN_OR_RETURN(SymbolVec cells, ParseLine(line));
+    rows.push_back(std::move(cells));
+  }
+  TABULAR_RETURN_NOT_OK(flush());
+  return db;
+}
+
+Result<TabularDatabase> LoadDatabaseFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::InvalidArgument("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseDatabase(buffer.str());
+}
+
+Status SaveDatabaseFile(const TabularDatabase& db, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::InvalidArgument("cannot open " + path);
+  out << SerializeDatabase(db);
+  return out ? Status::OK()
+             : Status::Internal("write failed for " + path);
+}
+
+std::string PrettyPrint(const Table& table) { return table.ToString(); }
+
+std::string ToMarkdown(const Table& table) {
+  auto cell = [](Symbol s) -> std::string {
+    if (s.is_null()) return " ";
+    std::string out;
+    for (char c : s.text()) {
+      if (c == '|' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out.empty() ? " " : out;
+  };
+  std::ostringstream out;
+  out << "|";
+  for (size_t j = 0; j < table.num_cols(); ++j) {
+    out << " " << cell(table.at(0, j)) << " |";
+  }
+  out << "\n|";
+  for (size_t j = 0; j < table.num_cols(); ++j) out << " --- |";
+  out << "\n";
+  for (size_t i = 1; i < table.num_rows(); ++i) {
+    out << "|";
+    for (size_t j = 0; j < table.num_cols(); ++j) {
+      out << " " << cell(table.at(i, j)) << " |";
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+std::string PrettyPrintDatabase(const TabularDatabase& db) {
+  std::string out;
+  for (const Table& t : db.tables()) {
+    out += PrettyPrint(t);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace tabular::io

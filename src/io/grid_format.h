@@ -1,0 +1,65 @@
+#ifndef TABULAR_IO_GRID_FORMAT_H_
+#define TABULAR_IO_GRID_FORMAT_H_
+
+#include <string>
+#include <string_view>
+
+#include "core/database.h"
+#include "core/table.h"
+
+namespace tabular::io {
+
+using core::Table;
+using core::TabularDatabase;
+using tabular::Result;
+
+/// The textual grid format for tables: one line per physical row, cells
+/// separated by `|`. Cell syntax (faithful to the symbol sorts, unlike
+/// the display renderer):
+///
+///   #        ⊥
+///   !text    the name `text`
+///   text     the value `text`
+///
+/// `\|`, `\!`, `\#` and `\\` escape the special characters; surrounding
+/// whitespace is trimmed (escape leading/trailing blanks with `\ `).
+/// Tables in a database file are separated by blank lines; `--` starts a
+/// comment line.
+///
+/// Example (the bold Sales table of Figure 1's SalesInfo2):
+///
+///   !Sales   | !Part  | !Sold | !Sold | !Sold | !Sold
+///   !Region  | #      | east  | west  | north | south
+///   #        | nuts   | 50    | 60    | #     | 40
+///   #        | screws | #     | 50    | 60    | 50
+///   #        | bolts  | 70    | #     | 40    | #
+
+/// Serializes one table (round-trips through `ParseTable`).
+std::string Serialize(const Table& table);
+
+/// Serializes a whole database (blank-line separated).
+std::string SerializeDatabase(const TabularDatabase& db);
+
+/// Parses one table; every line must have the same number of cells.
+Result<Table> ParseTable(std::string_view text);
+
+/// Parses a database file (possibly empty).
+Result<TabularDatabase> ParseDatabase(std::string_view text);
+
+/// Reads/writes database files on disk.
+Result<TabularDatabase> LoadDatabaseFile(const std::string& path);
+tabular::Status SaveDatabaseFile(const TabularDatabase& db,
+                                 const std::string& path);
+
+/// Figure-style aligned rendering (display only; lossy about sorts).
+std::string PrettyPrint(const Table& table);
+std::string PrettyPrintDatabase(const TabularDatabase& db);
+
+/// GitHub-flavored Markdown rendering: the attribute row becomes the
+/// header (name cell included), ⊥ renders as an em-space-free blank, and
+/// pipes/escapes are handled. Display only; lossy about symbol sorts.
+std::string ToMarkdown(const Table& table);
+
+}  // namespace tabular::io
+
+#endif  // TABULAR_IO_GRID_FORMAT_H_

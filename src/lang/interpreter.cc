@@ -1,0 +1,395 @@
+#include "lang/interpreter.h"
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "algebra/ops.h"
+
+namespace tabular::lang {
+
+using algebra::FreshValueGenerator;
+using tabular::Result;
+using core::Symbol;
+using core::SymbolSet;
+using core::SymbolVec;
+using core::Table;
+
+namespace {
+
+SymbolVec ToVec(const SymbolSet& set) {
+  return SymbolVec(set.begin(), set.end());
+}
+
+/// A single wildcard-only parameter (the common case for table names).
+const ParamItem* SoleWildcard(const Param& p) {
+  if (p.positive.size() == 1 && p.negative.empty() &&
+      p.positive[0].kind == ParamItem::Kind::kWildcard) {
+    return &p.positive[0];
+  }
+  return nullptr;
+}
+
+/// Enumerates, over the database's table names, every binding of the
+/// argument parameters to concrete table names.
+struct NameCombo {
+  std::vector<Symbol> names;  // one per argument
+  Bindings bindings;
+};
+
+Status EnumerateArgNames(const std::vector<Param>& args,
+                         const SymbolSet& table_names,
+                         std::vector<NameCombo>* out) {
+  std::vector<NameCombo> partial{NameCombo{}};
+  for (const Param& arg : args) {
+    std::vector<NameCombo> next;
+    for (const NameCombo& combo : partial) {
+      const ParamItem* star = SoleWildcard(arg);
+      if (star != nullptr && !combo.bindings.contains(star->wildcard_id)) {
+        // Unbound wildcard: ranges over every table name.
+        for (Symbol nm : table_names) {
+          NameCombo extended = combo;
+          extended.names.push_back(nm);
+          extended.bindings[star->wildcard_id] = nm;
+          next.push_back(std::move(extended));
+        }
+        continue;
+      }
+      // Evaluable (possibly via existing bindings): each denoted symbol
+      // that names a table yields a combination.
+      Result<SymbolSet> denoted = EvalParam(arg, combo.bindings, nullptr);
+      if (!denoted.ok()) return denoted.status();
+      for (Symbol nm : *denoted) {
+        if (!table_names.contains(nm)) continue;
+        NameCombo extended = combo;
+        extended.names.push_back(nm);
+        next.push_back(std::move(extended));
+      }
+    }
+    partial = std::move(next);
+  }
+  *out = std::move(partial);
+  return Status::OK();
+}
+
+/// One staged result of an assignment instantiation.
+struct Staged {
+  Symbol target;
+  Table table;
+};
+
+size_t ExpectedParamCount(OpKind op) {
+  switch (op) {
+    case OpKind::kUnion:
+    case OpKind::kDifference:
+    case OpKind::kIntersection:
+    case OpKind::kProduct:
+    case OpKind::kTranspose:
+      return 0;
+    case OpKind::kProject:
+    case OpKind::kSplit:
+    case OpKind::kCollapse:
+    case OpKind::kSwitch:
+    case OpKind::kTupleNew:
+    case OpKind::kSetNew:
+      return 1;
+    default:
+      return 2;
+  }
+}
+
+size_t ExpectedArgCount(OpKind op) {
+  switch (op) {
+    case OpKind::kUnion:
+    case OpKind::kDifference:
+    case OpKind::kIntersection:
+    case OpKind::kProduct:
+      return 2;
+    default:
+      return 1;
+  }
+}
+
+}  // namespace
+
+Status Interpreter::Run(const Program& program, TabularDatabase* db) {
+  steps_ = 0;
+  return RunStatements(program.statements, db);
+}
+
+Status Interpreter::RunStatements(const std::vector<Statement>& statements,
+                                  TabularDatabase* db) {
+  for (const Statement& s : statements) {
+    if (const auto* a = std::get_if<Assignment>(&s.node)) {
+      TABULAR_RETURN_NOT_OK(RunAssignment(*a, db));
+    } else if (const auto* d = std::get_if<DropStatement>(&s.node)) {
+      // Drops resolve literal names only (a wildcard drop would need a
+      // binding context it does not have).
+      TABULAR_ASSIGN_OR_RETURN(SymbolSet names,
+                               EvalParam(d->target, Bindings{}, nullptr));
+      for (Symbol nm : names) db->RemoveNamed(nm);
+    } else {
+      TABULAR_RETURN_NOT_OK(RunWhile(std::get<WhileLoop>(s.node), db));
+    }
+  }
+  return Status::OK();
+}
+
+Status Interpreter::RunWhile(const WhileLoop& loop, TabularDatabase* db) {
+  for (size_t iter = 0;; ++iter) {
+    if (iter >= options_.max_while_iterations) {
+      return Status::ResourceExhausted(
+          "while loop exceeded " +
+          std::to_string(options_.max_while_iterations) + " iterations");
+    }
+    // Condition: some table whose name matches the parameter has data rows.
+    TABULAR_ASSIGN_OR_RETURN(SymbolSet names,
+                             EvalParam(loop.condition, Bindings{}, nullptr));
+    bool nonempty = std::any_of(names.begin(), names.end(), [&](Symbol nm) {
+      return db->NameHasDataRows(nm);
+    });
+    if (!nonempty) return Status::OK();
+    TABULAR_RETURN_NOT_OK(RunStatements(loop.body, db));
+  }
+}
+
+Status Interpreter::RunAssignment(const Assignment& stmt,
+                                  TabularDatabase* db) {
+  if (stmt.params.size() != ExpectedParamCount(stmt.op)) {
+    return Status::InvalidArgument(
+        std::string(OpKindToString(stmt.op)) + " expects " +
+        std::to_string(ExpectedParamCount(stmt.op)) + " parameter(s)");
+  }
+  if (stmt.args.size() != ExpectedArgCount(stmt.op)) {
+    return Status::InvalidArgument(
+        std::string(OpKindToString(stmt.op)) + " expects " +
+        std::to_string(ExpectedArgCount(stmt.op)) + " argument(s)");
+  }
+
+  std::vector<NameCombo> combos;
+  TABULAR_RETURN_NOT_OK(
+      EnumerateArgNames(stmt.args, db->TableNames(), &combos));
+
+  // Snapshot: all statements of one instantiation read the pre-statement
+  // database state.
+  std::vector<Staged> staged;
+  // Building the generator scans every symbol in the database; only the
+  // tagging operations need it.
+  std::optional<FreshValueGenerator> gen;
+  if (stmt.op == OpKind::kTupleNew || stmt.op == OpKind::kSetNew) {
+    gen.emplace(db->AllSymbols());
+  }
+
+  for (const NameCombo& combo : combos) {
+    // COLLAPSE consumes *all* tables with the matched name at once.
+    if (stmt.op == OpKind::kCollapse) {
+      if (++steps_ > options_.max_steps) {
+        return Status::ResourceExhausted("program step limit exceeded");
+      }
+      std::vector<Table> group = db->Named(combo.names[0]);
+      const Table* context = group.empty() ? nullptr : &group[0];
+      TABULAR_ASSIGN_OR_RETURN(
+          SymbolSet by, EvalParam(stmt.params[0], combo.bindings, context));
+      TABULAR_ASSIGN_OR_RETURN(
+          Symbol target,
+          EvalSingleton(stmt.target, combo.bindings, context));
+      TABULAR_ASSIGN_OR_RETURN(
+          Table result, algebra::Collapse(group, ToVec(by), target));
+      staged.push_back(Staged{target, std::move(result)});
+      continue;
+    }
+
+    // Cross product over the concrete tables carrying each matched name
+    // (pointers into the database: it is not mutated until staging ends).
+    std::vector<std::vector<const Table*>> pools;
+    for (Symbol nm : combo.names) {
+      std::vector<const Table*> pool;
+      for (size_t ti : db->IndicesNamed(nm)) {
+        pool.push_back(&db->tables()[ti]);
+      }
+      pools.push_back(std::move(pool));
+    }
+    std::vector<size_t> idx(pools.size(), 0);
+    bool done = pools.empty() ||
+                std::any_of(pools.begin(), pools.end(),
+                            [](const auto& p) { return p.empty(); });
+    while (!done) {
+      if (++steps_ > options_.max_steps) {
+        return Status::ResourceExhausted("program step limit exceeded");
+      }
+      const Table& first = *pools[0][idx[0]];
+      const Table* second =
+          pools.size() > 1 ? pools[1][idx[1]] : nullptr;
+      const Table* context = &first;
+      TABULAR_ASSIGN_OR_RETURN(
+          Symbol target,
+          EvalSingleton(stmt.target, combo.bindings, context));
+
+      auto set_param = [&](size_t i) -> Result<SymbolVec> {
+        TABULAR_ASSIGN_OR_RETURN(
+            SymbolSet s, EvalParam(stmt.params[i], combo.bindings, context));
+        return ToVec(s);
+      };
+      auto one_param = [&](size_t i) -> Result<Symbol> {
+        return EvalSingleton(stmt.params[i], combo.bindings, context);
+      };
+
+      switch (stmt.op) {
+        case OpKind::kUnion: {
+          TABULAR_ASSIGN_OR_RETURN(
+              Table r, algebra::Union(first, *second, target));
+          staged.push_back(Staged{target, std::move(r)});
+          break;
+        }
+        case OpKind::kDifference: {
+          TABULAR_ASSIGN_OR_RETURN(
+              Table r, algebra::Difference(first, *second, target));
+          staged.push_back(Staged{target, std::move(r)});
+          break;
+        }
+        case OpKind::kIntersection: {
+          TABULAR_ASSIGN_OR_RETURN(
+              Table r, algebra::Intersection(first, *second, target));
+          staged.push_back(Staged{target, std::move(r)});
+          break;
+        }
+        case OpKind::kProduct: {
+          TABULAR_ASSIGN_OR_RETURN(
+              Table r, algebra::CartesianProduct(first, *second, target));
+          staged.push_back(Staged{target, std::move(r)});
+          break;
+        }
+        case OpKind::kRename: {
+          TABULAR_ASSIGN_OR_RETURN(Symbol to, one_param(0));
+          TABULAR_ASSIGN_OR_RETURN(Symbol from, one_param(1));
+          TABULAR_ASSIGN_OR_RETURN(
+              Table r, algebra::Rename(first, from, to, target));
+          staged.push_back(Staged{target, std::move(r)});
+          break;
+        }
+        case OpKind::kProject: {
+          TABULAR_ASSIGN_OR_RETURN(
+              SymbolSet attrs,
+              EvalParam(stmt.params[0], combo.bindings, context));
+          TABULAR_ASSIGN_OR_RETURN(
+              Table r, algebra::Project(first, attrs, target));
+          staged.push_back(Staged{target, std::move(r)});
+          break;
+        }
+        case OpKind::kSelect: {
+          TABULAR_ASSIGN_OR_RETURN(Symbol a, one_param(0));
+          TABULAR_ASSIGN_OR_RETURN(Symbol b, one_param(1));
+          TABULAR_ASSIGN_OR_RETURN(
+              Table r, algebra::Select(first, a, b, target));
+          staged.push_back(Staged{target, std::move(r)});
+          break;
+        }
+        case OpKind::kSelectConst: {
+          TABULAR_ASSIGN_OR_RETURN(Symbol a, one_param(0));
+          TABULAR_ASSIGN_OR_RETURN(Symbol v, one_param(1));
+          TABULAR_ASSIGN_OR_RETURN(
+              Table r, algebra::SelectConstant(first, a, v, target));
+          staged.push_back(Staged{target, std::move(r)});
+          break;
+        }
+        case OpKind::kGroup: {
+          TABULAR_ASSIGN_OR_RETURN(SymbolVec by, set_param(0));
+          TABULAR_ASSIGN_OR_RETURN(SymbolVec on, set_param(1));
+          TABULAR_ASSIGN_OR_RETURN(
+              Table r, algebra::Group(first, by, on, target));
+          staged.push_back(Staged{target, std::move(r)});
+          break;
+        }
+        case OpKind::kMerge: {
+          TABULAR_ASSIGN_OR_RETURN(SymbolVec on, set_param(0));
+          TABULAR_ASSIGN_OR_RETURN(SymbolVec by, set_param(1));
+          TABULAR_ASSIGN_OR_RETURN(
+              Table r, algebra::Merge(first, on, by, target));
+          staged.push_back(Staged{target, std::move(r)});
+          break;
+        }
+        case OpKind::kSplit: {
+          TABULAR_ASSIGN_OR_RETURN(SymbolVec on, set_param(0));
+          TABULAR_ASSIGN_OR_RETURN(
+              std::vector<Table> rs, algebra::Split(first, on, target));
+          for (Table& r : rs) staged.push_back(Staged{target, std::move(r)});
+          break;
+        }
+        case OpKind::kCollapse:
+          return Status::Internal("collapse handled above");
+        case OpKind::kTranspose: {
+          TABULAR_ASSIGN_OR_RETURN(Table r,
+                                   algebra::Transpose(first, target));
+          staged.push_back(Staged{target, std::move(r)});
+          break;
+        }
+        case OpKind::kSwitch: {
+          TABULAR_ASSIGN_OR_RETURN(Symbol v, one_param(0));
+          TABULAR_ASSIGN_OR_RETURN(
+              Table r, algebra::Switch(first, v, target));
+          staged.push_back(Staged{target, std::move(r)});
+          break;
+        }
+        case OpKind::kCleanUp: {
+          TABULAR_ASSIGN_OR_RETURN(SymbolVec by, set_param(0));
+          TABULAR_ASSIGN_OR_RETURN(SymbolVec on, set_param(1));
+          TABULAR_ASSIGN_OR_RETURN(
+              Table r, algebra::CleanUp(first, by, on, target));
+          staged.push_back(Staged{target, std::move(r)});
+          break;
+        }
+        case OpKind::kPurge: {
+          TABULAR_ASSIGN_OR_RETURN(SymbolVec on, set_param(0));
+          TABULAR_ASSIGN_OR_RETURN(SymbolVec by, set_param(1));
+          TABULAR_ASSIGN_OR_RETURN(
+              Table r, algebra::Purge(first, on, by, target));
+          staged.push_back(Staged{target, std::move(r)});
+          break;
+        }
+        case OpKind::kTupleNew: {
+          TABULAR_ASSIGN_OR_RETURN(Symbol a, one_param(0));
+          TABULAR_ASSIGN_OR_RETURN(
+              Table r, algebra::TupleNew(first, a, &*gen, target));
+          staged.push_back(Staged{target, std::move(r)});
+          break;
+        }
+        case OpKind::kSetNew: {
+          TABULAR_ASSIGN_OR_RETURN(Symbol a, one_param(0));
+          TABULAR_ASSIGN_OR_RETURN(
+              Table r, algebra::SetNew(first, a, &*gen, target));
+          staged.push_back(Staged{target, std::move(r)});
+          break;
+        }
+      }
+
+      // Advance the cross-product indices.
+      size_t p = 0;
+      for (; p < pools.size(); ++p) {
+        if (++idx[p] < pools[p].size()) break;
+        idx[p] = 0;
+      }
+      done = (p == pools.size());
+    }
+  }
+
+  // Replacement semantics: drop previous carriers of each produced name.
+  SymbolSet produced;
+  for (const Staged& s : staged) produced.insert(s.target);
+  for (Symbol nm : produced) db->RemoveNamed(nm);
+  for (Staged& s : staged) db->Add(std::move(s.table));
+  if (db->size() > options_.max_tables) {
+    return Status::ResourceExhausted("database grew past " +
+                                     std::to_string(options_.max_tables) +
+                                     " tables");
+  }
+  return Status::OK();
+}
+
+Status RunProgram(const Program& program, TabularDatabase* db) {
+  Interpreter interp;
+  return interp.Run(program, db);
+}
+
+}  // namespace tabular::lang

@@ -1,0 +1,62 @@
+#ifndef TABULAR_LANG_INTERPRETER_H_
+#define TABULAR_LANG_INTERPRETER_H_
+
+#include <cstddef>
+
+#include "algebra/tagging.h"
+#include "core/database.h"
+#include "core/status.h"
+#include "lang/ast.h"
+
+namespace tabular::lang {
+
+using tabular::Status;
+using core::TabularDatabase;
+
+/// Resource guards for program evaluation; while-programs are Turing
+/// complete (paper Theorem 4.4), so runs are bounded.
+struct InterpreterOptions {
+  /// Maximum iterations of any single while loop.
+  size_t max_while_iterations = 10000;
+  /// Maximum assignment-statement instantiations over the whole run.
+  size_t max_steps = 1000000;
+  /// Maximum number of tables the database may grow to.
+  size_t max_tables = 100000;
+};
+
+/// Executes tabular-algebra programs against a database (paper §3.6).
+///
+/// Statement semantics: every assignment is instantiated for each
+/// combination of tables whose names match its argument parameters
+/// (wildcards bind to table names and are shared across the statement);
+/// each instantiation runs the operation kernel; the produced tables then
+/// *replace* the tables previously carrying the target names. A `while R`
+/// loop repeats its body while some table named R has a data row.
+class Interpreter {
+ public:
+  explicit Interpreter(InterpreterOptions options = InterpreterOptions())
+      : options_(options) {}
+
+  /// Runs `program` against `db` in place. On error the database may hold
+  /// partial results of already-executed statements.
+  Status Run(const Program& program, TabularDatabase* db);
+
+  /// Total assignment instantiations executed by the last Run.
+  size_t steps_executed() const { return steps_; }
+
+ private:
+  Status RunStatements(const std::vector<Statement>& statements,
+                       TabularDatabase* db);
+  Status RunAssignment(const Assignment& stmt, TabularDatabase* db);
+  Status RunWhile(const WhileLoop& loop, TabularDatabase* db);
+
+  InterpreterOptions options_;
+  size_t steps_ = 0;
+};
+
+/// Convenience: parse-free single-program execution with default options.
+Status RunProgram(const Program& program, TabularDatabase* db);
+
+}  // namespace tabular::lang
+
+#endif  // TABULAR_LANG_INTERPRETER_H_

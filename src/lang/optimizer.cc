@@ -1,0 +1,222 @@
+#include "lang/optimizer.h"
+
+#include <map>
+#include <vector>
+
+namespace tabular::lang {
+
+using core::Symbol;
+using core::SymbolSet;
+
+namespace {
+
+/// Collects the literal names a parameter can denote; sets `universal` if
+/// it may denote arbitrary names (wildcards, entry pairs). The negative
+/// list only narrows the set, so ignoring it stays conservative.
+void CollectParamNames(const Param& p, SymbolSet* out, bool* universal) {
+  for (const ParamItem& it : p.positive) {
+    switch (it.kind) {
+      case ParamItem::Kind::kSymbol:
+        out->insert(it.symbol);
+        break;
+      case ParamItem::Kind::kNull:
+        out->insert(Symbol::Null());
+        break;
+      case ParamItem::Kind::kWildcard:
+      case ParamItem::Kind::kPair:
+        *universal = true;
+        break;
+    }
+  }
+}
+
+/// The table names a statement reads (argument positions only — attribute
+/// parameters never name tables).
+void CollectReads(const Statement& s, SymbolSet* out, bool* universal) {
+  if (const auto* a = std::get_if<Assignment>(&s.node)) {
+    for (const Param& arg : a->args) CollectParamNames(arg, out, universal);
+  } else if (const auto* w = std::get_if<WhileLoop>(&s.node)) {
+    CollectParamNames(w->condition, out, universal);
+    for (const Statement& inner : w->body) {
+      CollectReads(inner, out, universal);
+    }
+  }
+  // Drop reads nothing.
+}
+
+}  // namespace
+
+Program EliminateDeadStores(const Program& program,
+                            const SymbolSet& live_out) {
+  SymbolSet live = live_out;
+  bool universal_live = false;
+  std::vector<bool> keep(program.statements.size(), true);
+
+  for (size_t idx = program.statements.size(); idx-- > 0;) {
+    const Statement& s = program.statements[idx];
+    if (const auto* a = std::get_if<Assignment>(&s.node)) {
+      SymbolSet writes;
+      bool universal_write = false;
+      CollectParamNames(a->target, &writes, &universal_write);
+      const bool single_literal_write =
+          !universal_write && writes.size() == 1;
+      if (!universal_live && single_literal_write &&
+          !live.contains(*writes.begin())) {
+        keep[idx] = false;
+        continue;  // dead: no kill, no new reads
+      }
+      // Replacement semantics: a literal write fully overwrites its name.
+      if (single_literal_write) live.erase(*writes.begin());
+      CollectReads(s, &live, &universal_live);
+    } else if (const auto* d = std::get_if<DropStatement>(&s.node)) {
+      SymbolSet dropped;
+      bool universal_drop = false;
+      CollectParamNames(d->target, &dropped, &universal_drop);
+      if (!universal_drop) {
+        for (Symbol nm : dropped) live.erase(nm);
+      }
+    } else {
+      // While loops: everything read inside stays live across the loop;
+      // bodies are left untouched (iteration makes in-body stores
+      // observable by earlier body statements).
+      CollectReads(s, &live, &universal_live);
+    }
+  }
+
+  Program out;
+  for (size_t i = 0; i < program.statements.size(); ++i) {
+    if (keep[i]) out.statements.push_back(program.statements[i]);
+  }
+  return out;
+}
+
+bool IsTranslatorScratchName(Symbol name) {
+  if (!name.is_name()) return false;
+  const std::string& t = name.text();
+  return t.rfind("fo_tmp", 0) == 0 || t.rfind("fo_const", 0) == 0 ||
+         t.rfind("sl_", 0) == 0 || t.rfind("good_", 0) == 0;
+}
+
+namespace {
+
+/// All names a statement references (reads, writes, drops).
+void CollectAllNames(const Statement& s, SymbolSet* out, bool* universal) {
+  CollectReads(s, out, universal);
+  if (const auto* a = std::get_if<Assignment>(&s.node)) {
+    CollectParamNames(a->target, out, universal);
+  } else if (const auto* d = std::get_if<DropStatement>(&s.node)) {
+    CollectParamNames(d->target, out, universal);
+  } else if (const auto* w = std::get_if<WhileLoop>(&s.node)) {
+    for (const Statement& inner : w->body) {
+      CollectAllNames(inner, out, universal);
+    }
+  }
+}
+
+/// True if the list's first reference to `name` fully (re)writes it — the
+/// condition under which a drop at the end of a while body is safe across
+/// iterations.
+bool FirstReferenceIsWrite(const std::vector<Statement>& list, Symbol name) {
+  for (const Statement& s : list) {
+    SymbolSet names;
+    bool universal = false;
+    CollectAllNames(s, &names, &universal);
+    if (universal) return false;
+    if (!names.contains(name)) continue;
+    const auto* a = std::get_if<Assignment>(&s.node);
+    if (a == nullptr) return false;
+    SymbolSet writes;
+    bool uw = false;
+    CollectParamNames(a->target, &writes, &uw);
+    if (uw || writes.size() != 1 || *writes.begin() != name) return false;
+    SymbolSet reads;
+    bool ur = false;
+    CollectReads(s, &reads, &ur);
+    return !ur && !reads.contains(name);
+  }
+  return false;
+}
+
+/// Inserts drops into `list` for scratch names not in `forbidden`, placing
+/// each after its last reference; recurses into while bodies for names
+/// confined to a single loop (when iteration-safe). Returns false if a
+/// universal (wildcard) table reference makes lifetimes unboundable.
+bool InsertDropsInList(std::vector<Statement>* list,
+                       const std::function<bool(Symbol)>& is_scratch,
+                       const SymbolSet& forbidden) {
+  std::map<Symbol, std::vector<size_t>, core::SymbolLess> refs;
+  for (size_t i = 0; i < list->size(); ++i) {
+    SymbolSet names;
+    bool universal = false;
+    CollectAllNames((*list)[i], &names, &universal);
+    if (universal) return false;
+    for (Symbol nm : names) refs[nm].push_back(i);
+  }
+
+  // Names fully handled inside a loop body need no drop at this level.
+  SymbolSet handled_inside;
+  for (size_t i = 0; i < list->size(); ++i) {
+    auto* w = std::get_if<WhileLoop>(&(*list)[i].node);
+    if (w == nullptr) continue;
+    SymbolSet body_forbidden = forbidden;
+    bool cond_universal = false;
+    CollectParamNames(w->condition, &body_forbidden, &cond_universal);
+    if (cond_universal) return false;
+    for (const auto& [nm, idxs] : refs) {
+      bool confined = idxs.size() == 1 && idxs[0] == i;
+      // The loop condition is read after each body pass and may never be
+      // dropped inside (it is already in body_forbidden).
+      if (!confined || !is_scratch(nm) || forbidden.contains(nm) ||
+          body_forbidden.contains(nm)) {
+        body_forbidden.insert(nm);
+        continue;
+      }
+      if (!FirstReferenceIsWrite(w->body, nm)) {
+        body_forbidden.insert(nm);
+        continue;
+      }
+      handled_inside.insert(nm);
+    }
+    if (!InsertDropsInList(&w->body, is_scratch, body_forbidden)) {
+      return false;
+    }
+  }
+
+  std::vector<Statement> out;
+  for (size_t i = 0; i < list->size(); ++i) {
+    out.push_back(std::move((*list)[i]));
+    for (const auto& [nm, idxs] : refs) {
+      if (idxs.back() != i || !is_scratch(nm) || forbidden.contains(nm) ||
+          handled_inside.contains(nm)) {
+        continue;
+      }
+      DropStatement drop;
+      drop.target = Param::Literal(nm);
+      Statement s;
+      s.node = std::move(drop);
+      out.push_back(std::move(s));
+    }
+  }
+  *list = std::move(out);
+  return true;
+}
+
+}  // namespace
+
+Program InsertScratchDrops(
+    const Program& program,
+    const std::function<bool(Symbol)>& is_scratch) {
+  Program out = program;
+  if (!InsertDropsInList(&out.statements, is_scratch, SymbolSet{})) {
+    return program;  // wildcard table references: lifetimes unboundable
+  }
+  return out;
+}
+
+Program OptimizeTranslated(const Program& program,
+                           const SymbolSet& live_out) {
+  Program trimmed = EliminateDeadStores(program, live_out);
+  return InsertScratchDrops(trimmed, IsTranslatorScratchName);
+}
+
+}  // namespace tabular::lang

@@ -1,0 +1,177 @@
+#include "lang/param.h"
+
+#include <string>
+
+namespace tabular::lang {
+
+using tabular::Status;
+
+Param Param::Name(std::string_view text) {
+  return Literal(Symbol::Name(text));
+}
+
+Param Param::Value(std::string_view text) {
+  return Literal(Symbol::Value(text));
+}
+
+Param Param::Literal(Symbol s) {
+  Param p;
+  ParamItem item;
+  item.kind = s.is_null() ? ParamItem::Kind::kNull : ParamItem::Kind::kSymbol;
+  item.symbol = s;
+  p.positive.push_back(std::move(item));
+  return p;
+}
+
+Param Param::Null() { return Literal(Symbol::Null()); }
+
+Param Param::Wildcard(int id) {
+  Param p;
+  ParamItem item;
+  item.kind = ParamItem::Kind::kWildcard;
+  item.wildcard_id = id;
+  p.positive.push_back(std::move(item));
+  return p;
+}
+
+namespace {
+
+void CollectFromItems(const std::vector<ParamItem>& items,
+                      std::vector<int>* out) {
+  for (const ParamItem& it : items) {
+    switch (it.kind) {
+      case ParamItem::Kind::kWildcard:
+        out->push_back(it.wildcard_id);
+        break;
+      case ParamItem::Kind::kPair:
+        if (it.row) it.row->CollectWildcards(out);
+        if (it.col) it.col->CollectWildcards(out);
+        break;
+      default:
+        break;
+    }
+  }
+}
+
+std::string ItemToString(const ParamItem& it) {
+  switch (it.kind) {
+    case ParamItem::Kind::kNull:
+      return "_";
+    case ParamItem::Kind::kSymbol:
+      return it.symbol.is_name() ? it.symbol.text()
+                                 : "'" + it.symbol.text() + "'";
+    case ParamItem::Kind::kWildcard:
+      return "*" + std::to_string(it.wildcard_id);
+    case ParamItem::Kind::kPair:
+      return "(" + it.row->ToString() + ", " + it.col->ToString() + ")";
+  }
+  return "?";
+}
+
+/// Interprets one item into `out`.
+Status EvalItem(const ParamItem& it, const Bindings& bindings,
+                const Table* context, SymbolSet* out) {
+  switch (it.kind) {
+    case ParamItem::Kind::kNull:
+      out->insert(Symbol::Null());
+      return Status::OK();
+    case ParamItem::Kind::kSymbol:
+      out->insert(it.symbol);
+      return Status::OK();
+    case ParamItem::Kind::kWildcard: {
+      auto found = bindings.find(it.wildcard_id);
+      if (found != bindings.end()) {
+        out->insert(found->second);
+        return Status::OK();
+      }
+      if (context == nullptr) {
+        return Status::Undefined("unbound wildcard *" +
+                                 std::to_string(it.wildcard_id) +
+                                 " with no context table");
+      }
+      // Unbound star in a set position: the column-attribute universe.
+      for (size_t j = 1; j < context->num_cols(); ++j) {
+        out->insert(context->at(0, j));
+      }
+      return Status::OK();
+    }
+    case ParamItem::Kind::kPair: {
+      if (context == nullptr) {
+        return Status::Undefined("entry pair parameter with no context");
+      }
+      TABULAR_ASSIGN_OR_RETURN(SymbolSet rows,
+                               EvalParam(*it.row, bindings, context));
+      TABULAR_ASSIGN_OR_RETURN(SymbolSet cols,
+                               EvalParam(*it.col, bindings, context));
+      for (size_t i = 1; i < context->num_rows(); ++i) {
+        if (!rows.contains(context->at(i, 0))) continue;
+        for (size_t j = 1; j < context->num_cols(); ++j) {
+          if (!cols.contains(context->at(0, j))) continue;
+          out->insert(context->at(i, j));
+        }
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown parameter item kind");
+}
+
+}  // namespace
+
+bool Param::MentionsWildcard(int id) const {
+  std::vector<int> ids;
+  CollectWildcards(&ids);
+  for (int i : ids) {
+    if (i == id) return true;
+  }
+  return false;
+}
+
+void Param::CollectWildcards(std::vector<int>* out) const {
+  CollectFromItems(positive, out);
+  CollectFromItems(negative, out);
+}
+
+std::string Param::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < positive.size(); ++i) {
+    if (i) out += ", ";
+    out += ItemToString(positive[i]);
+  }
+  if (!negative.empty()) {
+    out += " ~ ";
+    for (size_t i = 0; i < negative.size(); ++i) {
+      if (i) out += ", ";
+      out += ItemToString(negative[i]);
+    }
+  }
+  return out;
+}
+
+Result<SymbolSet> EvalParam(const Param& param, const Bindings& bindings,
+                            const Table* context) {
+  SymbolSet pos;
+  for (const ParamItem& it : param.positive) {
+    TABULAR_RETURN_NOT_OK(EvalItem(it, bindings, context, &pos));
+  }
+  SymbolSet neg;
+  for (const ParamItem& it : param.negative) {
+    TABULAR_RETURN_NOT_OK(EvalItem(it, bindings, context, &neg));
+  }
+  for (Symbol s : neg) pos.erase(s);
+  return pos;
+}
+
+Result<Symbol> EvalSingleton(const Param& param, const Bindings& bindings,
+                             const Table* context) {
+  TABULAR_ASSIGN_OR_RETURN(SymbolSet set,
+                           EvalParam(param, bindings, context));
+  if (set.size() != 1) {
+    return Status::Undefined("parameter '" + param.ToString() +
+                             "' must denote a single entry, got " +
+                             std::to_string(set.size()));
+  }
+  return *set.begin();
+}
+
+}  // namespace tabular::lang

@@ -1,0 +1,89 @@
+#ifndef TABULAR_LANG_PARAM_H_
+#define TABULAR_LANG_PARAM_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "core/symbol.h"
+#include "core/table.h"
+
+namespace tabular::lang {
+
+using tabular::Result;
+using core::Symbol;
+using core::SymbolSet;
+using core::Table;
+
+/// A binding environment for wildcards `*1, *2, ...` accumulated while a
+/// statement is instantiated against concrete table names (paper §3.6).
+using Bindings = std::map<int, Symbol>;
+
+/// One item of a parameter's positive or negative list (paper §3.6 grammar:
+/// `⊥ | * | name{, name} | (parameter, parameter)`).
+struct ParamItem {
+  enum class Kind {
+    kSymbol,    ///< A literal name or value.
+    kNull,      ///< ⊥ (surface syntax `_`).
+    kWildcard,  ///< `*k`; bound during argument enumeration.
+    kPair,      ///< `(row, col)`: entries of the current table whose row
+                ///< attribute matches `row` and column attribute matches
+                ///< `col`.
+  };
+
+  Kind kind = Kind::kNull;
+  Symbol symbol;                 // kSymbol
+  int wildcard_id = 0;           // kWildcard
+  std::shared_ptr<struct Param> row;  // kPair
+  std::shared_ptr<struct Param> col;  // kPair
+};
+
+/// A parameter: the interpretations of the positive items minus those of
+/// the negative items. Parameters denote single entries (when the
+/// interpretation is a singleton) or entry sets.
+struct Param {
+  std::vector<ParamItem> positive;
+  std::vector<ParamItem> negative;
+
+  /// Convenience constructors.
+  static Param Name(std::string_view text);
+  static Param Value(std::string_view text);
+  static Param Literal(Symbol s);
+  static Param Null();
+  static Param Wildcard(int id);
+
+  /// True if some (transitively reachable) item is an unbound-able
+  /// wildcard with the given id.
+  bool MentionsWildcard(int id) const;
+
+  /// Collects all wildcard ids mentioned.
+  void CollectWildcards(std::vector<int>* out) const;
+
+  /// Surface-syntax rendering (parsable by the lang parser).
+  std::string ToString() const;
+};
+
+/// Evaluates `param` to a symbol set.
+///
+/// * Bound wildcards substitute their binding.
+/// * An *unbound* wildcard denotes the whole attribute universe of
+///   `context` (its column attributes) — the "obvious way" a set-valued
+///   star is read; for table-name positions wildcards are enumerated by
+///   the interpreter before this function is called.
+/// * Pair items read data entries of `context`; evaluating a pair with no
+///   context table is an error.
+Result<SymbolSet> EvalParam(const Param& param, const Bindings& bindings,
+                            const Table* context);
+
+/// Evaluates `param` expecting a singleton; returns the symbol or a
+/// kUndefined status (the paper: "a parameter representing a single column
+/// attribute should have a singleton set as interpretation, otherwise the
+/// effect of the statement is undefined").
+Result<Symbol> EvalSingleton(const Param& param, const Bindings& bindings,
+                             const Table* context);
+
+}  // namespace tabular::lang
+
+#endif  // TABULAR_LANG_PARAM_H_

@@ -1,0 +1,432 @@
+#include "lang/parser.h"
+
+#include <cctype>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tabular::lang {
+
+using tabular::Result;
+using tabular::Status;
+using core::Symbol;
+
+namespace {
+
+enum class TokKind {
+  kIdent,     // bare word: a name
+  kQuoted,    // 'text': a value
+  kNumber,    // 50: a value
+  kUnder,     // _
+  kStar,      // *k
+  kArrow,     // <-
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kSemi,
+  kEq,
+  kSlash,
+  kTilde,
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  int number = 0;  // wildcard id for kStar
+  size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  Result<std::vector<Token>> Run() {
+    std::vector<Token> out;
+    while (true) {
+      SkipSpaceAndComments();
+      if (pos_ >= src_.size()) break;
+      size_t start = pos_;
+      char c = src_[pos_];
+      if (c == '<' && pos_ + 1 < src_.size() && src_[pos_ + 1] == '-') {
+        pos_ += 2;
+        out.push_back({TokKind::kArrow, "<-", 0, start});
+      } else if (c == '(') {
+        ++pos_;
+        out.push_back({TokKind::kLParen, "(", 0, start});
+      } else if (c == ')') {
+        ++pos_;
+        out.push_back({TokKind::kRParen, ")", 0, start});
+      } else if (c == '{') {
+        ++pos_;
+        out.push_back({TokKind::kLBrace, "{", 0, start});
+      } else if (c == '}') {
+        ++pos_;
+        out.push_back({TokKind::kRBrace, "}", 0, start});
+      } else if (c == ',') {
+        ++pos_;
+        out.push_back({TokKind::kComma, ",", 0, start});
+      } else if (c == ';') {
+        ++pos_;
+        out.push_back({TokKind::kSemi, ";", 0, start});
+      } else if (c == '=') {
+        ++pos_;
+        out.push_back({TokKind::kEq, "=", 0, start});
+      } else if (c == '/') {
+        ++pos_;
+        out.push_back({TokKind::kSlash, "/", 0, start});
+      } else if (c == '~') {
+        ++pos_;
+        out.push_back({TokKind::kTilde, "~", 0, start});
+      } else if (c == '*') {
+        ++pos_;
+        int id = 0;
+        while (pos_ < src_.size() && std::isdigit(src_[pos_])) {
+          id = id * 10 + (src_[pos_++] - '0');
+        }
+        out.push_back({TokKind::kStar, "*", id, start});
+      } else if (c == '\'') {
+        ++pos_;
+        std::string text;
+        while (pos_ < src_.size() && src_[pos_] != '\'') {
+          text.push_back(src_[pos_++]);
+        }
+        if (pos_ >= src_.size()) {
+          return Status::ParseError("unterminated quoted value at offset " +
+                                    std::to_string(start));
+        }
+        ++pos_;
+        out.push_back({TokKind::kQuoted, std::move(text), 0, start});
+      } else if (std::isdigit(c)) {
+        std::string text;
+        while (pos_ < src_.size() &&
+               (std::isdigit(src_[pos_]) || src_[pos_] == '.')) {
+          text.push_back(src_[pos_++]);
+        }
+        out.push_back({TokKind::kNumber, std::move(text), 0, start});
+      } else if (c == '_' &&
+                 (pos_ + 1 >= src_.size() || !IsWordChar(src_[pos_ + 1]))) {
+        ++pos_;
+        out.push_back({TokKind::kUnder, "_", 0, start});
+      } else if (IsWordStart(c)) {
+        std::string text;
+        while (pos_ < src_.size() && IsWordChar(src_[pos_])) {
+          text.push_back(src_[pos_++]);
+        }
+        out.push_back({TokKind::kIdent, std::move(text), 0, start});
+      } else {
+        return Status::ParseError(std::string("unexpected character '") + c +
+                                  "' at offset " + std::to_string(start));
+      }
+    }
+    out.push_back({TokKind::kEnd, "", 0, pos_});
+    return out;
+  }
+
+ private:
+  static bool IsWordStart(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  }
+  static bool IsWordChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  }
+
+  void SkipSpaceAndComments() {
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '-' && pos_ + 1 < src_.size() &&
+                 src_[pos_ + 1] == '-') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  Result<Program> ParseAll() {
+    Program p;
+    while (!At(TokKind::kEnd)) {
+      TABULAR_ASSIGN_OR_RETURN(Statement s, ParseOne());
+      p.statements.push_back(std::move(s));
+    }
+    return p;
+  }
+
+  Result<Statement> ParseOne() {
+    if (At(TokKind::kIdent) && Cur().text == "while") {
+      return ParseWhile();
+    }
+    if (At(TokKind::kIdent) && Cur().text == "drop") {
+      Advance();
+      DropStatement d;
+      TABULAR_ASSIGN_OR_RETURN(d.target, ParseItemParam());
+      TABULAR_RETURN_NOT_OK(Expect(TokKind::kSemi, "';'"));
+      Statement out;
+      out.node = std::move(d);
+      return out;
+    }
+    return ParseAssignment();
+  }
+
+  bool AtEnd() const { return At(TokKind::kEnd); }
+
+ private:
+  const Token& Cur() const { return toks_[i_]; }
+  bool At(TokKind k) const { return Cur().kind == k; }
+  void Advance() { ++i_; }
+
+  Status Expect(TokKind k, const char* what) {
+    if (!At(k)) {
+      return Status::ParseError(std::string("expected ") + what + " at '" +
+                                Cur().text + "' (offset " +
+                                std::to_string(Cur().pos) + ")");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!At(TokKind::kIdent) || Cur().text != kw) {
+      return Status::ParseError(std::string("expected '") + kw + "' at '" +
+                                Cur().text + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<ParamItem> ParseItem() {
+    ParamItem item;
+    switch (Cur().kind) {
+      case TokKind::kIdent:
+        item.kind = ParamItem::Kind::kSymbol;
+        item.symbol = Symbol::Name(Cur().text);
+        Advance();
+        return item;
+      case TokKind::kQuoted:
+      case TokKind::kNumber:
+        item.kind = ParamItem::Kind::kSymbol;
+        item.symbol = Symbol::Value(Cur().text);
+        Advance();
+        return item;
+      case TokKind::kUnder:
+        item.kind = ParamItem::Kind::kNull;
+        Advance();
+        return item;
+      case TokKind::kStar:
+        item.kind = ParamItem::Kind::kWildcard;
+        item.wildcard_id = Cur().number;
+        Advance();
+        return item;
+      case TokKind::kLParen: {
+        Advance();
+        TABULAR_ASSIGN_OR_RETURN(Param row, ParseSetOrItem());
+        TABULAR_RETURN_NOT_OK(Expect(TokKind::kComma, "','"));
+        TABULAR_ASSIGN_OR_RETURN(Param col, ParseSetOrItem());
+        TABULAR_RETURN_NOT_OK(Expect(TokKind::kRParen, "')'"));
+        item.kind = ParamItem::Kind::kPair;
+        item.row = std::make_shared<Param>(std::move(row));
+        item.col = std::make_shared<Param>(std::move(col));
+        return item;
+      }
+      default:
+        return Status::ParseError("expected a parameter item at '" +
+                                  Cur().text + "'");
+    }
+  }
+
+  /// A single-item parameter.
+  Result<Param> ParseItemParam() {
+    Param p;
+    TABULAR_ASSIGN_OR_RETURN(ParamItem item, ParseItem());
+    p.positive.push_back(std::move(item));
+    return p;
+  }
+
+  /// `{ items (~ items)? }` or a bare single item.
+  Result<Param> ParseSetOrItem() {
+    if (!At(TokKind::kLBrace)) return ParseItemParam();
+    Advance();
+    Param p;
+    if (!At(TokKind::kRBrace) && !At(TokKind::kTilde)) {
+      for (;;) {
+        TABULAR_ASSIGN_OR_RETURN(ParamItem item, ParseItem());
+        p.positive.push_back(std::move(item));
+        if (!At(TokKind::kComma)) break;
+        Advance();
+      }
+    }
+    if (At(TokKind::kTilde)) {
+      Advance();
+      for (;;) {
+        TABULAR_ASSIGN_OR_RETURN(ParamItem item, ParseItem());
+        p.negative.push_back(std::move(item));
+        if (!At(TokKind::kComma)) break;
+        Advance();
+      }
+    }
+    TABULAR_RETURN_NOT_OK(Expect(TokKind::kRBrace, "'}'"));
+    return p;
+  }
+
+  Result<Statement> ParseWhile() {
+    Advance();  // while
+    WhileLoop loop;
+    TABULAR_ASSIGN_OR_RETURN(loop.condition, ParseItemParam());
+    TABULAR_RETURN_NOT_OK(ExpectKeyword("do"));
+    TABULAR_RETURN_NOT_OK(Expect(TokKind::kLBrace, "'{'"));
+    while (!At(TokKind::kRBrace)) {
+      if (At(TokKind::kEnd)) {
+        return Status::ParseError("unterminated while body");
+      }
+      TABULAR_ASSIGN_OR_RETURN(Statement s, ParseOne());
+      loop.body.push_back(std::move(s));
+    }
+    Advance();  // }
+    Statement out;
+    out.node = std::move(loop);
+    return out;
+  }
+
+  Result<Statement> ParseAssignment() {
+    Assignment a;
+    TABULAR_ASSIGN_OR_RETURN(a.target, ParseItemParam());
+    TABULAR_RETURN_NOT_OK(Expect(TokKind::kArrow, "'<-'"));
+    if (!At(TokKind::kIdent)) {
+      return Status::ParseError("expected operation name at '" + Cur().text +
+                                "'");
+    }
+    const std::string op = Cur().text;
+    Advance();
+    if (op == "union") {
+      a.op = OpKind::kUnion;
+    } else if (op == "difference") {
+      a.op = OpKind::kDifference;
+    } else if (op == "intersection") {
+      a.op = OpKind::kIntersection;
+    } else if (op == "product") {
+      a.op = OpKind::kProduct;
+    } else if (op == "transpose") {
+      a.op = OpKind::kTranspose;
+    } else if (op == "rename") {
+      a.op = OpKind::kRename;
+      TABULAR_RETURN_NOT_OK(PushItem(&a));
+      TABULAR_RETURN_NOT_OK(Expect(TokKind::kSlash, "'/'"));
+      TABULAR_RETURN_NOT_OK(PushItem(&a));
+    } else if (op == "project") {
+      a.op = OpKind::kProject;
+      TABULAR_RETURN_NOT_OK(PushSet(&a));
+    } else if (op == "select" || op == "selectconst") {
+      a.op = op == "select" ? OpKind::kSelect : OpKind::kSelectConst;
+      TABULAR_RETURN_NOT_OK(PushItem(&a));
+      TABULAR_RETURN_NOT_OK(Expect(TokKind::kEq, "'='"));
+      TABULAR_RETURN_NOT_OK(PushItem(&a));
+    } else if (op == "group") {
+      a.op = OpKind::kGroup;
+      TABULAR_RETURN_NOT_OK(ExpectKeyword("by"));
+      TABULAR_RETURN_NOT_OK(PushSet(&a));
+      TABULAR_RETURN_NOT_OK(ExpectKeyword("on"));
+      TABULAR_RETURN_NOT_OK(PushSet(&a));
+    } else if (op == "merge") {
+      a.op = OpKind::kMerge;
+      TABULAR_RETURN_NOT_OK(ExpectKeyword("on"));
+      TABULAR_RETURN_NOT_OK(PushSet(&a));
+      TABULAR_RETURN_NOT_OK(ExpectKeyword("by"));
+      TABULAR_RETURN_NOT_OK(PushSet(&a));
+    } else if (op == "split") {
+      a.op = OpKind::kSplit;
+      TABULAR_RETURN_NOT_OK(ExpectKeyword("on"));
+      TABULAR_RETURN_NOT_OK(PushSet(&a));
+    } else if (op == "collapse") {
+      a.op = OpKind::kCollapse;
+      TABULAR_RETURN_NOT_OK(ExpectKeyword("by"));
+      TABULAR_RETURN_NOT_OK(PushSet(&a));
+    } else if (op == "switch") {
+      a.op = OpKind::kSwitch;
+      TABULAR_RETURN_NOT_OK(PushItem(&a));
+    } else if (op == "cleanup") {
+      a.op = OpKind::kCleanUp;
+      TABULAR_RETURN_NOT_OK(ExpectKeyword("by"));
+      TABULAR_RETURN_NOT_OK(PushSet(&a));
+      TABULAR_RETURN_NOT_OK(ExpectKeyword("on"));
+      TABULAR_RETURN_NOT_OK(PushSet(&a));
+    } else if (op == "purge") {
+      a.op = OpKind::kPurge;
+      TABULAR_RETURN_NOT_OK(ExpectKeyword("on"));
+      TABULAR_RETURN_NOT_OK(PushSet(&a));
+      TABULAR_RETURN_NOT_OK(ExpectKeyword("by"));
+      TABULAR_RETURN_NOT_OK(PushSet(&a));
+    } else if (op == "tuplenew") {
+      a.op = OpKind::kTupleNew;
+      TABULAR_RETURN_NOT_OK(PushItem(&a));
+    } else if (op == "setnew") {
+      a.op = OpKind::kSetNew;
+      TABULAR_RETURN_NOT_OK(PushItem(&a));
+    } else {
+      return Status::ParseError("unknown operation '" + op + "'");
+    }
+    TABULAR_RETURN_NOT_OK(Expect(TokKind::kLParen, "'('"));
+    if (!At(TokKind::kRParen)) {
+      for (;;) {
+        TABULAR_ASSIGN_OR_RETURN(Param arg, ParseItemParam());
+        a.args.push_back(std::move(arg));
+        if (!At(TokKind::kComma)) break;
+        Advance();
+      }
+    }
+    TABULAR_RETURN_NOT_OK(Expect(TokKind::kRParen, "')'"));
+    TABULAR_RETURN_NOT_OK(Expect(TokKind::kSemi, "';'"));
+    Statement out;
+    out.node = std::move(a);
+    return out;
+  }
+
+  Status PushItem(Assignment* a) {
+    TABULAR_ASSIGN_OR_RETURN(Param p, ParseItemParam());
+    a->params.push_back(std::move(p));
+    return Status::OK();
+  }
+
+  Status PushSet(Assignment* a) {
+    TABULAR_ASSIGN_OR_RETURN(Param p, ParseSetOrItem());
+    a->params.push_back(std::move(p));
+    return Status::OK();
+  }
+
+  std::vector<Token> toks_;
+  size_t i_ = 0;
+};
+
+}  // namespace
+
+Result<Program> ParseProgram(std::string_view source) {
+  Lexer lexer(source);
+  TABULAR_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Run());
+  Parser parser(std::move(tokens));
+  return parser.ParseAll();
+}
+
+Result<Statement> ParseStatement(std::string_view source) {
+  Lexer lexer(source);
+  TABULAR_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Run());
+  Parser parser(std::move(tokens));
+  TABULAR_ASSIGN_OR_RETURN(Statement s, parser.ParseOne());
+  if (!parser.AtEnd()) {
+    return Status::ParseError("trailing input after statement");
+  }
+  return s;
+}
+
+}  // namespace tabular::lang

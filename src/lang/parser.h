@@ -1,0 +1,54 @@
+#ifndef TABULAR_LANG_PARSER_H_
+#define TABULAR_LANG_PARSER_H_
+
+#include <string_view>
+
+#include "core/status.h"
+#include "lang/ast.h"
+
+namespace tabular::lang {
+
+/// Parses the textual surface syntax for tabular-algebra programs.
+///
+/// Grammar (comments run `--` to end of line):
+///
+///   program    := statement*
+///   statement  := assignment | while
+///   while      := "while" item "do" "{" statement* "}"
+///   assignment := item "<-" op "(" item ("," item)* ")" ";"
+///   op         := "union" | "difference" | "intersection" | "product"
+///               | "transpose"
+///               | "rename" item "/" item            -- RENAME_{B<-A}
+///               | "project" set
+///               | "select" item "=" item            -- σ_{A=B}
+///               | "selectconst" item "=" item       -- σ_{A='V'}
+///               | "group" "by" set "on" set
+///               | "merge" "on" set "by" set
+///               | "split" "on" set
+///               | "collapse" "by" set
+///               | "switch" item
+///               | "cleanup" "by" set "on" set
+///               | "purge" "on" set "by" set
+///               | "tuplenew" item | "setnew" item
+///   set        := "{" items ("~" items)? "}" | item
+///   items      := (item ("," item)*)?
+///   item       := IDENT            -- a name (typewriter symbol)
+///               | QUOTED | NUMBER  -- a value ('east', 50)
+///               | "_"              -- ⊥
+///               | "*" DIGITS?      -- wildcard *k
+///               | "(" set "," set ")"   -- entry pair (row-attrs, col-attrs)
+///
+/// Example (the paper's §3.2 statements):
+///
+///   Sales <- group by {Region} on {Sold} (Sales);
+///   Sales <- cleanup by {Part} on {_} (Sales);
+///   Sales <- purge on {Sold} by {Region} (Sales);
+///
+Result<Program> ParseProgram(std::string_view source);
+
+/// Parses a single statement (must consume the whole input).
+Result<Statement> ParseStatement(std::string_view source);
+
+}  // namespace tabular::lang
+
+#endif  // TABULAR_LANG_PARSER_H_

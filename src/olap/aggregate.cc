@@ -1,0 +1,115 @@
+#include "olap/aggregate.h"
+
+#include <map>
+#include <string>
+
+namespace tabular::olap {
+
+const char* AggFnToString(AggFn fn) {
+  switch (fn) {
+    case AggFn::kSum:
+      return "sum";
+    case AggFn::kCount:
+      return "count";
+    case AggFn::kMin:
+      return "min";
+    case AggFn::kMax:
+      return "max";
+    case AggFn::kAvg:
+      return "avg";
+  }
+  return "?";
+}
+
+Status Accumulator::Add(Symbol s) {
+  if (s.is_null()) return Status::OK();
+  if (fn_ == AggFn::kCount) {
+    ++count_;
+    return Status::OK();
+  }
+  std::optional<double> v = s.AsNumber();
+  if (!v.has_value()) {
+    return Status::InvalidArgument("non-numeral value '" + s.ToString() +
+                                   "' under " + AggFnToString(fn_));
+  }
+  ++count_;
+  sum_ += *v;
+  if (!min_ || *v < *min_) min_ = *v;
+  if (!max_ || *v > *max_) max_ = *v;
+  return Status::OK();
+}
+
+Symbol Accumulator::Finish() const {
+  switch (fn_) {
+    case AggFn::kCount:
+      return Symbol::Number(static_cast<int64_t>(count_));
+    case AggFn::kSum:
+      return Symbol::Number(sum_);
+    case AggFn::kMin:
+      return min_ ? Symbol::Number(*min_) : Symbol::Null();
+    case AggFn::kMax:
+      return max_ ? Symbol::Number(*max_) : Symbol::Null();
+    case AggFn::kAvg:
+      return count_ == 0 ? Symbol::Null()
+                         : Symbol::Number(sum_ / static_cast<double>(count_));
+  }
+  return Symbol::Null();
+}
+
+Result<Relation> GroupAggregate(const Relation& facts, const SymbolVec& dims,
+                                Symbol measure, AggFn fn, Symbol result_attr,
+                                Symbol result_name) {
+  std::vector<size_t> dim_idx;
+  for (Symbol d : dims) {
+    TABULAR_ASSIGN_OR_RETURN(size_t i, facts.AttributeIndex(d));
+    dim_idx.push_back(i);
+  }
+  TABULAR_ASSIGN_OR_RETURN(size_t m_idx, facts.AttributeIndex(measure));
+
+  std::map<SymbolVec, Accumulator, rel::TupleLess> groups;
+  for (const SymbolVec& t : facts.tuples()) {
+    SymbolVec key;
+    key.reserve(dim_idx.size());
+    for (size_t i : dim_idx) key.push_back(t[i]);
+    auto [it, inserted] = groups.try_emplace(std::move(key), fn);
+    TABULAR_RETURN_NOT_OK(it->second.Add(t[m_idx]));
+  }
+
+  SymbolVec attrs = dims;
+  attrs.push_back(result_attr);
+  Relation out(result_name, std::move(attrs));
+  TABULAR_RETURN_NOT_OK(out.Validate());
+  for (const auto& [key, acc] : groups) {
+    SymbolVec tuple = key;
+    tuple.push_back(acc.Finish());
+    TABULAR_RETURN_NOT_OK(out.Insert(std::move(tuple)));
+  }
+  return out;
+}
+
+Result<Relation> Classify(const Relation& facts, Symbol attr,
+                          const std::vector<Bin>& bins, Symbol class_attr,
+                          Symbol result_name) {
+  TABULAR_ASSIGN_OR_RETURN(size_t idx, facts.AttributeIndex(attr));
+  SymbolVec attrs = facts.attributes();
+  attrs.push_back(class_attr);
+  Relation out(result_name, std::move(attrs));
+  TABULAR_RETURN_NOT_OK(out.Validate());
+  for (const SymbolVec& t : facts.tuples()) {
+    Symbol label = Symbol::Null();
+    if (std::optional<double> v = t[idx].AsNumber()) {
+      for (const Bin& b : bins) {
+        if (*v >= b.lo && *v < b.hi) {
+          label = b.label;
+          break;
+        }
+      }
+    }
+    SymbolVec tuple = t;
+    tuple.push_back(label);
+    TABULAR_RETURN_NOT_OK(out.Insert(std::move(tuple)));
+  }
+  return out;
+}
+
+}  // namespace tabular::olap

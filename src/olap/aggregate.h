@@ -1,0 +1,79 @@
+#ifndef TABULAR_OLAP_AGGREGATE_H_
+#define TABULAR_OLAP_AGGREGATE_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/status.h"
+#include "core/symbol.h"
+#include "relational/relation.h"
+
+namespace tabular::olap {
+
+using core::Symbol;
+using core::SymbolVec;
+using rel::Relation;
+using tabular::Result;
+using tabular::Status;
+
+/// Aggregation functions for the OLAP layer (paper §4.3; summarization is
+/// named in §5 as ongoing work — we implement the natural semantics over
+/// numeral values). COUNT is defined on any symbols; the numeric functions
+/// skip ⊥ and error on non-numeral values.
+enum class AggFn {
+  kSum,
+  kCount,
+  kMin,
+  kMax,
+  kAvg,
+};
+
+const char* AggFnToString(AggFn fn);
+
+/// Streaming accumulator for one aggregate.
+class Accumulator {
+ public:
+  explicit Accumulator(AggFn fn) : fn_(fn) {}
+
+  /// Feeds one symbol. ⊥ is skipped; a non-numeral value under a numeric
+  /// function is an error (kCount accepts anything).
+  Status Add(Symbol s);
+
+  /// The aggregate over everything fed so far. SUM/COUNT of nothing are 0;
+  /// MIN/MAX/AVG of nothing are ⊥.
+  Symbol Finish() const;
+
+  size_t count() const { return count_; }
+
+ private:
+  AggFn fn_;
+  size_t count_ = 0;
+  double sum_ = 0;
+  std::optional<double> min_;
+  std::optional<double> max_;
+};
+
+/// GROUP BY `dims` aggregating `measure` with `fn`; the result relation
+/// has attributes dims ++ {result_attr}, one tuple per group (group order
+/// deterministic).
+Result<Relation> GroupAggregate(const Relation& facts, const SymbolVec& dims,
+                                Symbol measure, AggFn fn, Symbol result_attr,
+                                Symbol result_name);
+
+/// §5 "classification": bins a numeric attribute into named classes.
+struct Bin {
+  Symbol label;  ///< class value assigned to matching tuples
+  double lo;     ///< inclusive
+  double hi;     ///< exclusive
+};
+
+/// Appends attribute `class_attr` holding the label of the first bin
+/// containing the tuple's `attr` numeral; tuples matching no bin (or with
+/// non-numeral/⊥ values) get ⊥.
+Result<Relation> Classify(const Relation& facts, Symbol attr,
+                          const std::vector<Bin>& bins, Symbol class_attr,
+                          Symbol result_name);
+
+}  // namespace tabular::olap
+
+#endif  // TABULAR_OLAP_AGGREGATE_H_

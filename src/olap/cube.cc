@@ -1,0 +1,161 @@
+#include "olap/cube.h"
+
+#include <algorithm>
+#include <string>
+
+#include "olap/pivot.h"
+
+namespace tabular::olap {
+
+using core::Symbol;
+using core::SymbolSet;
+using core::SymbolVec;
+using rel::Relation;
+
+Result<Cube> Cube::Make(Relation facts, SymbolVec dimensions,
+                        Symbol measure) {
+  if (dimensions.empty()) {
+    return Status::InvalidArgument("a cube needs at least one dimension");
+  }
+  SymbolSet seen;
+  for (Symbol d : dimensions) {
+    TABULAR_RETURN_NOT_OK(facts.AttributeIndex(d).status());
+    if (!seen.insert(d).second) {
+      return Status::InvalidArgument("duplicate dimension " + d.ToString());
+    }
+    if (d == measure) {
+      return Status::InvalidArgument("measure cannot be a dimension");
+    }
+  }
+  TABULAR_RETURN_NOT_OK(facts.AttributeIndex(measure).status());
+  return Cube(std::move(facts), std::move(dimensions), measure);
+}
+
+Result<Cube> Cube::Slice(Symbol dimension, Symbol value) const {
+  if (dimensions_.size() < 2) {
+    return Status::InvalidArgument("cannot slice the last dimension away");
+  }
+  TABULAR_ASSIGN_OR_RETURN(
+      Relation filtered,
+      rel::SelectConst(facts_, dimension, value, facts_.name()));
+  SymbolVec keep_attrs;
+  SymbolVec next_dims;
+  for (Symbol a : facts_.attributes()) {
+    if (a != dimension) keep_attrs.push_back(a);
+  }
+  for (Symbol d : dimensions_) {
+    if (d != dimension) next_dims.push_back(d);
+  }
+  if (next_dims.size() == dimensions_.size()) {
+    return Status::InvalidArgument(dimension.ToString() +
+                                   " is not a dimension of this cube");
+  }
+  TABULAR_ASSIGN_OR_RETURN(
+      Relation projected,
+      rel::Project(filtered, keep_attrs, facts_.name()));
+  return Cube(std::move(projected), std::move(next_dims), measure_);
+}
+
+Result<Cube> Cube::Dice(Symbol dimension,
+                        const core::SymbolSet& values) const {
+  TABULAR_ASSIGN_OR_RETURN(size_t idx, facts_.AttributeIndex(dimension));
+  bool is_dim = std::find(dimensions_.begin(), dimensions_.end(),
+                          dimension) != dimensions_.end();
+  if (!is_dim) {
+    return Status::InvalidArgument(dimension.ToString() +
+                                   " is not a dimension of this cube");
+  }
+  Relation filtered(facts_.name(), facts_.attributes());
+  for (const SymbolVec& t : facts_.tuples()) {
+    if (values.contains(t[idx])) {
+      TABULAR_RETURN_NOT_OK(filtered.Insert(t));
+    }
+  }
+  return Cube(std::move(filtered), dimensions_, measure_);
+}
+
+Result<Relation> Cube::Rollup(const SymbolVec& keep, AggFn fn,
+                              Symbol result_name) const {
+  if (keep.empty()) {
+    // Grand total: aggregate everything into a single tuple.
+    TABULAR_ASSIGN_OR_RETURN(size_t m_idx, facts_.AttributeIndex(measure_));
+    Accumulator acc(fn);
+    for (const SymbolVec& t : facts_.tuples()) {
+      TABULAR_RETURN_NOT_OK(acc.Add(t[m_idx]));
+    }
+    Relation out(result_name, {measure_});
+    TABULAR_RETURN_NOT_OK(out.Insert({acc.Finish()}));
+    return out;
+  }
+  return GroupAggregate(facts_, keep, measure_, fn, measure_, result_name);
+}
+
+Result<Relation> Cube::CubeAggregate(AggFn fn, Symbol all_marker,
+                                     Symbol result_name) const {
+  if (dimensions_.size() > 20) {
+    return Status::ResourceExhausted("CUBE over more than 20 dimensions");
+  }
+  SymbolVec attrs = dimensions_;
+  attrs.push_back(measure_);
+  Relation out(result_name, std::move(attrs));
+  const size_t n = dimensions_.size();
+  for (uint64_t mask = 0; mask < (uint64_t{1} << n); ++mask) {
+    SymbolVec keep;
+    for (size_t d = 0; d < n; ++d) {
+      if (mask & (uint64_t{1} << d)) keep.push_back(dimensions_[d]);
+    }
+    TABULAR_ASSIGN_OR_RETURN(Relation part, Rollup(keep, fn, result_name));
+    for (const SymbolVec& t : part.tuples()) {
+      SymbolVec tuple;
+      size_t k = 0;
+      for (size_t d = 0; d < n; ++d) {
+        tuple.push_back((mask & (uint64_t{1} << d)) ? t[k++] : all_marker);
+      }
+      tuple.push_back(t.back());
+      TABULAR_RETURN_NOT_OK(out.Insert(std::move(tuple)));
+    }
+  }
+  return out;
+}
+
+namespace {
+
+Result<Relation> ReduceToTwoDims(const Relation& facts,
+                                 const SymbolVec& dimensions, Symbol measure,
+                                 Symbol row_dim, Symbol col_dim, AggFn fn,
+                                 Symbol result_name) {
+  bool has_row = false;
+  bool has_col = false;
+  for (Symbol d : dimensions) {
+    has_row = has_row || d == row_dim;
+    has_col = has_col || d == col_dim;
+  }
+  if (!has_row || !has_col) {
+    return Status::InvalidArgument("both pivot dimensions must be cube "
+                                   "dimensions");
+  }
+  return GroupAggregate(facts, {row_dim, col_dim}, measure, fn, measure,
+                        result_name);
+}
+
+}  // namespace
+
+Result<core::Table> Cube::ToPivotTable(Symbol row_dim, Symbol col_dim,
+                                       AggFn fn, Symbol result_name) const {
+  TABULAR_ASSIGN_OR_RETURN(
+      Relation reduced,
+      ReduceToTwoDims(facts_, dimensions_, measure_, row_dim, col_dim, fn,
+                      result_name));
+  return PivotHash(reduced, row_dim, col_dim, measure_, result_name);
+}
+
+Result<core::Table> Cube::ToCrossTab(Symbol row_dim, Symbol col_dim,
+                                     AggFn fn, Symbol result_name) const {
+  TABULAR_ASSIGN_OR_RETURN(
+      Relation reduced,
+      ReduceToTwoDims(facts_, dimensions_, measure_, row_dim, col_dim, fn,
+                      result_name));
+  return CrossTab(reduced, row_dim, col_dim, measure_, result_name);
+}
+
+}  // namespace tabular::olap

@@ -1,0 +1,71 @@
+#ifndef TABULAR_OLAP_CUBE_H_
+#define TABULAR_OLAP_CUBE_H_
+
+#include <vector>
+
+#include "core/table.h"
+#include "olap/aggregate.h"
+#include "relational/relation.h"
+
+namespace tabular::olap {
+
+/// The n-dimensional generalization §4.3 sketches: "the OLAP model allows
+/// data to be stored in the form of (n-dimensional) matrices ... the
+/// tabular model and language can be easily generalized to n dimensions."
+/// `Cube` models a fact table with named dimensions and one measure, with
+/// the usual OLAP operations; 2-D views materialize through the tabular
+/// model (`ToPivotTable` / `ToCrossTab`), which is the paper's proposed
+/// common ground between the relational and OLAP models.
+class Cube {
+ public:
+  /// Builds a cube over `facts`; every dimension and the measure must be
+  /// attributes of the relation.
+  static Result<Cube> Make(rel::Relation facts, SymbolVec dimensions,
+                           Symbol measure);
+
+  const rel::Relation& facts() const { return facts_; }
+  const SymbolVec& dimensions() const { return dimensions_; }
+  Symbol measure() const { return measure_; }
+
+  /// Restricts a dimension to one value and removes it from the cube
+  /// (slice: the (n-1)-dimensional sub-cube).
+  Result<Cube> Slice(Symbol dimension, Symbol value) const;
+
+  /// Restricts a dimension to a value set, keeping the dimension (dice).
+  Result<Cube> Dice(Symbol dimension, const core::SymbolSet& values) const;
+
+  /// Aggregates the measure by the given dimension subset (roll-up).
+  /// `keep` may be empty: the grand total (one tuple, dimensionless).
+  Result<rel::Relation> Rollup(const SymbolVec& keep, AggFn fn,
+                               Symbol result_name) const;
+
+  /// The CUBE operator: the union of roll-ups over every subset of the
+  /// dimensions; dropped dimensions carry the marker `all_marker` (the
+  /// paper's summary rows use the name `Total`). At most 20 dimensions.
+  Result<rel::Relation> CubeAggregate(AggFn fn, Symbol all_marker,
+                                      Symbol result_name) const;
+
+  /// A SalesInfo2-shaped 2-D view (leading label row + repeated measure
+  /// columns); requires exactly the two named dimensions to determine the
+  /// measure (pre-aggregates any others away with `fn`).
+  Result<core::Table> ToPivotTable(Symbol row_dim, Symbol col_dim, AggFn fn,
+                                   Symbol result_name) const;
+
+  /// A SalesInfo3-shaped 2-D cross-tab (labels in attribute positions).
+  Result<core::Table> ToCrossTab(Symbol row_dim, Symbol col_dim, AggFn fn,
+                                 Symbol result_name) const;
+
+ private:
+  Cube(rel::Relation facts, SymbolVec dimensions, Symbol measure)
+      : facts_(std::move(facts)),
+        dimensions_(std::move(dimensions)),
+        measure_(measure) {}
+
+  rel::Relation facts_;
+  SymbolVec dimensions_;
+  Symbol measure_;
+};
+
+}  // namespace tabular::olap
+
+#endif  // TABULAR_OLAP_CUBE_H_

@@ -1,0 +1,74 @@
+#include "olap/hierarchy.h"
+
+namespace tabular::olap {
+
+using core::Symbol;
+using core::SymbolVec;
+
+void Hierarchy::AddLevel(Symbol level,
+                         std::map<Symbol, Symbol, core::SymbolLess> parent) {
+  levels_.push_back(level);
+  parents_.push_back(std::move(parent));
+}
+
+Result<size_t> Hierarchy::LevelIndex(Symbol level) const {
+  for (size_t i = 0; i < levels_.size(); ++i) {
+    if (levels_[i] == level) return i;
+  }
+  return Status::InvalidArgument("no level named " + level.ToString());
+}
+
+Result<Symbol> Hierarchy::AncestorAt(Symbol member, Symbol level) const {
+  TABULAR_ASSIGN_OR_RETURN(size_t target, LevelIndex(level));
+  Symbol current = member;
+  for (size_t step = 0; step < target; ++step) {
+    auto it = parents_[step].find(current);
+    if (it == parents_[step].end()) {
+      return Status::InvalidArgument(
+          current.ToString() + " has no parent at level " +
+          levels_[step + 1].ToString());
+    }
+    current = it->second;
+  }
+  return current;
+}
+
+Result<Relation> Hierarchy::DrillUp(const Relation& facts, Symbol dim,
+                                    Symbol measure, Symbol level, AggFn fn,
+                                    Symbol result_name) const {
+  TABULAR_ASSIGN_OR_RETURN(size_t d_idx, facts.AttributeIndex(dim));
+  TABULAR_RETURN_NOT_OK(facts.AttributeIndex(measure).status());
+  // Rewrite the dim column to the ancestor, then aggregate by all the
+  // original dims (with the lifted column renamed to the level).
+  SymbolVec attrs = facts.attributes();
+  attrs[d_idx] = level;
+  Relation lifted(facts.name(), attrs);
+  TABULAR_RETURN_NOT_OK(lifted.Validate());
+  for (const SymbolVec& t : facts.tuples()) {
+    SymbolVec tuple = t;
+    TABULAR_ASSIGN_OR_RETURN(tuple[d_idx], AncestorAt(t[d_idx], level));
+    TABULAR_RETURN_NOT_OK(lifted.Insert(std::move(tuple)));
+  }
+  SymbolVec dims;
+  for (Symbol a : attrs) {
+    if (a != measure) dims.push_back(a);
+  }
+  return GroupAggregate(lifted, dims, measure, fn, measure, result_name);
+}
+
+Result<SymbolVec> Hierarchy::Path(Symbol member) const {
+  SymbolVec out{member};
+  Symbol current = member;
+  for (const auto& step : parents_) {
+    auto it = step.find(current);
+    if (it == step.end()) {
+      return Status::InvalidArgument(current.ToString() +
+                                     " has no parent mapping");
+    }
+    current = it->second;
+    out.push_back(current);
+  }
+  return out;
+}
+
+}  // namespace tabular::olap

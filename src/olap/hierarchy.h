@@ -1,0 +1,54 @@
+#ifndef TABULAR_OLAP_HIERARCHY_H_
+#define TABULAR_OLAP_HIERARCHY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "olap/aggregate.h"
+#include "relational/relation.h"
+
+namespace tabular::olap {
+
+/// A dimension hierarchy — city ⊂ region ⊂ country — for the drill-up /
+/// drill-down navigation the OLAP literature of §4.3 presumes. Levels are
+/// ordered fine to coarse; each step is a total parent map over the
+/// members seen at the finer level.
+class Hierarchy {
+ public:
+  /// A hierarchy whose finest level is `leaf_level`.
+  explicit Hierarchy(Symbol leaf_level) { levels_.push_back(leaf_level); }
+
+  /// Adds the next coarser level. `parent` must map every member that
+  /// will occur at the current coarsest level.
+  void AddLevel(Symbol level,
+                std::map<Symbol, Symbol, core::SymbolLess> parent);
+
+  /// Fine-to-coarse level names.
+  const SymbolVec& levels() const { return levels_; }
+
+  /// Index of `level` or an error.
+  Result<size_t> LevelIndex(Symbol level) const;
+
+  /// The ancestor of leaf `member` at `level` (identity at the leaf
+  /// level). Unmapped members are an error.
+  Result<Symbol> AncestorAt(Symbol member, Symbol level) const;
+
+  /// Rewrites `facts` with the `dim` attribute lifted to `level` and the
+  /// measure re-aggregated — drill-up. The result's dim attribute is
+  /// renamed to the level name.
+  Result<Relation> DrillUp(const Relation& facts, Symbol dim,
+                           Symbol measure, Symbol level, AggFn fn,
+                           Symbol result_name) const;
+
+  /// The full roll-up path of one leaf member, fine to coarse.
+  Result<SymbolVec> Path(Symbol member) const;
+
+ private:
+  SymbolVec levels_;
+  std::vector<std::map<Symbol, Symbol, core::SymbolLess>> parents_;
+};
+
+}  // namespace tabular::olap
+
+#endif  // TABULAR_OLAP_HIERARCHY_H_

@@ -1,0 +1,354 @@
+#include "olap/ndtable.h"
+
+#include <algorithm>
+#include <string>
+
+namespace tabular::olap {
+
+using core::Symbol;
+using core::SymbolSet;
+using core::SymbolVec;
+using core::Table;
+
+namespace {
+
+/// Cell-count guard: n-dimensional tables are dense.
+constexpr size_t kMaxCells = size_t{1} << 24;
+
+/// Mixed-radix enumeration over a list of axis sizes.
+class Odometer {
+ public:
+  explicit Odometer(std::vector<size_t> sizes) : sizes_(std::move(sizes)) {
+    digits_.assign(sizes_.size(), 0);
+    total_ = 1;
+    for (size_t s : sizes_) total_ *= s;
+    if (sizes_.empty()) total_ = 1;
+  }
+
+  size_t total() const { return total_; }
+  const std::vector<size_t>& digits() const { return digits_; }
+
+  bool Advance() {
+    for (size_t i = digits_.size(); i-- > 0;) {
+      if (++digits_[i] < sizes_[i]) return true;
+      digits_[i] = 0;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<size_t> sizes_;
+  std::vector<size_t> digits_;
+  size_t total_;
+};
+
+}  // namespace
+
+NdTable::NdTable(Symbol name, std::vector<Axis> axes)
+    : name_(name), axes_(std::move(axes)) {
+  size_t total = 1;
+  label_index_.resize(axes_.size());
+  for (size_t a = 0; a < axes_.size(); ++a) {
+    total *= axes_[a].labels.size();
+    for (size_t i = 0; i < axes_[a].labels.size(); ++i) {
+      label_index_[a].emplace(axes_[a].labels[i], i);
+    }
+  }
+  cells_.assign(total, Symbol::Null());
+}
+
+Result<NdTable> NdTable::Make(Symbol name, std::vector<Axis> axes) {
+  if (axes.empty()) {
+    return Status::InvalidArgument("an NdTable needs at least one axis");
+  }
+  SymbolSet axis_names;
+  size_t total = 1;
+  for (const Axis& axis : axes) {
+    if (!axis_names.insert(axis.name).second) {
+      return Status::InvalidArgument("duplicate axis " +
+                                     axis.name.ToString());
+    }
+    if (axis.labels.empty()) {
+      return Status::InvalidArgument("axis " + axis.name.ToString() +
+                                     " has no labels");
+    }
+    SymbolSet labels;
+    for (Symbol l : axis.labels) {
+      if (!labels.insert(l).second) {
+        return Status::InvalidArgument("duplicate label " + l.ToString() +
+                                       " on axis " + axis.name.ToString());
+      }
+    }
+    if (total > kMaxCells / axis.labels.size()) {
+      return Status::ResourceExhausted("NdTable exceeds the cell cap");
+    }
+    total *= axis.labels.size();
+  }
+  return NdTable(name, std::move(axes));
+}
+
+Result<NdTable> NdTable::FromRelation(const rel::Relation& facts,
+                                      const SymbolVec& dims,
+                                      Symbol measure) {
+  std::vector<size_t> dim_idx;
+  for (Symbol d : dims) {
+    TABULAR_ASSIGN_OR_RETURN(size_t i, facts.AttributeIndex(d));
+    dim_idx.push_back(i);
+  }
+  TABULAR_ASSIGN_OR_RETURN(size_t m_idx, facts.AttributeIndex(measure));
+
+  std::vector<Axis> axes(dims.size());
+  std::vector<SymbolSet> seen(dims.size());
+  for (size_t a = 0; a < dims.size(); ++a) axes[a].name = dims[a];
+  for (const SymbolVec& t : facts.tuples()) {
+    for (size_t a = 0; a < dims.size(); ++a) {
+      if (seen[a].insert(t[dim_idx[a]]).second) {
+        axes[a].labels.push_back(t[dim_idx[a]]);
+      }
+    }
+  }
+  TABULAR_ASSIGN_OR_RETURN(NdTable out, Make(facts.name(), std::move(axes)));
+  for (const SymbolVec& t : facts.tuples()) {
+    SymbolVec coord;
+    coord.reserve(dims.size());
+    for (size_t i : dim_idx) coord.push_back(t[i]);
+    TABULAR_ASSIGN_OR_RETURN(Symbol existing, out.At(coord));
+    if (!existing.is_null() && existing != t[m_idx]) {
+      return Status::InvalidArgument(
+          "conflicting measures for one cell; pre-aggregate");
+    }
+    TABULAR_RETURN_NOT_OK(out.Set(coord, t[m_idx]));
+  }
+  return out;
+}
+
+size_t NdTable::size() const { return cells_.size(); }
+
+Result<size_t> NdTable::AxisIndex(Symbol axis) const {
+  for (size_t a = 0; a < axes_.size(); ++a) {
+    if (axes_[a].name == axis) return a;
+  }
+  return Status::InvalidArgument("no axis named " + axis.ToString());
+}
+
+Result<size_t> NdTable::Offset(const SymbolVec& coordinates) const {
+  if (coordinates.size() != axes_.size()) {
+    return Status::InvalidArgument(
+        "expected " + std::to_string(axes_.size()) + " coordinates, got " +
+        std::to_string(coordinates.size()));
+  }
+  size_t offset = 0;
+  for (size_t a = 0; a < axes_.size(); ++a) {
+    auto it = label_index_[a].find(coordinates[a]);
+    if (it == label_index_[a].end()) {
+      return Status::InvalidArgument("label " + coordinates[a].ToString() +
+                                     " is not on axis " +
+                                     axes_[a].name.ToString());
+    }
+    offset = offset * axes_[a].labels.size() + it->second;
+  }
+  return offset;
+}
+
+Result<Symbol> NdTable::At(const SymbolVec& coordinates) const {
+  TABULAR_ASSIGN_OR_RETURN(size_t offset, Offset(coordinates));
+  return cells_[offset];
+}
+
+Status NdTable::Set(const SymbolVec& coordinates, Symbol value) {
+  TABULAR_ASSIGN_OR_RETURN(size_t offset, Offset(coordinates));
+  cells_[offset] = value;
+  return Status::OK();
+}
+
+Result<NdTable> NdTable::Slice(Symbol axis, Symbol label) const {
+  if (axes_.size() < 2) {
+    return Status::InvalidArgument("cannot slice the last axis away");
+  }
+  TABULAR_ASSIGN_OR_RETURN(size_t a, AxisIndex(axis));
+  if (!label_index_[a].contains(label)) {
+    return Status::InvalidArgument("label " + label.ToString() +
+                                   " is not on axis " + axis.ToString());
+  }
+  std::vector<Axis> rest;
+  for (size_t i = 0; i < axes_.size(); ++i) {
+    if (i != a) rest.push_back(axes_[i]);
+  }
+  TABULAR_ASSIGN_OR_RETURN(NdTable out, Make(name_, std::move(rest)));
+  std::vector<size_t> sizes;
+  for (const Axis& ax : out.axes_) sizes.push_back(ax.labels.size());
+  Odometer odo(sizes);
+  do {
+    SymbolVec sub_coord;
+    SymbolVec full_coord;
+    for (size_t i = 0, k = 0; i < axes_.size(); ++i) {
+      if (i == a) {
+        full_coord.push_back(label);
+      } else {
+        Symbol l = out.axes_[k].labels[odo.digits()[k]];
+        sub_coord.push_back(l);
+        full_coord.push_back(l);
+        ++k;
+      }
+    }
+    TABULAR_ASSIGN_OR_RETURN(Symbol v, At(full_coord));
+    TABULAR_RETURN_NOT_OK(out.Set(sub_coord, v));
+  } while (odo.Advance());
+  return out;
+}
+
+Result<NdTable> NdTable::Reduce(Symbol axis, AggFn fn) const {
+  if (axes_.size() < 2) {
+    return Status::InvalidArgument("cannot reduce the last axis away");
+  }
+  TABULAR_ASSIGN_OR_RETURN(size_t a, AxisIndex(axis));
+  std::vector<Axis> rest;
+  for (size_t i = 0; i < axes_.size(); ++i) {
+    if (i != a) rest.push_back(axes_[i]);
+  }
+  TABULAR_ASSIGN_OR_RETURN(NdTable out, Make(name_, std::move(rest)));
+  std::vector<size_t> sizes;
+  for (const Axis& ax : out.axes_) sizes.push_back(ax.labels.size());
+  Odometer odo(sizes);
+  do {
+    Accumulator acc(fn);
+    size_t fed = 0;
+    for (Symbol reduced_label : axes_[a].labels) {
+      SymbolVec full_coord;
+      for (size_t i = 0, k = 0; i < axes_.size(); ++i) {
+        if (i == a) {
+          full_coord.push_back(reduced_label);
+        } else {
+          full_coord.push_back(out.axes_[k].labels[odo.digits()[k]]);
+          ++k;
+        }
+      }
+      TABULAR_ASSIGN_OR_RETURN(Symbol v, At(full_coord));
+      if (v.is_null()) continue;
+      TABULAR_RETURN_NOT_OK(acc.Add(v));
+      ++fed;
+    }
+    SymbolVec sub_coord;
+    for (size_t k = 0; k < out.axes_.size(); ++k) {
+      sub_coord.push_back(out.axes_[k].labels[odo.digits()[k]]);
+    }
+    TABULAR_RETURN_NOT_OK(
+        out.Set(sub_coord, fed == 0 ? Symbol::Null() : acc.Finish()));
+  } while (odo.Advance());
+  return out;
+}
+
+Result<Table> NdTable::Materialize(const SymbolVec& row_axes,
+                                   const SymbolVec& col_axes) const {
+  // Every axis used exactly once.
+  if (row_axes.size() + col_axes.size() != axes_.size()) {
+    return Status::InvalidArgument("row and column axes must partition the "
+                                   "table's axes");
+  }
+  std::vector<size_t> row_idx;
+  std::vector<size_t> col_idx;
+  SymbolSet used;
+  for (Symbol a : row_axes) {
+    TABULAR_ASSIGN_OR_RETURN(size_t i, AxisIndex(a));
+    if (!used.insert(a).second) {
+      return Status::InvalidArgument("axis used twice: " + a.ToString());
+    }
+    row_idx.push_back(i);
+  }
+  for (Symbol a : col_axes) {
+    TABULAR_ASSIGN_OR_RETURN(size_t i, AxisIndex(a));
+    if (!used.insert(a).second) {
+      return Status::InvalidArgument("axis used twice: " + a.ToString());
+    }
+    col_idx.push_back(i);
+  }
+
+  std::vector<size_t> row_sizes;
+  for (size_t i : row_idx) row_sizes.push_back(axes_[i].labels.size());
+  std::vector<size_t> col_sizes;
+  for (size_t i : col_idx) col_sizes.push_back(axes_[i].labels.size());
+  Odometer row_probe(row_sizes);
+  Odometer col_probe(col_sizes);
+  const size_t data_rows = row_probe.total();
+  const size_t data_cols = col_probe.total();
+
+  // Layout: |col_axes| header rows on top (after the attribute row), then
+  // one row per row-axis combination; |row_axes| header columns on the
+  // left (after the attribute column), then one column per column-axis
+  // combination.
+  Table out(1 + col_axes.size() + data_rows,
+            1 + row_axes.size() + data_cols);
+  out.set_name(name_);
+  for (size_t k = 0; k < row_axes.size(); ++k) {
+    out.set(0, 1 + k, row_axes[k]);
+  }
+  for (size_t k = 0; k < col_axes.size(); ++k) {
+    out.set(1 + k, 0, col_axes[k]);
+  }
+
+  // Column headers.
+  {
+    Odometer odo(col_sizes);
+    size_t j = 0;
+    do {
+      for (size_t k = 0; k < col_idx.size(); ++k) {
+        out.set(1 + k, 1 + row_axes.size() + j,
+                axes_[col_idx[k]].labels[odo.digits()[k]]);
+      }
+      ++j;
+    } while (odo.Advance());
+  }
+  // Row headers and data.
+  {
+    Odometer rows(row_sizes);
+    size_t i = 0;
+    do {
+      for (size_t k = 0; k < row_idx.size(); ++k) {
+        out.set(1 + col_axes.size() + i, 1 + k,
+                axes_[row_idx[k]].labels[rows.digits()[k]]);
+      }
+      Odometer cols(col_sizes);
+      size_t j = 0;
+      do {
+        SymbolVec coord(axes_.size());
+        for (size_t k = 0; k < row_idx.size(); ++k) {
+          coord[row_idx[k]] = axes_[row_idx[k]].labels[rows.digits()[k]];
+        }
+        for (size_t k = 0; k < col_idx.size(); ++k) {
+          coord[col_idx[k]] = axes_[col_idx[k]].labels[cols.digits()[k]];
+        }
+        TABULAR_ASSIGN_OR_RETURN(Symbol v, At(coord));
+        out.set(1 + col_axes.size() + i, 1 + row_axes.size() + j, v);
+        ++j;
+      } while (cols.Advance());
+      ++i;
+    } while (rows.Advance());
+  }
+  return out;
+}
+
+Result<rel::Relation> NdTable::ToRelation(Symbol measure,
+                                          Symbol result_name) const {
+  SymbolVec attrs;
+  for (const Axis& a : axes_) attrs.push_back(a.name);
+  attrs.push_back(measure);
+  rel::Relation out(result_name, std::move(attrs));
+  TABULAR_RETURN_NOT_OK(out.Validate());
+  std::vector<size_t> sizes;
+  for (const Axis& a : axes_) sizes.push_back(a.labels.size());
+  Odometer odo(sizes);
+  do {
+    SymbolVec coord;
+    for (size_t a = 0; a < axes_.size(); ++a) {
+      coord.push_back(axes_[a].labels[odo.digits()[a]]);
+    }
+    TABULAR_ASSIGN_OR_RETURN(Symbol v, At(coord));
+    if (v.is_null()) continue;
+    SymbolVec tuple = coord;
+    tuple.push_back(v);
+    TABULAR_RETURN_NOT_OK(out.Insert(std::move(tuple)));
+  } while (odo.Advance());
+  return out;
+}
+
+}  // namespace tabular::olap

@@ -1,0 +1,90 @@
+#ifndef TABULAR_OLAP_NDTABLE_H_
+#define TABULAR_OLAP_NDTABLE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/table.h"
+#include "olap/aggregate.h"
+#include "relational/relation.h"
+
+namespace tabular::olap {
+
+/// The n-dimensional generalization of the tabular model the paper
+/// sketches in §4.3 ("the OLAP model allows data to be stored in the form
+/// of (n-dimensional) matrices ... the tabular model and language ... can
+/// be easily generalized to n dimensions").
+///
+/// An `NdTable` has a name, n named axes — each a list of label symbols —
+/// and one cell symbol per coordinate (⊥ by default, the inapplicable
+/// null). The 2-D `core::Table` is recovered by `Materialize`, which
+/// splits the axes into row-axes and column-axes and lays out composite
+/// headers: the materialized table carries one header *row* per column
+/// axis and one header *column* per row axis, exactly the stacked-label
+/// layout spreadsheets use — and a legal table of the 2-D model, so every
+/// tabular-algebra operation applies to it.
+class NdTable {
+ public:
+  struct Axis {
+    Symbol name;               ///< axis (dimension) name
+    SymbolVec labels;          ///< coordinate labels, in display order
+  };
+
+  /// A table named `name` over `axes`; every axis needs a non-empty,
+  /// duplicate-free label list and axis names must be distinct.
+  static Result<NdTable> Make(Symbol name, std::vector<Axis> axes);
+
+  /// Builds an n-dimensional table from a fact relation: one axis per
+  /// entry of `dims` (labels in first-appearance order), cells from
+  /// `measure`. Conflicting cells are an error (pre-aggregate first).
+  static Result<NdTable> FromRelation(const rel::Relation& facts,
+                                      const SymbolVec& dims, Symbol measure);
+
+  Symbol name() const { return name_; }
+  size_t rank() const { return axes_.size(); }
+  const std::vector<Axis>& axes() const { return axes_; }
+
+  /// Total number of cells (product of axis sizes).
+  size_t size() const;
+
+  /// Index of the axis named `axis`, or an error.
+  Result<size_t> AxisIndex(Symbol axis) const;
+
+  /// Cell access by coordinates (one label per axis, in axis order).
+  Result<Symbol> At(const SymbolVec& coordinates) const;
+  Status Set(const SymbolVec& coordinates, Symbol value);
+
+  /// Fixes `axis` to `label`, yielding the (n-1)-dimensional sub-table.
+  Result<NdTable> Slice(Symbol axis, Symbol label) const;
+
+  /// Aggregates `axis` away with `fn` over the numeral cells.
+  Result<NdTable> Reduce(Symbol axis, AggFn fn) const;
+
+  /// Materializes as a 2-D table of the tabular model: `row_axes` become
+  /// stacked header columns (one per axis, column attribute = axis name),
+  /// `col_axes` become stacked header rows (one per axis, row attribute =
+  /// axis name). Every axis must be used exactly once and at least one
+  /// side must be non-empty; a 0-axis side contributes a single
+  /// unlabelled row/column.
+  Result<core::Table> Materialize(const SymbolVec& row_axes,
+                                  const SymbolVec& col_axes) const;
+
+  /// The flat fact relation (dims ++ measure); ⊥ cells are omitted.
+  Result<rel::Relation> ToRelation(Symbol measure,
+                                   Symbol result_name) const;
+
+ private:
+  NdTable(Symbol name, std::vector<Axis> axes);
+
+  Result<size_t> Offset(const SymbolVec& coordinates) const;
+
+  Symbol name_;
+  std::vector<Axis> axes_;
+  std::vector<std::map<Symbol, size_t, core::SymbolLess>> label_index_;
+  SymbolVec cells_;  // row-major over the axes, ⊥-initialized
+};
+
+}  // namespace tabular::olap
+
+#endif  // TABULAR_OLAP_NDTABLE_H_

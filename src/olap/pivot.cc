@@ -1,0 +1,195 @@
+#include "olap/pivot.h"
+
+#include <map>
+#include <vector>
+
+#include "algebra/ops.h"
+#include "relational/canonical.h"
+
+namespace tabular::olap {
+
+using core::Symbol;
+using core::SymbolVec;
+using rel::Relation;
+
+Result<Table> PivotViaAlgebra(const Relation& facts, Symbol row_dim,
+                              Symbol col_dim, Symbol measure,
+                              Symbol result_name) {
+  Table flat = rel::RelationToTable(facts);
+  TABULAR_ASSIGN_OR_RETURN(
+      Table grouped,
+      algebra::Group(flat, {col_dim}, {measure}, result_name));
+  TABULAR_ASSIGN_OR_RETURN(
+      Table cleaned,
+      algebra::CleanUp(grouped, {row_dim}, {Symbol::Null()}, result_name));
+  return algebra::Purge(cleaned, {measure}, {col_dim}, result_name);
+}
+
+Result<Table> PivotHash(const Relation& facts, Symbol row_dim,
+                        Symbol col_dim, Symbol measure, Symbol result_name) {
+  TABULAR_ASSIGN_OR_RETURN(size_t r_idx, facts.AttributeIndex(row_dim));
+  TABULAR_ASSIGN_OR_RETURN(size_t c_idx, facts.AttributeIndex(col_dim));
+  TABULAR_ASSIGN_OR_RETURN(size_t m_idx, facts.AttributeIndex(measure));
+
+  // Distinct row/column labels in first-appearance (deterministic tuple)
+  // order; other kept attributes: everything except col_dim and measure.
+  std::vector<size_t> kept;
+  for (size_t j = 0; j < facts.arity(); ++j) {
+    if (j != c_idx && j != m_idx) kept.push_back(j);
+  }
+  SymbolVec row_labels;
+  std::map<Symbol, size_t, core::SymbolLess> row_index;
+  SymbolVec col_labels;
+  std::map<Symbol, size_t, core::SymbolLess> col_index;
+  for (const SymbolVec& t : facts.tuples()) {
+    if (row_index.try_emplace(t[r_idx], row_labels.size()).second) {
+      row_labels.push_back(t[r_idx]);
+    }
+    if (col_index.try_emplace(t[c_idx], col_labels.size()).second) {
+      col_labels.push_back(t[c_idx]);
+    }
+  }
+
+  // Layout: kept attrs, then one measure column per col label; leading
+  // data row named col_dim carrying the labels (SalesInfo2's shape).
+  Table out(2 + row_labels.size(), 1 + kept.size() + col_labels.size());
+  out.set_name(result_name);
+  for (size_t c = 0; c < kept.size(); ++c) {
+    out.set(0, 1 + c, facts.attributes()[kept[c]]);
+  }
+  out.set(1, 0, col_dim);
+  for (size_t c = 0; c < col_labels.size(); ++c) {
+    out.set(0, 1 + kept.size() + c, measure);
+    out.set(1, 1 + kept.size() + c, col_labels[c]);
+  }
+  for (const SymbolVec& t : facts.tuples()) {
+    size_t i = 2 + row_index.at(t[r_idx]);
+    for (size_t c = 0; c < kept.size(); ++c) {
+      out.set(i, 1 + c, t[kept[c]]);
+    }
+    size_t j = 1 + kept.size() + col_index.at(t[c_idx]);
+    if (!out.at(i, j).is_null() && out.at(i, j) != t[m_idx]) {
+      return Status::InvalidArgument(
+          "conflicting measures for one (row, column) cell; pre-aggregate "
+          "with GroupAggregate");
+    }
+    out.set(i, j, t[m_idx]);
+  }
+  return out;
+}
+
+Result<Table> CrossTab(const Relation& facts, Symbol row_dim, Symbol col_dim,
+                       Symbol measure, Symbol result_name) {
+  TABULAR_ASSIGN_OR_RETURN(size_t r_idx, facts.AttributeIndex(row_dim));
+  TABULAR_ASSIGN_OR_RETURN(size_t c_idx, facts.AttributeIndex(col_dim));
+  TABULAR_ASSIGN_OR_RETURN(size_t m_idx, facts.AttributeIndex(measure));
+  SymbolVec row_labels;
+  std::map<Symbol, size_t, core::SymbolLess> row_index;
+  SymbolVec col_labels;
+  std::map<Symbol, size_t, core::SymbolLess> col_index;
+  for (const SymbolVec& t : facts.tuples()) {
+    if (row_index.try_emplace(t[r_idx], row_labels.size()).second) {
+      row_labels.push_back(t[r_idx]);
+    }
+    if (col_index.try_emplace(t[c_idx], col_labels.size()).second) {
+      col_labels.push_back(t[c_idx]);
+    }
+  }
+  Table out(1 + row_labels.size(), 1 + col_labels.size());
+  out.set_name(result_name);
+  for (size_t i = 0; i < row_labels.size(); ++i) {
+    out.set(i + 1, 0, row_labels[i]);
+  }
+  for (size_t j = 0; j < col_labels.size(); ++j) {
+    out.set(0, j + 1, col_labels[j]);
+  }
+  for (const SymbolVec& t : facts.tuples()) {
+    size_t i = 1 + row_index.at(t[r_idx]);
+    size_t j = 1 + col_index.at(t[c_idx]);
+    if (!out.at(i, j).is_null() && out.at(i, j) != t[m_idx]) {
+      return Status::InvalidArgument(
+          "conflicting measures for one cross-tab cell; pre-aggregate");
+    }
+    out.set(i, j, t[m_idx]);
+  }
+  return out;
+}
+
+Result<Relation> UnpivotViaAlgebra(const Table& pivoted, Symbol col_dim,
+                                   Symbol measure, Symbol result_name) {
+  TABULAR_ASSIGN_OR_RETURN(
+      Table merged,
+      algebra::Merge(pivoted, {measure}, {col_dim}, result_name));
+  // Drop the padded (⊥-measure) combinations; the measure is the last
+  // column of the merged layout.
+  Table filtered(1, merged.num_cols());
+  filtered.set_name(result_name);
+  for (size_t j = 1; j < merged.num_cols(); ++j) {
+    filtered.set(0, j, merged.at(0, j));
+  }
+  size_t m_col = merged.num_cols() - 1;
+  for (size_t i = 1; i <= merged.height(); ++i) {
+    if (!merged.at(i, m_col).is_null()) filtered.AppendRow(merged.Row(i));
+  }
+  return rel::TableToRelation(filtered);
+}
+
+Result<Relation> UnpivotHash(const Table& pivoted, Symbol col_dim,
+                             Symbol measure, Symbol result_name) {
+  std::vector<size_t> label_rows = pivoted.RowsNamed(col_dim);
+  if (label_rows.size() != 1) {
+    return Status::InvalidArgument("expected exactly one row named " +
+                                   col_dim.ToString());
+  }
+  const size_t label_row = label_rows[0];
+  std::vector<size_t> m_cols = pivoted.ColumnsNamed(measure);
+  if (m_cols.empty()) {
+    return Status::InvalidArgument("no columns named " + measure.ToString());
+  }
+  std::vector<size_t> kept;
+  SymbolVec attrs;
+  for (size_t j = 1; j < pivoted.num_cols(); ++j) {
+    if (pivoted.at(0, j) != measure) {
+      kept.push_back(j);
+      attrs.push_back(pivoted.at(0, j));
+    }
+  }
+  attrs.push_back(col_dim);
+  attrs.push_back(measure);
+  Relation out(result_name, std::move(attrs));
+  TABULAR_RETURN_NOT_OK(out.Validate());
+  for (size_t i = 1; i <= pivoted.height(); ++i) {
+    if (i == label_row) continue;
+    for (size_t j : m_cols) {
+      Symbol v = pivoted.at(i, j);
+      if (v.is_null()) continue;
+      SymbolVec tuple;
+      for (size_t k : kept) tuple.push_back(pivoted.at(i, k));
+      tuple.push_back(pivoted.at(label_row, j));
+      tuple.push_back(v);
+      TABULAR_RETURN_NOT_OK(out.Insert(std::move(tuple)));
+    }
+  }
+  return out;
+}
+
+Result<Relation> CrossTabToRelation(const Table& crosstab, Symbol row_dim,
+                                    Symbol col_dim, Symbol measure,
+                                    Symbol result_name) {
+  Relation out(result_name, {row_dim, col_dim, measure});
+  TABULAR_RETURN_NOT_OK(out.Validate());
+  for (size_t i = 1; i < crosstab.num_rows(); ++i) {
+    Symbol row_label = crosstab.at(i, 0);
+    if (row_label.is_name()) continue;  // absorbed summary row
+    for (size_t j = 1; j < crosstab.num_cols(); ++j) {
+      Symbol col_label = crosstab.at(0, j);
+      if (col_label.is_name()) continue;  // absorbed summary column
+      Symbol v = crosstab.at(i, j);
+      if (v.is_null()) continue;
+      TABULAR_RETURN_NOT_OK(out.Insert({row_label, col_label, v}));
+    }
+  }
+  return out;
+}
+
+}  // namespace tabular::olap

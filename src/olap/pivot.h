@@ -1,0 +1,62 @@
+#ifndef TABULAR_OLAP_PIVOT_H_
+#define TABULAR_OLAP_PIVOT_H_
+
+#include "core/table.h"
+#include "olap/aggregate.h"
+#include "relational/relation.h"
+
+namespace tabular::olap {
+
+using core::Table;
+
+/// Pivot and unpivot: the restructurings §4.3 identifies as the tabular
+/// algebra's contribution to OLAP. Both directions are provided twice —
+/// as the tabular-algebra pipeline the paper motivates (GROUP / CLEAN-UP /
+/// PURGE, resp. MERGE / selection) and as a direct hash-based baseline —
+/// so the benches can compare them.
+
+/// Pivots `facts` into a SalesInfo2-shaped table: one column per distinct
+/// `col_dim` value (each labeled `measure`, with a leading `col_dim`-named
+/// data row carrying the value labels), one row per distinct `row_dim`
+/// value. Combinations sharing (row, col) must be unique — pre-aggregate
+/// with `GroupAggregate` otherwise (the algebra pipeline's CLEAN-UP merge
+/// would fail on conflicts).
+///
+/// Pipeline: relation → table → GROUP by col_dim on measure →
+/// CLEAN-UP by row_dim on ⊥ → PURGE on measure by col_dim.
+Result<Table> PivotViaAlgebra(const rel::Relation& facts, Symbol row_dim,
+                              Symbol col_dim, Symbol measure,
+                              Symbol result_name);
+
+/// Hash-based baseline producing the same table (up to row/column
+/// permutation) as `PivotViaAlgebra`.
+Result<Table> PivotHash(const rel::Relation& facts, Symbol row_dim,
+                        Symbol col_dim, Symbol measure, Symbol result_name);
+
+/// SalesInfo3-shaped cross-tab: row attributes are the `row_dim` values,
+/// column attributes the `col_dim` values — data in attribute positions,
+/// the layout only the tabular model (not relations) can express.
+Result<Table> CrossTab(const rel::Relation& facts, Symbol row_dim,
+                       Symbol col_dim, Symbol measure, Symbol result_name);
+
+/// Unpivots a SalesInfo2-shaped table back into the flat fact relation:
+/// MERGE on measure by col_dim, dropping the ⊥-measure combinations.
+Result<rel::Relation> UnpivotViaAlgebra(const Table& pivoted, Symbol col_dim,
+                                        Symbol measure, Symbol result_name);
+
+/// Direct baseline for `UnpivotViaAlgebra`.
+Result<rel::Relation> UnpivotHash(const Table& pivoted, Symbol col_dim,
+                                  Symbol measure, Symbol result_name);
+
+/// Reads a SalesInfo3-shaped cross-tab back into the flat fact relation
+/// with attributes {row_dim, col_dim, measure}. ⊥ cells are skipped, and
+/// rows/columns whose label is a *name* (e.g. the absorbed `Total`
+/// summaries of Figure 1 — data labels in this shape are values) are
+/// treated as summary annotations and skipped too.
+Result<rel::Relation> CrossTabToRelation(const Table& crosstab,
+                                         Symbol row_dim, Symbol col_dim,
+                                         Symbol measure, Symbol result_name);
+
+}  // namespace tabular::olap
+
+#endif  // TABULAR_OLAP_PIVOT_H_

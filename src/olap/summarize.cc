@@ -1,0 +1,87 @@
+#include "olap/summarize.h"
+
+namespace tabular::olap {
+
+using core::Symbol;
+using core::SymbolVec;
+
+namespace {
+
+/// Aggregates the numeral entries of a cell range; non-numerals and ⊥ are
+/// skipped (a summary over a label or text column is simply ⊥).
+class NumeralAccumulator {
+ public:
+  explicit NumeralAccumulator(AggFn fn) : acc_(fn) {}
+
+  void Add(Symbol s) {
+    if (s.AsNumber().has_value()) {
+      Status st = acc_.Add(s);
+      (void)st;  // numerals never fail
+    }
+  }
+
+  Symbol Finish() const {
+    if (acc_.count() == 0) return Symbol::Null();
+    return acc_.Finish();
+  }
+
+ private:
+  Accumulator acc_;
+};
+
+}  // namespace
+
+Result<Table> AddSummaryRow(const Table& t, AggFn fn, Symbol label) {
+  Table out = t;
+  SymbolVec row(t.num_cols(), Symbol::Null());
+  row[0] = label;
+  for (size_t j = 1; j < t.num_cols(); ++j) {
+    NumeralAccumulator acc(fn);
+    for (size_t i = 1; i < t.num_rows(); ++i) {
+      if (t.at(i, 0) == label) continue;  // prior summaries excluded
+      acc.Add(t.at(i, j));
+    }
+    row[j] = acc.Finish();
+  }
+  out.AppendRow(row);
+  return out;
+}
+
+Result<Table> AddSummaryColumn(const Table& t, AggFn fn, Symbol label,
+                               Symbol column_attr) {
+  Table out = t;
+  SymbolVec col(t.num_rows(), Symbol::Null());
+  col[0] = column_attr;
+  for (size_t i = 1; i < t.num_rows(); ++i) {
+    if (t.at(i, 0) == label) continue;
+    NumeralAccumulator acc(fn);
+    for (size_t j = 1; j < t.num_cols(); ++j) acc.Add(t.at(i, j));
+    col[i] = acc.Finish();
+  }
+  out.AppendColumn(col);
+  return out;
+}
+
+Result<Table> AbsorbTotals(const Table& pivoted, Symbol col_dim,
+                           Symbol measure, AggFn fn, Symbol label) {
+  std::vector<size_t> label_rows = pivoted.RowsNamed(col_dim);
+  if (label_rows.size() != 1) {
+    return Status::InvalidArgument("expected exactly one row named " +
+                                   col_dim.ToString());
+  }
+  TABULAR_ASSIGN_OR_RETURN(Table with_col,
+                           AddSummaryColumn(pivoted, fn, label, measure));
+  // The new column's slot in the column-label row carries the summary
+  // label itself (Figure 1: Region → ... Total).
+  with_col.set(label_rows[0], with_col.num_cols() - 1, label);
+  return AddSummaryRow(with_col, fn, label);
+}
+
+Result<Table> AbsorbCrossTabTotals(const Table& crosstab, AggFn fn,
+                                   Symbol label) {
+  TABULAR_ASSIGN_OR_RETURN(Table with_col,
+                           AddSummaryColumn(crosstab, fn, label, label));
+  return AddSummaryRow(with_col, fn, label);
+}
+
+}  // namespace tabular::olap

@@ -1,0 +1,42 @@
+#ifndef TABULAR_OLAP_SUMMARIZE_H_
+#define TABULAR_OLAP_SUMMARIZE_H_
+
+#include "core/table.h"
+#include "olap/aggregate.h"
+
+namespace tabular::olap {
+
+using core::Table;
+
+/// Summary absorption (paper §1, Figure 1): unlike relations — which force
+/// summary data into separate relations (SalesInfo1's TotalPartSales etc.)
+/// — tables can absorb totals as extra rows and columns shown in regular
+/// outline in Figure 1. These helpers implement that absorption, plus the
+/// "summarization" operation §5 lists as ongoing work.
+
+/// Appends a summary row labeled `label` (row attribute): each column's
+/// entry aggregates the column's numeral data entries with `fn`; columns
+/// with no numerals (e.g. a Part column) get ⊥. Rows named by an existing
+/// summary label are excluded from the aggregation.
+Result<Table> AddSummaryRow(const Table& t, AggFn fn, Symbol label);
+
+/// Column dual of `AddSummaryRow`.
+Result<Table> AddSummaryColumn(const Table& t, AggFn fn, Symbol label,
+                               Symbol column_attr);
+
+/// Figure 1's full absorption for a SalesInfo2-shaped table: a summary
+/// column labeled `label` under a fresh `measure` column (its slot in the
+/// `col_dim` label row is the name `label`), then a summary row labeled
+/// `label` — whose intersection is the grand total. With fn = kSum on the
+/// bold SalesInfo2 this reproduces the figure exactly.
+Result<Table> AbsorbTotals(const Table& pivoted, Symbol col_dim,
+                           Symbol measure, AggFn fn, Symbol label);
+
+/// SalesInfo3-style absorption for a cross-tab (row/column labels are
+/// data): adds a `label`-named total column and total row.
+Result<Table> AbsorbCrossTabTotals(const Table& crosstab, AggFn fn,
+                                   Symbol label);
+
+}  // namespace tabular::olap
+
+#endif  // TABULAR_OLAP_SUMMARIZE_H_

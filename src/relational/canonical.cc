@@ -1,0 +1,222 @@
+#include "relational/canonical.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tabular::rel {
+
+using core::Symbol;
+using core::SymbolVec;
+using core::Table;
+using core::TabularDatabase;
+
+core::Symbol RepDataName() { return Symbol::Name("Data"); }
+core::Symbol RepMapName() { return Symbol::Name("Map"); }
+
+namespace {
+
+Symbol NilId(const CanonicalOptions& options) {
+  return Symbol::Value(std::string(options.id_prefix) + "_nil");
+}
+
+}  // namespace
+
+Result<RelationalDatabase> CanonicalEncode(const TabularDatabase& db,
+                                           const CanonicalOptions& options) {
+  Relation data(RepDataName(),
+                {Symbol::Name("Tbl"), Symbol::Name("Row"), Symbol::Name("Col"),
+                 Symbol::Name("Val")});
+  Relation map(RepMapName(), {Symbol::Name("Id"), Symbol::Name("Entry")});
+
+  size_t counter = 0;
+  auto fresh = [&]() {
+    return Symbol::Value(std::string(options.id_prefix) +
+                         std::to_string(counter++));
+  };
+  // The nil marker is deliberately *not* given a Map entry: decode
+  // recognizes it structurally as an unmapped id (an ordinary row id often
+  // maps to ⊥, so the entry value cannot distinguish it).
+  const Symbol nil = NilId(options);
+
+  for (const Table& t : db.tables()) {
+    Symbol tid = fresh();
+    TABULAR_RETURN_NOT_OK(map.Insert({tid, t.name()}));
+    std::vector<Symbol> row_ids(t.num_rows());
+    std::vector<Symbol> col_ids(t.num_cols());
+    for (size_t i = 1; i < t.num_rows(); ++i) {
+      row_ids[i] = fresh();
+      TABULAR_RETURN_NOT_OK(map.Insert({row_ids[i], t.at(i, 0)}));
+    }
+    for (size_t j = 1; j < t.num_cols(); ++j) {
+      col_ids[j] = fresh();
+      TABULAR_RETURN_NOT_OK(map.Insert({col_ids[j], t.at(0, j)}));
+    }
+    if (t.height() == 0 && t.width() == 0) {
+      TABULAR_RETURN_NOT_OK(data.Insert({tid, nil, nil, nil}));
+      continue;
+    }
+    if (t.width() == 0) {
+      for (size_t i = 1; i < t.num_rows(); ++i) {
+        TABULAR_RETURN_NOT_OK(data.Insert({tid, row_ids[i], nil, nil}));
+      }
+      continue;
+    }
+    if (t.height() == 0) {
+      for (size_t j = 1; j < t.num_cols(); ++j) {
+        TABULAR_RETURN_NOT_OK(data.Insert({tid, nil, col_ids[j], nil}));
+      }
+      continue;
+    }
+    for (size_t i = 1; i < t.num_rows(); ++i) {
+      for (size_t j = 1; j < t.num_cols(); ++j) {
+        Symbol vid = fresh();
+        TABULAR_RETURN_NOT_OK(map.Insert({vid, t.at(i, j)}));
+        TABULAR_RETURN_NOT_OK(data.Insert({tid, row_ids[i], col_ids[j], vid}));
+      }
+    }
+  }
+
+  RelationalDatabase out;
+  out.Put(std::move(data));
+  out.Put(std::move(map));
+  return out;
+}
+
+Status ValidateRep(const RelationalDatabase& rep) {
+  TABULAR_ASSIGN_OR_RETURN(Relation map, rep.Get(RepMapName()));
+  TABULAR_ASSIGN_OR_RETURN(Relation data, rep.Get(RepDataName()));
+  if (map.arity() != 2) {
+    return Status::InvalidArgument("Map must have arity 2");
+  }
+  if (data.arity() != 4) {
+    return Status::InvalidArgument("Data must have arity 4");
+  }
+  // FD Id -> Entry.
+  std::map<Symbol, Symbol, core::SymbolLess> entries;
+  for (const SymbolVec& t : map.tuples()) {
+    auto [it, inserted] = entries.emplace(t[0], t[1]);
+    if (!inserted && it->second != t[1]) {
+      return Status::InvalidArgument("FD Id -> Entry violated at id " +
+                                     t[0].ToString());
+    }
+  }
+  // FD Tbl, Row, Col -> Val.
+  std::map<SymbolVec, Symbol, TupleLess> cells;
+  for (const SymbolVec& t : data.tuples()) {
+    SymbolVec key{t[0], t[1], t[2]};
+    auto [it, inserted] = cells.emplace(std::move(key), t[3]);
+    if (!inserted && it->second != t[3]) {
+      return Status::InvalidArgument("FD Tbl,Row,Col -> Val violated");
+    }
+  }
+  return Status::OK();
+}
+
+Result<TabularDatabase> CanonicalDecode(const RelationalDatabase& rep) {
+  TABULAR_RETURN_NOT_OK(ValidateRep(rep));
+  TABULAR_ASSIGN_OR_RETURN(Relation map, rep.Get(RepMapName()));
+  TABULAR_ASSIGN_OR_RETURN(Relation data, rep.Get(RepDataName()));
+
+  std::map<Symbol, Symbol, core::SymbolLess> entry_of;
+  for (const SymbolVec& t : map.tuples()) entry_of.emplace(t[0], t[1]);
+  auto lookup = [&](Symbol id) -> Result<Symbol> {
+    auto it = entry_of.find(id);
+    if (it == entry_of.end()) {
+      return Status::InvalidArgument("id " + id.ToString() +
+                                     " has no Map entry");
+    }
+    return it->second;
+  };
+  // The nil marker is the (only) id without a Map entry; see
+  // CanonicalEncode.
+  auto is_nil_marker = [&](Symbol id) { return !entry_of.contains(id); };
+
+  // Group Data tuples per table id, preserving deterministic order.
+  std::map<Symbol, std::vector<const SymbolVec*>, core::SymbolLess> per_table;
+  for (const SymbolVec& t : data.tuples()) {
+    per_table[t[0]].push_back(&t);
+  }
+
+  TabularDatabase out;
+  for (const auto& [tid, cells] : per_table) {
+    TABULAR_ASSIGN_OR_RETURN(Symbol name, lookup(tid));
+    // Collect row and column ids in order of first appearance.
+    std::vector<Symbol> row_ids;
+    std::vector<Symbol> col_ids;
+    std::map<Symbol, size_t, core::SymbolLess> row_index;
+    std::map<Symbol, size_t, core::SymbolLess> col_index;
+    for (const SymbolVec* cell : cells) {
+      Symbol rid = (*cell)[1];
+      Symbol cid = (*cell)[2];
+      if (!is_nil_marker(rid) && !row_index.contains(rid)) {
+        row_index.emplace(rid, row_ids.size());
+        row_ids.push_back(rid);
+      }
+      if (!is_nil_marker(cid) && !col_index.contains(cid)) {
+        col_index.emplace(cid, col_ids.size());
+        col_ids.push_back(cid);
+      }
+    }
+    Table t(1 + row_ids.size(), 1 + col_ids.size());
+    t.set_name(name);
+    for (size_t i = 0; i < row_ids.size(); ++i) {
+      TABULAR_ASSIGN_OR_RETURN(Symbol attr, lookup(row_ids[i]));
+      t.set(i + 1, 0, attr);
+    }
+    for (size_t j = 0; j < col_ids.size(); ++j) {
+      TABULAR_ASSIGN_OR_RETURN(Symbol attr, lookup(col_ids[j]));
+      t.set(0, j + 1, attr);
+    }
+    for (const SymbolVec* cell : cells) {
+      Symbol rid = (*cell)[1];
+      Symbol cid = (*cell)[2];
+      if (is_nil_marker(rid) || is_nil_marker(cid)) continue;
+      TABULAR_ASSIGN_OR_RETURN(Symbol val, lookup((*cell)[3]));
+      t.set(row_index[rid] + 1, col_index[cid] + 1, val);
+    }
+    out.Add(std::move(t));
+  }
+  return out;
+}
+
+Table RelationToTable(const Relation& r) {
+  Table t(1, 1 + r.arity());
+  t.set_name(r.name());
+  for (size_t j = 0; j < r.arity(); ++j) t.set(0, j + 1, r.attributes()[j]);
+  for (const SymbolVec& tuple : r.tuples()) {
+    SymbolVec row;
+    row.reserve(1 + tuple.size());
+    row.push_back(Symbol::Null());
+    row.insert(row.end(), tuple.begin(), tuple.end());
+    t.AppendRow(row);
+  }
+  return t;
+}
+
+TabularDatabase RelationalToTabular(const RelationalDatabase& db) {
+  TabularDatabase out;
+  for (Symbol name : db.Names()) {
+    out.Add(RelationToTable(*db.Find(name)));
+  }
+  return out;
+}
+
+Result<Relation> TableToRelation(const Table& t) {
+  Relation out(t.name(), t.ColumnAttributes());
+  TABULAR_RETURN_NOT_OK(out.Validate());
+  for (size_t i = 1; i < t.num_rows(); ++i) {
+    if (!t.at(i, 0).is_null()) {
+      return Status::InvalidArgument(
+          "table is not relation-shaped: row " + std::to_string(i) +
+          " has a row attribute");
+    }
+    SymbolVec tuple;
+    tuple.reserve(t.width());
+    for (size_t j = 1; j < t.num_cols(); ++j) tuple.push_back(t.at(i, j));
+    TABULAR_RETURN_NOT_OK(out.Insert(std::move(tuple)));
+  }
+  return out;
+}
+
+}  // namespace tabular::rel

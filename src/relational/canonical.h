@@ -1,0 +1,72 @@
+#ifndef TABULAR_RELATIONAL_CANONICAL_H_
+#define TABULAR_RELATIONAL_CANONICAL_H_
+
+#include "core/database.h"
+#include "relational/relation.h"
+
+namespace tabular::rel {
+
+/// The canonical representation of tabular databases (paper §4.1,
+/// Lemmas 4.2/4.3): a tabular database D is encoded as a relational
+/// database over the fixed scheme
+///
+///   Rep = { Data(Tbl, Row, Col, Val), Map(Id, Entry) }
+///
+/// with FDs Id → Entry and Tbl, Row, Col → Val. Every *occurrence* in D
+/// gets a unique id: one per table (its name occurrence), one per row
+/// (its row-attribute occurrence), one per column, and one per data cell.
+/// `Map` associates ids with the entries at those occurrences, and `Data`
+/// ties each cell occurrence to its table, row and column occurrences.
+/// This flattens variable-width tables into fixed-width relations — the
+/// pivot of the paper's completeness proof (Theorem 4.4).
+///
+/// paper-gap: the extended abstract leaves degenerate tables (no data
+/// cells: height 0 and/or width 0) unspecified. We reserve the id value
+/// `id_nil` (recognizable as the id with no Map entry) and emit
+/// Data(tbl, row, id_nil, id_nil) for each
+/// row of a width-0 table, Data(tbl, id_nil, col, id_nil) for each column
+/// of a height-0 table, and Data(tbl, id_nil, id_nil, id_nil) for a bare
+/// name, so that P_Rep⁻ ∘ P_Rep is the identity on *every* database.
+
+/// Attribute and relation names of the Rep scheme.
+core::Symbol RepDataName();   // "Data"
+core::Symbol RepMapName();    // "Map"
+
+/// Options controlling id generation (ids are values "id<k>"; the choice
+/// is immaterial up to isomorphism — determinacy, §4.1 (iv)).
+struct CanonicalOptions {
+  const char* id_prefix = "id";
+};
+
+/// P_Rep (Lemma 4.2): encodes `db` into its canonical representation.
+Result<RelationalDatabase> CanonicalEncode(
+    const core::TabularDatabase& db,
+    const CanonicalOptions& options = CanonicalOptions());
+
+/// P_Rep⁻ (Lemma 4.3): decodes a canonical representation back into a
+/// tabular database. Row/column order follows first appearance in the
+/// deterministic tuple order, so the result equals the original up to
+/// permutations of non-attribute rows and columns — exactly the paper's
+/// notion of database equality. Verifies the Rep FDs; missing
+/// (row, column) combinations decode to ⊥.
+Result<core::TabularDatabase> CanonicalDecode(const RelationalDatabase& rep);
+
+/// Checks the two Rep functional dependencies; OK iff both hold.
+Status ValidateRep(const RelationalDatabase& rep);
+
+// -- Bridges between the models ----------------------------------------------
+
+/// The natural tabular image of a relation: name cell, attribute row, one
+/// data row per tuple with a ⊥ row attribute.
+core::Table RelationToTable(const Relation& r);
+
+/// Adds the tabular image of every relation of `db` to `out`.
+core::TabularDatabase RelationalToTabular(const RelationalDatabase& db);
+
+/// Reads a relational-shaped table back into a relation: all row
+/// attributes must be ⊥ and the attribute names distinct.
+Result<Relation> TableToRelation(const core::Table& t);
+
+}  // namespace tabular::rel
+
+#endif  // TABULAR_RELATIONAL_CANONICAL_H_

@@ -1,0 +1,277 @@
+#include "relational/relation.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace tabular::rel {
+
+bool TupleLess::operator()(const SymbolVec& a, const SymbolVec& b) const {
+  return std::lexicographical_compare(
+      a.begin(), a.end(), b.begin(), b.end(),
+      [](Symbol x, Symbol y) { return Symbol::Compare(x, y) < 0; });
+}
+
+Relation::Relation(Symbol name, SymbolVec attributes)
+    : name_(name), attributes_(std::move(attributes)) {}
+
+Relation Relation::Make(const char* name, std::vector<const char*> attrs,
+                        std::vector<std::vector<const char*>> tuples) {
+  SymbolVec attributes;
+  attributes.reserve(attrs.size());
+  for (const char* a : attrs) attributes.push_back(Symbol::Name(a));
+  Relation r(Symbol::Name(name), std::move(attributes));
+  for (const auto& t : tuples) {
+    SymbolVec tuple;
+    tuple.reserve(t.size());
+    for (const char* cell : t) tuple.push_back(core::ParseCell(cell));
+    Status st = r.Insert(std::move(tuple));
+    (void)st;  // fixture helper; arity mismatches are programming errors
+  }
+  return r;
+}
+
+Result<size_t> Relation::AttributeIndex(Symbol attr) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i] == attr) return i;
+  }
+  return Status::InvalidArgument("relation " + name_.ToString() +
+                                 " has no attribute " + attr.ToString());
+}
+
+Status Relation::Insert(SymbolVec tuple) {
+  if (tuple.size() != attributes_.size()) {
+    return Status::InvalidArgument(
+        "arity mismatch inserting into " + name_.ToString() + ": got " +
+        std::to_string(tuple.size()) + ", want " +
+        std::to_string(attributes_.size()));
+  }
+  tuples_.insert(std::move(tuple));
+  return Status::OK();
+}
+
+Status Relation::Validate() const {
+  if (attributes_.empty()) {
+    return Status::InvalidArgument("relation with no attributes");
+  }
+  SymbolSet seen;
+  for (Symbol a : attributes_) {
+    if (a.is_null()) {
+      return Status::InvalidArgument("⊥ attribute in relation schema");
+    }
+    if (!seen.insert(a).second) {
+      return Status::InvalidArgument("duplicate attribute " + a.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+SymbolSet Relation::AllSymbols() const {
+  SymbolSet out;
+  out.insert(name_);
+  for (Symbol a : attributes_) out.insert(a);
+  for (const SymbolVec& t : tuples_) {
+    for (Symbol s : t) out.insert(s);
+  }
+  return out;
+}
+
+std::string Relation::ToString() const {
+  std::ostringstream out;
+  out << name_.ToString() << "(";
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (i) out << ", ";
+    out << attributes_[i].ToString();
+  }
+  out << ") [" << tuples_.size() << " tuples]\n";
+  for (const SymbolVec& t : tuples_) {
+    out << "  ";
+    for (size_t i = 0; i < t.size(); ++i) {
+      if (i) out << " | ";
+      out << t[i].ToString();
+    }
+    out << "\n";
+  }
+  return out.str();
+}
+
+void RelationalDatabase::Put(Relation r) {
+  Symbol name = r.name();
+  relations_.insert_or_assign(name, std::move(r));
+}
+
+Result<Relation> RelationalDatabase::Get(Symbol name) const {
+  auto it = relations_.find(name);
+  if (it == relations_.end()) {
+    return Status::InvalidArgument("no relation named " + name.ToString());
+  }
+  return it->second;
+}
+
+const Relation* RelationalDatabase::Find(Symbol name) const {
+  auto it = relations_.find(name);
+  return it == relations_.end() ? nullptr : &it->second;
+}
+
+SymbolVec RelationalDatabase::Names() const {
+  SymbolVec out;
+  out.reserve(relations_.size());
+  for (const auto& [name, r] : relations_) out.push_back(name);
+  return out;
+}
+
+SymbolSet RelationalDatabase::AllSymbols() const {
+  SymbolSet out;
+  for (const auto& [name, r] : relations_) {
+    SymbolSet s = r.AllSymbols();
+    out.insert(s.begin(), s.end());
+  }
+  return out;
+}
+
+Result<Relation> Select(const Relation& r, Symbol a, Symbol b,
+                        Symbol result_name) {
+  TABULAR_ASSIGN_OR_RETURN(size_t ia, r.AttributeIndex(a));
+  TABULAR_ASSIGN_OR_RETURN(size_t ib, r.AttributeIndex(b));
+  Relation out(result_name, r.attributes());
+  for (const SymbolVec& t : r.tuples()) {
+    if (t[ia] == t[ib]) TABULAR_RETURN_NOT_OK(out.Insert(t));
+  }
+  return out;
+}
+
+Result<Relation> SelectConst(const Relation& r, Symbol a, Symbol v,
+                             Symbol result_name) {
+  TABULAR_ASSIGN_OR_RETURN(size_t ia, r.AttributeIndex(a));
+  Relation out(result_name, r.attributes());
+  for (const SymbolVec& t : r.tuples()) {
+    if (t[ia] == v) TABULAR_RETURN_NOT_OK(out.Insert(t));
+  }
+  return out;
+}
+
+Result<Relation> Project(const Relation& r, const SymbolVec& attrs,
+                         Symbol result_name) {
+  std::vector<size_t> idx;
+  idx.reserve(attrs.size());
+  for (Symbol a : attrs) {
+    TABULAR_ASSIGN_OR_RETURN(size_t i, r.AttributeIndex(a));
+    idx.push_back(i);
+  }
+  Relation out(result_name, attrs);
+  TABULAR_RETURN_NOT_OK(out.Validate());
+  for (const SymbolVec& t : r.tuples()) {
+    SymbolVec proj;
+    proj.reserve(idx.size());
+    for (size_t i : idx) proj.push_back(t[i]);
+    TABULAR_RETURN_NOT_OK(out.Insert(std::move(proj)));
+  }
+  return out;
+}
+
+Result<Relation> Rename(const Relation& r, Symbol from, Symbol to,
+                        Symbol result_name) {
+  TABULAR_ASSIGN_OR_RETURN(size_t i, r.AttributeIndex(from));
+  SymbolVec attrs = r.attributes();
+  attrs[i] = to;
+  Relation out(result_name, std::move(attrs));
+  TABULAR_RETURN_NOT_OK(out.Validate());
+  for (const SymbolVec& t : r.tuples()) TABULAR_RETURN_NOT_OK(out.Insert(t));
+  return out;
+}
+
+namespace {
+
+Status RequireSameScheme(const Relation& r, const Relation& s,
+                         const char* op) {
+  if (r.attributes() != s.attributes()) {
+    return Status::InvalidArgument(std::string(op) +
+                                   " requires identical attribute lists");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Relation> Union(const Relation& r, const Relation& s,
+                       Symbol result_name) {
+  TABULAR_RETURN_NOT_OK(RequireSameScheme(r, s, "union"));
+  Relation out(result_name, r.attributes());
+  for (const SymbolVec& t : r.tuples()) TABULAR_RETURN_NOT_OK(out.Insert(t));
+  for (const SymbolVec& t : s.tuples()) TABULAR_RETURN_NOT_OK(out.Insert(t));
+  return out;
+}
+
+Result<Relation> Difference(const Relation& r, const Relation& s,
+                            Symbol result_name) {
+  TABULAR_RETURN_NOT_OK(RequireSameScheme(r, s, "difference"));
+  Relation out(result_name, r.attributes());
+  for (const SymbolVec& t : r.tuples()) {
+    if (!s.Contains(t)) TABULAR_RETURN_NOT_OK(out.Insert(t));
+  }
+  return out;
+}
+
+Result<Relation> Product(const Relation& r, const Relation& s,
+                         Symbol result_name) {
+  SymbolVec attrs = r.attributes();
+  for (Symbol a : s.attributes()) {
+    for (Symbol b : r.attributes()) {
+      if (a == b) {
+        return Status::InvalidArgument(
+            "product requires disjoint attribute lists; both have " +
+            a.ToString());
+      }
+    }
+    attrs.push_back(a);
+  }
+  Relation out(result_name, std::move(attrs));
+  for (const SymbolVec& t : r.tuples()) {
+    for (const SymbolVec& u : s.tuples()) {
+      SymbolVec joined = t;
+      joined.insert(joined.end(), u.begin(), u.end());
+      TABULAR_RETURN_NOT_OK(out.Insert(std::move(joined)));
+    }
+  }
+  return out;
+}
+
+Result<Relation> NaturalJoin(const Relation& r, const Relation& s,
+                             Symbol result_name) {
+  // Shared attributes, in r's order.
+  std::vector<std::pair<size_t, size_t>> shared;
+  std::vector<size_t> s_extra;
+  SymbolVec attrs = r.attributes();
+  for (size_t j = 0; j < s.attributes().size(); ++j) {
+    bool found = false;
+    for (size_t i = 0; i < r.attributes().size(); ++i) {
+      if (r.attributes()[i] == s.attributes()[j]) {
+        shared.emplace_back(i, j);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      s_extra.push_back(j);
+      attrs.push_back(s.attributes()[j]);
+    }
+  }
+  Relation out(result_name, std::move(attrs));
+  for (const SymbolVec& t : r.tuples()) {
+    for (const SymbolVec& u : s.tuples()) {
+      bool match = true;
+      for (auto [i, j] : shared) {
+        if (t[i] != u[j]) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      SymbolVec joined = t;
+      for (size_t j : s_extra) joined.push_back(u[j]);
+      TABULAR_RETURN_NOT_OK(out.Insert(std::move(joined)));
+    }
+  }
+  return out;
+}
+
+}  // namespace tabular::rel

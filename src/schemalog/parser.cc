@@ -1,0 +1,174 @@
+#include "schemalog/parser.h"
+
+#include <cctype>
+#include <string>
+#include <vector>
+
+namespace tabular::slog {
+
+namespace {
+
+class SlogParser {
+ public:
+  explicit SlogParser(std::string_view src) : src_(src) {}
+
+  Result<SlogProgram> Run() {
+    SlogProgram out;
+    Skip();
+    while (pos_ < src_.size()) {
+      TABULAR_ASSIGN_OR_RETURN(Rule r, ParseClause());
+      out.rules.push_back(std::move(r));
+      Skip();
+    }
+    return out;
+  }
+
+ private:
+  void Skip() {
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '-' && pos_ + 1 < src_.size() &&
+                 src_[pos_ + 1] == '-') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Eat(std::string_view text) {
+    Skip();
+    if (src_.substr(pos_, text.size()) == text) {
+      pos_ += text.size();
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(std::string_view text) {
+    if (!Eat(text)) {
+      return Status::ParseError("expected '" + std::string(text) +
+                                "' at offset " + std::to_string(pos_));
+    }
+    return Status::OK();
+  }
+
+  static bool IsWordChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  }
+
+  Result<Term> ParseTerm() {
+    Skip();
+    if (pos_ >= src_.size()) return Status::ParseError("unexpected end");
+    char c = src_[pos_];
+    if (c == '?') {
+      ++pos_;
+      std::string name;
+      while (pos_ < src_.size() && IsWordChar(src_[pos_])) {
+        name.push_back(src_[pos_++]);
+      }
+      if (name.empty()) return Status::ParseError("empty variable name");
+      return Term::Var(std::move(name));
+    }
+    if (c == '\'') {
+      ++pos_;
+      std::string text;
+      while (pos_ < src_.size() && src_[pos_] != '\'') {
+        text.push_back(src_[pos_++]);
+      }
+      if (pos_ >= src_.size()) {
+        return Status::ParseError("unterminated quoted value");
+      }
+      ++pos_;
+      return Term::Const(Symbol::Value(text));
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string text;
+      while (pos_ < src_.size() &&
+             std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+        text.push_back(src_[pos_++]);
+      }
+      return Term::Const(Symbol::Value(text));
+    }
+    if (c == '_' && (pos_ + 1 >= src_.size() || !IsWordChar(src_[pos_ + 1]))) {
+      ++pos_;
+      return Term::Const(Symbol::Null());
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string text;
+      while (pos_ < src_.size() && IsWordChar(src_[pos_])) {
+        text.push_back(src_[pos_++]);
+      }
+      return Term::Const(Symbol::Name(text));
+    }
+    return Status::ParseError(std::string("unexpected character '") + c +
+                              "' at offset " + std::to_string(pos_));
+  }
+
+  Result<QuadAtom> ParseAtomWithRel(Term rel) {
+    QuadAtom a;
+    a.rel = std::move(rel);
+    TABULAR_RETURN_NOT_OK(Expect("["));
+    TABULAR_ASSIGN_OR_RETURN(a.tid, ParseTerm());
+    TABULAR_RETURN_NOT_OK(Expect(":"));
+    TABULAR_ASSIGN_OR_RETURN(a.attr, ParseTerm());
+    TABULAR_RETURN_NOT_OK(Expect("->"));
+    TABULAR_ASSIGN_OR_RETURN(a.val, ParseTerm());
+    TABULAR_RETURN_NOT_OK(Expect("]"));
+    return a;
+  }
+
+  Result<Literal> ParseLiteral() {
+    TABULAR_ASSIGN_OR_RETURN(Term first, ParseTerm());
+    Skip();
+    if (pos_ < src_.size() && src_[pos_] == '[') {
+      TABULAR_ASSIGN_OR_RETURN(QuadAtom a, ParseAtomWithRel(std::move(first)));
+      return Literal{std::move(a)};
+    }
+    Builtin b;
+    b.lhs = std::move(first);
+    if (Eat("!=")) {
+      b.op = Builtin::Op::kNe;
+    } else if (Eat("<=")) {
+      b.op = Builtin::Op::kLe;
+    } else if (Eat("<")) {
+      b.op = Builtin::Op::kLt;
+    } else if (Eat("=")) {
+      b.op = Builtin::Op::kEq;
+    } else {
+      return Status::ParseError("expected comparison operator at offset " +
+                                std::to_string(pos_));
+    }
+    TABULAR_ASSIGN_OR_RETURN(b.rhs, ParseTerm());
+    return Literal{std::move(b)};
+  }
+
+  Result<Rule> ParseClause() {
+    TABULAR_ASSIGN_OR_RETURN(Term rel, ParseTerm());
+    Rule r;
+    TABULAR_ASSIGN_OR_RETURN(r.head, ParseAtomWithRel(std::move(rel)));
+    if (Eat(":-")) {
+      for (;;) {
+        TABULAR_ASSIGN_OR_RETURN(Literal l, ParseLiteral());
+        r.body.push_back(std::move(l));
+        if (!Eat(",")) break;
+      }
+    }
+    TABULAR_RETURN_NOT_OK(Expect("."));
+    return r;
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SlogProgram> ParseSlogProgram(std::string_view source) {
+  SlogParser parser(source);
+  return parser.Run();
+}
+
+}  // namespace tabular::slog

@@ -1,0 +1,30 @@
+#ifndef TABULAR_SCHEMALOG_PARSER_H_
+#define TABULAR_SCHEMALOG_PARSER_H_
+
+#include <string_view>
+
+#include "schemalog/schemalog.h"
+
+namespace tabular::slog {
+
+/// Parses SchemaLog_d surface syntax. Each clause ends with '.'; clauses
+/// without a body are facts (added as rules with empty bodies; ground
+/// heads required by validation). Comments run `--` to end of line.
+///
+///   clause  := atom ( ":-" literal ("," literal)* )? "."
+///   literal := atom | term ("=" | "!=" | "<" | "<=") term
+///   atom    := term "[" term ":" term "->" term "]"
+///   term    := IDENT          -- name constant (e.g. Sales, Part)
+///            | QUOTED | NUM   -- value constant ('east', 50)
+///            | "_"            -- the ⊥ constant
+///            | "?" IDENT      -- variable
+///
+/// Example (restructuring a relation's attribute into data, §4.2):
+///
+///   out[?T: dest -> ?V] :- edge[?T: to -> ?V], ?V != 'a'.
+///
+Result<SlogProgram> ParseSlogProgram(std::string_view source);
+
+}  // namespace tabular::slog
+
+#endif  // TABULAR_SCHEMALOG_PARSER_H_

@@ -1,0 +1,320 @@
+#include "schemalog/schemalog.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace tabular::slog {
+
+std::string Term::ToString() const {
+  if (is_var) return "?" + variable;
+  if (constant.is_null()) return "_";
+  if (constant.is_name()) return constant.text();
+  return "'" + constant.text() + "'";
+}
+
+std::string QuadAtom::ToString() const {
+  return rel.ToString() + "[" + tid.ToString() + ": " + attr.ToString() +
+         " -> " + val.ToString() + "]";
+}
+
+std::string Builtin::ToString() const {
+  const char* op_text = "=";
+  switch (op) {
+    case Op::kEq:
+      op_text = "=";
+      break;
+    case Op::kNe:
+      op_text = "!=";
+      break;
+    case Op::kLt:
+      op_text = "<";
+      break;
+    case Op::kLe:
+      op_text = "<=";
+      break;
+  }
+  return lhs.ToString() + " " + op_text + " " + rhs.ToString();
+}
+
+std::string Rule::ToString() const {
+  std::string out = head.ToString();
+  if (!body.empty()) {
+    out += " :- ";
+    for (size_t i = 0; i < body.size(); ++i) {
+      if (i) out += ", ";
+      if (const auto* q = std::get_if<QuadAtom>(&body[i])) {
+        out += q->ToString();
+      } else {
+        out += std::get<Builtin>(body[i]).ToString();
+      }
+    }
+  }
+  return out + ".";
+}
+
+std::string SlogProgram::ToString() const {
+  std::string out;
+  for (const Rule& r : rules) {
+    out += r.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+namespace {
+
+void CollectVars(const Term& t, std::set<std::string>* out) {
+  if (t.is_var) out->insert(t.variable);
+}
+
+void CollectAtomVars(const QuadAtom& a, std::set<std::string>* out) {
+  CollectVars(a.rel, out);
+  CollectVars(a.tid, out);
+  CollectVars(a.attr, out);
+  CollectVars(a.val, out);
+}
+
+}  // namespace
+
+Status SlogProgram::Validate() const {
+  for (const Rule& r : rules) {
+    std::set<std::string> bound;
+    for (const Literal& l : r.body) {
+      if (const auto* q = std::get_if<QuadAtom>(&l)) CollectAtomVars(*q, &bound);
+    }
+    std::set<std::string> needed;
+    CollectAtomVars(r.head, &needed);
+    for (const Literal& l : r.body) {
+      if (const auto* b = std::get_if<Builtin>(&l)) {
+        CollectVars(b->lhs, &needed);
+        CollectVars(b->rhs, &needed);
+      }
+    }
+    for (const std::string& v : needed) {
+      if (!bound.contains(v)) {
+        return Status::InvalidArgument("unsafe rule: variable ?" + v +
+                                       " not bound by a body atom in: " +
+                                       r.ToString());
+      }
+    }
+  }
+  return Status::OK();
+}
+
+bool FactLess::operator()(const Fact& a, const Fact& b) const {
+  for (size_t i = 0; i < 4; ++i) {
+    int c = Symbol::Compare(a[i], b[i]);
+    if (c != 0) return c < 0;
+  }
+  return false;
+}
+
+SymbolSet FactBase::AllSymbols() const {
+  SymbolSet out;
+  for (const Fact& f : facts_) {
+    for (Symbol s : f) out.insert(s);
+  }
+  return out;
+}
+
+FactBase FactsFromRelational(const rel::RelationalDatabase& db) {
+  FactBase out;
+  for (Symbol name : db.Names()) {
+    const rel::Relation& r = *db.Find(name);
+    size_t k = 0;
+    for (const SymbolVec& t : r.tuples()) {
+      Symbol tid =
+          Symbol::Value(name.text() + "#" + std::to_string(k++));
+      for (size_t j = 0; j < r.arity(); ++j) {
+        out.Insert(Fact{name, tid, r.attributes()[j], t[j]});
+      }
+    }
+  }
+  return out;
+}
+
+core::TabularDatabase FactsToTabular(const FactBase& facts, bool keep_tids) {
+  // Group per relation symbol, preserving attr/tid first appearance.
+  struct TableAcc {
+    SymbolVec attrs;
+    std::map<Symbol, size_t, core::SymbolLess> attr_index;
+    SymbolVec tids;
+    std::map<Symbol, size_t, core::SymbolLess> tid_index;
+    std::map<std::pair<size_t, size_t>, Symbol> cells;
+  };
+  std::map<Symbol, TableAcc, core::SymbolLess> per_rel;
+  SymbolVec rel_order;
+  for (const Fact& f : facts.facts()) {
+    auto [it, inserted] = per_rel.try_emplace(f[0]);
+    if (inserted) rel_order.push_back(f[0]);
+    TableAcc& acc = it->second;
+    auto [ti, tnew] = acc.tid_index.try_emplace(f[1], acc.tids.size());
+    if (tnew) acc.tids.push_back(f[1]);
+    auto [ai, anew] = acc.attr_index.try_emplace(f[2], acc.attrs.size());
+    if (anew) acc.attrs.push_back(f[2]);
+    acc.cells[{ti->second, ai->second}] = f[3];
+  }
+  core::TabularDatabase out;
+  for (Symbol rel : rel_order) {
+    const TableAcc& acc = per_rel.at(rel);
+    core::Table t(1 + acc.tids.size(), 1 + acc.attrs.size());
+    t.set_name(rel);
+    for (size_t j = 0; j < acc.attrs.size(); ++j) t.set(0, j + 1, acc.attrs[j]);
+    for (size_t i = 0; i < acc.tids.size(); ++i) {
+      if (keep_tids) t.set(i + 1, 0, acc.tids[i]);
+    }
+    for (const auto& [pos, val] : acc.cells) {
+      t.set(pos.first + 1, pos.second + 1, val);
+    }
+    out.Add(std::move(t));
+  }
+  return out;
+}
+
+namespace {
+
+using Substitution = std::map<std::string, Symbol>;
+
+/// Numeric comparison when both numerals, else (kind, text) order.
+int CompareSymbols(Symbol a, Symbol b) {
+  auto na = a.AsNumber();
+  auto nb = b.AsNumber();
+  if (na && nb) {
+    if (*na < *nb) return -1;
+    if (*na > *nb) return 1;
+    return 0;
+  }
+  return Symbol::Compare(a, b);
+}
+
+bool MatchTerm(const Term& t, Symbol s, Substitution* sub) {
+  if (!t.is_var) return t.constant == s;
+  auto [it, inserted] = sub->emplace(t.variable, s);
+  return inserted || it->second == s;
+}
+
+Result<Symbol> GroundTerm(const Term& t, const Substitution& sub) {
+  if (!t.is_var) return t.constant;
+  auto it = sub.find(t.variable);
+  if (it == sub.end()) {
+    return Status::Internal("unbound variable ?" + t.variable +
+                            " (rule should have failed validation)");
+  }
+  return it->second;
+}
+
+bool EvalBuiltin(const Builtin& b, const Substitution& sub) {
+  Result<Symbol> l = GroundTerm(b.lhs, sub);
+  Result<Symbol> r = GroundTerm(b.rhs, sub);
+  if (!l.ok() || !r.ok()) return false;
+  int c = CompareSymbols(*l, *r);
+  switch (b.op) {
+    case Builtin::Op::kEq:
+      return *l == *r;
+    case Builtin::Op::kNe:
+      return *l != *r;
+    case Builtin::Op::kLt:
+      return c < 0;
+    case Builtin::Op::kLe:
+      return c <= 0;
+  }
+  return false;
+}
+
+/// Joins the rule body against `all`, requiring at least one quadruple
+/// atom to match within `delta` (semi-naive restriction; pass nullptr for
+/// the naive first round). Derived head facts go into `derived`.
+Status FireRule(const Rule& rule, const FactBase& all, const FactBase* delta,
+                std::vector<Fact>* derived) {
+  // Positions of quadruple atoms within the body.
+  std::vector<const QuadAtom*> quads;
+  for (const Literal& l : rule.body) {
+    if (const auto* q = std::get_if<QuadAtom>(&l)) quads.push_back(q);
+  }
+
+  // Recursive join over quadruple atoms; builtins checked at the end
+  // (all their variables are then bound, by validation).
+  std::vector<const std::set<Fact, FactLess>*> sources(quads.size(),
+                                                       &all.facts());
+  size_t delta_slots = delta == nullptr ? 1 : quads.size();
+  for (size_t d = 0; d < delta_slots; ++d) {
+    if (delta != nullptr) {
+      if (quads.empty()) break;
+      for (size_t i = 0; i < quads.size(); ++i) {
+        sources[i] = i == d ? &delta->facts() : &all.facts();
+      }
+    }
+    Substitution sub;
+    // Depth-first join.
+    std::vector<std::pair<size_t, Substitution>> stack;
+    stack.emplace_back(0, sub);
+    while (!stack.empty()) {
+      auto [i, current] = std::move(stack.back());
+      stack.pop_back();
+      if (i == quads.size()) {
+        bool ok = true;
+        for (const Literal& l : rule.body) {
+          if (const auto* b = std::get_if<Builtin>(&l)) {
+            if (!EvalBuiltin(*b, current)) {
+              ok = false;
+              break;
+            }
+          }
+        }
+        if (!ok) continue;
+        Fact f;
+        TABULAR_ASSIGN_OR_RETURN(f[0], GroundTerm(rule.head.rel, current));
+        TABULAR_ASSIGN_OR_RETURN(f[1], GroundTerm(rule.head.tid, current));
+        TABULAR_ASSIGN_OR_RETURN(f[2], GroundTerm(rule.head.attr, current));
+        TABULAR_ASSIGN_OR_RETURN(f[3], GroundTerm(rule.head.val, current));
+        derived->push_back(f);
+        continue;
+      }
+      for (const Fact& f : *sources[i]) {
+        Substitution next = current;
+        if (MatchTerm(quads[i]->rel, f[0], &next) &&
+            MatchTerm(quads[i]->tid, f[1], &next) &&
+            MatchTerm(quads[i]->attr, f[2], &next) &&
+            MatchTerm(quads[i]->val, f[3], &next)) {
+          stack.emplace_back(i + 1, std::move(next));
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<FactBase> Evaluate(const SlogProgram& program, const FactBase& edb,
+                          const SlogOptions& options) {
+  TABULAR_RETURN_NOT_OK(program.Validate());
+  FactBase all = edb;
+  FactBase delta = edb;
+  for (size_t iter = 0;; ++iter) {
+    if (iter >= options.max_iterations) {
+      return Status::ResourceExhausted("SchemaLog fixpoint exceeded " +
+                                       std::to_string(options.max_iterations) +
+                                       " iterations");
+    }
+    std::vector<Fact> derived;
+    for (const Rule& r : program.rules) {
+      TABULAR_RETURN_NOT_OK(
+          FireRule(r, all, iter == 0 ? nullptr : &delta, &derived));
+    }
+    FactBase next_delta;
+    for (const Fact& f : derived) {
+      if (!all.Contains(f)) next_delta.Insert(f);
+    }
+    if (next_delta.size() == 0) return all;
+    for (const Fact& f : next_delta.facts()) all.Insert(f);
+    if (all.size() > options.max_facts) {
+      return Status::ResourceExhausted("SchemaLog fact store exceeded " +
+                                       std::to_string(options.max_facts));
+    }
+    delta = std::move(next_delta);
+  }
+}
+
+}  // namespace tabular::slog

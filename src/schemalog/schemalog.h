@@ -1,0 +1,132 @@
+#ifndef TABULAR_SCHEMALOG_SCHEMALOG_H_
+#define TABULAR_SCHEMALOG_SCHEMALOG_H_
+
+#include <array>
+#include <set>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/database.h"
+#include "core/status.h"
+#include "core/symbol.h"
+#include "relational/relation.h"
+
+namespace tabular::slog {
+
+using core::Symbol;
+using core::SymbolSet;
+using core::SymbolVec;
+using tabular::Result;
+using tabular::Status;
+
+/// SchemaLog_d (paper §4.2): the single-database fragment of the
+/// higher-order SchemaLog of Lakshmanan et al. Atomic formulas are
+/// quadruples `rel[tid : attr -> val]` — relation names, tuple ids,
+/// attribute names and values are all first-class, so variables may range
+/// over schema (attribute/relation names) as well as data. Programs are
+/// negation-free rules with equality/order built-ins.
+
+/// A term: a constant symbol or a variable (written `?X` in the surface
+/// syntax).
+struct Term {
+  bool is_var = false;
+  Symbol constant;       // when !is_var
+  std::string variable;  // when is_var
+
+  static Term Const(Symbol s) { return Term{false, s, {}}; }
+  static Term Var(std::string name) {
+    return Term{true, Symbol(), std::move(name)};
+  }
+  std::string ToString() const;
+};
+
+/// `rel[tid : attr -> val]`.
+struct QuadAtom {
+  Term rel;
+  Term tid;
+  Term attr;
+  Term val;
+  std::string ToString() const;
+};
+
+/// Comparison built-ins. Order predicates compare numerically when both
+/// sides are numerals and by (kind, text) otherwise.
+struct Builtin {
+  enum class Op { kEq, kNe, kLt, kLe };
+  Op op = Op::kEq;
+  Term lhs;
+  Term rhs;
+  std::string ToString() const;
+};
+
+using Literal = std::variant<QuadAtom, Builtin>;
+
+/// `head :- body.` — the head must be a quadruple atom, and every head
+/// variable must occur in some body quadruple atom (safety).
+struct Rule {
+  QuadAtom head;
+  std::vector<Literal> body;
+  std::string ToString() const;
+};
+
+struct SlogProgram {
+  std::vector<Rule> rules;
+  std::string ToString() const;
+
+  /// Checks rule safety (every head/builtin variable bound by a body
+  /// quadruple atom).
+  Status Validate() const;
+};
+
+/// A ground quadruple fact.
+using Fact = std::array<Symbol, 4>;
+
+struct FactLess {
+  bool operator()(const Fact& a, const Fact& b) const;
+};
+
+/// The extensional/intensional store: a set of ground quadruples.
+class FactBase {
+ public:
+  bool Insert(const Fact& f) { return facts_.insert(f).second; }
+  bool Contains(const Fact& f) const { return facts_.contains(f); }
+  size_t size() const { return facts_.size(); }
+  const std::set<Fact, FactLess>& facts() const { return facts_; }
+
+  SymbolSet AllSymbols() const;
+
+  friend bool operator==(const FactBase& a, const FactBase& b) {
+    return a.facts_ == b.facts_;
+  }
+
+ private:
+  std::set<Fact, FactLess> facts_;
+};
+
+/// Views a relational database as quadruples: for relation r, tuple t with
+/// tid `<r>#<k>`, attribute a, value v, the fact r[tid : a -> v]. Tuple
+/// ids are first-class citizens of the SchemaLog data model.
+FactBase FactsFromRelational(const rel::RelationalDatabase& db);
+
+/// Views a fact base as a tabular database: one table per relation symbol,
+/// attributes in first-appearance order, one row per tid (row attribute
+/// carries the tid when `keep_tids`, ⊥ otherwise); missing cells are ⊥ —
+/// SchemaLog's variable-width relations land naturally in the tabular
+/// model.
+core::TabularDatabase FactsToTabular(const FactBase& facts, bool keep_tids);
+
+/// Guards for bottom-up evaluation.
+struct SlogOptions {
+  size_t max_iterations = 10000;
+  size_t max_facts = 1000000;
+};
+
+/// Semi-naive bottom-up evaluation: returns the least fixpoint of
+/// `program` over `edb`.
+Result<FactBase> Evaluate(const SlogProgram& program, const FactBase& edb,
+                          const SlogOptions& options = SlogOptions());
+
+}  // namespace tabular::slog
+
+#endif  // TABULAR_SCHEMALOG_SCHEMALOG_H_

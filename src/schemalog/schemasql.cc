@@ -1,0 +1,473 @@
+#include "schemalog/schemasql.h"
+
+#include "relational/canonical.h"
+
+#include <cctype>
+#include <map>
+#include <set>
+
+namespace tabular::slog {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+class SqlParser {
+ public:
+  explicit SqlParser(std::string_view src) : src_(src) {}
+
+  Result<SchemaSqlQuery> Run() {
+    SchemaSqlQuery q;
+    TABULAR_RETURN_NOT_OK(ExpectKeyword("select"));
+    // FROM must be parsed before terms can be classified as variables, so
+    // gather raw term tokens first, classify after FROM.
+    std::vector<RawTerm> select_raw;
+    for (;;) {
+      TABULAR_ASSIGN_OR_RETURN(RawTerm t, ParseRawTerm());
+      select_raw.push_back(std::move(t));
+      if (!Eat(",")) break;
+    }
+    TABULAR_RETURN_NOT_OK(ExpectKeyword("into"));
+    TABULAR_ASSIGN_OR_RETURN(std::string into, ParseIdent());
+    q.into_relation = Symbol::Name(into);
+    TABULAR_RETURN_NOT_OK(Expect("("));
+    for (;;) {
+      TABULAR_ASSIGN_OR_RETURN(std::string a, ParseIdent());
+      q.into_attributes.push_back(Symbol::Name(a));
+      if (!Eat(",")) break;
+    }
+    TABULAR_RETURN_NOT_OK(Expect(")"));
+    TABULAR_RETURN_NOT_OK(ExpectKeyword("from"));
+    for (;;) {
+      TABULAR_ASSIGN_OR_RETURN(SqlRange r, ParseRange());
+      if (!vars_.insert(r.var).second) {
+        return Status::ParseError("variable '" + r.var +
+                                  "' introduced twice");
+      }
+      q.from.push_back(std::move(r));
+      if (!Eat(",")) break;
+    }
+    if (EatKeyword("where")) {
+      for (;;) {
+        TABULAR_ASSIGN_OR_RETURN(SqlCondition c, ParseCondition());
+        q.where.push_back(std::move(c));
+        if (!EatKeyword("and")) break;
+      }
+    }
+    Skip();
+    if (pos_ < src_.size()) {
+      return Status::ParseError("trailing input at offset " +
+                                std::to_string(pos_));
+    }
+    if (q.select.size() != select_raw.size()) {
+      // Classify now that all variables are known.
+    }
+    for (RawTerm& raw : select_raw) {
+      TABULAR_ASSIGN_OR_RETURN(SqlTerm t, Classify(std::move(raw)));
+      q.select.push_back(std::move(t));
+    }
+    if (q.select.size() != q.into_attributes.size()) {
+      return Status::ParseError("SELECT lists " +
+                                std::to_string(q.select.size()) +
+                                " terms but INTO declares " +
+                                std::to_string(q.into_attributes.size()) +
+                                " attributes");
+    }
+    return q;
+  }
+
+ private:
+  /// An unclassified term: identifiers may turn out to be variables.
+  struct RawTerm {
+    bool is_const = false;
+    Symbol constant;
+    std::string first;   // identifier before the optional dot
+    bool has_field = false;
+    std::string field;   // identifier after the dot
+  };
+
+  void Skip() {
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '-' && pos_ + 1 < src_.size() &&
+                 src_[pos_ + 1] == '-') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool Eat(std::string_view text) {
+    Skip();
+    if (src_.substr(pos_, text.size()) == text) {
+      pos_ += text.size();
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(std::string_view text) {
+    if (!Eat(text)) {
+      return Status::ParseError("expected '" + std::string(text) +
+                                "' at offset " + std::to_string(pos_));
+    }
+    return Status::OK();
+  }
+
+  static bool IsWordChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  }
+
+  bool EatKeyword(std::string_view kw) {
+    Skip();
+    size_t end = pos_ + kw.size();
+    if (end > src_.size()) return false;
+    for (size_t i = 0; i < kw.size(); ++i) {
+      if (std::tolower(static_cast<unsigned char>(src_[pos_ + i])) !=
+          kw[i]) {
+        return false;
+      }
+    }
+    if (end < src_.size() && IsWordChar(src_[end])) return false;
+    pos_ = end;
+    return true;
+  }
+
+  Status ExpectKeyword(std::string_view kw) {
+    if (!EatKeyword(kw)) {
+      return Status::ParseError("expected '" + std::string(kw) +
+                                "' at offset " + std::to_string(pos_));
+    }
+    return Status::OK();
+  }
+
+  Result<std::string> ParseIdent() {
+    Skip();
+    if (pos_ >= src_.size() ||
+        !(std::isalpha(static_cast<unsigned char>(src_[pos_])) ||
+          src_[pos_] == '_')) {
+      return Status::ParseError("expected identifier at offset " +
+                                std::to_string(pos_));
+    }
+    std::string out;
+    while (pos_ < src_.size() && IsWordChar(src_[pos_])) {
+      out.push_back(src_[pos_++]);
+    }
+    return out;
+  }
+
+  Result<RawTerm> ParseRawTerm() {
+    Skip();
+    RawTerm t;
+    if (pos_ < src_.size() && src_[pos_] == '\'') {
+      ++pos_;
+      std::string text;
+      while (pos_ < src_.size() && src_[pos_] != '\'') {
+        text.push_back(src_[pos_++]);
+      }
+      if (pos_ >= src_.size()) {
+        return Status::ParseError("unterminated quoted value");
+      }
+      ++pos_;
+      t.is_const = true;
+      t.constant = Symbol::Value(text);
+      return t;
+    }
+    if (pos_ < src_.size() &&
+        std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+      std::string text;
+      while (pos_ < src_.size() &&
+             std::isdigit(static_cast<unsigned char>(src_[pos_]))) {
+        text.push_back(src_[pos_++]);
+      }
+      t.is_const = true;
+      t.constant = Symbol::Value(text);
+      return t;
+    }
+    TABULAR_ASSIGN_OR_RETURN(t.first, ParseIdent());
+    if (Eat(".")) {
+      t.has_field = true;
+      TABULAR_ASSIGN_OR_RETURN(t.field, ParseIdent());
+    }
+    return t;
+  }
+
+  /// Resolves identifiers against the declared variable set.
+  Result<SqlTerm> Classify(RawTerm raw) {
+    SqlTerm t;
+    if (raw.is_const) {
+      t.kind = SqlTerm::Kind::kConst;
+      t.constant = raw.constant;
+      return t;
+    }
+    if (raw.has_field) {
+      if (!vars_.contains(raw.first)) {
+        return Status::ParseError("'" + raw.first +
+                                  "' is not a declared variable");
+      }
+      t.kind = SqlTerm::Kind::kField;
+      t.var = raw.first;
+      if (vars_.contains(raw.field)) {
+        t.attr_is_var = true;
+        t.attr_var = raw.field;
+      } else {
+        t.attr = Symbol::Name(raw.field);
+      }
+      return t;
+    }
+    if (vars_.contains(raw.first)) {
+      t.kind = SqlTerm::Kind::kVar;
+      t.var = raw.first;
+      return t;
+    }
+    // A bare literal identifier is a name constant.
+    t.kind = SqlTerm::Kind::kConst;
+    t.constant = Symbol::Name(raw.first);
+    return t;
+  }
+
+  Result<SqlRange> ParseRange() {
+    SqlRange r;
+    if (Eat("->")) {
+      r.kind = SqlRange::Kind::kRelations;
+      TABULAR_ASSIGN_OR_RETURN(r.var, ParseIdent());
+      return r;
+    }
+    TABULAR_ASSIGN_OR_RETURN(std::string rel, ParseIdent());
+    if (vars_.contains(rel)) {
+      r.rel_is_var = true;
+      r.rel_var = rel;
+    } else {
+      r.rel = Symbol::Name(rel);
+    }
+    if (Eat("->")) {
+      r.kind = SqlRange::Kind::kAttributes;
+    } else {
+      r.kind = SqlRange::Kind::kTuples;
+    }
+    TABULAR_ASSIGN_OR_RETURN(r.var, ParseIdent());
+    return r;
+  }
+
+  Result<SqlCondition> ParseCondition() {
+    SqlCondition c;
+    TABULAR_ASSIGN_OR_RETURN(RawTerm lhs, ParseRawTerm());
+    TABULAR_ASSIGN_OR_RETURN(c.lhs, Classify(std::move(lhs)));
+    if (Eat("<>")) {
+      c.op = SqlCondition::Op::kNe;
+    } else if (Eat("<=")) {
+      c.op = SqlCondition::Op::kLe;
+    } else if (Eat("<")) {
+      c.op = SqlCondition::Op::kLt;
+    } else if (Eat("=")) {
+      c.op = SqlCondition::Op::kEq;
+    } else {
+      return Status::ParseError("expected comparison at offset " +
+                                std::to_string(pos_));
+    }
+    TABULAR_ASSIGN_OR_RETURN(RawTerm rhs, ParseRawTerm());
+    TABULAR_ASSIGN_OR_RETURN(c.rhs, Classify(std::move(rhs)));
+    return c;
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  std::set<std::string> vars_;
+};
+
+// ---------------------------------------------------------------------------
+// Compilation to SchemaLog_d
+// ---------------------------------------------------------------------------
+
+class SqlCompiler {
+ public:
+  explicit SqlCompiler(const SchemaSqlQuery& q) : q_(q) {}
+
+  Result<SlogProgram> Run() {
+    // Declared variables by kind.
+    const SqlRange* first_tuple = nullptr;
+    for (const SqlRange& r : q_.from) {
+      range_of_[r.var] = &r;
+      if (r.kind == SqlRange::Kind::kTuples && first_tuple == nullptr) {
+        first_tuple = &r;
+      }
+    }
+    if (first_tuple == nullptr) {
+      return Status::InvalidArgument(
+          "SchemaSQL queries need at least one tuple variable (the output "
+          "tuple id)");
+    }
+
+    // Body shared by every per-column rule.
+    std::vector<Literal> body;
+    for (const SqlRange& r : q_.from) {
+      TABULAR_RETURN_NOT_OK(EmitRange(r, &body));
+    }
+    for (const SqlCondition& c : q_.where) {
+      TABULAR_ASSIGN_OR_RETURN(Term lhs, ResolveTerm(c.lhs, &body));
+      TABULAR_ASSIGN_OR_RETURN(Term rhs, ResolveTerm(c.rhs, &body));
+      Builtin b;
+      switch (c.op) {
+        case SqlCondition::Op::kEq: b.op = Builtin::Op::kEq; break;
+        case SqlCondition::Op::kNe: b.op = Builtin::Op::kNe; break;
+        case SqlCondition::Op::kLt: b.op = Builtin::Op::kLt; break;
+        case SqlCondition::Op::kLe: b.op = Builtin::Op::kLe; break;
+      }
+      b.lhs = std::move(lhs);
+      b.rhs = std::move(rhs);
+      body.push_back(Literal{std::move(b)});
+    }
+
+    SlogProgram out;
+    for (size_t i = 0; i < q_.select.size(); ++i) {
+      TABULAR_ASSIGN_OR_RETURN(Term value, ResolveTerm(q_.select[i], &body));
+      Rule rule;
+      rule.head.rel = Term::Const(q_.into_relation);
+      rule.head.tid = Term::Var(first_tuple->var);
+      rule.head.attr = Term::Const(q_.into_attributes[i]);
+      rule.head.val = std::move(value);
+      rule.body = body;
+      out.rules.push_back(std::move(rule));
+    }
+    TABULAR_RETURN_NOT_OK(out.Validate());
+    return out;
+  }
+
+ private:
+  Term RelTerm(const SqlRange& r) {
+    return r.rel_is_var ? Term::Var(r.rel_var) : Term::Const(r.rel);
+  }
+
+  Status EmitRange(const SqlRange& r, std::vector<Literal>* body) {
+    switch (r.kind) {
+      case SqlRange::Kind::kRelations: {
+        QuadAtom a;
+        a.rel = Term::Var(r.var);
+        a.tid = Term::Var("t$" + r.var);
+        a.attr = Term::Var("a$" + r.var);
+        a.val = Term::Var("w$" + r.var);
+        body->push_back(Literal{std::move(a)});
+        return Status::OK();
+      }
+      case SqlRange::Kind::kAttributes: {
+        QuadAtom a;
+        a.rel = RelTerm(r);
+        a.tid = Term::Var("t$" + r.var);
+        a.attr = Term::Var(r.var);
+        a.val = Term::Var("w$" + r.var);
+        body->push_back(Literal{std::move(a)});
+        return Status::OK();
+      }
+      case SqlRange::Kind::kTuples: {
+        // A grounding atom for the tuple id; field accesses add their own
+        // atoms sharing the tid.
+        QuadAtom a;
+        a.rel = RelTerm(r);
+        a.tid = Term::Var(r.var);
+        a.attr = Term::Var("a$" + r.var);
+        a.val = Term::Var("w$" + r.var);
+        body->push_back(Literal{std::move(a)});
+        return Status::OK();
+      }
+    }
+    return Status::Internal("unknown range kind");
+  }
+
+  /// Resolves a term, adding the field-access atom if needed; returns the
+  /// SchemaLog term carrying its value.
+  Result<Term> ResolveTerm(const SqlTerm& t, std::vector<Literal>* body) {
+    switch (t.kind) {
+      case SqlTerm::Kind::kConst:
+        return Term::Const(t.constant);
+      case SqlTerm::Kind::kVar: {
+        auto it = range_of_.find(t.var);
+        if (it == range_of_.end()) {
+          return Status::InvalidArgument("undeclared variable '" + t.var +
+                                         "'");
+        }
+        if (it->second->kind == SqlRange::Kind::kTuples) {
+          return Status::InvalidArgument(
+              "tuple variable '" + t.var +
+              "' cannot be selected directly; use " + t.var + ".<attr>");
+        }
+        return Term::Var(t.var);
+      }
+      case SqlTerm::Kind::kField: {
+        auto it = range_of_.find(t.var);
+        if (it == range_of_.end() ||
+            it->second->kind != SqlRange::Kind::kTuples) {
+          return Status::InvalidArgument("'" + t.var +
+                                         "' is not a tuple variable");
+        }
+        std::string attr_key =
+            t.attr_is_var ? "?" + t.attr_var : t.attr.ToString();
+        std::string val_var = "v$" + t.var + "$" + attr_key;
+        if (emitted_fields_.insert(val_var).second) {
+          QuadAtom a;
+          a.rel = RelTerm(*it->second);
+          a.tid = Term::Var(t.var);
+          a.attr = t.attr_is_var ? Term::Var(t.attr_var)
+                                 : Term::Const(t.attr);
+          a.val = Term::Var(val_var);
+          body->push_back(Literal{std::move(a)});
+        }
+        return Term::Var(val_var);
+      }
+    }
+    return Status::Internal("unknown term kind");
+  }
+
+  const SchemaSqlQuery& q_;
+  std::map<std::string, const SqlRange*> range_of_;
+  std::set<std::string> emitted_fields_;
+};
+
+}  // namespace
+
+Result<SchemaSqlQuery> ParseSchemaSql(std::string_view source) {
+  SqlParser parser(source);
+  return parser.Run();
+}
+
+Result<SlogProgram> CompileSchemaSql(const SchemaSqlQuery& query) {
+  SqlCompiler compiler(query);
+  return compiler.Run();
+}
+
+Result<core::Table> RunSchemaSql(std::string_view source,
+                                 const FactBase& edb) {
+  TABULAR_ASSIGN_OR_RETURN(SchemaSqlQuery query, ParseSchemaSql(source));
+  TABULAR_ASSIGN_OR_RETURN(SlogProgram program, CompileSchemaSql(query));
+  TABULAR_ASSIGN_OR_RETURN(FactBase result, Evaluate(program, edb));
+  // Keep only the INTO relation's facts.
+  FactBase projected;
+  for (const Fact& f : result.facts()) {
+    if (f[0] == query.into_relation) projected.Insert(f);
+  }
+  core::TabularDatabase db =
+      FactsToTabular(projected, /*keep_tids=*/false);
+  if (db.empty()) {
+    // No results: the empty table over the declared attributes.
+    core::Table t(1, 1 + query.into_attributes.size());
+    t.set_name(query.into_relation);
+    for (size_t j = 0; j < query.into_attributes.size(); ++j) {
+      t.set(0, j + 1, query.into_attributes[j]);
+    }
+    return t;
+  }
+  // Reorder columns into the declared attribute order via projection.
+  TABULAR_ASSIGN_OR_RETURN(rel::Relation r,
+                           rel::TableToRelation(db.tables()[0]));
+  // Missing attributes (possible when every value was ⊥) are an error.
+  TABULAR_ASSIGN_OR_RETURN(
+      rel::Relation aligned,
+      rel::Project(r, query.into_attributes, query.into_relation));
+  return rel::RelationToTable(aligned);
+}
+
+}  // namespace tabular::slog

@@ -1,0 +1,101 @@
+#ifndef TABULAR_SCHEMALOG_SCHEMASQL_H_
+#define TABULAR_SCHEMALOG_SCHEMASQL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/table.h"
+#include "schemalog/schemalog.h"
+
+namespace tabular::slog {
+
+/// SchemaSQL — the SQL-flavored companion of SchemaLog (the paper's
+/// reference [13], "SchemaSQL — A Language for Querying and Restructuring
+/// Multidatabase Systems") — restricted, like SchemaLog_d (§4.2), to a
+/// single database. Its novelty over SQL is that FROM variables may range
+/// not only over tuples but over *relation names* and *attribute names*,
+/// which is what lets one query fold schema into data (and is exactly the
+/// latitude the tabular model gives tables).
+///
+/// Grammar (keywords case-insensitive; `--` comments):
+///
+///   query  := SELECT term ("," term)*
+///             INTO ident "(" ident ("," ident)* ")"
+///             FROM range ("," range)*
+///             [WHERE cond (AND cond)*]
+///   range  := "->" VAR            -- VAR ranges over relation names
+///           | relspec "->" VAR    -- VAR ranges over attribute names
+///           | relspec VAR         -- VAR ranges over tuples
+///   relspec:= ident               -- a literal relation name
+///           | VAR                 -- a relation-name variable in scope
+///   term   := VAR                 -- a relation/attribute-name variable
+///           | VAR "." attrspec    -- a tuple variable's field
+///           | "'" text "'" | NUMBER
+///   attrspec := ident | VAR
+///   cond   := term ("=" | "<>" | "<" | "<=") term
+///
+/// Variables are the identifiers introduced by FROM ranges; every other
+/// identifier is a literal name. Queries compile to SchemaLog_d rules (one
+/// per SELECT column, sharing the first tuple variable's tuple id) and
+/// evaluate on the quadruple store — so by Theorem 4.5 every SchemaSQL
+/// query is, transitively, a tabular-algebra program.
+///
+/// Example — folding per-region relations into one, region as data:
+///
+///   SELECT R, T.part, T.sold
+///   INTO   combined(region, part, sold)
+///   FROM   -> R, R T
+///   WHERE  R <> combined
+
+/// One parsed SELECT term / condition operand.
+struct SqlTerm {
+  enum class Kind { kVar, kField, kConst };
+  Kind kind = Kind::kConst;
+  std::string var;        // kVar / kField (the tuple variable)
+  bool attr_is_var = false;  // kField: attribute given as a variable?
+  std::string attr_var;   // kField with variable attribute
+  Symbol attr;            // kField with literal attribute
+  Symbol constant;        // kConst
+};
+
+struct SqlRange {
+  enum class Kind { kRelations, kAttributes, kTuples };
+  Kind kind = Kind::kTuples;
+  bool rel_is_var = false;  // relspec is a variable (kAttributes/kTuples)
+  std::string rel_var;
+  Symbol rel;               // literal relspec
+  std::string var;          // the variable being introduced
+};
+
+struct SqlCondition {
+  enum class Op { kEq, kNe, kLt, kLe };
+  Op op = Op::kEq;
+  SqlTerm lhs;
+  SqlTerm rhs;
+};
+
+struct SchemaSqlQuery {
+  std::vector<SqlTerm> select;
+  Symbol into_relation;
+  SymbolVec into_attributes;
+  std::vector<SqlRange> from;
+  std::vector<SqlCondition> where;
+};
+
+/// Parses the surface syntax above.
+Result<SchemaSqlQuery> ParseSchemaSql(std::string_view source);
+
+/// Compiles a query to SchemaLog_d rules: one rule per SELECT column,
+/// every rule keyed by the first tuple variable's tuple id (queries
+/// therefore need at least one tuple range).
+Result<SlogProgram> CompileSchemaSql(const SchemaSqlQuery& query);
+
+/// Parses, compiles, evaluates over `edb`, and renders the INTO relation
+/// as a table of the tabular model (attributes in SELECT order).
+Result<core::Table> RunSchemaSql(std::string_view source,
+                                 const FactBase& edb);
+
+}  // namespace tabular::slog
+
+#endif  // TABULAR_SCHEMALOG_SCHEMASQL_H_

@@ -1,0 +1,223 @@
+#include "schemalog/translate.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace tabular::slog {
+
+using rel::FoProgram;
+using rel::FoStatement;
+using rel::Relation;
+using rel::RelExpr;
+using rel::RelExprPtr;
+
+core::Symbol SlogFactsName() { return Symbol::Name("SL"); }
+
+namespace {
+
+const char* kPositions[4] = {"Rel", "Tid", "Attr", "Val"};
+
+SymbolVec SlColumns() {
+  return {Symbol::Name("Rel"), Symbol::Name("Tid"), Symbol::Name("Attr"),
+          Symbol::Name("Val")};
+}
+
+}  // namespace
+
+Relation FactsToRelation(const FactBase& facts) {
+  Relation out(SlogFactsName(), SlColumns());
+  for (const Fact& f : facts.facts()) {
+    Status st = out.Insert({f[0], f[1], f[2], f[3]});
+    (void)st;  // arity is fixed at 4
+  }
+  return out;
+}
+
+Result<FactBase> RelationToFacts(const Relation& r) {
+  if (r.arity() != 4) {
+    return Status::InvalidArgument("quadruple relation must have arity 4");
+  }
+  FactBase out;
+  for (const SymbolVec& t : r.tuples()) {
+    out.Insert(Fact{t[0], t[1], t[2], t[3]});
+  }
+  return out;
+}
+
+namespace {
+
+/// Compiles one rule body+head into a relational expression with scheme
+/// SL(Rel,Tid,Attr,Val). Returns nullptr for rules statically falsified by
+/// constant-constant builtins.
+class RuleCompiler {
+ public:
+  Result<RelExprPtr> Compile(const Rule& rule) {
+    std::vector<const QuadAtom*> quads;
+    std::vector<const Builtin*> builtins;
+    for (const Literal& l : rule.body) {
+      if (const auto* q = std::get_if<QuadAtom>(&l)) {
+        quads.push_back(q);
+      } else {
+        builtins.push_back(&std::get<Builtin>(l));
+      }
+    }
+
+    RelExprPtr joined;
+    var_col_.clear();
+    std::vector<std::pair<Symbol, Symbol>> equalities;
+
+    for (size_t i = 0; i < quads.size(); ++i) {
+      RelExprPtr atom = RelExpr::Rel(SlogFactsName());
+      // Rename the four columns apart so the product is well-formed.
+      SymbolVec cols;
+      for (int p = 0; p < 4; ++p) {
+        Symbol col = Symbol::Name("a" + std::to_string(i) + "_" +
+                                  kPositions[p]);
+        atom = RelExpr::Ren(atom, Symbol::Name(kPositions[p]), col);
+        cols.push_back(col);
+      }
+      const Term* terms[4] = {&quads[i]->rel, &quads[i]->tid,
+                              &quads[i]->attr, &quads[i]->val};
+      for (int p = 0; p < 4; ++p) {
+        if (!terms[p]->is_var) {
+          atom = RelExpr::SelConst(atom, cols[p], terms[p]->constant);
+          continue;
+        }
+        auto [it, inserted] = var_col_.emplace(terms[p]->variable, cols[p]);
+        if (!inserted) equalities.emplace_back(it->second, cols[p]);
+      }
+      joined = joined == nullptr ? atom
+                                 : RelExpr::Prod(std::move(joined), atom);
+    }
+
+    for (auto [a, b] : equalities) {
+      joined = RelExpr::Sel(std::move(joined), a, b);
+    }
+
+    // Built-ins.
+    for (const Builtin* b : builtins) {
+      if (b->op == Builtin::Op::kLt || b->op == Builtin::Op::kLe) {
+        return Status::InvalidArgument(
+            "order built-ins are not generic and cannot be translated: " +
+            b->ToString());
+      }
+      const bool lv = b->lhs.is_var;
+      const bool rv = b->rhs.is_var;
+      if (!lv && !rv) {
+        bool truth = (b->lhs.constant == b->rhs.constant) ==
+                     (b->op == Builtin::Op::kEq);
+        if (truth) continue;      // trivially satisfied
+        return RelExprPtr{};      // rule statically falsified
+      }
+      if (joined == nullptr) {
+        return Status::InvalidArgument(
+            "built-in over variables needs a body atom: " + b->ToString());
+      }
+      RelExprPtr eq;
+      if (lv && rv) {
+        eq = RelExpr::Sel(joined, var_col_.at(b->lhs.variable),
+                          var_col_.at(b->rhs.variable));
+      } else if (lv) {
+        eq = RelExpr::SelConst(joined, var_col_.at(b->lhs.variable),
+                               b->rhs.constant);
+      } else {
+        eq = RelExpr::SelConst(joined, var_col_.at(b->rhs.variable),
+                               b->lhs.constant);
+      }
+      joined = b->op == Builtin::Op::kEq
+                   ? eq
+                   : RelExpr::Diff(joined, std::move(eq));
+    }
+
+    // Head materialization: one fresh column per head position.
+    const Term* head_terms[4] = {&rule.head.rel, &rule.head.tid,
+                                 &rule.head.attr, &rule.head.val};
+    if (joined == nullptr) {
+      // Ground fact (possibly with trivially-true builtins).
+      SymbolVec tuple;
+      for (int p = 0; p < 4; ++p) {
+        if (head_terms[p]->is_var) {
+          return Status::InvalidArgument(
+              "unsafe rule: head variable without body atoms");
+        }
+        tuple.push_back(head_terms[p]->constant);
+      }
+      return RelExpr::Const(SlColumns(), std::move(tuple));
+    }
+    SymbolVec head_cols;
+    for (int p = 0; p < 4; ++p) {
+      Symbol col = Symbol::Name(std::string("h_") + kPositions[p]);
+      head_cols.push_back(col);
+      if (!head_terms[p]->is_var) {
+        joined = RelExpr::Prod(std::move(joined),
+                               RelExpr::Const({col}, {head_terms[p]->constant}));
+        continue;
+      }
+      Symbol src = var_col_.at(head_terms[p]->variable);
+      // Duplicate the source column under the fresh name: join with the
+      // renamed projection of (a copy of) the expression and select equal.
+      RelExprPtr copy = RelExpr::Ren(RelExpr::Proj(joined, {src}), src, col);
+      joined = RelExpr::Sel(RelExpr::Prod(std::move(joined), std::move(copy)),
+                            src, col);
+    }
+    RelExprPtr projected = RelExpr::Proj(std::move(joined), head_cols);
+    for (int p = 0; p < 4; ++p) {
+      projected = RelExpr::Ren(std::move(projected), head_cols[p],
+                               Symbol::Name(kPositions[p]));
+    }
+    return projected;
+  }
+
+ private:
+  std::map<std::string, Symbol> var_col_;
+};
+
+}  // namespace
+
+Result<FoProgram> TranslateSlogToFo(const SlogProgram& program) {
+  TABULAR_RETURN_NOT_OK(program.Validate());
+  const Symbol sl = SlogFactsName();
+  const Symbol sl_new = Symbol::Name("sl_new");
+  const Symbol sl_next = Symbol::Name("sl_next");
+  const Symbol sl_changed = Symbol::Name("sl_changed");
+
+  RuleCompiler compiler;
+  std::vector<RelExprPtr> rule_exprs;
+  for (const Rule& r : program.rules) {
+    TABULAR_ASSIGN_OR_RETURN(RelExprPtr e, compiler.Compile(r));
+    if (e != nullptr) rule_exprs.push_back(std::move(e));
+  }
+
+  FoProgram out;
+  if (rule_exprs.empty()) return out;  // nothing derivable: SL unchanged
+
+  // One fixpoint round: sl_new := ∪ rules; sl_next := SL ∪ sl_new;
+  // sl_changed := sl_next \ SL; SL := sl_next.
+  auto round = [&](std::vector<FoStatement>* sink) {
+    RelExprPtr all = rule_exprs[0];
+    for (size_t i = 1; i < rule_exprs.size(); ++i) {
+      all = RelExpr::Un(std::move(all), rule_exprs[i]);
+    }
+    sink->push_back(FoStatement::Assign(sl_new, std::move(all)));
+    sink->push_back(FoStatement::Assign(
+        sl_next, RelExpr::Un(RelExpr::Rel(sl), RelExpr::Rel(sl_new))));
+    sink->push_back(FoStatement::Assign(
+        sl_changed,
+        RelExpr::Diff(RelExpr::Rel(sl_next), RelExpr::Rel(sl))));
+    sink->push_back(FoStatement::Assign(sl, RelExpr::Rel(sl_next)));
+  };
+
+  round(&out.statements);
+  std::vector<FoStatement> body;
+  round(&body);
+  out.statements.push_back(FoStatement::While(sl_changed, std::move(body)));
+  return out;
+}
+
+Result<rel::FoTranslation> TranslateSlogToTabular(const SlogProgram& program) {
+  TABULAR_ASSIGN_OR_RETURN(FoProgram fo, TranslateSlogToFo(program));
+  return rel::TranslateFoToTabular(fo);
+}
+
+}  // namespace tabular::slog

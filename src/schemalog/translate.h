@@ -1,0 +1,47 @@
+#ifndef TABULAR_SCHEMALOG_TRANSLATE_H_
+#define TABULAR_SCHEMALOG_TRANSLATE_H_
+
+#include "relational/fo_while.h"
+#include "schemalog/schemalog.h"
+
+namespace tabular::slog {
+
+/// Theorem 4.5: every SchemaLog_d program has an equivalent tabular
+/// algebra program. The construction goes through two layers:
+///
+///   SchemaLog_d rules  ──►  FO+while over the quadruple relation
+///                      ──►  tabular algebra      (rel::TranslateFoToTabular)
+///
+/// The quadruple relation `SL(Rel, Tid, Attr, Val)` is the flattening of
+/// the SchemaLog store — the same move as the paper's canonical
+/// representation (§4.1), which is what makes the embedding work on
+/// variable-width relations.
+///
+/// Restriction: the order built-ins `<`, `<=` are *not* translated — they
+/// are not generic in the paper's sense (§4.1 condition (i) demands
+/// invariance under value permutations) and hence fall outside
+/// transformations; `=` and `!=` are fully supported. Translating a
+/// program with order built-ins returns InvalidArgument.
+
+/// The reserved name of the quadruple relation.
+core::Symbol SlogFactsName();  // "SL"
+
+/// Renders a fact base as the quadruple relation SL(Rel,Tid,Attr,Val).
+rel::Relation FactsToRelation(const FactBase& facts);
+
+/// Reads the quadruple relation back into a fact base (arity must be 4).
+Result<FactBase> RelationToFacts(const rel::Relation& r);
+
+/// Compiles `program` into an FO+while program computing the SchemaLog
+/// fixpoint of SL in place (SL must be present in the database).
+/// Scratch relations are named "sl_*".
+Result<rel::FoProgram> TranslateSlogToFo(const SlogProgram& program);
+
+/// End-to-end Theorem 4.5: the tabular-algebra program (plus constant
+/// prelude tables) whose run on a database containing the tabular image
+/// of SL leaves the fixpoint in the table named SL.
+Result<rel::FoTranslation> TranslateSlogToTabular(const SlogProgram& program);
+
+}  // namespace tabular::slog
+
+#endif  // TABULAR_SCHEMALOG_TRANSLATE_H_

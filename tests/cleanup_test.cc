@@ -1,0 +1,213 @@
+#include "algebra/cleanup.h"
+
+#include <gtest/gtest.h>
+
+#include "algebra/restructure.h"
+#include "algebra/traditional.h"
+#include "core/sales_data.h"
+#include "tests/test_util.h"
+
+namespace tabular::algebra {
+namespace {
+
+using core::Table;
+using ::tabular::testing::N;
+using ::tabular::testing::NUL;
+using ::tabular::testing::V;
+
+// ---------------------------------------------------------------------------
+// The paper's §3.4 pipeline: Figure 4 bottom --CLEAN-UP by Part on ⊥-->
+// per-part rows --PURGE on Sold by Region--> SalesInfo2's bold Sales table.
+// ---------------------------------------------------------------------------
+
+TEST(CleanUpTest, Figure4BottomGroupsPerPart) {
+  auto r = CleanUp(fixtures::Figure4GroupedGolden(), {N("Part")}, {NUL()},
+                   N("Sales"));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Region leading row + one row per part.
+  EXPECT_EQ(r->height(), 4u);
+  EXPECT_EQ(r->RowAttribute(1), N("Region"));
+  // nuts row keeps its Sold values at their original columns.
+  EXPECT_EQ(r->Data(2, 1), V("nuts"));
+  EXPECT_EQ(r->Data(2, 2), V("50"));
+  EXPECT_EQ(r->Data(2, 3), V("60"));
+  EXPECT_EQ(r->Data(2, 4), V("40"));
+  EXPECT_EQ(r->Data(2, 5), NUL());
+}
+
+TEST(CleanUpPurgeTest, PipelineReproducesSalesInfo2Bold) {
+  auto cleaned = CleanUp(fixtures::Figure4GroupedGolden(), {N("Part")},
+                         {NUL()}, N("Sales"));
+  ASSERT_TRUE(cleaned.ok());
+  auto purged = Purge(*cleaned, {N("Sold")}, {N("Region")}, N("Sales"));
+  ASSERT_TRUE(purged.ok()) << purged.status().ToString();
+  EXPECT_TABLE_EQUIV(*purged,
+                     fixtures::SalesInfo2Table(/*with_summaries=*/false));
+}
+
+TEST(CleanUpPurgeTest, FullGroupPipelineFromFlatSales) {
+  // GROUP, then redundancy removal: flat Sales -> SalesInfo2 (bold).
+  auto grouped =
+      Group(fixtures::SalesFlat(), {N("Region")}, {N("Sold")}, N("Sales"));
+  ASSERT_TRUE(grouped.ok());
+  auto cleaned = CleanUp(*grouped, {N("Part")}, {NUL()}, N("Sales"));
+  ASSERT_TRUE(cleaned.ok());
+  auto purged = Purge(*cleaned, {N("Sold")}, {N("Region")}, N("Sales"));
+  ASSERT_TRUE(purged.ok());
+  EXPECT_TABLE_EQUIV(*purged, fixtures::SalesInfo2Table(false));
+}
+
+// ---------------------------------------------------------------------------
+// CLEAN-UP unit behaviour
+// ---------------------------------------------------------------------------
+
+TEST(CleanUpTest, MergesCompatibleRows) {
+  Table t = Table::Parse({
+      {"!T", "!K", "!A", "!B"},
+      {"#", "k", "1", "#"},
+      {"#", "k", "#", "2"},
+  });
+  auto r = CleanUp(t, {N("K")}, {NUL()}, N("T"));
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->height(), 1u);
+  EXPECT_EQ(r->Data(1, 2), V("1"));
+  EXPECT_EQ(r->Data(1, 3), V("2"));
+}
+
+TEST(CleanUpTest, RetainsConflictingRows) {
+  // Same key but conflicting A values: no common subsuming tuple fits.
+  Table t = Table::Parse({
+      {"!T", "!K", "!A"},
+      {"#", "k", "1"},
+      {"#", "k", "2"},
+  });
+  auto r = CleanUp(t, {N("K")}, {NUL()}, N("T"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->height(), 2u);
+}
+
+TEST(CleanUpTest, DifferentKeysStaySeparate) {
+  Table t = Table::Parse({
+      {"!T", "!K", "!A"},
+      {"#", "k1", "1"},
+      {"#", "k2", "#"},
+  });
+  auto r = CleanUp(t, {N("K")}, {NUL()}, N("T"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->height(), 2u);
+}
+
+TEST(CleanUpTest, RowsOutsideOnSetPassThrough) {
+  Table t = Table::Parse({
+      {"!T", "!K", "!A"},
+      {"!H", "k", "1"},
+      {"!H", "k", "1"},
+      {"#", "k", "2"},
+  });
+  // Only ⊥-named rows are candidates: the two H rows stay duplicated.
+  auto r = CleanUp(t, {N("K")}, {NUL()}, N("T"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->height(), 3u);
+}
+
+TEST(CleanUpTest, KeyIsSetBasedAcrossRepeatedColumns) {
+  // K appears twice; {k,⊥} and {⊥,k} have the same stripped set, so the
+  // rows group together and merge.
+  Table t = Table::Parse({
+      {"!T", "!K", "!K", "!A"},
+      {"#", "k", "#", "1"},
+      {"#", "#", "k", "#"},
+  });
+  auto r = CleanUp(t, {N("K")}, {NUL()}, N("T"));
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->height(), 1u);
+  EXPECT_EQ(r->Data(1, 3), V("1"));
+}
+
+TEST(CleanUpTest, MergedRowPlacedAtFirstMemberPosition) {
+  Table t = Table::Parse({
+      {"!T", "!K", "!A"},
+      {"#", "k1", "1"},
+      {"#", "k2", "9"},
+      {"#", "k1", "#"},
+  });
+  auto r = CleanUp(t, {N("K")}, {NUL()}, N("T"));
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->height(), 2u);
+  EXPECT_EQ(r->Data(1, 1), V("k1"));
+  EXPECT_EQ(r->Data(2, 1), V("k2"));
+}
+
+TEST(CleanUpTest, EmptyByGroupsAllCandidatesByRowAttribute) {
+  Table t = Table::Parse({
+      {"!T", "!A", "!B"},
+      {"#", "1", "#"},
+      {"#", "#", "2"},
+  });
+  auto r = CleanUp(t, {}, {NUL()}, N("T"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->height(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// PURGE and duplicate elimination
+// ---------------------------------------------------------------------------
+
+TEST(PurgeTest, MergesDuplicateColumns) {
+  Table t = Table::Parse({
+      {"!T", "!S", "!S"},
+      {"!K", "k", "k"},
+      {"#", "1", "#"},
+      {"#", "#", "2"},
+  });
+  auto r = Purge(t, {N("S")}, {N("K")}, N("T"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->width(), 1u);
+  EXPECT_EQ(r->Data(2, 1), V("1"));
+  EXPECT_EQ(r->Data(3, 1), V("2"));
+}
+
+TEST(PurgeTest, PreservesNameAndRowAttributes) {
+  Table t = fixtures::SalesInfo2Table(false);
+  auto r = Purge(t, {N("Sold")}, {N("Region")}, N("Renamed"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->name(), N("Renamed"));
+  EXPECT_EQ(r->RowAttribute(1), N("Region"));
+  // All four regions are distinct: nothing merges.
+  EXPECT_EQ(r->width(), t.width());
+}
+
+TEST(DeduplicateRowsTest, ClassicalDuplicateElimination) {
+  Table t = Table::Parse({
+      {"!T", "!A", "!B"},
+      {"#", "1", "2"},
+      {"#", "1", "2"},
+      {"#", "3", "4"},
+  });
+  auto r = DeduplicateRows(t, N("T"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->height(), 2u);
+}
+
+TEST(DeduplicateRowsTest, ClassicalUnionViaTabularPipeline) {
+  // Paper §3.4: classical union = tabular union + purge + clean-up.
+  Table r1 = Table::Parse({{"!R", "!A", "!B"}, {"#", "1", "2"}});
+  Table r2 = Table::Parse({{"!S", "!A", "!B"},
+                           {"#", "1", "2"},
+                           {"#", "3", "4"}});
+  auto u = Union(r1, r2, N("T"));
+  ASSERT_TRUE(u.ok());
+  // Merge the duplicated A/B column pairs: an empty 'by' keys columns by
+  // their attribute alone, and the union's ⊥ padding is position-disjoint.
+  auto purged = Purge(*u, {N("A"), N("B")}, {}, N("T"));
+  ASSERT_TRUE(purged.ok()) << purged.status().ToString();
+  auto deduped = DeduplicateRows(*purged, N("T"));
+  ASSERT_TRUE(deduped.ok());
+  Table expect = Table::Parse({{"!T", "!A", "!B"},
+                               {"#", "1", "2"},
+                               {"#", "3", "4"}});
+  EXPECT_TABLE_EQUIV(*deduped, expect);
+}
+
+}  // namespace
+}  // namespace tabular::algebra

@@ -1,0 +1,83 @@
+#include "core/database.h"
+
+#include <gtest/gtest.h>
+
+#include "core/sales_data.h"
+#include "tests/test_util.h"
+
+namespace tabular::core {
+namespace {
+
+using ::tabular::testing::N;
+using ::tabular::testing::V;
+
+TEST(DatabaseTest, StartsEmpty) {
+  TabularDatabase db;
+  EXPECT_TRUE(db.empty());
+  EXPECT_EQ(db.size(), 0u);
+  EXPECT_TRUE(db.TableNames().empty());
+}
+
+TEST(DatabaseTest, MultisetSemanticsAllowDuplicateNames) {
+  // Figure 1's SalesInfo4: several tables named Sales.
+  TabularDatabase db = fixtures::SalesInfo4(false);
+  EXPECT_EQ(db.size(), 4u);
+  EXPECT_EQ(db.Named(N("Sales")).size(), 4u);
+  EXPECT_EQ(db.TableNames().size(), 1u);
+}
+
+TEST(DatabaseTest, IndicesNamedTracksInsertionOrder) {
+  TabularDatabase db;
+  db.Add(Table::Parse({{"!A", "!X"}}));
+  db.Add(Table::Parse({{"!B", "!X"}}));
+  db.Add(Table::Parse({{"!A", "!Y"}}));
+  std::vector<size_t> idx = db.IndicesNamed(N("A"));
+  ASSERT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx[0], 0u);
+  EXPECT_EQ(idx[1], 2u);
+}
+
+TEST(DatabaseTest, RemoveNamedReturnsCount) {
+  TabularDatabase db = fixtures::SalesInfo4(true);
+  EXPECT_EQ(db.RemoveNamed(N("Sales")), 5u);
+  EXPECT_TRUE(db.empty());
+  EXPECT_EQ(db.RemoveNamed(N("Sales")), 0u);
+}
+
+TEST(DatabaseTest, HasTableNamed) {
+  TabularDatabase db = fixtures::SalesInfo1(true);
+  EXPECT_TRUE(db.HasTableNamed(N("GrandTotal")));
+  EXPECT_FALSE(db.HasTableNamed(N("Nope")));
+}
+
+TEST(DatabaseTest, AllSymbolsSpansEveryTable) {
+  TabularDatabase db = fixtures::SalesInfo1(true);
+  SymbolSet s = db.AllSymbols();
+  EXPECT_TRUE(s.contains(N("GrandTotal")));
+  EXPECT_TRUE(s.contains(V("nuts")));
+  EXPECT_TRUE(s.contains(V("420")));
+}
+
+TEST(DatabaseTest, NameHasDataRows) {
+  TabularDatabase db;
+  db.Add(Table::Parse({{"!Empty", "!A"}}));
+  db.Add(Table::Parse({{"!Full", "!A"}, {"#", "1"}}));
+  EXPECT_FALSE(db.NameHasDataRows(N("Empty")));
+  EXPECT_TRUE(db.NameHasDataRows(N("Full")));
+  EXPECT_FALSE(db.NameHasDataRows(N("Missing")));
+  // A second empty table under a full name changes nothing.
+  db.Add(Table::Parse({{"!Empty", "!B"}, {"#", "x"}}));
+  EXPECT_TRUE(db.NameHasDataRows(N("Empty")));
+}
+
+TEST(DatabaseTest, TablesMayBeNamedNull) {
+  // Attributes are optional everywhere, including the name cell.
+  TabularDatabase db;
+  Table anonymous;
+  db.Add(anonymous);
+  EXPECT_TRUE(db.HasTableNamed(Symbol::Null()));
+  EXPECT_EQ(db.Named(Symbol::Null()).size(), 1u);
+}
+
+}  // namespace
+}  // namespace tabular::core

@@ -1,0 +1,128 @@
+#include "algebra/derived.h"
+
+#include <gtest/gtest.h>
+
+#include "core/sales_data.h"
+#include "relational/canonical.h"
+#include "tests/test_util.h"
+
+namespace tabular::algebra {
+namespace {
+
+using core::Table;
+using ::tabular::testing::N;
+using ::tabular::testing::NUL;
+using ::tabular::testing::V;
+
+TEST(ClassicalUnionTest, MatchesSetUnion) {
+  Table a = Table::Parse({{"!R", "!A", "!B"},
+                          {"#", "1", "x"},
+                          {"#", "2", "y"}});
+  Table b = Table::Parse({{"!S", "!A", "!B"},
+                          {"#", "2", "y"},
+                          {"#", "3", "z"}});
+  auto u = ClassicalUnion(a, b, N("T"));
+  ASSERT_TRUE(u.ok()) << u.status().ToString();
+  EXPECT_EQ(u->width(), 2u);
+  EXPECT_EQ(u->height(), 3u);
+  // Agrees with the relational union.
+  auto ra = rel::TableToRelation(a);
+  auto rb = rel::TableToRelation(b);
+  auto want = rel::Union(*ra, *rb, N("T"));
+  auto got = rel::TableToRelation(*u);
+  ASSERT_TRUE(got.ok());
+  auto aligned = rel::Project(*got, want->attributes(), N("T"));
+  ASSERT_TRUE(aligned.ok());
+  EXPECT_TRUE(*aligned == *want);
+}
+
+TEST(ProjectAwayTest, ComplementOfProject) {
+  Table t = fixtures::SalesFlat();
+  auto away = ProjectAway(t, core::SymbolSet{N("Sold")}, N("P"));
+  ASSERT_TRUE(away.ok());
+  EXPECT_EQ(away->width(), 2u);
+  EXPECT_TRUE(away->ColumnsNamed(N("Sold")).empty());
+  EXPECT_EQ(away->ColumnsNamed(N("Part")).size(), 1u);
+}
+
+TEST(ProjectAwayTest, RepeatedAttributesAllDropped) {
+  Table t = fixtures::SalesInfo2Table(false);
+  auto away = ProjectAway(t, core::SymbolSet{N("Sold")}, N("P"));
+  ASSERT_TRUE(away.ok());
+  EXPECT_EQ(away->width(), 1u);  // only Part survives
+}
+
+TEST(NaturalJoinTablesTest, AgreesWithRelationalJoin) {
+  Table a = Table::Parse({{"!R", "!A", "!B"},
+                          {"#", "1", "x"},
+                          {"#", "2", "y"}});
+  Table b = Table::Parse({{"!S", "!B", "!C"},
+                          {"#", "x", "c1"},
+                          {"#", "x", "c2"},
+                          {"#", "z", "c3"}});
+  auto j = NaturalJoinTables(a, b, N("J"));
+  ASSERT_TRUE(j.ok()) << j.status().ToString();
+  auto got = rel::TableToRelation(*j);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  auto ra = rel::TableToRelation(a);
+  auto rb = rel::TableToRelation(b);
+  auto want = rel::NaturalJoin(*ra, *rb, N("J"));
+  ASSERT_TRUE(want.ok());
+  auto aligned = rel::Project(*got, want->attributes(), N("J"));
+  ASSERT_TRUE(aligned.ok()) << aligned.status().ToString();
+  EXPECT_TRUE(*aligned == *want)
+      << "tabular:\n" << aligned->ToString() << "relational:\n"
+      << want->ToString();
+}
+
+TEST(NaturalJoinTablesTest, NoSharedAttributesIsProduct) {
+  Table a = Table::Parse({{"!R", "!A"}, {"#", "1"}, {"#", "2"}});
+  Table b = Table::Parse({{"!S", "!B"}, {"#", "x"}});
+  auto j = NaturalJoinTables(a, b, N("J"));
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(j->height(), 2u);
+  EXPECT_EQ(j->width(), 2u);
+}
+
+TEST(SelectRowsByAttributeTest, KeepsOnlyNamedRows) {
+  Table t = fixtures::SalesInfo2Table(true);
+  auto r = SelectRowsByAttribute(t, core::SymbolSet{N("Region")}, N("T"));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->height(), 1u);
+  EXPECT_EQ(r->RowAttribute(1), N("Region"));
+  EXPECT_EQ(r->width(), t.width());
+}
+
+TEST(SelectRowsByAttributeTest, NullSelectsUnnamedRows) {
+  Table t = fixtures::SalesInfo2Table(true);
+  auto r = SelectRowsByAttribute(t, core::SymbolSet{NUL()}, N("T"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->height(), 3u);  // the three part rows
+}
+
+TEST(SelectColumnsWhereTest, PicksColumnsByLabelRowEntry) {
+  Table t = fixtures::SalesInfo2Table(false);
+  auto r = SelectColumnsWhere(t, N("Region"), V("east"), N("T"));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // Only the east Sold column survives; Part drops (its Region entry is ⊥).
+  EXPECT_EQ(r->width(), 1u);
+  EXPECT_EQ(r->Data(2, 1), V("50"));  // nuts-east
+}
+
+TEST(CompactTest, CompactsCollapseUnionPadding) {
+  // Compact's attribute-only purge key targets the position-disjoint ⊥
+  // padding a COLLAPSE's union fold introduces (it cannot merge columns
+  // whose label rows conflict — use the region-keyed PURGE for those).
+  auto split = Split(fixtures::SalesFlat(), {N("Region")}, N("Sales"));
+  ASSERT_TRUE(split.ok());
+  auto collapsed = Collapse(*split, {N("Region")}, N("Sales"));
+  ASSERT_TRUE(collapsed.ok());
+  auto compacted = Compact(
+      *collapsed, {N("Part"), N("Region"), N("Sold")}, N("Sales"));
+  ASSERT_TRUE(compacted.ok()) << compacted.status().ToString();
+  EXPECT_LT(compacted->width(), collapsed->width());
+  EXPECT_TABLE_EQUIV(*compacted, fixtures::SalesFlat());
+}
+
+}  // namespace
+}  // namespace tabular::algebra

@@ -1,0 +1,144 @@
+// Internal-consistency checks on the Figure 1 transcriptions: all four
+// databases carry the same underlying facts, and every absorbed summary
+// value equals the aggregate it claims to be. These tests guard the
+// fixtures every golden test in the suite depends on.
+
+#include <gtest/gtest.h>
+
+#include "core/compare.h"
+#include "core/sales_data.h"
+#include "olap/aggregate.h"
+#include "olap/pivot.h"
+#include "relational/canonical.h"
+#include "tests/test_util.h"
+
+namespace tabular::fixtures {
+namespace {
+
+using core::Symbol;
+using core::Table;
+using rel::Relation;
+using ::tabular::testing::N;
+using ::tabular::testing::V;
+
+Relation Flat() {
+  auto r = rel::TableToRelation(SalesFlat());
+  EXPECT_TRUE(r.ok());
+  return std::move(r).value();
+}
+
+TEST(Fig1ConsistencyTest, Info2CarriesTheSameFacts) {
+  auto facts = olap::UnpivotHash(SalesInfo2Table(false), N("Region"),
+                                 N("Sold"), N("Sales"));
+  ASSERT_TRUE(facts.ok());
+  auto aligned = rel::Project(*facts, Flat().attributes(), N("Sales"));
+  ASSERT_TRUE(aligned.ok());
+  EXPECT_TRUE(*aligned == Flat());
+}
+
+TEST(Fig1ConsistencyTest, Info3CarriesTheSameFacts) {
+  auto facts = olap::CrossTabToRelation(SalesInfo3Table(false), N("Region"),
+                                        N("Part"), N("Sold"), N("Sales"));
+  ASSERT_TRUE(facts.ok());
+  // Reorder to (Part, Region, Sold).
+  auto aligned = rel::Project(*facts, Flat().attributes(), N("Sales"));
+  ASSERT_TRUE(aligned.ok());
+  EXPECT_TRUE(*aligned == Flat());
+}
+
+TEST(Fig1ConsistencyTest, Info3WithSummariesStripsToTheSameFacts) {
+  // CrossTabToRelation skips name-labeled summary rows/columns, so the
+  // full table must reduce to the same facts as the bold part.
+  auto facts = olap::CrossTabToRelation(SalesInfo3Table(true), N("Region"),
+                                        N("Part"), N("Sold"), N("Sales"));
+  ASSERT_TRUE(facts.ok());
+  auto aligned = rel::Project(*facts, Flat().attributes(), N("Sales"));
+  ASSERT_TRUE(aligned.ok());
+  EXPECT_TRUE(*aligned == Flat());
+}
+
+TEST(Fig1ConsistencyTest, Info4CarriesTheSameFacts) {
+  // Collapse the per-region tables and compare as a set of facts.
+  core::TabularDatabase db = SalesInfo4(false);
+  Relation all(N("Sales"), Flat().attributes());
+  for (const Table& t : db.tables()) {
+    std::vector<size_t> region_rows = t.RowsNamed(N("Region"));
+    ASSERT_EQ(region_rows.size(), 1u);
+    Symbol region = t.Data(region_rows[0], 1);
+    for (size_t i = 1; i <= t.height(); ++i) {
+      if (i == region_rows[0]) continue;
+      ASSERT_TRUE(all.Insert({t.Data(i, 1), region, t.Data(i, 2)}).ok());
+    }
+  }
+  EXPECT_TRUE(all == Flat());
+}
+
+TEST(Fig1ConsistencyTest, SummaryRelationsMatchAggregates) {
+  auto parts = olap::GroupAggregate(Flat(), {N("Part")}, N("Sold"),
+                                    olap::AggFn::kSum, N("Total"),
+                                    N("TotalPartSales"));
+  ASSERT_TRUE(parts.ok());
+  core::TabularDatabase info1 = SalesInfo1(true);
+  auto fixture_parts =
+      rel::TableToRelation(info1.Named(N("TotalPartSales"))[0]);
+  ASSERT_TRUE(fixture_parts.ok());
+  EXPECT_TRUE(*parts == *fixture_parts);
+
+  auto regions = olap::GroupAggregate(Flat(), {N("Region")}, N("Sold"),
+                                      olap::AggFn::kSum, N("Total"),
+                                      N("TotalRegionSales"));
+  ASSERT_TRUE(regions.ok());
+  auto fixture_regions =
+      rel::TableToRelation(info1.Named(N("TotalRegionSales"))[0]);
+  ASSERT_TRUE(fixture_regions.ok());
+  EXPECT_TRUE(*regions == *fixture_regions);
+
+  auto grand = rel::TableToRelation(info1.Named(N("GrandTotal"))[0]);
+  ASSERT_TRUE(grand.ok());
+  EXPECT_TRUE(grand->Contains({V("420")}));
+}
+
+TEST(Fig1ConsistencyTest, Info2SummariesAreDerivable) {
+  // The full table equals bold + absorbed sums (checked cell-exactly in
+  // olap_test; here: the claimed totals really are sums of the bold data).
+  Table full = SalesInfo2Table(true);
+  // Row sums -> Total column (index 6).
+  for (size_t i = 2; i <= 4; ++i) {
+    double sum = 0;
+    for (size_t j = 2; j <= 5; ++j) {
+      if (auto v = full.Data(i, j).AsNumber()) sum += *v;
+    }
+    EXPECT_EQ(full.Data(i, 6).AsNumber(), sum);
+  }
+  // Grand total.
+  EXPECT_EQ(full.Data(5, 6), V("420"));
+}
+
+TEST(Fig1ConsistencyTest, Info4TotalsRowsMatchRegionSums) {
+  core::TabularDatabase db = SalesInfo4(true);
+  for (const Table& t : db.tables()) {
+    std::vector<size_t> totals = t.RowsNamed(N("Total"));
+    if (totals.empty()) continue;
+    double sum = 0;
+    for (size_t i = 1; i <= t.height(); ++i) {
+      if (i == totals[0]) continue;
+      if (auto v = t.Data(i, 2).AsNumber()) sum += *v;
+    }
+    EXPECT_EQ(t.Data(totals[0], 2).AsNumber(), sum);
+  }
+}
+
+TEST(Fig1ConsistencyTest, BoldIsSubtableOfFull) {
+  // Every bold cell appears unchanged in the full version.
+  Table bold = SalesInfo2Table(false);
+  Table full = SalesInfo2Table(true);
+  for (size_t i = 0; i < bold.num_rows(); ++i) {
+    for (size_t j = 0; j < bold.num_cols(); ++j) {
+      EXPECT_EQ(bold.at(i, j), full.at(i, j))
+          << "cell (" << i << "," << j << ")";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tabular::fixtures

@@ -1,0 +1,389 @@
+#include "good/operations.h"
+
+#include <gtest/gtest.h>
+
+#include "lang/interpreter.h"
+#include "relational/canonical.h"
+#include "tests/test_util.h"
+
+namespace tabular::good {
+namespace {
+
+using ::tabular::testing::N;
+using ::tabular::testing::V;
+
+/// A small family tree: persons with parent edges.
+GoodGraph FamilyGraph() {
+  GoodGraph g;
+  for (const char* id : {"alice", "bob", "carol", "dave"}) {
+    EXPECT_TRUE(g.AddNode(V(id), N("Person")).ok());
+  }
+  EXPECT_TRUE(g.AddNode(V("acme"), N("Company")).ok());
+  EXPECT_TRUE(g.AddEdge(V("bob"), N("parent"), V("alice")).ok());
+  EXPECT_TRUE(g.AddEdge(V("carol"), N("parent"), V("bob")).ok());
+  EXPECT_TRUE(g.AddEdge(V("dave"), N("parent"), V("bob")).ok());
+  EXPECT_TRUE(g.AddEdge(V("bob"), N("works_at"), V("acme")).ok());
+  return g;
+}
+
+Pattern GrandparentPattern() {
+  Pattern p;
+  p.nodes = {{"x", N("Person")}, {"y", N("Person")}, {"z", N("Person")}};
+  p.edges = {{"x", N("parent"), "y"}, {"y", N("parent"), "z"}};
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Graph substrate
+// ---------------------------------------------------------------------------
+
+TEST(GoodGraphTest, NodeAndEdgeBasics) {
+  GoodGraph g = FamilyGraph();
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.LabelOf(V("alice")).value(), N("Person"));
+  EXPECT_FALSE(g.LabelOf(V("nobody")).ok());
+  EXPECT_EQ(g.NodesLabeled(N("Person")).size(), 4u);
+}
+
+TEST(GoodGraphTest, ConflictingRelabelRejected) {
+  GoodGraph g;
+  ASSERT_TRUE(g.AddNode(V("n"), N("A")).ok());
+  EXPECT_TRUE(g.AddNode(V("n"), N("A")).ok());   // idempotent
+  EXPECT_FALSE(g.AddNode(V("n"), N("B")).ok());  // relabel
+}
+
+TEST(GoodGraphTest, EdgeNeedsEndpoints) {
+  GoodGraph g;
+  ASSERT_TRUE(g.AddNode(V("a"), N("A")).ok());
+  EXPECT_FALSE(g.AddEdge(V("a"), N("e"), V("missing")).ok());
+}
+
+TEST(GoodGraphTest, RemoveNodeCascadesEdges) {
+  GoodGraph g = FamilyGraph();
+  g.RemoveNode(V("bob"));
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 0u);  // every edge touched bob
+}
+
+TEST(GoodGraphTest, FingerprintSeparatesStructure) {
+  GoodGraph a = FamilyGraph();
+  GoodGraph b = FamilyGraph();
+  EXPECT_EQ(a.Fingerprint(), b.Fingerprint());
+  b.RemoveEdge(GoodGraph::Edge{V("bob"), N("works_at"), V("acme")});
+  EXPECT_NE(a.Fingerprint(), b.Fingerprint());
+}
+
+TEST(GoodBridgeTest, RelationalRoundTrip) {
+  GoodGraph g = FamilyGraph();
+  auto back = RelationalToGraph(GraphToRelational(g));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(*back == g);
+}
+
+TEST(GoodBridgeTest, DanglingEdgeRejectedOnDecode) {
+  rel::RelationalDatabase db = GraphToRelational(FamilyGraph());
+  rel::Relation edges = db.Get(GoodEdgesName()).value();
+  ASSERT_TRUE(edges.Insert({V("ghost"), N("e"), V("alice")}).ok());
+  db.Put(std::move(edges));
+  EXPECT_FALSE(RelationalToGraph(db).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Pattern matching
+// ---------------------------------------------------------------------------
+
+TEST(PatternTest, GrandparentEmbeddings) {
+  auto m = MatchPattern(GrandparentPattern(), FamilyGraph());
+  ASSERT_TRUE(m.ok());
+  // carol->bob->alice and dave->bob->alice.
+  EXPECT_EQ(m->size(), 2u);
+}
+
+TEST(PatternTest, HomomorphismsNeedNotBeInjective) {
+  GoodGraph g;
+  ASSERT_TRUE(g.AddNode(V("n"), N("A")).ok());
+  ASSERT_TRUE(g.AddEdge(V("n"), N("self"), V("n")).ok());
+  Pattern p;
+  p.nodes = {{"x", N("A")}, {"y", N("A")}};
+  p.edges = {{"x", N("self"), "y"}};
+  auto m = MatchPattern(p, g);
+  ASSERT_TRUE(m.ok());
+  ASSERT_EQ(m->size(), 1u);
+  EXPECT_EQ(m->front().at("x"), m->front().at("y"));
+}
+
+TEST(PatternTest, LabelMismatchYieldsNoEmbedding) {
+  Pattern p;
+  p.nodes = {{"x", N("Robot")}};
+  auto m = MatchPattern(p, FamilyGraph());
+  ASSERT_TRUE(m.ok());
+  EXPECT_TRUE(m->empty());
+}
+
+TEST(PatternTest, ValidationCatchesUndeclaredVariables) {
+  Pattern p;
+  p.nodes = {{"x", N("Person")}};
+  p.edges = {{"x", N("parent"), "ghost"}};
+  EXPECT_FALSE(p.Validate().ok());
+  EXPECT_FALSE(MatchPattern(p, FamilyGraph()).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Native GOOD operations
+// ---------------------------------------------------------------------------
+
+TEST(GoodOpsTest, EdgeAdditionDerivesGrandparent) {
+  GoodGraph g = FamilyGraph();
+  GoodProgram p;
+  p.items.push_back(GoodOp::EdgeAddition(GrandparentPattern(), "x",
+                                       N("grandparent"), "z"));
+  ASSERT_TRUE(RunGoodProgram(p, &g).ok());
+  EXPECT_TRUE(g.HasEdge({V("carol"), N("grandparent"), V("alice")}));
+  EXPECT_TRUE(g.HasEdge({V("dave"), N("grandparent"), V("alice")}));
+  EXPECT_EQ(g.num_edges(), 6u);
+}
+
+TEST(GoodOpsTest, EdgeDeletionRemovesMatches) {
+  GoodGraph g = FamilyGraph();
+  Pattern p;
+  p.nodes = {{"p", N("Person")}, {"c", N("Company")}};
+  p.edges = {{"p", N("works_at"), "c"}};
+  GoodProgram prog;
+  prog.items.push_back(GoodOp::EdgeDeletion(p, "p", N("works_at"), "c"));
+  ASSERT_TRUE(RunGoodProgram(prog, &g).ok());
+  EXPECT_EQ(g.num_edges(), 3u);
+}
+
+TEST(GoodOpsTest, NodeDeletionCascades) {
+  GoodGraph g = FamilyGraph();
+  Pattern p;
+  p.nodes = {{"c", N("Company")}};
+  GoodProgram prog;
+  prog.items.push_back(GoodOp::NodeDeletion(p, "c"));
+  ASSERT_TRUE(RunGoodProgram(prog, &g).ok());
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 3u);  // works_at edge gone
+}
+
+TEST(GoodOpsTest, NodeAdditionCreatesAndWires) {
+  // Materialize a Family node per (child, parent) pair, wired to both —
+  // object creation from patterns, GOOD's signature feature.
+  GoodGraph g = FamilyGraph();
+  Pattern p;
+  p.nodes = {{"c", N("Person")}, {"q", N("Person")}};
+  p.edges = {{"c", N("parent"), "q"}};
+  GoodProgram prog;
+  prog.items.push_back(GoodOp::NodeAddition(
+      p, N("Family"), {{N("child"), "c"}, {N("parent"), "q"}}));
+  ASSERT_TRUE(RunGoodProgram(prog, &g).ok());
+  EXPECT_EQ(g.NodesLabeled(N("Family")).size(), 3u);  // 3 parent edges
+  EXPECT_EQ(g.num_edges(), 4u + 6u);
+  for (Symbol f : g.NodesLabeled(N("Family"))) {
+    EXPECT_FALSE(FamilyGraph().AllSymbols().contains(f)) << "id not fresh";
+  }
+}
+
+TEST(GoodOpsTest, UndeclaredVariableRejected) {
+  GoodGraph g = FamilyGraph();
+  GoodProgram p;
+  p.items.push_back(
+      GoodOp::EdgeAddition(GrandparentPattern(), "x", N("e"), "nope"));
+  EXPECT_FALSE(RunGoodProgram(p, &g).ok());
+}
+
+// ---------------------------------------------------------------------------
+// The embedding (§1 item (4)): GOOD ≡ FO ≡ tabular algebra
+// ---------------------------------------------------------------------------
+
+/// Runs `prog` natively, through FO+while+new, and through the tabular
+/// algebra; compares exactly when no nodes are created, by structural
+/// fingerprint otherwise (fresh ids are only unique up to isomorphism).
+void ExpectEmbeddingAgrees(const GoodProgram& prog, const GoodGraph& start,
+                           bool creates_nodes) {
+  GoodGraph native = start;
+  ASSERT_TRUE(RunGoodProgram(prog, &native).ok());
+
+  auto fo = TranslateGoodToFo(prog);
+  ASSERT_TRUE(fo.ok()) << fo.status().ToString();
+  rel::RelationalDatabase rdb = GraphToRelational(start);
+  ASSERT_TRUE(rel::RunFoProgram(*fo, &rdb).ok());
+  auto fo_graph = RelationalToGraph(rdb);
+  ASSERT_TRUE(fo_graph.ok()) << fo_graph.status().ToString();
+  if (creates_nodes) {
+    EXPECT_EQ(fo_graph->Fingerprint(), native.Fingerprint());
+  } else {
+    EXPECT_TRUE(*fo_graph == native) << "FO:\n" << fo_graph->ToString()
+                                     << "native:\n" << native.ToString();
+  }
+
+  auto ta = TranslateGoodToTabular(prog);
+  ASSERT_TRUE(ta.ok()) << ta.status().ToString();
+  core::TabularDatabase tdb =
+      rel::RelationalToTabular(GraphToRelational(start));
+  for (const core::Table& t : ta->prelude_tables) tdb.Add(t);
+  lang::Interpreter interp;
+  Status st = interp.Run(ta->program, &tdb);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  rel::RelationalDatabase out_rdb;
+  for (Symbol name : {GoodNodesName(), GoodEdgesName()}) {
+    std::vector<core::Table> tables = tdb.Named(name);
+    ASSERT_EQ(tables.size(), 1u);
+    auto r = rel::TableToRelation(tables[0]);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    // Align attribute order with the canonical schema.
+    auto aligned = rel::Project(
+        *r,
+        name == GoodNodesName()
+            ? core::SymbolVec{N("Id"), N("Label")}
+            : core::SymbolVec{N("Src"), N("Label"), N("Dst")},
+        name);
+    ASSERT_TRUE(aligned.ok()) << aligned.status().ToString();
+    out_rdb.Put(*aligned);
+  }
+  auto ta_graph = RelationalToGraph(out_rdb);
+  ASSERT_TRUE(ta_graph.ok()) << ta_graph.status().ToString();
+  if (creates_nodes) {
+    EXPECT_EQ(ta_graph->Fingerprint(), native.Fingerprint());
+  } else {
+    EXPECT_TRUE(*ta_graph == native)
+        << "TA:\n" << ta_graph->ToString() << "native:\n"
+        << native.ToString();
+  }
+}
+
+TEST(GoodEmbeddingTest, EdgeAdditionAgrees) {
+  GoodProgram p;
+  p.items.push_back(GoodOp::EdgeAddition(GrandparentPattern(), "x",
+                                       N("grandparent"), "z"));
+  ExpectEmbeddingAgrees(p, FamilyGraph(), /*creates_nodes=*/false);
+}
+
+TEST(GoodEmbeddingTest, EdgeDeletionAgrees) {
+  Pattern p;
+  p.nodes = {{"p", N("Person")}, {"c", N("Company")}};
+  p.edges = {{"p", N("works_at"), "c"}};
+  GoodProgram prog;
+  prog.items.push_back(GoodOp::EdgeDeletion(p, "p", N("works_at"), "c"));
+  ExpectEmbeddingAgrees(prog, FamilyGraph(), false);
+}
+
+TEST(GoodEmbeddingTest, NodeDeletionAgrees) {
+  Pattern p;
+  p.nodes = {{"c", N("Company")}};
+  GoodProgram prog;
+  prog.items.push_back(GoodOp::NodeDeletion(p, "c"));
+  ExpectEmbeddingAgrees(prog, FamilyGraph(), false);
+}
+
+TEST(GoodEmbeddingTest, NodeAdditionAgreesUpToIsomorphism) {
+  Pattern p;
+  p.nodes = {{"c", N("Person")}, {"q", N("Person")}};
+  p.edges = {{"c", N("parent"), "q"}};
+  GoodProgram prog;
+  prog.items.push_back(GoodOp::NodeAddition(
+      p, N("Family"), {{N("child"), "c"}, {N("parent"), "q"}}));
+  ExpectEmbeddingAgrees(prog, FamilyGraph(), /*creates_nodes=*/true);
+}
+
+TEST(GoodEmbeddingTest, SelfLoopEdgeAdditionAgrees) {
+  // source == target exercises the duplicate-column construction.
+  Pattern p;
+  p.nodes = {{"x", N("Person")}};
+  GoodProgram prog;
+  prog.items.push_back(GoodOp::EdgeAddition(p, "x", N("self"), "x"));
+  ExpectEmbeddingAgrees(prog, FamilyGraph(), false);
+}
+
+TEST(GoodEmbeddingTest, MultiOpSequenceAgrees) {
+  GoodProgram prog;
+  prog.items.push_back(GoodOp::EdgeAddition(GrandparentPattern(), "x",
+                                          N("grandparent"), "z"));
+  Pattern works;
+  works.nodes = {{"p", N("Person")}, {"c", N("Company")}};
+  works.edges = {{"p", N("works_at"), "c"}};
+  prog.items.push_back(GoodOp::EdgeDeletion(works, "p", N("works_at"), "c"));
+  Pattern company;
+  company.nodes = {{"c", N("Company")}};
+  prog.items.push_back(GoodOp::NodeDeletion(company, "c"));
+  ExpectEmbeddingAgrees(prog, FamilyGraph(), false);
+}
+
+// ---------------------------------------------------------------------------
+// While loops (the iteration construct of [3], mirrored by TA's while)
+// ---------------------------------------------------------------------------
+
+/// Walks a Marker node up a parent chain: each iteration moves the `at`
+/// edge one ancestor up; the guard fails once the marker reaches the root
+/// (which has no parent). Exercises multi-iteration termination without
+/// negation.
+GoodProgram MarkerWalkProgram() {
+  Pattern step;
+  step.nodes = {{"m", N("Marker")}, {"c", N("Person")}, {"p", N("Person")}};
+  step.edges = {{"m", N("at"), "c"}, {"c", N("parent"), "p"}};
+  Pattern at_edge;
+  at_edge.nodes = {{"m", N("Marker")}, {"c", N("Person")}};
+  at_edge.edges = {{"m", N("at"), "c"}};
+  Pattern next_edge;
+  next_edge.nodes = {{"m", N("Marker")}, {"p", N("Person")}};
+  next_edge.edges = {{"m", N("next"), "p"}};
+
+  GoodWhile loop;
+  loop.guard = step;
+  loop.body.push_back(GoodOp::EdgeAddition(step, "m", N("next"), "p"));
+  loop.body.push_back(GoodOp::EdgeDeletion(at_edge, "m", N("at"), "c"));
+  loop.body.push_back(GoodOp::EdgeAddition(next_edge, "m", N("at"), "p"));
+  loop.body.push_back(GoodOp::EdgeDeletion(next_edge, "m", N("next"), "p"));
+  GoodProgram prog;
+  prog.items.push_back(std::move(loop));
+  return prog;
+}
+
+GoodGraph ChainWithMarker() {
+  GoodGraph g;
+  for (const char* id : {"erin", "carol", "bob", "alice"}) {
+    EXPECT_TRUE(g.AddNode(V(id), N("Person")).ok());
+  }
+  EXPECT_TRUE(g.AddNode(V("m"), N("Marker")).ok());
+  EXPECT_TRUE(g.AddEdge(V("erin"), N("parent"), V("carol")).ok());
+  EXPECT_TRUE(g.AddEdge(V("carol"), N("parent"), V("bob")).ok());
+  EXPECT_TRUE(g.AddEdge(V("bob"), N("parent"), V("alice")).ok());
+  EXPECT_TRUE(g.AddEdge(V("m"), N("at"), V("erin")).ok());
+  return g;
+}
+
+TEST(GoodWhileTest, MarkerWalksToTheRoot) {
+  GoodGraph g = ChainWithMarker();
+  ASSERT_TRUE(RunGoodProgram(MarkerWalkProgram(), &g).ok());
+  EXPECT_TRUE(g.HasEdge({V("m"), N("at"), V("alice")}));
+  EXPECT_FALSE(g.HasEdge({V("m"), N("at"), V("erin")}));
+  EXPECT_EQ(g.num_edges(), 4u);  // 3 parent + 1 at
+}
+
+TEST(GoodWhileTest, AgreesAcrossAllThreeLayers) {
+  ExpectEmbeddingAgrees(MarkerWalkProgram(), ChainWithMarker(),
+                        /*creates_nodes=*/false);
+}
+
+TEST(GoodWhileTest, IterationCapTriggers) {
+  // A guard that never fails: a self-loop re-added forever.
+  GoodGraph g;
+  ASSERT_TRUE(g.AddNode(V("n"), N("A")).ok());
+  ASSERT_TRUE(g.AddEdge(V("n"), N("self"), V("n")).ok());
+  Pattern p;
+  p.nodes = {{"x", N("A")}};
+  p.edges = {{"x", N("self"), "x"}};
+  GoodWhile loop;
+  loop.guard = p;
+  loop.body.push_back(GoodOp::EdgeAddition(p, "x", N("self"), "x"));
+  GoodProgram prog;
+  prog.items.push_back(std::move(loop));
+  GoodOptions opts;
+  opts.max_while_iterations = 7;
+  Status st = RunGoodProgram(prog, &g, opts);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace tabular::good

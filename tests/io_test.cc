@@ -1,0 +1,193 @@
+#include "io/grid_format.h"
+
+#include <gtest/gtest.h>
+
+#include "core/compare.h"
+#include "core/sales_data.h"
+#include "io/csv.h"
+#include "relational/canonical.h"
+#include "tests/test_util.h"
+
+namespace tabular::io {
+namespace {
+
+using core::Symbol;
+using core::Table;
+using core::TabularDatabase;
+using ::tabular::testing::N;
+using ::tabular::testing::NUL;
+using ::tabular::testing::V;
+
+// ---------------------------------------------------------------------------
+// Grid format
+// ---------------------------------------------------------------------------
+
+TEST(GridFormatTest, RoundTripsAllFigure1Databases) {
+  for (const TabularDatabase& db :
+       {fixtures::SalesInfo1(true), fixtures::SalesInfo2(true),
+        fixtures::SalesInfo3(true), fixtures::SalesInfo4(true)}) {
+    std::string text = SerializeDatabase(db);
+    auto back = ParseDatabase(text);
+    ASSERT_TRUE(back.ok()) << back.status().ToString() << "\n" << text;
+    ASSERT_EQ(back->size(), db.size());
+    for (size_t i = 0; i < db.size(); ++i) {
+      EXPECT_TABLE_EXACT(back->tables()[i], db.tables()[i]);
+    }
+  }
+}
+
+TEST(GridFormatTest, ParsesHandWrittenTable) {
+  auto t = ParseTable(R"(
+    -- the bold Sales table of SalesInfo2
+    !Sales  | !Part  | !Sold | !Sold | !Sold | !Sold
+    !Region | #      | east  | west  | north | south
+    #       | nuts   | 50    | 60    | #     | 40
+    #       | screws | #     | 50    | 60    | 50
+    #       | bolts  | 70    | #     | 40    | #
+  )");
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  EXPECT_TABLE_EXACT(*t, fixtures::SalesInfo2Table(false));
+}
+
+TEST(GridFormatTest, EscapesSpecialCharacters) {
+  Table t(2, 2);
+  t.set_name(N("T"));
+  t.set(0, 1, N("A"));
+  t.set(1, 1, V("a|b\\c"));
+  t.set(1, 0, V("#not-null"));
+  std::string text = Serialize(t);
+  auto back = ParseTable(text);
+  ASSERT_TRUE(back.ok()) << back.status().ToString() << "\n" << text;
+  EXPECT_TABLE_EXACT(*back, t);
+}
+
+TEST(GridFormatTest, EmptyTextValueRoundTrips) {
+  Table t(2, 2);
+  t.set_name(N("T"));
+  t.set(0, 1, N("A"));
+  t.set(1, 1, V(""));
+  auto back = ParseTable(Serialize(t));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TABLE_EXACT(*back, t);
+}
+
+TEST(GridFormatTest, ValueNamedLikeNullMarkerRoundTrips) {
+  Table t(2, 2);
+  t.set_name(N("T"));
+  t.set(0, 1, V("#"));
+  t.set(1, 1, V("!bang"));
+  auto back = ParseTable(Serialize(t));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TABLE_EXACT(*back, t);
+}
+
+TEST(GridFormatTest, RaggedInputRejected) {
+  EXPECT_FALSE(ParseTable("!T | !A\n# | 1 | 2\n").ok());
+}
+
+TEST(GridFormatTest, EmptyCellRejected) {
+  EXPECT_FALSE(ParseTable("!T | !A\n  | 1\n").ok());
+}
+
+TEST(GridFormatTest, EmptyDatabase) {
+  auto db = ParseDatabase("\n  -- only comments\n\n");
+  ASSERT_TRUE(db.ok());
+  EXPECT_TRUE(db->empty());
+}
+
+TEST(GridFormatTest, FileRoundTrip) {
+  TabularDatabase db = fixtures::SalesInfo4(true);
+  std::string path = ::testing::TempDir() + "/tabular_io_test.tdb";
+  ASSERT_TRUE(SaveDatabaseFile(db, path).ok());
+  auto back = LoadDatabaseFile(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(core::EquivalentDatabases(db, *back));
+}
+
+TEST(GridFormatTest, LoadMissingFileFails) {
+  EXPECT_FALSE(LoadDatabaseFile("/nonexistent/nope.tdb").ok());
+}
+
+TEST(PrettyPrintTest, RendersNullAsBottom) {
+  std::string out = PrettyPrint(fixtures::SalesInfo2Table(false));
+  EXPECT_NE(out.find("⊥"), std::string::npos);
+  EXPECT_NE(out.find("Sales"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// CSV
+// ---------------------------------------------------------------------------
+
+TEST(CsvTest, ReadsHeaderAndTuples) {
+  auto r = ReadCsvRelation("Sales", "Part,Region,Sold\nnuts,east,50\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->arity(), 3u);
+  EXPECT_TRUE(r->Contains({V("nuts"), V("east"), V("50")}));
+}
+
+TEST(CsvTest, QuotedFieldsWithCommasAndQuotes) {
+  auto r = ReadCsvRelation("R", "A,B\n\"x,y\",\"say \"\"hi\"\"\"\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->Contains({V("x,y"), V("say \"hi\"")}));
+}
+
+TEST(CsvTest, EmptyUnquotedFieldIsNull) {
+  auto r = ReadCsvRelation("R", "A,B\n1,\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->Contains({V("1"), NUL()}));
+}
+
+TEST(CsvTest, EmptyQuotedFieldIsEmptyValue) {
+  auto r = ReadCsvRelation("R", "A,B\n1,\"\"\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->Contains({V("1"), V("")}));
+}
+
+TEST(CsvTest, FieldCountMismatchRejected) {
+  EXPECT_FALSE(ReadCsvRelation("R", "A,B\n1\n").ok());
+}
+
+TEST(CsvTest, UnterminatedQuoteRejected) {
+  EXPECT_FALSE(ReadCsvRelation("R", "A\n\"oops\n").ok());
+}
+
+TEST(CsvTest, WriteReadRoundTrip) {
+  rel::Relation r = rel::Relation::Make(
+      "Sales", {"Part", "Region", "Sold"},
+      {{"nuts", "east", "50"}, {"a,b", "say \"hi\"", "#"}});
+  std::string csv = WriteCsv(r);
+  auto back = ReadCsvRelation("Sales", csv);
+  ASSERT_TRUE(back.ok()) << back.status().ToString() << "\n" << csv;
+  EXPECT_TRUE(*back == r);
+}
+
+TEST(CsvTest, FullPipelineCsvToFigure) {
+  // CSV fact table → pivot shape equivalent to Figure 1's SalesInfo2.
+  const char* csv =
+      "Part,Region,Sold\n"
+      "nuts,east,50\nnuts,west,60\nnuts,south,40\n"
+      "screws,west,50\nscrews,north,60\nscrews,south,50\n"
+      "bolts,east,70\nbolts,north,40\n";
+  auto facts = ReadCsvRelation("Sales", csv);
+  ASSERT_TRUE(facts.ok());
+  auto flat = rel::RelationToTable(*facts);
+  EXPECT_TABLE_EQUIV(flat, fixtures::SalesFlat());
+}
+
+TEST(MarkdownTest, RendersHeaderAndRows) {
+  std::string md = ToMarkdown(fixtures::SalesFlat());
+  EXPECT_EQ(md.substr(0, md.find('\n')),
+            "| Sales | Part | Region | Sold |");
+  EXPECT_NE(md.find("| --- | --- | --- | --- |"), std::string::npos);
+  EXPECT_NE(md.find("| nuts | east | 50 |"), std::string::npos);
+}
+
+TEST(MarkdownTest, EscapesPipesAndBlanksNulls) {
+  Table t = Table::Parse({{"!T", "!A"}, {"#", "a|b"}});
+  std::string md = ToMarkdown(t);
+  EXPECT_NE(md.find("a\\|b"), std::string::npos);
+  EXPECT_NE(md.find("|   |"), std::string::npos);  // the ⊥ row attribute
+}
+
+}  // namespace
+}  // namespace tabular::io

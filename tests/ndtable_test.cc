@@ -1,0 +1,170 @@
+#include "olap/ndtable.h"
+
+#include <gtest/gtest.h>
+
+#include "core/compare.h"
+#include "algebra/restructure.h"
+#include "core/sales_data.h"
+#include "relational/canonical.h"
+#include "tests/test_util.h"
+
+namespace tabular::olap {
+namespace {
+
+using core::Symbol;
+using core::Table;
+using rel::Relation;
+using ::tabular::testing::N;
+using ::tabular::testing::NUL;
+using ::tabular::testing::V;
+
+Relation Sales3d() {
+  return Relation::Make(
+      "Sales", {"Part", "Region", "Quarter", "Sold"},
+      {{"nuts", "east", "q1", "20"},
+       {"nuts", "east", "q2", "30"},
+       {"nuts", "west", "q1", "60"},
+       {"bolts", "east", "q1", "70"},
+       {"bolts", "west", "q2", "10"}});
+}
+
+NdTable MakeSalesNd() {
+  auto nd = NdTable::FromRelation(
+      Sales3d(), {N("Part"), N("Region"), N("Quarter")}, N("Sold"));
+  EXPECT_TRUE(nd.ok()) << nd.status().ToString();
+  return std::move(nd).value();
+}
+
+TEST(NdTableTest, MakeValidation) {
+  EXPECT_FALSE(NdTable::Make(N("T"), {}).ok());
+  EXPECT_FALSE(
+      NdTable::Make(N("T"), {{N("A"), {}}}).ok());  // empty axis
+  EXPECT_FALSE(
+      NdTable::Make(N("T"), {{N("A"), {V("x"), V("x")}}}).ok());
+  EXPECT_FALSE(NdTable::Make(N("T"), {{N("A"), {V("x")}},
+                                      {N("A"), {V("y")}}})
+                   .ok());  // duplicate axis name
+}
+
+TEST(NdTableTest, FromRelationBuildsAxesInDeterministicOrder) {
+  // Labels appear in first-appearance order over the relation's sorted
+  // tuple order: bolts sorts before nuts.
+  NdTable nd = MakeSalesNd();
+  EXPECT_EQ(nd.rank(), 3u);
+  EXPECT_EQ(nd.size(), 2u * 2u * 2u);
+  EXPECT_EQ(nd.axes()[0].labels[0], V("bolts"));
+  EXPECT_EQ(nd.axes()[0].labels[1], V("nuts"));
+  EXPECT_EQ(nd.axes()[1].labels[1], V("west"));
+}
+
+TEST(NdTableTest, CellAccess) {
+  NdTable nd = MakeSalesNd();
+  EXPECT_EQ(nd.At({V("nuts"), V("east"), V("q2")}).value(), V("30"));
+  // Unfilled combinations are ⊥ (total mapping, like 2-D tables).
+  EXPECT_EQ(nd.At({V("bolts"), V("west"), V("q1")}).value(), NUL());
+  EXPECT_FALSE(nd.At({V("nuts"), V("east")}).ok());        // wrong arity
+  EXPECT_FALSE(nd.At({V("nuts"), V("east"), V("q9")}).ok());  // bad label
+}
+
+TEST(NdTableTest, ConflictingCellsRejected) {
+  Relation dup = Relation::Make("R", {"A", "M"}, {{"x", "1"}, {"x", "2"}});
+  EXPECT_FALSE(NdTable::FromRelation(dup, {N("A")}, N("M")).ok());
+}
+
+TEST(NdTableTest, SliceDropsAnAxis) {
+  NdTable nd = MakeSalesNd();
+  auto q1 = nd.Slice(N("Quarter"), V("q1"));
+  ASSERT_TRUE(q1.ok()) << q1.status().ToString();
+  EXPECT_EQ(q1->rank(), 2u);
+  EXPECT_EQ(q1->At({V("nuts"), V("east")}).value(), V("20"));
+  EXPECT_EQ(q1->At({V("bolts"), V("west")}).value(), NUL());
+  EXPECT_FALSE(nd.Slice(N("Quarter"), V("q9")).ok());
+}
+
+TEST(NdTableTest, ReduceAggregatesAnAxisAway) {
+  NdTable nd = MakeSalesNd();
+  auto by_pr = nd.Reduce(N("Quarter"), AggFn::kSum);
+  ASSERT_TRUE(by_pr.ok()) << by_pr.status().ToString();
+  EXPECT_EQ(by_pr->At({V("nuts"), V("east")}).value(), V("50"));
+  EXPECT_EQ(by_pr->At({V("nuts"), V("west")}).value(), V("60"));
+  // All-⊥ fibers stay ⊥ rather than becoming SUM() = 0.
+  auto partial = nd.Slice(N("Part"), V("bolts"));
+  ASSERT_TRUE(partial.ok());
+}
+
+TEST(NdTableTest, ReduceLastAxisRejected) {
+  auto nd = NdTable::Make(N("T"), {{N("A"), {V("x")}}});
+  ASSERT_TRUE(nd.ok());
+  EXPECT_FALSE(nd->Reduce(N("A"), AggFn::kSum).ok());
+  EXPECT_FALSE(nd->Slice(N("A"), V("x")).ok());
+}
+
+TEST(NdTableTest, MaterializeTwoAxes) {
+  // Reduce to 2-D then materialize: SalesInfo2-like layout with axis-name
+  // headers.
+  NdTable nd = MakeSalesNd();
+  auto flat = nd.Reduce(N("Quarter"), AggFn::kSum);
+  ASSERT_TRUE(flat.ok());
+  auto t = flat->Materialize({N("Part")}, {N("Region")});
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  // 1 attr row + 1 Region header row + 2 part rows; 1 attr col + 1 Part
+  // header col + 2 region cols.
+  EXPECT_EQ(t->num_rows(), 4u);
+  EXPECT_EQ(t->num_cols(), 4u);
+  EXPECT_EQ(t->ColumnAttribute(1), N("Part"));
+  EXPECT_EQ(t->RowAttribute(1), N("Region"));
+  EXPECT_EQ(t->Data(1, 2), V("east"));
+  EXPECT_EQ(t->Data(2, 1), V("bolts"));
+  EXPECT_EQ(t->Data(2, 2), V("70"));  // bolts-east summed over quarters
+  EXPECT_EQ(t->Data(3, 1), V("nuts"));
+  EXPECT_EQ(t->Data(3, 2), V("50"));  // nuts-east summed over quarters
+}
+
+TEST(NdTableTest, MaterializeThreeAxesStacksHeaders) {
+  NdTable nd = MakeSalesNd();
+  auto t = nd.Materialize({N("Part")}, {N("Region"), N("Quarter")});
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+  // Two stacked column-header rows (Region over Quarter), 2×2 = 4 data
+  // columns.
+  EXPECT_EQ(t->num_rows(), 1u + 2u + 2u);
+  EXPECT_EQ(t->num_cols(), 1u + 1u + 4u);
+  EXPECT_EQ(t->RowAttribute(1), N("Region"));
+  EXPECT_EQ(t->RowAttribute(2), N("Quarter"));
+  EXPECT_EQ(t->Data(1, 2), V("east"));
+  EXPECT_EQ(t->Data(2, 2), V("q1"));
+  EXPECT_EQ(t->Data(2, 3), V("q2"));
+  // Row 3 is bolts, row 4 nuts; nuts × (east, q2) = 30.
+  EXPECT_EQ(t->Data(4, 3), V("30"));
+}
+
+TEST(NdTableTest, MaterializeValidatesPartition) {
+  NdTable nd = MakeSalesNd();
+  EXPECT_FALSE(nd.Materialize({N("Part")}, {N("Region")}).ok());  // missing
+  EXPECT_FALSE(
+      nd.Materialize({N("Part"), N("Part")}, {N("Region")}).ok());
+}
+
+TEST(NdTableTest, RelationRoundTrip) {
+  NdTable nd = MakeSalesNd();
+  auto back = nd.ToRelation(N("Sold"), N("Sales"));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(*back == Sales3d());
+}
+
+TEST(NdTableTest, MaterializedTableIsAlgebraCompatible) {
+  // §4.3's point: the n-dim view lands inside the 2-D tabular model, so
+  // the algebra applies — e.g. MERGE recovers the facts.
+  NdTable nd = MakeSalesNd();
+  auto flat2d = nd.Reduce(N("Quarter"), AggFn::kSum);
+  ASSERT_TRUE(flat2d.ok());
+  auto t = flat2d->Materialize({N("Part")}, {N("Region")});
+  ASSERT_TRUE(t.ok());
+  // Data columns carry ⊥ attributes; rename is not needed — merge on ⊥.
+  auto merged = algebra::Merge(*t, {core::Symbol::Null()}, {N("Region")},
+                               N("Out"));
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_EQ(merged->height(), 2u * 2u);  // parts × regions
+}
+
+}  // namespace
+}  // namespace tabular::olap

@@ -1,0 +1,116 @@
+#include "lang/param.h"
+
+#include <gtest/gtest.h>
+
+#include "core/sales_data.h"
+#include "tests/test_util.h"
+
+namespace tabular::lang {
+namespace {
+
+using core::Symbol;
+using core::SymbolSet;
+using core::Table;
+using ::tabular::testing::N;
+using ::tabular::testing::V;
+
+TEST(ParamTest, LiteralNameEvaluatesToItself) {
+  auto r = EvalParam(Param::Name("Sales"), Bindings{}, nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, SymbolSet{N("Sales")});
+}
+
+TEST(ParamTest, NullItem) {
+  auto r = EvalParam(Param::Null(), Bindings{}, nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, SymbolSet{Symbol::Null()});
+}
+
+TEST(ParamTest, BoundWildcardSubstitutes) {
+  Bindings b{{1, N("Sales")}};
+  auto r = EvalParam(Param::Wildcard(1), b, nullptr);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, SymbolSet{N("Sales")});
+}
+
+TEST(ParamTest, UnboundWildcardWithoutContextIsUndefined) {
+  auto r = EvalParam(Param::Wildcard(1), Bindings{}, nullptr);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUndefined);
+}
+
+TEST(ParamTest, UnboundWildcardDenotesAttributeUniverse) {
+  Table t = fixtures::SalesFlat();
+  auto r = EvalParam(Param::Wildcard(1), Bindings{}, &t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 3u);
+  EXPECT_TRUE(r->contains(N("Part")));
+}
+
+TEST(ParamTest, NegativeListSubtracts) {
+  // {* ~ Sold}: all attributes except Sold.
+  Param p = Param::Wildcard(1);
+  ParamItem neg;
+  neg.kind = ParamItem::Kind::kSymbol;
+  neg.symbol = N("Sold");
+  p.negative.push_back(neg);
+  Table t = fixtures::SalesFlat();
+  auto r = EvalParam(p, Bindings{}, &t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+  EXPECT_FALSE(r->contains(N("Sold")));
+}
+
+TEST(ParamTest, PairSelectsEntriesByRowAndColumnAttribute) {
+  // (Region, Sold) over SalesInfo2: the entries of the Region-named row
+  // under Sold columns = the region labels.
+  Table t = fixtures::SalesInfo2Table(/*with_summaries=*/false);
+  Param p;
+  ParamItem pair;
+  pair.kind = ParamItem::Kind::kPair;
+  pair.row = std::make_shared<Param>(Param::Name("Region"));
+  pair.col = std::make_shared<Param>(Param::Name("Sold"));
+  p.positive.push_back(pair);
+  auto r = EvalParam(p, Bindings{}, &t);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 4u);
+  EXPECT_TRUE(r->contains(V("east")));
+  EXPECT_TRUE(r->contains(V("south")));
+}
+
+TEST(ParamTest, PairWithoutContextIsUndefined) {
+  Param p;
+  ParamItem pair;
+  pair.kind = ParamItem::Kind::kPair;
+  pair.row = std::make_shared<Param>(Param::Null());
+  pair.col = std::make_shared<Param>(Param::Null());
+  p.positive.push_back(pair);
+  EXPECT_FALSE(EvalParam(p, Bindings{}, nullptr).ok());
+}
+
+TEST(ParamTest, SingletonEnforced) {
+  Table t = fixtures::SalesFlat();
+  EXPECT_TRUE(EvalSingleton(Param::Name("Part"), Bindings{}, &t).ok());
+  auto multi = EvalSingleton(Param::Wildcard(1), Bindings{}, &t);
+  EXPECT_FALSE(multi.ok());
+  EXPECT_EQ(multi.status().code(), StatusCode::kUndefined);
+}
+
+TEST(ParamTest, MentionsAndCollectWildcards) {
+  Param p = Param::Wildcard(3);
+  EXPECT_TRUE(p.MentionsWildcard(3));
+  EXPECT_FALSE(p.MentionsWildcard(1));
+  std::vector<int> ids;
+  p.CollectWildcards(&ids);
+  EXPECT_EQ(ids, std::vector<int>{3});
+}
+
+TEST(ParamTest, ToStringRoundTripForms) {
+  EXPECT_EQ(Param::Name("Sales").ToString(), "Sales");
+  EXPECT_EQ(Param::Value("east").ToString(), "'east'");
+  EXPECT_EQ(Param::Null().ToString(), "_");
+  EXPECT_EQ(Param::Wildcard(2).ToString(), "*2");
+}
+
+}  // namespace
+}  // namespace tabular::lang

@@ -1,0 +1,163 @@
+#include "lang/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace tabular::lang {
+namespace {
+
+using ::tabular::testing::N;
+using ::tabular::testing::V;
+
+const Assignment& AsAssignment(const Statement& s) {
+  return std::get<Assignment>(s.node);
+}
+
+TEST(ParserTest, ParsesGroupStatement) {
+  auto r = ParseStatement("Sales <- group by {Region} on {Sold} (Sales);");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Assignment& a = AsAssignment(*r);
+  EXPECT_EQ(a.op, OpKind::kGroup);
+  EXPECT_EQ(a.params.size(), 2u);
+  EXPECT_EQ(a.args.size(), 1u);
+  EXPECT_EQ(a.target.ToString(), "Sales");
+}
+
+TEST(ParserTest, ParsesAllOperations) {
+  const char* program = R"(
+    T <- union (R, S);
+    T <- difference (R, S);
+    T <- intersection (R, S);
+    T <- product (R, S);
+    T <- rename B / A (R);
+    T <- project {A, B} (R);
+    T <- select A = B (R);
+    T <- selectconst A = 'v' (R);
+    T <- group by {A} on {B} (R);
+    T <- merge on {B} by {A} (R);
+    T <- split on {A} (R);
+    T <- collapse by {A} (R);
+    T <- transpose (R);
+    T <- switch 'v' (R);
+    T <- cleanup by {A} on {_} (R);
+    T <- purge on {B} by {A} (R);
+    T <- tuplenew Tid (R);
+    T <- setnew Sid (R);
+  )";
+  auto r = ParseProgram(program);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->statements.size(), 18u);
+}
+
+TEST(ParserTest, QuotedAndNumberLiteralsAreValues) {
+  auto r = ParseStatement("T <- selectconst Region = 'east' (Sales);");
+  ASSERT_TRUE(r.ok());
+  const Assignment& a = AsAssignment(*r);
+  EXPECT_EQ(a.params[1].positive[0].symbol, V("east"));
+  auto r2 = ParseStatement("T <- selectconst Sold = 50 (Sales);");
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(AsAssignment(*r2).params[1].positive[0].symbol, V("50"));
+}
+
+TEST(ParserTest, UnderscoreIsNull) {
+  auto r = ParseStatement("T <- cleanup by {Part} on {_} (Sales);");
+  ASSERT_TRUE(r.ok());
+  const Assignment& a = AsAssignment(*r);
+  EXPECT_EQ(a.params[1].positive[0].kind, ParamItem::Kind::kNull);
+}
+
+TEST(ParserTest, WildcardsAndNegativeLists) {
+  auto r = ParseStatement("*1 <- project {*1 ~ Sold, Part} (*1);");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Assignment& a = AsAssignment(*r);
+  EXPECT_EQ(a.target.positive[0].kind, ParamItem::Kind::kWildcard);
+  EXPECT_EQ(a.params[0].negative.size(), 2u);
+}
+
+TEST(ParserTest, PairParameter) {
+  auto r = ParseStatement("T <- selectconst A = (Region, Sold) (S);");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const Assignment& a = AsAssignment(*r);
+  EXPECT_EQ(a.params[1].positive[0].kind, ParamItem::Kind::kPair);
+}
+
+TEST(ParserTest, WhileLoop) {
+  auto r = ParseProgram(R"(
+    while Work do {
+      Work <- difference (Work, Done);
+    }
+  )");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->statements.size(), 1u);
+  const auto& loop = std::get<WhileLoop>(r->statements[0].node);
+  EXPECT_EQ(loop.condition.ToString(), "Work");
+  EXPECT_EQ(loop.body.size(), 1u);
+}
+
+TEST(ParserTest, NestedWhile) {
+  auto r = ParseProgram(R"(
+    while A do {
+      while B do {
+        B <- difference (B, B);
+      }
+      A <- difference (A, A);
+    }
+  )");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+}
+
+TEST(ParserTest, CommentsAreSkipped) {
+  auto r = ParseProgram(R"(
+    -- restructure into per-region layout
+    Sales <- group by {Region} on {Sold} (Sales);  -- trailing note
+  )");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->statements.size(), 1u);
+}
+
+TEST(ParserTest, ErrorOnUnknownOperation) {
+  auto r = ParseStatement("T <- frobnicate (R);");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kParseError);
+}
+
+TEST(ParserTest, ErrorOnMissingSemicolon) {
+  EXPECT_FALSE(ParseStatement("T <- union (R, S)").ok());
+}
+
+TEST(ParserTest, ErrorOnUnterminatedQuote) {
+  EXPECT_FALSE(ParseStatement("T <- switch 'v (R);").ok());
+}
+
+TEST(ParserTest, ErrorOnUnterminatedWhile) {
+  EXPECT_FALSE(ParseProgram("while R do { T <- transpose (R);").ok());
+}
+
+TEST(ParserTest, ErrorOnTrailingInput) {
+  EXPECT_FALSE(ParseStatement("T <- transpose (R); extra").ok());
+}
+
+TEST(ParserTest, PrintedProgramReparses) {
+  const char* src =
+      "Sales <- group by {Region} on {Sold} (Sales);\n"
+      "Sales <- cleanup by {Part} on {_} (Sales);\n"
+      "Sales <- purge on {Sold} by {Region} (Sales);\n";
+  auto p1 = ParseProgram(src);
+  ASSERT_TRUE(p1.ok());
+  std::string printed = p1->ToString();
+  auto p2 = ParseProgram(printed);
+  ASSERT_TRUE(p2.ok()) << "printed form failed to reparse:\n" << printed;
+  EXPECT_EQ(p2->ToString(), printed);
+}
+
+TEST(ParserTest, PrintedWhileReparses) {
+  auto p1 = ParseProgram("while R do { R <- difference (R, S); }");
+  ASSERT_TRUE(p1.ok());
+  auto p2 = ParseProgram(p1->ToString());
+  ASSERT_TRUE(p2.ok());
+  EXPECT_EQ(p2->ToString(), p1->ToString());
+}
+
+}  // namespace
+}  // namespace tabular::lang

@@ -1,0 +1,139 @@
+#include "relational/relation.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace tabular::rel {
+namespace {
+
+using ::tabular::testing::N;
+using ::tabular::testing::V;
+
+Relation Sample() {
+  return Relation::Make("R", {"A", "B"},
+                        {{"1", "x"}, {"2", "y"}, {"3", "x"}});
+}
+
+TEST(RelationTest, SetSemanticsAbsorbDuplicates) {
+  Relation r = Relation::Make("R", {"A"});
+  EXPECT_TRUE(r.Insert({V("1")}).ok());
+  EXPECT_TRUE(r.Insert({V("1")}).ok());
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(RelationTest, ArityChecked) {
+  Relation r = Relation::Make("R", {"A", "B"});
+  EXPECT_FALSE(r.Insert({V("1")}).ok());
+}
+
+TEST(RelationTest, ValidateRejectsDuplicateAttributes) {
+  Relation r(N("R"), {N("A"), N("A")});
+  EXPECT_FALSE(r.Validate().ok());
+  Relation ok(N("R"), {N("A"), N("B")});
+  EXPECT_TRUE(ok.Validate().ok());
+}
+
+TEST(RelationTest, AttributeIndex) {
+  Relation r = Sample();
+  EXPECT_EQ(r.AttributeIndex(N("B")).value(), 1u);
+  EXPECT_FALSE(r.AttributeIndex(N("Z")).ok());
+}
+
+TEST(RelationalDatabaseTest, PutReplaces) {
+  RelationalDatabase db;
+  db.Put(Relation::Make("R", {"A"}, {{"1"}}));
+  db.Put(Relation::Make("R", {"A"}, {{"2"}}));
+  ASSERT_TRUE(db.Get(N("R")).ok());
+  EXPECT_EQ(db.Get(N("R"))->size(), 1u);
+  EXPECT_TRUE(db.Get(N("R"))->Contains({V("2")}));
+}
+
+TEST(AlgebraTest, SelectConstFiltersFields) {
+  auto r = SelectConst(Sample(), N("B"), V("x"), N("T"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST(AlgebraTest, SelectComparesTwoAttributes) {
+  Relation r = Relation::Make("R", {"A", "B"}, {{"1", "1"}, {"1", "2"}});
+  auto out = Select(r, N("A"), N("B"), N("T"));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 1u);
+}
+
+TEST(AlgebraTest, ProjectCollapsesDuplicates) {
+  auto out = Project(Sample(), {N("B")}, N("T"));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->size(), 2u);  // {x, y}
+}
+
+TEST(AlgebraTest, ProjectReordersAttributes) {
+  auto out = Project(Sample(), {N("B"), N("A")}, N("T"));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->attributes()[0], N("B"));
+  EXPECT_TRUE(out->Contains({V("x"), V("1")}));
+}
+
+TEST(AlgebraTest, RenameKeepsTuples) {
+  auto out = Rename(Sample(), N("A"), N("Z"), N("T"));
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->attributes()[0], N("Z"));
+  EXPECT_EQ(out->size(), 3u);
+}
+
+TEST(AlgebraTest, RenameToExistingAttributeFailsValidation) {
+  auto out = Rename(Sample(), N("A"), N("B"), N("T"));
+  EXPECT_FALSE(out.ok());
+}
+
+TEST(AlgebraTest, UnionRequiresSameScheme) {
+  Relation s = Relation::Make("S", {"A", "C"});
+  EXPECT_FALSE(Union(Sample(), s, N("T")).ok());
+}
+
+TEST(AlgebraTest, UnionAndDifference) {
+  Relation a = Relation::Make("R", {"A"}, {{"1"}, {"2"}});
+  Relation b = Relation::Make("S", {"A"}, {{"2"}, {"3"}});
+  auto u = Union(a, b, N("U"));
+  ASSERT_TRUE(u.ok());
+  EXPECT_EQ(u->size(), 3u);
+  auto d = Difference(a, b, N("D"));
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->size(), 1u);
+  EXPECT_TRUE(d->Contains({V("1")}));
+}
+
+TEST(AlgebraTest, ProductConcatenates) {
+  Relation a = Relation::Make("R", {"A"}, {{"1"}, {"2"}});
+  Relation b = Relation::Make("S", {"B"}, {{"x"}});
+  auto p = Product(a, b, N("P"));
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->size(), 2u);
+  EXPECT_EQ(p->arity(), 2u);
+}
+
+TEST(AlgebraTest, ProductRejectsSharedAttributes) {
+  EXPECT_FALSE(Product(Sample(), Sample(), N("P")).ok());
+}
+
+TEST(AlgebraTest, NaturalJoinOnSharedAttribute) {
+  Relation a = Relation::Make("R", {"A", "B"}, {{"1", "x"}, {"2", "y"}});
+  Relation b = Relation::Make("S", {"B", "C"}, {{"x", "c1"}, {"x", "c2"}});
+  auto j = NaturalJoin(a, b, N("J"));
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(j->size(), 2u);
+  EXPECT_EQ(j->arity(), 3u);
+  EXPECT_TRUE(j->Contains({V("1"), V("x"), V("c2")}));
+}
+
+TEST(AlgebraTest, NaturalJoinWithNoSharedAttributesIsProduct) {
+  Relation a = Relation::Make("R", {"A"}, {{"1"}});
+  Relation b = Relation::Make("S", {"B"}, {{"x"}, {"y"}});
+  auto j = NaturalJoin(a, b, N("J"));
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(j->size(), 2u);
+}
+
+}  // namespace
+}  // namespace tabular::rel

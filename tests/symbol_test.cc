@@ -1,0 +1,100 @@
+#include "core/symbol.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace tabular::core {
+namespace {
+
+using ::tabular::testing::N;
+using ::tabular::testing::NUL;
+using ::tabular::testing::V;
+
+TEST(SymbolTest, NullIsDefault) {
+  Symbol s;
+  EXPECT_TRUE(s.is_null());
+  EXPECT_EQ(s, Symbol::Null());
+  EXPECT_EQ(s.kind(), Symbol::Kind::kNull);
+}
+
+TEST(SymbolTest, InterningGivesIdentity) {
+  EXPECT_EQ(Symbol::Name("Sales"), Symbol::Name("Sales"));
+  EXPECT_EQ(Symbol::Value("nuts"), Symbol::Value("nuts"));
+  EXPECT_EQ(Symbol::Name("Sales").raw_id(), Symbol::Name("Sales").raw_id());
+}
+
+TEST(SymbolTest, NamesAndValuesAreDistinctSorts) {
+  EXPECT_NE(Symbol::Name("Total"), Symbol::Value("Total"));
+  EXPECT_TRUE(Symbol::Name("Total").is_name());
+  EXPECT_TRUE(Symbol::Value("Total").is_value());
+}
+
+TEST(SymbolTest, TextRoundTrip) {
+  EXPECT_EQ(Symbol::Name("Region").text(), "Region");
+  EXPECT_EQ(Symbol::Value("50").text(), "50");
+  EXPECT_EQ(Symbol::Null().text(), "");
+}
+
+TEST(SymbolTest, CompareOrdersNullNamesValues) {
+  EXPECT_LT(Symbol::Compare(NUL(), N("a")), 0);
+  EXPECT_LT(Symbol::Compare(N("z"), V("a")), 0);
+  EXPECT_LT(Symbol::Compare(V("a"), V("b")), 0);
+  EXPECT_EQ(Symbol::Compare(N("a"), N("a")), 0);
+  EXPECT_GT(Symbol::Compare(V("b"), V("a")), 0);
+}
+
+TEST(SymbolTest, NumberConstructionAndParsing) {
+  EXPECT_EQ(Symbol::Number(int64_t{50}), Symbol::Value("50"));
+  EXPECT_EQ(Symbol::Number(3.0), Symbol::Value("3"));
+  EXPECT_EQ(Symbol::Number(2.5).AsNumber(), 2.5);
+  EXPECT_EQ(Symbol::Value("420").AsNumber(), 420.0);
+  EXPECT_FALSE(Symbol::Value("nuts").AsNumber().has_value());
+  EXPECT_FALSE(Symbol::Name("50").AsNumber().has_value());
+  EXPECT_FALSE(Symbol::Null().AsNumber().has_value());
+}
+
+TEST(SymbolTest, ToString) {
+  EXPECT_EQ(Symbol::Null().ToString(), "⊥");
+  EXPECT_EQ(Symbol::Value("east").ToString(), "east");
+}
+
+TEST(SymbolTest, ParseCellConventions) {
+  EXPECT_EQ(ParseCell("#"), Symbol::Null());
+  EXPECT_EQ(ParseCell("!Sales"), Symbol::Name("Sales"));
+  EXPECT_EQ(ParseCell("nuts"), Symbol::Value("nuts"));
+  EXPECT_EQ(ParseCell("\\#"), Symbol::Value("#"));
+  EXPECT_EQ(ParseCell("\\!bang"), Symbol::Value("!bang"));
+}
+
+TEST(WeakEqualityTest, IgnoresNull) {
+  SymbolSet a{V("x"), Symbol::Null()};
+  SymbolSet b{V("x")};
+  EXPECT_TRUE(WeaklyEqual(a, b));
+  EXPECT_TRUE(WeaklyContained(a, b));
+  EXPECT_TRUE(WeaklyContained(b, a));
+}
+
+TEST(WeakEqualityTest, ProperContainment) {
+  SymbolSet a{V("x")};
+  SymbolSet b{V("x"), V("y")};
+  EXPECT_TRUE(WeaklyContained(a, b));
+  EXPECT_FALSE(WeaklyContained(b, a));
+  EXPECT_FALSE(WeaklyEqual(a, b));
+}
+
+TEST(WeakEqualityTest, EmptyAndNullOnlySetsAreWeaklyEqual) {
+  SymbolSet a;
+  SymbolSet b{Symbol::Null()};
+  EXPECT_TRUE(WeaklyEqual(a, b));
+}
+
+TEST(WeakEqualityTest, StripNull) {
+  SymbolSet a{V("x"), Symbol::Null(), N("A")};
+  SymbolSet s = StripNull(a);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_FALSE(s.contains(Symbol::Null()));
+}
+
+}  // namespace
+}  // namespace tabular::core

@@ -1,0 +1,147 @@
+#include "core/table.h"
+
+#include <gtest/gtest.h>
+
+#include "core/sales_data.h"
+#include "tests/test_util.h"
+
+namespace tabular::core {
+namespace {
+
+using ::tabular::testing::N;
+using ::tabular::testing::NUL;
+using ::tabular::testing::V;
+
+TEST(TableTest, MinimalTableIsSingleNullCell) {
+  Table t;
+  EXPECT_EQ(t.height(), 0u);
+  EXPECT_EQ(t.width(), 0u);
+  EXPECT_TRUE(t.name().is_null());
+}
+
+TEST(TableTest, PaperDimensionConventions) {
+  // A table of height m and width n has (m+1) x (n+1) cells (Figure 2).
+  Table t = fixtures::SalesFlat();
+  EXPECT_EQ(t.height(), 8u);
+  EXPECT_EQ(t.width(), 3u);
+  EXPECT_EQ(t.num_rows(), 9u);
+  EXPECT_EQ(t.num_cols(), 4u);
+}
+
+TEST(TableTest, RegionsOfFigure2) {
+  Table t = fixtures::SalesFlat();
+  EXPECT_EQ(t.name(), N("Sales"));
+  EXPECT_EQ(t.ColumnAttribute(1), N("Part"));
+  EXPECT_EQ(t.ColumnAttribute(3), N("Sold"));
+  EXPECT_EQ(t.RowAttribute(1), NUL());
+  EXPECT_EQ(t.Data(1, 1), V("nuts"));
+  EXPECT_EQ(t.Data(8, 3), V("40"));
+}
+
+TEST(TableTest, FromRowsRejectsRagged) {
+  auto r = Table::FromRows({{N("T"), N("A")}, {NUL()}});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TableTest, FromRowsRejectsEmpty) {
+  EXPECT_FALSE(Table::FromRows({}).ok());
+}
+
+TEST(TableTest, AppendRowAndColumn) {
+  Table t = Table::Parse({{"!T", "!A"}});
+  t.AppendRow({NUL(), V("1")});
+  EXPECT_EQ(t.height(), 1u);
+  t.AppendColumn({N("B"), V("2")});
+  EXPECT_EQ(t.width(), 2u);
+  EXPECT_EQ(t.Data(1, 2), V("2"));
+  EXPECT_EQ(t.ColumnAttribute(2), N("B"));
+}
+
+TEST(TableTest, ColumnsNamedFindsAllOccurrences) {
+  Table t = fixtures::SalesInfo2Table(/*with_summaries=*/false);
+  EXPECT_EQ(t.ColumnsNamed(N("Sold")).size(), 4u);
+  EXPECT_EQ(t.ColumnsNamed(N("Part")).size(), 1u);
+  EXPECT_TRUE(t.ColumnsNamed(N("Absent")).empty());
+}
+
+TEST(TableTest, RowsNamed) {
+  Table t = fixtures::SalesInfo2Table(/*with_summaries=*/true);
+  EXPECT_EQ(t.RowsNamed(N("Region")).size(), 1u);
+  EXPECT_EQ(t.RowsNamed(N("Total")).size(), 1u);
+  EXPECT_EQ(t.RowsNamed(NUL()).size(), 3u);
+}
+
+TEST(TableTest, RowEntriesIsASet) {
+  // ρ_i(a) collects entries from all columns named a, as a set.
+  Table t = fixtures::SalesInfo2Table(/*with_summaries=*/false);
+  SymbolSet nuts_sold = t.RowEntries(2, N("Sold"));
+  EXPECT_EQ(nuts_sold.size(), 4u);  // {50, 60, ⊥, 40}
+  EXPECT_TRUE(nuts_sold.contains(V("50")));
+  EXPECT_TRUE(nuts_sold.contains(NUL()));
+}
+
+TEST(TableTest, RowEntriesForAbsentAttributeIsEmpty) {
+  Table t = fixtures::SalesFlat();
+  EXPECT_TRUE(t.RowEntries(1, N("Absent")).empty());
+}
+
+TEST(TableTest, RowSubsumptionBasics) {
+  Table a = Table::Parse({{"!T", "!A", "!B"}, {"#", "x", "#"}});
+  Table b = Table::Parse({{"!T", "!A", "!B"}, {"#", "x", "y"}});
+  // a's row has A={x}, B={⊥}; b's has A={x}, B={y}: a ⊑ b but not b ⊑ a.
+  EXPECT_TRUE(Table::RowSubsumed(a, 1, b, 1));
+  EXPECT_FALSE(Table::RowSubsumed(b, 1, a, 1));
+  EXPECT_FALSE(Table::RowsSubsumeEachOther(a, 1, b, 1));
+}
+
+TEST(TableTest, RowSubsumptionAcrossDifferentSchemes) {
+  // Attribute present in only one table: the other side reads the empty
+  // set, which weakly contains only ⊥.
+  Table a = Table::Parse({{"!T", "!A"}, {"#", "x"}});
+  Table b = Table::Parse({{"!T", "!A", "!B"}, {"#", "x", "y"}});
+  EXPECT_TRUE(Table::RowSubsumed(a, 1, b, 1));
+  EXPECT_FALSE(Table::RowSubsumed(b, 1, a, 1));
+}
+
+TEST(TableTest, SubsumptionWithRepeatedAttributes) {
+  Table a = Table::Parse({{"!T", "!S", "!S"}, {"#", "1", "#"}});
+  Table b = Table::Parse({{"!T", "!S", "!S"}, {"#", "#", "1"}});
+  // Both rows have S-set {1, ⊥}: mutually subsumed despite positions.
+  EXPECT_TRUE(Table::RowsSubsumeEachOther(a, 1, b, 1));
+}
+
+TEST(TableTest, TransposedSwapsRegions) {
+  Table t = fixtures::SalesFlat();
+  Table tt = t.Transposed();
+  EXPECT_EQ(tt.height(), t.width());
+  EXPECT_EQ(tt.width(), t.height());
+  EXPECT_EQ(tt.name(), t.name());
+  EXPECT_EQ(tt.RowAttribute(1), N("Part"));
+  EXPECT_EQ(tt.at(1, 1), V("nuts"));
+  EXPECT_TRUE(tt.Transposed() == t);
+}
+
+TEST(TableTest, ColumnEntriesIsRowEntriesDual) {
+  Table t = fixtures::SalesInfo2Table(false);
+  Table tt = t.Transposed();
+  EXPECT_EQ(t.RowEntries(2, N("Sold")), tt.ColumnEntries(2, N("Sold")));
+}
+
+TEST(TableTest, AllSymbolsCollectsEverything) {
+  Table t = Table::Parse({{"!T", "!A"}, {"#", "x"}});
+  SymbolSet s = t.AllSymbols();
+  EXPECT_TRUE(s.contains(N("T")));
+  EXPECT_TRUE(s.contains(N("A")));
+  EXPECT_TRUE(s.contains(V("x")));
+  EXPECT_TRUE(s.contains(NUL()));
+  EXPECT_EQ(s.size(), 4u);
+}
+
+TEST(TableTest, HasDataRows) {
+  EXPECT_FALSE(Table::Parse({{"!T", "!A"}}).HasDataRows());
+  EXPECT_TRUE(fixtures::SalesFlat().HasDataRows());
+}
+
+}  // namespace
+}  // namespace tabular::core

@@ -1,0 +1,113 @@
+#include "algebra/tagging.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/sales_data.h"
+#include "tests/test_util.h"
+
+namespace tabular::algebra {
+namespace {
+
+using core::Table;
+using ::tabular::testing::N;
+using ::tabular::testing::V;
+
+TEST(FreshValueGeneratorTest, AvoidsUsedSymbols) {
+  core::SymbolSet used{core::Symbol::Value("\xce\xbd" "0"),
+                       core::Symbol::Value("\xce\xbd" "1")};
+  FreshValueGenerator gen(used);
+  core::Symbol f = gen.Fresh();
+  EXPECT_FALSE(used.contains(f));
+  EXPECT_TRUE(f.is_value());
+}
+
+TEST(FreshValueGeneratorTest, NeverRepeats) {
+  FreshValueGenerator gen(core::SymbolSet{});
+  std::set<uint32_t> seen;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(seen.insert(gen.Fresh().raw_id()).second);
+  }
+}
+
+TEST(TupleNewTest, AddsDistinctTagPerRow) {
+  Table t = fixtures::SalesFlat();
+  FreshValueGenerator gen(t.AllSymbols());
+  auto r = TupleNew(t, N("Tid"), &gen, N("Tagged"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->width(), t.width() + 1);
+  EXPECT_EQ(r->ColumnAttribute(4), N("Tid"));
+  std::set<uint32_t> tags;
+  for (size_t i = 1; i <= r->height(); ++i) {
+    core::Symbol tag = r->Data(i, 4);
+    EXPECT_TRUE(tag.is_value());
+    EXPECT_TRUE(tags.insert(tag.raw_id()).second) << "duplicate tag";
+    EXPECT_FALSE(t.AllSymbols().contains(tag)) << "tag not fresh";
+  }
+}
+
+TEST(TupleNewTest, EmptyTableGetsOnlyAttribute) {
+  Table t = Table::Parse({{"!T", "!A"}});
+  FreshValueGenerator gen(t.AllSymbols());
+  auto r = TupleNew(t, N("Tid"), &gen, N("T"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->width(), 2u);
+  EXPECT_EQ(r->height(), 0u);
+}
+
+TEST(SetNewTest, EnumeratesNonEmptySubsets) {
+  Table t = Table::Parse({{"!T", "!A"}, {"#", "x"}, {"#", "y"}});
+  FreshValueGenerator gen(t.AllSymbols());
+  auto r = SetNew(t, N("Sid"), &gen, N("T"));
+  ASSERT_TRUE(r.ok());
+  // m=2: subsets {x}, {y}, {x,y} -> 1 + 1 + 2 = 4 rows = m * 2^(m-1).
+  EXPECT_EQ(r->height(), 4u);
+  // Rows of the same subset share the tag; different subsets differ.
+  core::Symbol tag_x = r->Data(1, 2);
+  core::Symbol tag_y = r->Data(2, 2);
+  core::Symbol tag_xy = r->Data(3, 2);
+  EXPECT_NE(tag_x, tag_y);
+  EXPECT_NE(tag_x, tag_xy);
+  EXPECT_EQ(r->Data(3, 2), r->Data(4, 2));
+  EXPECT_EQ(r->Data(3, 1), V("x"));
+  EXPECT_EQ(r->Data(4, 1), V("y"));
+}
+
+TEST(SetNewTest, RowCountFormula) {
+  for (size_t m : {1u, 3u, 5u, 8u}) {
+    Table t = Table::Parse({{"!T", "!A"}});
+    for (size_t i = 0; i < m; ++i) {
+      t.AppendRow({core::Symbol::Null(),
+                   core::Symbol::Value("v" + std::to_string(i))});
+    }
+    FreshValueGenerator gen(t.AllSymbols());
+    auto r = SetNew(t, N("Sid"), &gen, N("T"));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->height(), m * (size_t{1} << (m - 1)));
+  }
+}
+
+TEST(SetNewTest, GuardsAgainstExponentialBlowup) {
+  Table t = Table::Parse({{"!T", "!A"}});
+  for (int i = 0; i < 30; ++i) {
+    t.AppendRow({core::Symbol::Null(),
+                 core::Symbol::Value("v" + std::to_string(i))});
+  }
+  FreshValueGenerator gen(t.AllSymbols());
+  auto r = SetNew(t, N("Sid"), &gen, N("T"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(SetNewTest, EmptyTableYieldsEmptyTagged) {
+  Table t = Table::Parse({{"!T", "!A"}});
+  FreshValueGenerator gen(t.AllSymbols());
+  auto r = SetNew(t, N("Sid"), &gen, N("T"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->height(), 0u);
+  EXPECT_EQ(r->ColumnAttribute(2), N("Sid"));
+}
+
+}  // namespace
+}  // namespace tabular::algebra
