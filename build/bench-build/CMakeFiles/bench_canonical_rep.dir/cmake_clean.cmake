@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_canonical_rep"
+  "../bench/bench_canonical_rep.pdb"
+  "CMakeFiles/bench_canonical_rep.dir/bench_canonical_rep.cc.o"
+  "CMakeFiles/bench_canonical_rep.dir/bench_canonical_rep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_canonical_rep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

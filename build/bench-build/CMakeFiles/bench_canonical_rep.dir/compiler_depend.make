@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_canonical_rep.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_canonical_rep.
+# This may be replaced when dependencies are built.

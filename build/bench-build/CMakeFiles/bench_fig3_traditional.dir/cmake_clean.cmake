@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_traditional"
+  "../bench/bench_fig3_traditional.pdb"
+  "CMakeFiles/bench_fig3_traditional.dir/bench_fig3_traditional.cc.o"
+  "CMakeFiles/bench_fig3_traditional.dir/bench_fig3_traditional.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_traditional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_group"
+  "../bench/bench_fig4_group.pdb"
+  "CMakeFiles/bench_fig4_group.dir/bench_fig4_group.cc.o"
+  "CMakeFiles/bench_fig4_group.dir/bench_fig4_group.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_group.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_lang_interp"
+  "../bench/bench_lang_interp.pdb"
+  "CMakeFiles/bench_lang_interp.dir/bench_lang_interp.cc.o"
+  "CMakeFiles/bench_lang_interp.dir/bench_lang_interp.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lang_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_olap_cube"
+  "../bench/bench_olap_cube.pdb"
+  "CMakeFiles/bench_olap_cube.dir/bench_olap_cube.cc.o"
+  "CMakeFiles/bench_olap_cube.dir/bench_olap_cube.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_olap_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_olap_pivot"
+  "../bench/bench_olap_pivot.pdb"
+  "CMakeFiles/bench_olap_pivot.dir/bench_olap_pivot.cc.o"
+  "CMakeFiles/bench_olap_pivot.dir/bench_olap_pivot.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_olap_pivot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

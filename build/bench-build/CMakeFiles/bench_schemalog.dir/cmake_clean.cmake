@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_schemalog"
+  "../bench/bench_schemalog.pdb"
+  "CMakeFiles/bench_schemalog.dir/bench_schemalog.cc.o"
+  "CMakeFiles/bench_schemalog.dir/bench_schemalog.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_schemalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

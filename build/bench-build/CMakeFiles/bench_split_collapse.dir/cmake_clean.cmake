@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_split_collapse"
+  "../bench/bench_split_collapse.pdb"
+  "CMakeFiles/bench_split_collapse.dir/bench_split_collapse.cc.o"
+  "CMakeFiles/bench_split_collapse.dir/bench_split_collapse.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_split_collapse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

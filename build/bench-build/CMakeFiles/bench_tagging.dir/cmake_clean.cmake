@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_tagging"
+  "../bench/bench_tagging.pdb"
+  "CMakeFiles/bench_tagging.dir/bench_tagging.cc.o"
+  "CMakeFiles/bench_tagging.dir/bench_tagging.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tagging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_transpose_cleanup"
+  "../bench/bench_transpose_cleanup.pdb"
+  "CMakeFiles/bench_transpose_cleanup.dir/bench_transpose_cleanup.cc.o"
+  "CMakeFiles/bench_transpose_cleanup.dir/bench_transpose_cleanup.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_transpose_cleanup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

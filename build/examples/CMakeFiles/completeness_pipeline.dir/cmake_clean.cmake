@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/completeness_pipeline.dir/completeness_pipeline.cpp.o"
+  "CMakeFiles/completeness_pipeline.dir/completeness_pipeline.cpp.o.d"
+  "completeness_pipeline"
+  "completeness_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/completeness_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federation_interop.dir/federation_interop.cpp.o"
+  "CMakeFiles/federation_interop.dir/federation_interop.cpp.o.d"
+  "federation_interop"
+  "federation_interop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federation_interop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

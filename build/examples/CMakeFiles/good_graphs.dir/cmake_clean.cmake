@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/good_graphs.dir/good_graphs.cpp.o"
+  "CMakeFiles/good_graphs.dir/good_graphs.cpp.o.d"
+  "good_graphs"
+  "good_graphs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/good_graphs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

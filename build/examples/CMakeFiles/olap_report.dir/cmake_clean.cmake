@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/olap_report.dir/olap_report.cpp.o"
+  "CMakeFiles/olap_report.dir/olap_report.cpp.o.d"
+  "olap_report"
+  "olap_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/olap_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sales_restructuring.dir/sales_restructuring.cpp.o"
+  "CMakeFiles/sales_restructuring.dir/sales_restructuring.cpp.o.d"
+  "sales_restructuring"
+  "sales_restructuring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sales_restructuring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

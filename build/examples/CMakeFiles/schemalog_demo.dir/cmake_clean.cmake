@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schemalog_demo.dir/schemalog_demo.cpp.o"
+  "CMakeFiles/schemalog_demo.dir/schemalog_demo.cpp.o.d"
+  "schemalog_demo"
+  "schemalog_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schemalog_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabular_shell.dir/tabular_shell.cpp.o"
+  "CMakeFiles/tabular_shell.dir/tabular_shell.cpp.o.d"
+  "tabular_shell"
+  "tabular_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabular_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

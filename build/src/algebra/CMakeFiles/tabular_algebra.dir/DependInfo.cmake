@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algebra/cleanup.cc" "src/algebra/CMakeFiles/tabular_algebra.dir/cleanup.cc.o" "gcc" "src/algebra/CMakeFiles/tabular_algebra.dir/cleanup.cc.o.d"
+  "/root/repo/src/algebra/derived.cc" "src/algebra/CMakeFiles/tabular_algebra.dir/derived.cc.o" "gcc" "src/algebra/CMakeFiles/tabular_algebra.dir/derived.cc.o.d"
+  "/root/repo/src/algebra/restructure.cc" "src/algebra/CMakeFiles/tabular_algebra.dir/restructure.cc.o" "gcc" "src/algebra/CMakeFiles/tabular_algebra.dir/restructure.cc.o.d"
+  "/root/repo/src/algebra/tagging.cc" "src/algebra/CMakeFiles/tabular_algebra.dir/tagging.cc.o" "gcc" "src/algebra/CMakeFiles/tabular_algebra.dir/tagging.cc.o.d"
+  "/root/repo/src/algebra/traditional.cc" "src/algebra/CMakeFiles/tabular_algebra.dir/traditional.cc.o" "gcc" "src/algebra/CMakeFiles/tabular_algebra.dir/traditional.cc.o.d"
+  "/root/repo/src/algebra/transpose.cc" "src/algebra/CMakeFiles/tabular_algebra.dir/transpose.cc.o" "gcc" "src/algebra/CMakeFiles/tabular_algebra.dir/transpose.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tabular_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabular_algebra.dir/cleanup.cc.o"
+  "CMakeFiles/tabular_algebra.dir/cleanup.cc.o.d"
+  "CMakeFiles/tabular_algebra.dir/derived.cc.o"
+  "CMakeFiles/tabular_algebra.dir/derived.cc.o.d"
+  "CMakeFiles/tabular_algebra.dir/restructure.cc.o"
+  "CMakeFiles/tabular_algebra.dir/restructure.cc.o.d"
+  "CMakeFiles/tabular_algebra.dir/tagging.cc.o"
+  "CMakeFiles/tabular_algebra.dir/tagging.cc.o.d"
+  "CMakeFiles/tabular_algebra.dir/traditional.cc.o"
+  "CMakeFiles/tabular_algebra.dir/traditional.cc.o.d"
+  "CMakeFiles/tabular_algebra.dir/transpose.cc.o"
+  "CMakeFiles/tabular_algebra.dir/transpose.cc.o.d"
+  "libtabular_algebra.a"
+  "libtabular_algebra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabular_algebra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

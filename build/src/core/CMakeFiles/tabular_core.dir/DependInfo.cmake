@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/compare.cc" "src/core/CMakeFiles/tabular_core.dir/compare.cc.o" "gcc" "src/core/CMakeFiles/tabular_core.dir/compare.cc.o.d"
+  "/root/repo/src/core/database.cc" "src/core/CMakeFiles/tabular_core.dir/database.cc.o" "gcc" "src/core/CMakeFiles/tabular_core.dir/database.cc.o.d"
+  "/root/repo/src/core/sales_data.cc" "src/core/CMakeFiles/tabular_core.dir/sales_data.cc.o" "gcc" "src/core/CMakeFiles/tabular_core.dir/sales_data.cc.o.d"
+  "/root/repo/src/core/status.cc" "src/core/CMakeFiles/tabular_core.dir/status.cc.o" "gcc" "src/core/CMakeFiles/tabular_core.dir/status.cc.o.d"
+  "/root/repo/src/core/symbol.cc" "src/core/CMakeFiles/tabular_core.dir/symbol.cc.o" "gcc" "src/core/CMakeFiles/tabular_core.dir/symbol.cc.o.d"
+  "/root/repo/src/core/table.cc" "src/core/CMakeFiles/tabular_core.dir/table.cc.o" "gcc" "src/core/CMakeFiles/tabular_core.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabular_core.dir/compare.cc.o"
+  "CMakeFiles/tabular_core.dir/compare.cc.o.d"
+  "CMakeFiles/tabular_core.dir/database.cc.o"
+  "CMakeFiles/tabular_core.dir/database.cc.o.d"
+  "CMakeFiles/tabular_core.dir/sales_data.cc.o"
+  "CMakeFiles/tabular_core.dir/sales_data.cc.o.d"
+  "CMakeFiles/tabular_core.dir/status.cc.o"
+  "CMakeFiles/tabular_core.dir/status.cc.o.d"
+  "CMakeFiles/tabular_core.dir/symbol.cc.o"
+  "CMakeFiles/tabular_core.dir/symbol.cc.o.d"
+  "CMakeFiles/tabular_core.dir/table.cc.o"
+  "CMakeFiles/tabular_core.dir/table.cc.o.d"
+  "libtabular_core.a"
+  "libtabular_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabular_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabular_good.dir/graph.cc.o"
+  "CMakeFiles/tabular_good.dir/graph.cc.o.d"
+  "CMakeFiles/tabular_good.dir/operations.cc.o"
+  "CMakeFiles/tabular_good.dir/operations.cc.o.d"
+  "libtabular_good.a"
+  "libtabular_good.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabular_good.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

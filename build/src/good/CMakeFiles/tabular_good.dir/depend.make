@@ -1,0 +1,2 @@
+# Empty dependencies file for tabular_good.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabular_io.dir/csv.cc.o"
+  "CMakeFiles/tabular_io.dir/csv.cc.o.d"
+  "CMakeFiles/tabular_io.dir/grid_format.cc.o"
+  "CMakeFiles/tabular_io.dir/grid_format.cc.o.d"
+  "libtabular_io.a"
+  "libtabular_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabular_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

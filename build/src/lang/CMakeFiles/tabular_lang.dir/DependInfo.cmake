@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lang/ast.cc" "src/lang/CMakeFiles/tabular_lang.dir/ast.cc.o" "gcc" "src/lang/CMakeFiles/tabular_lang.dir/ast.cc.o.d"
+  "/root/repo/src/lang/interpreter.cc" "src/lang/CMakeFiles/tabular_lang.dir/interpreter.cc.o" "gcc" "src/lang/CMakeFiles/tabular_lang.dir/interpreter.cc.o.d"
+  "/root/repo/src/lang/optimizer.cc" "src/lang/CMakeFiles/tabular_lang.dir/optimizer.cc.o" "gcc" "src/lang/CMakeFiles/tabular_lang.dir/optimizer.cc.o.d"
+  "/root/repo/src/lang/param.cc" "src/lang/CMakeFiles/tabular_lang.dir/param.cc.o" "gcc" "src/lang/CMakeFiles/tabular_lang.dir/param.cc.o.d"
+  "/root/repo/src/lang/parser.cc" "src/lang/CMakeFiles/tabular_lang.dir/parser.cc.o" "gcc" "src/lang/CMakeFiles/tabular_lang.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/algebra/CMakeFiles/tabular_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tabular_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

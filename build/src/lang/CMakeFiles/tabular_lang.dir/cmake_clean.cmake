@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabular_lang.dir/ast.cc.o"
+  "CMakeFiles/tabular_lang.dir/ast.cc.o.d"
+  "CMakeFiles/tabular_lang.dir/interpreter.cc.o"
+  "CMakeFiles/tabular_lang.dir/interpreter.cc.o.d"
+  "CMakeFiles/tabular_lang.dir/optimizer.cc.o"
+  "CMakeFiles/tabular_lang.dir/optimizer.cc.o.d"
+  "CMakeFiles/tabular_lang.dir/param.cc.o"
+  "CMakeFiles/tabular_lang.dir/param.cc.o.d"
+  "CMakeFiles/tabular_lang.dir/parser.cc.o"
+  "CMakeFiles/tabular_lang.dir/parser.cc.o.d"
+  "libtabular_lang.a"
+  "libtabular_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabular_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/olap/aggregate.cc" "src/olap/CMakeFiles/tabular_olap.dir/aggregate.cc.o" "gcc" "src/olap/CMakeFiles/tabular_olap.dir/aggregate.cc.o.d"
+  "/root/repo/src/olap/cube.cc" "src/olap/CMakeFiles/tabular_olap.dir/cube.cc.o" "gcc" "src/olap/CMakeFiles/tabular_olap.dir/cube.cc.o.d"
+  "/root/repo/src/olap/hierarchy.cc" "src/olap/CMakeFiles/tabular_olap.dir/hierarchy.cc.o" "gcc" "src/olap/CMakeFiles/tabular_olap.dir/hierarchy.cc.o.d"
+  "/root/repo/src/olap/ndtable.cc" "src/olap/CMakeFiles/tabular_olap.dir/ndtable.cc.o" "gcc" "src/olap/CMakeFiles/tabular_olap.dir/ndtable.cc.o.d"
+  "/root/repo/src/olap/pivot.cc" "src/olap/CMakeFiles/tabular_olap.dir/pivot.cc.o" "gcc" "src/olap/CMakeFiles/tabular_olap.dir/pivot.cc.o.d"
+  "/root/repo/src/olap/summarize.cc" "src/olap/CMakeFiles/tabular_olap.dir/summarize.cc.o" "gcc" "src/olap/CMakeFiles/tabular_olap.dir/summarize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relational/CMakeFiles/tabular_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/tabular_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tabular_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/tabular_lang.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabular_olap.dir/aggregate.cc.o"
+  "CMakeFiles/tabular_olap.dir/aggregate.cc.o.d"
+  "CMakeFiles/tabular_olap.dir/cube.cc.o"
+  "CMakeFiles/tabular_olap.dir/cube.cc.o.d"
+  "CMakeFiles/tabular_olap.dir/hierarchy.cc.o"
+  "CMakeFiles/tabular_olap.dir/hierarchy.cc.o.d"
+  "CMakeFiles/tabular_olap.dir/ndtable.cc.o"
+  "CMakeFiles/tabular_olap.dir/ndtable.cc.o.d"
+  "CMakeFiles/tabular_olap.dir/pivot.cc.o"
+  "CMakeFiles/tabular_olap.dir/pivot.cc.o.d"
+  "CMakeFiles/tabular_olap.dir/summarize.cc.o"
+  "CMakeFiles/tabular_olap.dir/summarize.cc.o.d"
+  "libtabular_olap.a"
+  "libtabular_olap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabular_olap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabular_relational.dir/canonical.cc.o"
+  "CMakeFiles/tabular_relational.dir/canonical.cc.o.d"
+  "CMakeFiles/tabular_relational.dir/fo_while.cc.o"
+  "CMakeFiles/tabular_relational.dir/fo_while.cc.o.d"
+  "CMakeFiles/tabular_relational.dir/relation.cc.o"
+  "CMakeFiles/tabular_relational.dir/relation.cc.o.d"
+  "libtabular_relational.a"
+  "libtabular_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabular_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

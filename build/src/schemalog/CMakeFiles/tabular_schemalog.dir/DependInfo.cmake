@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schemalog/parser.cc" "src/schemalog/CMakeFiles/tabular_schemalog.dir/parser.cc.o" "gcc" "src/schemalog/CMakeFiles/tabular_schemalog.dir/parser.cc.o.d"
+  "/root/repo/src/schemalog/schemalog.cc" "src/schemalog/CMakeFiles/tabular_schemalog.dir/schemalog.cc.o" "gcc" "src/schemalog/CMakeFiles/tabular_schemalog.dir/schemalog.cc.o.d"
+  "/root/repo/src/schemalog/schemasql.cc" "src/schemalog/CMakeFiles/tabular_schemalog.dir/schemasql.cc.o" "gcc" "src/schemalog/CMakeFiles/tabular_schemalog.dir/schemasql.cc.o.d"
+  "/root/repo/src/schemalog/translate.cc" "src/schemalog/CMakeFiles/tabular_schemalog.dir/translate.cc.o" "gcc" "src/schemalog/CMakeFiles/tabular_schemalog.dir/translate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/relational/CMakeFiles/tabular_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/tabular_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tabular_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/tabular_algebra.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

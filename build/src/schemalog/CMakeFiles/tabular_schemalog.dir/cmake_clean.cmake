@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabular_schemalog.dir/parser.cc.o"
+  "CMakeFiles/tabular_schemalog.dir/parser.cc.o.d"
+  "CMakeFiles/tabular_schemalog.dir/schemalog.cc.o"
+  "CMakeFiles/tabular_schemalog.dir/schemalog.cc.o.d"
+  "CMakeFiles/tabular_schemalog.dir/schemasql.cc.o"
+  "CMakeFiles/tabular_schemalog.dir/schemasql.cc.o.d"
+  "CMakeFiles/tabular_schemalog.dir/translate.cc.o"
+  "CMakeFiles/tabular_schemalog.dir/translate.cc.o.d"
+  "libtabular_schemalog.a"
+  "libtabular_schemalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabular_schemalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/derived_test.dir/derived_test.cc.o"
+  "CMakeFiles/derived_test.dir/derived_test.cc.o.d"
+  "derived_test"
+  "derived_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/derived_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

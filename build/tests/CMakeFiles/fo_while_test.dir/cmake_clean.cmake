@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fo_while_test.dir/fo_while_test.cc.o"
+  "CMakeFiles/fo_while_test.dir/fo_while_test.cc.o.d"
+  "fo_while_test"
+  "fo_while_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fo_while_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/good_test.dir/good_test.cc.o"
+  "CMakeFiles/good_test.dir/good_test.cc.o.d"
+  "good_test"
+  "good_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/good_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ndtable_test.dir/ndtable_test.cc.o"
+  "CMakeFiles/ndtable_test.dir/ndtable_test.cc.o.d"
+  "ndtable_test"
+  "ndtable_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ndtable_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restructure_test.dir/restructure_test.cc.o"
+  "CMakeFiles/restructure_test.dir/restructure_test.cc.o.d"
+  "restructure_test"
+  "restructure_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restructure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

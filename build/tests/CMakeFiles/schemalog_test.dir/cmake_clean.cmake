@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schemalog_test.dir/schemalog_test.cc.o"
+  "CMakeFiles/schemalog_test.dir/schemalog_test.cc.o.d"
+  "schemalog_test"
+  "schemalog_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schemalog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

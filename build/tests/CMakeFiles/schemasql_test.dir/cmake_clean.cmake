@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schemasql_test.dir/schemasql_test.cc.o"
+  "CMakeFiles/schemasql_test.dir/schemasql_test.cc.o.d"
+  "schemasql_test"
+  "schemasql_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schemasql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

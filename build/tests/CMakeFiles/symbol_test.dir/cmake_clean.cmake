@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/symbol_test.dir/symbol_test.cc.o"
+  "CMakeFiles/symbol_test.dir/symbol_test.cc.o.d"
+  "symbol_test"
+  "symbol_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/symbol_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

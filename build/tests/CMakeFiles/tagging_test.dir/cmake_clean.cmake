@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagging_test.dir/tagging_test.cc.o"
+  "CMakeFiles/tagging_test.dir/tagging_test.cc.o.d"
+  "tagging_test"
+  "tagging_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagging_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traditional_test.dir/traditional_test.cc.o"
+  "CMakeFiles/traditional_test.dir/traditional_test.cc.o.d"
+  "traditional_test"
+  "traditional_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traditional_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
