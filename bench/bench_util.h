@@ -1,0 +1,44 @@
+#ifndef TABULAR_BENCH_BENCH_UTIL_H_
+#define TABULAR_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace tabular::bench {
+
+/// Standard bench main: like BENCHMARK_MAIN(), but defaults
+/// `--benchmark_out` to `json_name` in JSON format so every run leaves a
+/// machine-readable BENCH_*.json in the working directory. A caller-supplied
+/// --benchmark_out wins.
+inline int BenchMain(const char* json_name, int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool user_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) user_out = true;
+  }
+  std::string out_flag, fmt_flag;
+  if (!user_out) {
+    out_flag = std::string("--benchmark_out=") + json_name;
+    fmt_flag = "--benchmark_out_format=json";
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace tabular::bench
+
+#define TABULAR_BENCH_MAIN(json_name)                          \
+  int main(int argc, char** argv) {                            \
+    return ::tabular::bench::BenchMain(json_name, argc, argv); \
+  }
+
+#endif  // TABULAR_BENCH_BENCH_UTIL_H_

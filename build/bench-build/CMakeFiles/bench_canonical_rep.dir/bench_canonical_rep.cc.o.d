@@ -183,6 +183,8 @@ bench-build/CMakeFiles/bench_canonical_rep.dir/bench_canonical_rep.cc.o: \
  /usr/include/c++/12/bits/exception_ptr.h \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
+ /root/repo/bench/bench_util.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/core/compare.h /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
@@ -192,5 +194,5 @@ bench-build/CMakeFiles/bench_canonical_rep.dir/bench_canonical_rep.cc.o: \
  /root/repo/src/core/database.h /root/repo/src/core/symbol.h \
  /usr/include/c++/12/optional /root/repo/src/core/table.h \
  /root/repo/src/core/status.h /root/repo/src/core/sales_data.h \
- /root/repo/src/relational/canonical.h \
+ /root/repo/src/exec/parallel.h /root/repo/src/relational/canonical.h \
  /root/repo/src/relational/relation.h

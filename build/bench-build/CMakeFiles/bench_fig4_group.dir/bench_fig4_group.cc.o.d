@@ -194,5 +194,7 @@ bench-build/CMakeFiles/bench_fig4_group.dir/bench_fig4_group.cc.o: \
  /root/repo/src/core/table.h /root/repo/src/algebra/derived.h \
  /root/repo/src/algebra/restructure.h \
  /root/repo/src/algebra/traditional.h /root/repo/src/algebra/transpose.h \
- /root/repo/src/algebra/tagging.h /root/repo/src/core/sales_data.h \
- /root/repo/src/core/database.h
+ /root/repo/src/algebra/tagging.h /root/repo/bench/bench_util.h \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/core/sales_data.h /root/repo/src/core/database.h \
+ /root/repo/src/exec/parallel.h

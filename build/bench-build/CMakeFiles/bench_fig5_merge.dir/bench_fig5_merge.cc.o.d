@@ -194,7 +194,9 @@ bench-build/CMakeFiles/bench_fig5_merge.dir/bench_fig5_merge.cc.o: \
  /root/repo/src/core/table.h /root/repo/src/algebra/derived.h \
  /root/repo/src/algebra/restructure.h \
  /root/repo/src/algebra/traditional.h /root/repo/src/algebra/transpose.h \
- /root/repo/src/algebra/tagging.h /root/repo/src/core/sales_data.h \
- /root/repo/src/core/database.h /root/repo/src/olap/pivot.h \
+ /root/repo/src/algebra/tagging.h /root/repo/bench/bench_util.h \
+ /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
+ /root/repo/src/core/sales_data.h /root/repo/src/core/database.h \
+ /root/repo/src/exec/parallel.h /root/repo/src/olap/pivot.h \
  /root/repo/src/olap/aggregate.h /root/repo/src/relational/relation.h \
  /root/repo/src/relational/canonical.h

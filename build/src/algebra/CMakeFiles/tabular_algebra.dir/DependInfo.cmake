@@ -19,6 +19,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/core/CMakeFiles/tabular_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/tabular_exec.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -156,4 +156,4 @@ src/algebra/CMakeFiles/tabular_algebra.dir/restructure.cc.o: \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/limits \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h \
- /root/repo/src/algebra/traditional.h
+ /root/repo/src/algebra/traditional.h /root/repo/src/exec/parallel.h

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabular_exec.dir/parallel.cc.o"
+  "CMakeFiles/tabular_exec.dir/parallel.cc.o.d"
+  "libtabular_exec.a"
+  "libtabular_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabular_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

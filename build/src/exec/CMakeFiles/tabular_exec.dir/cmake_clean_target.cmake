@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtabular_exec.a"
+)

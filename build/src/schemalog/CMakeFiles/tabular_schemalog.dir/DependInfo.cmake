@@ -20,6 +20,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/lang/CMakeFiles/tabular_lang.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/tabular_core.dir/DependInfo.cmake"
   "/root/repo/build/src/algebra/CMakeFiles/tabular_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/tabular_exec.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/parallel_test.cc" "tests/CMakeFiles/parallel_test.dir/parallel_test.cc.o" "gcc" "tests/CMakeFiles/parallel_test.dir/parallel_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tabular_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/tabular_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/algebra/CMakeFiles/tabular_algebra.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/tabular_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/tabular_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/schemalog/CMakeFiles/tabular_schemalog.dir/DependInfo.cmake"
+  "/root/repo/build/src/olap/CMakeFiles/tabular_olap.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/tabular_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/good/CMakeFiles/tabular_good.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

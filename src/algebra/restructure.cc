@@ -6,6 +6,7 @@
 #include <string>
 
 #include "algebra/traditional.h"
+#include "exec/parallel.h"
 
 namespace tabular::algebra {
 
@@ -83,41 +84,50 @@ Result<Table> Group(const Table& rho, const SymbolVec& by_attrs,
   }
   const size_t m = rho.height();
   const size_t block = b_cols.size();
-  Table out(1, 1 + kept.size() + m * block);
+  const size_t a_n = a_attrs.size();
+  // The output shape is known up front: preallocate the all-⊥ table and
+  // fill it with row-parallel kernels. Every range invocation writes cells
+  // determined by its indices alone, so the result is byte-identical to the
+  // serial path at any thread count.
+  Table out(1 + a_n + m, 1 + kept.size() + m * block);
   out.set_name(result_name);
+  const size_t min_rows = 1 + exec::kDefaultSerialCutoff / out.num_cols();
   for (size_t c = 0; c < kept.size(); ++c) {
     out.set(0, 1 + c, rho.at(0, kept[c]));
   }
-  for (size_t i = 0; i < m; ++i) {
-    for (size_t c = 0; c < block; ++c) {
-      out.set(0, 1 + kept.size() + i * block + c, rho.at(0, b_cols[c]));
-    }
-  }
-  // Leading rows: one per grouping attribute.
-  for (Symbol a : a_attrs) {
-    const size_t a_col = FirstColumnNamed(rho, a);
-    SymbolVec row(out.num_cols(), Symbol::Null());
-    row[0] = a;
-    for (size_t i = 0; i < m; ++i) {
-      Symbol v = rho.at(i + 1, a_col);
+  exec::ParallelFor(m, min_rows, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
       for (size_t c = 0; c < block; ++c) {
-        row[1 + kept.size() + i * block + c] = v;
+        out.set(0, 1 + kept.size() + i * block + c, rho.at(0, b_cols[c]));
       }
     }
-    out.AppendRow(row);
+  });
+  // Leading rows: one per grouping attribute.
+  for (size_t a = 0; a < a_n; ++a) {
+    const size_t a_col = FirstColumnNamed(rho, a_attrs[a]);
+    out.set(1 + a, 0, a_attrs[a]);
+    exec::ParallelFor(m, min_rows, [&](size_t begin, size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        Symbol v = rho.at(i + 1, a_col);
+        for (size_t c = 0; c < block; ++c) {
+          out.set(1 + a, 1 + kept.size() + i * block + c, v);
+        }
+      }
+    });
   }
   // One sparse row per input data row.
-  for (size_t i = 0; i < m; ++i) {
-    SymbolVec row(out.num_cols(), Symbol::Null());
-    row[0] = rho.at(i + 1, 0);
-    for (size_t c = 0; c < kept.size(); ++c) {
-      row[1 + c] = rho.at(i + 1, kept[c]);
+  exec::ParallelFor(m, min_rows, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const size_t r = 1 + a_n + i;
+      out.set(r, 0, rho.at(i + 1, 0));
+      for (size_t c = 0; c < kept.size(); ++c) {
+        out.set(r, 1 + c, rho.at(i + 1, kept[c]));
+      }
+      for (size_t c = 0; c < block; ++c) {
+        out.set(r, 1 + kept.size() + i * block + c, rho.at(i + 1, b_cols[c]));
+      }
     }
-    for (size_t c = 0; c < block; ++c) {
-      row[1 + kept.size() + i * block + c] = rho.at(i + 1, b_cols[c]);
-    }
-    out.AppendRow(row);
-  }
+  });
   return out;
 }
 
@@ -157,52 +167,72 @@ Result<Table> Merge(const Table& rho, const SymbolVec& on_attrs,
   const std::vector<size_t> kept =
       ColumnsWithAttrIn(rho, b_set, /*complement=*/true);
 
-  Table out(1, 1 + kept.size() + a_attrs.size() + b_attrs.size());
+  const size_t a_n = a_attrs.size();
+  const size_t b_n = b_attrs.size();
+
+  // Cross product over the 𝒜-row choices (usually a single combination).
+  // Combination index c decodes to choice[a] = (c / stride[a]) % |a_rows[a]|
+  // with the first attribute varying fastest, matching the serial
+  // odometer's emission order.
+  size_t ncombos = 1;
+  std::vector<size_t> stride(a_n, 1);
+  for (size_t a = 0; a < a_n; ++a) {
+    stride[a] = ncombos;
+    ncombos *= a_rows[a].size();
+  }
+  // First column of block k (kNoColumn when every ℬ-attribute ran out —
+  // impossible by construction of nblocks, but kept for symmetry).
+  std::vector<size_t> block_first(nblocks, kNoColumn);
+  for (size_t k = 0; k < nblocks; ++k) {
+    for (size_t b = 0; b < b_n && block_first[k] == kNoColumn; ++b) {
+      if (k < occurrences[b].size()) block_first[k] = occurrences[b][k];
+    }
+  }
+  // Source rows surviving into the output (𝒜-rows are consumed).
+  std::vector<size_t> src;
+  src.reserve(rho.height());
+  for (size_t i = 1; i <= rho.height(); ++i) {
+    if (!a_name_set.contains(rho.at(i, 0))) src.push_back(i);
+  }
+
+  const size_t per_src = nblocks * ncombos;
+  Table out(1 + src.size() * per_src, 1 + kept.size() + a_n + b_n);
   out.set_name(result_name);
   size_t col = 1;
   for (size_t k : kept) out.set(0, col++, rho.at(0, k));
   for (Symbol a : a_attrs) out.set(0, col++, a);
   for (Symbol b : b_attrs) out.set(0, col++, b);
 
-  // Cross product over the 𝒜-row choices (usually a single combination).
-  std::vector<size_t> choice(a_attrs.size(), 0);
-  auto advance_choice = [&]() -> bool {
-    for (size_t a = 0; a < choice.size(); ++a) {
-      if (++choice[a] < a_rows[a].size()) return true;
-      choice[a] = 0;
-    }
-    return false;
-  };
-
-  for (size_t i = 1; i <= rho.height(); ++i) {
-    if (a_name_set.contains(rho.at(i, 0))) continue;  // consumed
-    for (size_t k = 0; k < nblocks; ++k) {
-      size_t block_first = kNoColumn;
-      for (size_t b = 0; b < b_attrs.size() && block_first == kNoColumn;
-           ++b) {
-        if (k < occurrences[b].size()) block_first = occurrences[b][k];
+  // One output row per (source row, block, 𝒜-choice) triple; the flat row
+  // index decodes each triple, so ranges fill disjoint rows and the result
+  // matches the serial nesting (i outer, k middle, choices inner).
+  const size_t min_rows = 1 + exec::kDefaultSerialCutoff / out.num_cols();
+  exec::ParallelFor(src.size() * per_src, min_rows,
+                    [&](size_t begin, size_t end) {
+    for (size_t r = begin; r < end; ++r) {
+      const size_t i = src[r / per_src];
+      const size_t k = (r % per_src) / ncombos;
+      const size_t combo = r % ncombos;
+      const size_t row = 1 + r;
+      size_t c = 0;
+      out.set(row, c++, rho.at(i, 0));
+      for (size_t kc : kept) out.set(row, c++, rho.at(i, kc));
+      for (size_t a = 0; a < a_n; ++a) {
+        const size_t src_row =
+            a_rows[a][(combo / stride[a]) % a_rows[a].size()];
+        out.set(row, c++,
+                block_first[k] == kNoColumn
+                    ? Symbol::Null()
+                    : rho.at(src_row, block_first[k]));
       }
-      std::fill(choice.begin(), choice.end(), 0);
-      do {
-        SymbolVec row;
-        row.reserve(out.num_cols());
-        row.push_back(rho.at(i, 0));
-        for (size_t c : kept) row.push_back(rho.at(i, c));
-        for (size_t a = 0; a < a_attrs.size(); ++a) {
-          size_t src_row = a_rows[a][choice[a]];
-          row.push_back(block_first == kNoColumn
-                            ? Symbol::Null()
-                            : rho.at(src_row, block_first));
-        }
-        for (size_t b = 0; b < b_attrs.size(); ++b) {
-          row.push_back(k < occurrences[b].size()
-                            ? rho.at(i, occurrences[b][k])
-                            : Symbol::Null());
-        }
-        out.AppendRow(row);
-      } while (advance_choice());
+      for (size_t b = 0; b < b_n; ++b) {
+        out.set(row, c++,
+                k < occurrences[b].size()
+                    ? rho.at(i, occurrences[b][k])
+                    : Symbol::Null());
+      }
     }
-  }
+  });
   return out;
 }
 

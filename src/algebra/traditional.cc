@@ -4,6 +4,8 @@
 #include <string>
 #include <unordered_set>
 
+#include "exec/parallel.h"
+
 namespace tabular::algebra {
 
 using tabular::Status;
@@ -96,20 +98,26 @@ Result<Table> CartesianProduct(const Table& rho, const Table& sigma,
                                Symbol result_name) {
   const size_t wr = rho.width();
   const size_t ws = sigma.width();
-  Table out(1, 1 + wr + ws);
+  const size_t hr = rho.height();
+  const size_t hs = sigma.height();
+  // Preallocated output filled by row ranges; flat row index r decodes to
+  // the (i, k) pair of the serial nesting, so results are byte-identical to
+  // the serial path at any thread count.
+  Table out(1 + hr * hs, 1 + wr + ws);
   out.set_name(result_name);
   for (size_t j = 1; j <= wr; ++j) out.set(0, j, rho.at(0, j));
   for (size_t j = 1; j <= ws; ++j) out.set(0, wr + j, sigma.at(0, j));
-  for (size_t i = 1; i <= rho.height(); ++i) {
-    for (size_t k = 1; k <= sigma.height(); ++k) {
-      SymbolVec row;
-      row.reserve(1 + wr + ws);
-      row.push_back(CombineRowAttributes(rho.at(i, 0), sigma.at(k, 0)));
-      for (size_t j = 1; j <= wr; ++j) row.push_back(rho.at(i, j));
-      for (size_t j = 1; j <= ws; ++j) row.push_back(sigma.at(k, j));
-      out.AppendRow(row);
+  const size_t min_rows = 1 + exec::kDefaultSerialCutoff / out.num_cols();
+  exec::ParallelFor(hr * hs, min_rows, [&](size_t begin, size_t end) {
+    for (size_t r = begin; r < end; ++r) {
+      const size_t i = 1 + r / hs;
+      const size_t k = 1 + r % hs;
+      const size_t row = 1 + r;
+      out.set(row, 0, CombineRowAttributes(rho.at(i, 0), sigma.at(k, 0)));
+      for (size_t j = 1; j <= wr; ++j) out.set(row, j, rho.at(i, j));
+      for (size_t j = 1; j <= ws; ++j) out.set(row, wr + j, sigma.at(k, j));
     }
-  }
+  });
   return out;
 }
 

@@ -1,19 +1,33 @@
 #include "core/symbol.h"
 
+#include <atomic>
 #include <cassert>
 #include <charconv>
+#include <cmath>
 #include <cstdio>
 #include <mutex>
 #include <shared_mutex>
-#include <deque>
 #include <unordered_map>
 
 namespace tabular::core {
 
 namespace {
 
-/// Process-wide interning pool. Id 0 is reserved for ⊥. Entries are never
-/// removed, so returned references stay valid for the process lifetime.
+/// Process-wide interning pool. Entry index 0 is reserved for ⊥.
+///
+/// Reads (`TextOf`) are wait-free: entries live in fixed-size chunks that
+/// are allocated once and never moved or freed, reached through an array of
+/// atomic chunk pointers. A handle only exists after `Intern` returned its
+/// id, and `Intern` fully constructs the entry (and publishes the chunk
+/// pointer with release ordering) before the id escapes — either via the
+/// interning thread's own return value or via the shard map under its
+/// mutex — so any thread holding a handle has a happens-before edge to the
+/// entry's construction and can read it without synchronization.
+///
+/// Writes (`Intern`) take a per-shard mutex for the id-map insert (shared
+/// for the common already-interned fast path) plus a short global mutex for
+/// index allocation; sharding keeps concurrent interning of distinct
+/// strings from serializing on one lock.
 class SymbolPool {
  public:
   static SymbolPool& Instance() {
@@ -29,47 +43,78 @@ class SymbolPool {
     key.reserve(text.size() + 1);
     key.push_back(kind == Symbol::Kind::kName ? 'N' : 'V');
     key.append(text);
+    Shard& shard = shards_[std::hash<std::string>{}(key) % kShards];
     {
-      std::shared_lock lock(mutex_);
-      auto it = ids_.find(key);
-      if (it != ids_.end()) return it->second;
+      std::shared_lock lock(shard.mutex);
+      auto it = shard.ids.find(key);
+      if (it != shard.ids.end()) return it->second;
     }
-    std::unique_lock lock(mutex_);
-    auto [it, inserted] = ids_.emplace(std::move(key), 0);
+    std::unique_lock lock(shard.mutex);
+    auto [it, inserted] = shard.ids.emplace(std::move(key), 0);
     if (!inserted) return it->second;
-    entries_.push_back(Entry{kind, std::string(text)});
-    it->second = static_cast<uint32_t>(entries_.size() - 1);
-    return it->second;
+    uint32_t index;
+    std::string* slot;
+    {
+      std::lock_guard<std::mutex> alloc(alloc_mutex_);
+      index = next_index_;
+      assert(index <= Symbol::kIndexMask && "symbol pool exhausted");
+      std::string* chunk =
+          chunks_[index >> kChunkBits].load(std::memory_order_relaxed);
+      if (chunk == nullptr) {
+        chunk = new std::string[kChunkSize];
+        chunks_[index >> kChunkBits].store(chunk, std::memory_order_release);
+      }
+      slot = &chunk[index & kChunkMask];
+      ++next_index_;
+    }
+    // The slot is exclusively ours until the id escapes below.
+    *slot = std::string(text);
+    published_.fetch_add(1, std::memory_order_release);
+    uint32_t id = (static_cast<uint32_t>(kind) << Symbol::kKindShift) | index;
+    it->second = id;
+    return id;
   }
 
-  Symbol::Kind KindOf(uint32_t id) const {
-    std::shared_lock lock(mutex_);
-    return entries_[id].kind;
+  /// Wait-free; only valid for indices taken from a live handle.
+  const std::string& TextOf(uint32_t index) const {
+    const std::string* chunk =
+        chunks_[index >> kChunkBits].load(std::memory_order_acquire);
+    return chunk[index & kChunkMask];
   }
 
-  const std::string& TextOf(uint32_t id) const {
-    std::shared_lock lock(mutex_);
-    return entries_[id].text;
+  /// Number of interned entries (incl. ⊥); for tests and stats only.
+  size_t published_size() const {
+    return published_.load(std::memory_order_acquire);
   }
 
  private:
-  struct Entry {
-    Symbol::Kind kind;
-    std::string text;
+  static constexpr size_t kChunkBits = 16;
+  static constexpr size_t kChunkSize = size_t{1} << kChunkBits;
+  static constexpr size_t kChunkMask = kChunkSize - 1;
+  static constexpr size_t kMaxChunks =
+      (size_t{Symbol::kIndexMask} + 1) >> kChunkBits;
+  static constexpr size_t kShards = 16;
+
+  struct Shard {
+    std::shared_mutex mutex;
+    std::unordered_map<std::string, uint32_t> ids;
   };
 
   SymbolPool() {
-    entries_.push_back(Entry{Symbol::Kind::kNull, std::string()});
+    // Chunk 0 up front so TextOf(0) (the ⊥ entry) needs no special case.
+    chunks_[0].store(new std::string[kChunkSize], std::memory_order_release);
   }
 
-  mutable std::shared_mutex mutex_;
-  std::unordered_map<std::string, uint32_t> ids_;
-  // Deque: references returned by TextOf() must survive later interning
-  // (a vector would invalidate them on reallocation).
-  std::deque<Entry> entries_;
+  std::mutex alloc_mutex_;
+  uint32_t next_index_ = 1;  // 0 is ⊥.
+  std::atomic<size_t> published_{1};
+  std::atomic<std::string*> chunks_[kMaxChunks] = {};
+  Shard shards_[kShards];
 };
 
 }  // namespace
+
+size_t SymbolPoolSize() { return SymbolPool::Instance().published_size(); }
 
 Symbol Symbol::Name(std::string_view text) {
   return UncheckedFromRaw(SymbolPool::Instance().Intern(Kind::kName, text));
@@ -82,21 +127,24 @@ Symbol Symbol::Value(std::string_view text) {
 Symbol Symbol::Number(int64_t v) { return Value(std::to_string(v)); }
 
 Symbol Symbol::Number(double v) {
-  if (v == static_cast<double>(static_cast<int64_t>(v))) {
-    return Number(static_cast<int64_t>(v));
+  // Deterministic renderings for the non-finite values; casting them (or
+  // anything outside int64 range) to int64_t is undefined behavior, so the
+  // integral fast path checks the range first.
+  if (std::isnan(v)) return Value("nan");
+  if (std::isinf(v)) return Value(v < 0 ? "-inf" : "inf");
+  constexpr double kInt64Lo = -9223372036854775808.0;  // -2^63, exact
+  constexpr double kInt64Hi = 9223372036854775808.0;   // 2^63, exact
+  if (v >= kInt64Lo && v < kInt64Hi) {
+    int64_t i = static_cast<int64_t>(v);
+    if (static_cast<double>(i) == v) return Number(i);
   }
   char buf[64];
   std::snprintf(buf, sizeof(buf), "%.10g", v);
   return Value(buf);
 }
 
-Symbol::Kind Symbol::kind() const {
-  if (id_ == 0) return Kind::kNull;
-  return SymbolPool::Instance().KindOf(id_);
-}
-
 const std::string& Symbol::text() const {
-  return SymbolPool::Instance().TextOf(id_);
+  return SymbolPool::Instance().TextOf(id_ & kIndexMask);
 }
 
 std::optional<double> Symbol::AsNumber() const {
@@ -111,8 +159,10 @@ std::optional<double> Symbol::AsNumber() const {
 
 int Symbol::Compare(Symbol a, Symbol b) {
   if (a.id_ == b.id_) return 0;
-  Kind ka = a.kind();
-  Kind kb = b.kind();
+  // Kinds live in the handles' top bits; only equal kinds need the texts,
+  // and those reads are wait-free. No locking on any path.
+  uint32_t ka = a.id_ >> kKindShift;
+  uint32_t kb = b.id_ >> kKindShift;
   if (ka != kb) return ka < kb ? -1 : 1;
   int c = a.text().compare(b.text());
   return c < 0 ? -1 : (c > 0 ? 1 : 0);

@@ -22,6 +22,12 @@ namespace tabular::core {
 /// `Symbol` is a trivially copyable 4-byte handle into a process-wide
 /// interning pool, so equality is a single integer compare. The total order
 /// used for deterministic output is (kind, text) with ⊥ < names < values.
+///
+/// Handle layout: the top two bits carry the `Kind`, the low 30 bits index
+/// the pool's append-only entry store. `kind()` therefore never touches the
+/// pool, and `text()` is a wait-free chunked-array read — no lock is taken
+/// on any read path once a handle exists (see SymbolPool in symbol.cc for
+/// the publication argument).
 class Symbol {
  public:
   enum class Kind : uint8_t {
@@ -46,7 +52,7 @@ class Symbol {
   /// fractional part so `Number(3.0) == Number(3)`.
   static Symbol Number(double v);
 
-  Kind kind() const;
+  Kind kind() const { return static_cast<Kind>(id_ >> kKindShift); }
   bool is_null() const { return id_ == 0; }
   bool is_name() const { return kind() == Kind::kName; }
   bool is_value() const { return kind() == Kind::kValue; }
@@ -76,6 +82,10 @@ class Symbol {
   /// previously produced by this process's interning pool.
   static Symbol UncheckedFromRaw(uint32_t id) { return Symbol(id); }
 
+  /// Handle bit layout (shared with the pool in symbol.cc).
+  static constexpr int kKindShift = 30;
+  static constexpr uint32_t kIndexMask = (uint32_t{1} << kKindShift) - 1;
+
  private:
   explicit Symbol(uint32_t id) : id_(id) {}
   uint32_t id_;
@@ -95,6 +105,10 @@ using SymbolSet = std::set<Symbol, SymbolLess>;
 
 /// A sequence of symbols (a table row or column, an attribute list, ...).
 using SymbolVec = std::vector<Symbol>;
+
+/// Number of entries in the process-wide interning pool, including ⊥
+/// (monotone; for tests and stats — not a synchronization point).
+size_t SymbolPoolSize();
 
 /// Weak containment A ⊑ B (paper §2): A \ {⊥} ⊆ B \ {⊥}.
 bool WeaklyContained(const SymbolSet& a, const SymbolSet& b);

@@ -1,0 +1,166 @@
+#include "exec/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tabular::exec {
+
+namespace {
+
+/// Set on any thread currently executing inside a parallel region (the
+/// caller during a fork/join and every worker); nested ParallelFor calls on
+/// such a thread degrade to the serial path instead of deadlocking on the
+/// single-job pool.
+thread_local bool t_in_parallel_region = false;
+
+size_t DefaultThreads() {
+  if (const char* env = std::getenv("TABULAR_THREADS")) {
+    char* end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (end != env && v > 0) return static_cast<size_t>(v);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
+
+std::atomic<size_t> g_thread_override{0};
+
+/// A lazily grown pool of persistent workers executing one fork/join job at
+/// a time. Tasks are claimed with an atomic counter, which load-balances
+/// without affecting results: a task's index alone determines what it
+/// writes.
+class ThreadPool {
+ public:
+  static ThreadPool& Instance() {
+    // Leaked singleton: workers are parked in a condition wait at process
+    // exit and die with the process (Google style for non-trivially
+    // destructible statics).
+    static ThreadPool* pool = new ThreadPool();
+    return *pool;
+  }
+
+  /// Runs fn(0) .. fn(tasks - 1) on up to `threads` threads (caller
+  /// included) and returns when all calls finished. Callers serialize.
+  void Run(size_t threads, size_t tasks,
+           const std::function<void(size_t)>& fn) {
+    std::lock_guard<std::mutex> run_lock(run_mutex_);
+    Job job;
+    job.fn = &fn;
+    job.tasks = tasks;
+    const size_t helpers = std::min(threads - 1, tasks - 1);
+    EnsureWorkers(helpers);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job_ = &job;
+      tickets_ = helpers;
+      active_ = 1;  // The caller.
+    }
+    cv_work_.notify_all();
+    t_in_parallel_region = true;
+    Execute(job);
+    t_in_parallel_region = false;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      tickets_ = 0;  // Late-waking workers must not join a finished job.
+      --active_;
+      cv_done_.wait(lock, [&] { return active_ == 0; });
+      job_ = nullptr;
+    }
+  }
+
+ private:
+  struct Job {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t tasks = 0;
+    std::atomic<size_t> next{0};
+  };
+
+  static void Execute(Job& job) {
+    for (;;) {
+      size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= job.tasks) break;
+      (*job.fn)(i);
+    }
+  }
+
+  void EnsureWorkers(size_t want) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    while (workers_.size() < want) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  void WorkerLoop() {
+    t_in_parallel_region = true;
+    for (;;) {
+      Job* job;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_work_.wait(lock, [&] { return tickets_ > 0; });
+        --tickets_;
+        ++active_;
+        job = job_;
+      }
+      Execute(*job);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (--active_ == 0) cv_done_.notify_one();
+      }
+    }
+  }
+
+  std::mutex run_mutex_;  // One job at a time; concurrent callers queue.
+
+  std::mutex mutex_;  // Guards everything below.
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::vector<std::thread> workers_;
+  Job* job_ = nullptr;
+  size_t tickets_ = 0;  // Worker join permits for the current job.
+  size_t active_ = 0;   // Threads currently inside Execute().
+};
+
+}  // namespace
+
+size_t Threads() {
+  size_t n = g_thread_override.load(std::memory_order_relaxed);
+  if (n > 0) return n;
+  static const size_t resolved = DefaultThreads();
+  return resolved;
+}
+
+void SetThreads(size_t n) {
+  g_thread_override.store(n, std::memory_order_relaxed);
+}
+
+ScopedThreads::ScopedThreads(size_t n)
+    : previous_(g_thread_override.load(std::memory_order_relaxed)) {
+  SetThreads(n);
+}
+
+ScopedThreads::~ScopedThreads() { SetThreads(previous_); }
+
+void ParallelFor(size_t n, size_t min_parallel,
+                 const std::function<void(size_t, size_t)>& fn) {
+  if (n == 0) return;
+  const size_t threads = Threads();
+  if (threads <= 1 || n < min_parallel || t_in_parallel_region) {
+    fn(0, n);
+    return;
+  }
+  // A few chunks per thread smooths skewed per-range costs; the partition
+  // is a pure function of (n, chunks), so results stay deterministic.
+  const size_t chunks = std::min(n, threads * 4);
+  ThreadPool::Instance().Run(threads, chunks, [&](size_t c) {
+    const size_t begin = n * c / chunks;
+    const size_t end = n * (c + 1) / chunks;
+    if (begin < end) fn(begin, end);
+  });
+}
+
+}  // namespace tabular::exec

@@ -45,6 +45,9 @@ Result<std::vector<std::vector<CsvField>>> ParseCsv(std::string_view csv) {
     }
     switch (c) {
       case '"':
+        if (field.quoted) {
+          return Status::ParseError("quote after closing quote in CSV field");
+        }
         if (!field.text.empty()) {
           return Status::ParseError("quote inside unquoted CSV field");
         }
@@ -73,6 +76,9 @@ Result<std::vector<std::vector<CsvField>>> ParseCsv(std::string_view csv) {
         ++i;
         break;
       default:
+        if (field.quoted) {
+          return Status::ParseError("text after closing quote in CSV field");
+        }
         field.text.push_back(c);
         any = true;
         ++i;

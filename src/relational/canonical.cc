@@ -1,8 +1,14 @@
 #include "relational/canonical.h"
 
-#include <map>
+#include <algorithm>
+#include <atomic>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
 #include <vector>
+
+#include "exec/parallel.h"
 
 namespace tabular::rel {
 
@@ -24,58 +30,101 @@ Symbol NilId(const CanonicalOptions& options) {
 
 Result<RelationalDatabase> CanonicalEncode(const TabularDatabase& db,
                                            const CanonicalOptions& options) {
-  Relation data(RepDataName(),
-                {Symbol::Name("Tbl"), Symbol::Name("Row"), Symbol::Name("Col"),
-                 Symbol::Name("Val")});
-  Relation map(RepMapName(), {Symbol::Name("Id"), Symbol::Name("Entry")});
-
-  size_t counter = 0;
-  auto fresh = [&]() {
-    return Symbol::Value(std::string(options.id_prefix) +
-                         std::to_string(counter++));
-  };
   // The nil marker is deliberately *not* given a Map entry: decode
   // recognizes it structurally as an unmapped id (an ordinary row id often
   // maps to ⊥, so the entry value cannot distinguish it).
   const Symbol nil = NilId(options);
+  const std::string prefix(options.id_prefix);
 
+  // Id assignment is a pure function of position — the offsets a
+  // sequential counter would produce walking tables in order and, within a
+  // table, the name, then row attributes, then column attributes, then
+  // cells in row-major order. This keeps ids identical to the historical
+  // counter-based encoding while letting tuple generation run in parallel.
+  struct TablePlan {
+    const Table* table;
+    size_t m, n;         // Paper height/width.
+    bool has_cells;      // m > 0 && n > 0.
+    size_t id_base;      // First fresh id of this table.
+    size_t map_base;     // First Map tuple slot (one per fresh id).
+    size_t data_base;    // First Data tuple slot.
+  };
+  std::vector<TablePlan> plans;
+  plans.reserve(db.tables().size());
+  size_t ids = 0, data_total = 0;
   for (const Table& t : db.tables()) {
-    Symbol tid = fresh();
-    TABULAR_RETURN_NOT_OK(map.Insert({tid, t.name()}));
-    std::vector<Symbol> row_ids(t.num_rows());
-    std::vector<Symbol> col_ids(t.num_cols());
-    for (size_t i = 1; i < t.num_rows(); ++i) {
-      row_ids[i] = fresh();
-      TABULAR_RETURN_NOT_OK(map.Insert({row_ids[i], t.at(i, 0)}));
+    TablePlan p;
+    p.table = &t;
+    p.m = t.height();
+    p.n = t.width();
+    p.has_cells = p.m > 0 && p.n > 0;
+    p.id_base = ids;
+    p.map_base = ids;
+    p.data_base = data_total;
+    ids += 1 + p.m + p.n + (p.has_cells ? p.m * p.n : 0);
+    data_total += p.has_cells ? p.m * p.n
+                  : (p.m == 0 && p.n == 0) ? 1
+                                           : std::max(p.m, p.n);
+    plans.push_back(p);
+  }
+
+  std::vector<SymbolVec> map_tuples(ids);
+  std::vector<SymbolVec> data_tuples(data_total);
+  const auto id_at = [&](size_t off) {
+    return Symbol::Value(prefix + std::to_string(off));
+  };
+  for (const TablePlan& p : plans) {
+    const Table& t = *p.table;
+    const size_t m = p.m, n = p.n;
+    const Symbol tid = id_at(p.id_base);
+    map_tuples[p.map_base] = {tid, t.name()};
+    std::vector<Symbol> row_ids(m + 1);
+    std::vector<Symbol> col_ids(n + 1);
+    for (size_t i = 1; i <= m; ++i) {
+      row_ids[i] = id_at(p.id_base + i);
+      map_tuples[p.map_base + i] = {row_ids[i], t.at(i, 0)};
     }
-    for (size_t j = 1; j < t.num_cols(); ++j) {
-      col_ids[j] = fresh();
-      TABULAR_RETURN_NOT_OK(map.Insert({col_ids[j], t.at(0, j)}));
+    for (size_t j = 1; j <= n; ++j) {
+      col_ids[j] = id_at(p.id_base + m + j);
+      map_tuples[p.map_base + m + j] = {col_ids[j], t.at(0, j)};
     }
-    if (t.height() == 0 && t.width() == 0) {
-      TABULAR_RETURN_NOT_OK(data.Insert({tid, nil, nil, nil}));
-      continue;
-    }
-    if (t.width() == 0) {
-      for (size_t i = 1; i < t.num_rows(); ++i) {
-        TABULAR_RETURN_NOT_OK(data.Insert({tid, row_ids[i], nil, nil}));
+    if (p.has_cells) {
+      // One fresh id + Map tuple + Data tuple per cell, in row-major
+      // order; each flat index owns its slots, so the fill parallelizes.
+      const size_t cell_id_base = p.id_base + 1 + m + n;
+      const size_t cell_map_base = p.map_base + 1 + m + n;
+      exec::ParallelFor(m * n, exec::kDefaultSerialCutoff / 4,
+                        [&](size_t begin, size_t end) {
+        for (size_t c = begin; c < end; ++c) {
+          const size_t i = 1 + c / n;
+          const size_t j = 1 + c % n;
+          const Symbol vid = id_at(cell_id_base + c);
+          map_tuples[cell_map_base + c] = {vid, t.at(i, j)};
+          data_tuples[p.data_base + c] = {tid, row_ids[i], col_ids[j], vid};
+        }
+      });
+    } else if (m == 0 && n == 0) {
+      data_tuples[p.data_base] = {tid, nil, nil, nil};
+    } else if (n == 0) {
+      for (size_t i = 1; i <= m; ++i) {
+        data_tuples[p.data_base + i - 1] = {tid, row_ids[i], nil, nil};
       }
-      continue;
-    }
-    if (t.height() == 0) {
-      for (size_t j = 1; j < t.num_cols(); ++j) {
-        TABULAR_RETURN_NOT_OK(data.Insert({tid, nil, col_ids[j], nil}));
-      }
-      continue;
-    }
-    for (size_t i = 1; i < t.num_rows(); ++i) {
-      for (size_t j = 1; j < t.num_cols(); ++j) {
-        Symbol vid = fresh();
-        TABULAR_RETURN_NOT_OK(map.Insert({vid, t.at(i, j)}));
-        TABULAR_RETURN_NOT_OK(data.Insert({tid, row_ids[i], col_ids[j], vid}));
+    } else {
+      for (size_t j = 1; j <= n; ++j) {
+        data_tuples[p.data_base + j - 1] = {tid, nil, col_ids[j], nil};
       }
     }
   }
+
+  // Pre-sorting makes the set load linear.
+  exec::ParallelSort(map_tuples.begin(), map_tuples.end(), TupleLess{});
+  exec::ParallelSort(data_tuples.begin(), data_tuples.end(), TupleLess{});
+  Relation data(RepDataName(),
+                {Symbol::Name("Tbl"), Symbol::Name("Row"), Symbol::Name("Col"),
+                 Symbol::Name("Val")});
+  Relation map(RepMapName(), {Symbol::Name("Id"), Symbol::Name("Entry")});
+  TABULAR_RETURN_NOT_OK(map.InsertBulk(std::move(map_tuples)));
+  TABULAR_RETURN_NOT_OK(data.InsertBulk(std::move(data_tuples)));
 
   RelationalDatabase out;
   out.Put(std::move(data));
@@ -92,23 +141,27 @@ Status ValidateRep(const RelationalDatabase& rep) {
   if (data.arity() != 4) {
     return Status::InvalidArgument("Data must have arity 4");
   }
+  // Tuples iterate in sorted (lexicographic) order and exact duplicates
+  // are absorbed by set semantics, so two tuples agreeing on an FD's
+  // left-hand side but not its right are adjacent: each check is a linear
+  // adjacent-pair scan.
   // FD Id -> Entry.
-  std::map<Symbol, Symbol, core::SymbolLess> entries;
+  const SymbolVec* prev = nullptr;
   for (const SymbolVec& t : map.tuples()) {
-    auto [it, inserted] = entries.emplace(t[0], t[1]);
-    if (!inserted && it->second != t[1]) {
+    if (prev != nullptr && (*prev)[0] == t[0] && (*prev)[1] != t[1]) {
       return Status::InvalidArgument("FD Id -> Entry violated at id " +
                                      t[0].ToString());
     }
+    prev = &t;
   }
   // FD Tbl, Row, Col -> Val.
-  std::map<SymbolVec, Symbol, TupleLess> cells;
+  prev = nullptr;
   for (const SymbolVec& t : data.tuples()) {
-    SymbolVec key{t[0], t[1], t[2]};
-    auto [it, inserted] = cells.emplace(std::move(key), t[3]);
-    if (!inserted && it->second != t[3]) {
+    if (prev != nullptr && (*prev)[0] == t[0] && (*prev)[1] == t[1] &&
+        (*prev)[2] == t[2] && (*prev)[3] != t[3]) {
       return Status::InvalidArgument("FD Tbl,Row,Col -> Val violated");
     }
+    prev = &t;
   }
   return Status::OK();
 }
@@ -118,44 +171,94 @@ Result<TabularDatabase> CanonicalDecode(const RelationalDatabase& rep) {
   TABULAR_ASSIGN_OR_RETURN(Relation map, rep.Get(RepMapName()));
   TABULAR_ASSIGN_OR_RETURN(Relation data, rep.Get(RepDataName()));
 
-  std::map<Symbol, Symbol, core::SymbolLess> entry_of;
-  for (const SymbolVec& t : map.tuples()) entry_of.emplace(t[0], t[1]);
+  // Map tuples iterate sorted by id (the FD guarantees distinct ids), so
+  // the id → entry table is a linear copy into a flat vector; lookups are
+  // binary searches whose symbol compares are wait-free.
+  std::vector<std::pair<Symbol, Symbol>> entry_of;
+  entry_of.reserve(map.size());
+  for (const SymbolVec& t : map.tuples()) entry_of.emplace_back(t[0], t[1]);
+  const auto find_entry =
+      [&](Symbol id) -> const std::pair<Symbol, Symbol>* {
+    auto it = std::lower_bound(
+        entry_of.begin(), entry_of.end(), id,
+        [](const std::pair<Symbol, Symbol>& p, Symbol v) {
+          return Symbol::Compare(p.first, v) < 0;
+        });
+    if (it == entry_of.end() || it->first != id) return nullptr;
+    return &*it;
+  };
   auto lookup = [&](Symbol id) -> Result<Symbol> {
-    auto it = entry_of.find(id);
-    if (it == entry_of.end()) {
+    const auto* e = find_entry(id);
+    if (e == nullptr) {
       return Status::InvalidArgument("id " + id.ToString() +
                                      " has no Map entry");
     }
-    return it->second;
+    return e->second;
   };
   // The nil marker is the (only) id without a Map entry; see
   // CanonicalEncode.
-  auto is_nil_marker = [&](Symbol id) { return !entry_of.contains(id); };
+  auto is_nil_marker = [&](Symbol id) { return find_entry(id) == nullptr; };
 
-  // Group Data tuples per table id, preserving deterministic order.
-  std::map<Symbol, std::vector<const SymbolVec*>, core::SymbolLess> per_table;
-  for (const SymbolVec& t : data.tuples()) {
-    per_table[t[0]].push_back(&t);
+  // Data tuples iterate sorted with Tbl as the major key, so each table is
+  // a contiguous run — no grouping map needed, and order is deterministic.
+  std::vector<const SymbolVec*> cells;
+  cells.reserve(data.size());
+  for (const SymbolVec& t : data.tuples()) cells.push_back(&t);
+  struct Run {
+    size_t begin, end;
+  };
+  std::vector<Run> runs;
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i == 0 || (*cells[i])[0] != (*cells[i - 1])[0]) {
+      runs.push_back(Run{i, i});
+    }
+    runs.back().end = i + 1;
   }
 
   TabularDatabase out;
-  for (const auto& [tid, cells] : per_table) {
+  for (const Run& run : runs) {
+    const Symbol tid = (*cells[run.begin])[0];
     TABULAR_ASSIGN_OR_RETURN(Symbol name, lookup(tid));
-    // Collect row and column ids in order of first appearance.
-    std::vector<Symbol> row_ids;
-    std::vector<Symbol> col_ids;
-    std::map<Symbol, size_t, core::SymbolLess> row_index;
-    std::map<Symbol, size_t, core::SymbolLess> col_index;
-    for (const SymbolVec* cell : cells) {
-      Symbol rid = (*cell)[1];
-      Symbol cid = (*cell)[2];
-      if (!is_nil_marker(rid) && !row_index.contains(rid)) {
-        row_index.emplace(rid, row_ids.size());
-        row_ids.push_back(rid);
+    // Collect row and column ids in order of first appearance: chunked
+    // parallel scan with chunk-local dedup, then an ordered serial merge —
+    // the same order the serial scan produces.
+    const size_t ncells = run.end - run.begin;
+    struct Appearances {
+      std::vector<Symbol> rows, cols;
+    };
+    const size_t nchunks =
+        ncells < exec::kDefaultSerialCutoff ? 1 : exec::Threads() * 4;
+    std::vector<Appearances> chunks(nchunks);
+    exec::ParallelFor(nchunks, 2, [&](size_t cb, size_t ce) {
+      for (size_t c = cb; c < ce; ++c) {
+        Appearances& a = chunks[c];
+        std::unordered_set<Symbol> seen_rows, seen_cols;
+        const size_t lo = run.begin + ncells * c / nchunks;
+        const size_t hi = run.begin + ncells * (c + 1) / nchunks;
+        for (size_t i = lo; i < hi; ++i) {
+          const Symbol rid = (*cells[i])[1];
+          const Symbol cid = (*cells[i])[2];
+          if (seen_rows.insert(rid).second && !is_nil_marker(rid)) {
+            a.rows.push_back(rid);
+          }
+          if (seen_cols.insert(cid).second && !is_nil_marker(cid)) {
+            a.cols.push_back(cid);
+          }
+        }
       }
-      if (!is_nil_marker(cid) && !col_index.contains(cid)) {
-        col_index.emplace(cid, col_ids.size());
-        col_ids.push_back(cid);
+    });
+    std::vector<Symbol> row_ids, col_ids;
+    std::unordered_map<Symbol, size_t> row_index, col_index;
+    for (const Appearances& a : chunks) {
+      for (Symbol rid : a.rows) {
+        if (row_index.emplace(rid, row_ids.size()).second) {
+          row_ids.push_back(rid);
+        }
+      }
+      for (Symbol cid : a.cols) {
+        if (col_index.emplace(cid, col_ids.size()).second) {
+          col_ids.push_back(cid);
+        }
       }
     }
     Table t(1 + row_ids.size(), 1 + col_ids.size());
@@ -168,12 +271,31 @@ Result<TabularDatabase> CanonicalDecode(const RelationalDatabase& rep) {
       TABULAR_ASSIGN_OR_RETURN(Symbol attr, lookup(col_ids[j]));
       t.set(0, j + 1, attr);
     }
-    for (const SymbolVec* cell : cells) {
-      Symbol rid = (*cell)[1];
-      Symbol cid = (*cell)[2];
-      if (is_nil_marker(rid) || is_nil_marker(cid)) continue;
-      TABULAR_ASSIGN_OR_RETURN(Symbol val, lookup((*cell)[3]));
-      t.set(row_index[rid] + 1, col_index[cid] + 1, val);
+    // Cell fill: each tuple owns its (row, col) slot (FD-checked), so
+    // ranges write disjoint cells. Errors are flagged and reported by a
+    // serial rescan so the message matches the serial path.
+    std::atomic<bool> missing_val{false};
+    exec::ParallelFor(ncells, exec::kDefaultSerialCutoff / 4,
+                      [&](size_t begin, size_t end) {
+      for (size_t i = run.begin + begin; i < run.begin + end; ++i) {
+        const Symbol rid = (*cells[i])[1];
+        const Symbol cid = (*cells[i])[2];
+        if (is_nil_marker(rid) || is_nil_marker(cid)) continue;
+        const auto* val = find_entry((*cells[i])[3]);
+        if (val == nullptr) {
+          missing_val.store(true, std::memory_order_relaxed);
+          continue;
+        }
+        t.set(row_index.at(rid) + 1, col_index.at(cid) + 1, val->second);
+      }
+    });
+    if (missing_val.load()) {
+      for (size_t i = run.begin; i < run.end; ++i) {
+        const Symbol rid = (*cells[i])[1];
+        const Symbol cid = (*cells[i])[2];
+        if (is_nil_marker(rid) || is_nil_marker(cid)) continue;
+        TABULAR_RETURN_NOT_OK(lookup((*cells[i])[3]).status());
+      }
     }
     out.Add(std::move(t));
   }

@@ -1,6 +1,7 @@
 #include "relational/relation.h"
 
 #include <algorithm>
+#include <iterator>
 #include <sstream>
 
 namespace tabular::rel {
@@ -46,6 +47,26 @@ Status Relation::Insert(SymbolVec tuple) {
         std::to_string(attributes_.size()));
   }
   tuples_.insert(std::move(tuple));
+  return Status::OK();
+}
+
+Status Relation::InsertBulk(std::vector<SymbolVec> tuples) {
+  for (const SymbolVec& t : tuples) {
+    if (t.size() != attributes_.size()) {
+      return Status::InvalidArgument(
+          "arity mismatch inserting into " + name_.ToString() + ": got " +
+          std::to_string(t.size()) + ", want " +
+          std::to_string(attributes_.size()));
+    }
+  }
+  if (tuples_.empty()) {
+    // std::set's range constructor is linear when the input is sorted.
+    tuples_ = std::set<SymbolVec, TupleLess>(
+        std::make_move_iterator(tuples.begin()),
+        std::make_move_iterator(tuples.end()));
+  } else {
+    for (SymbolVec& t : tuples) tuples_.insert(std::move(t));
+  }
   return Status::OK();
 }
 

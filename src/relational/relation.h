@@ -53,6 +53,11 @@ class Relation {
   /// Errors if the arity does not match.
   Status Insert(SymbolVec tuple);
 
+  /// Bulk insert with the same semantics as repeated `Insert`. Into an
+  /// empty relation, pre-sorted (TupleLess) input loads in linear time —
+  /// the fast path for kernels that generate and sort tuples in parallel.
+  Status InsertBulk(std::vector<SymbolVec> tuples);
+
   /// The tuples in deterministic (lexicographic) order.
   const std::set<SymbolVec, TupleLess>& tuples() const { return tuples_; }
 

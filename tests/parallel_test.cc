@@ -1,0 +1,168 @@
+#include "exec/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "algebra/ops.h"
+#include "core/compare.h"
+#include "core/sales_data.h"
+#include "core/table.h"
+#include "relational/canonical.h"
+#include "tests/test_util.h"
+
+namespace tabular::exec {
+namespace {
+
+using core::Symbol;
+using core::Table;
+using core::TabularDatabase;
+
+Symbol S(const char* s) { return Symbol::Name(s); }
+
+TEST(ParallelTest, ScopedThreadsOverridesAndRestores) {
+  const size_t base = Threads();
+  {
+    ScopedThreads st(3);
+    EXPECT_EQ(Threads(), 3u);
+    {
+      ScopedThreads inner(1);
+      EXPECT_EQ(Threads(), 1u);
+    }
+    EXPECT_EQ(Threads(), 3u);
+  }
+  EXPECT_EQ(Threads(), base);
+}
+
+TEST(ParallelTest, ParallelForCoversRangeExactlyOnce) {
+  ScopedThreads st(4);
+  const size_t n = 100001;
+  std::vector<int> hits(n, 0);
+  ParallelFor(n, 1, [&](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                          [](int h) { return h == 1; }));
+}
+
+TEST(ParallelTest, SmallInputStaysSerial) {
+  ScopedThreads st(4);
+  std::vector<std::pair<size_t, size_t>> ranges;
+  ParallelFor(10, 100, [&](size_t begin, size_t end) {
+    ranges.emplace_back(begin, end);  // safe: must run inline on this thread
+  });
+  ASSERT_EQ(ranges.size(), 1u);
+  EXPECT_EQ(ranges[0], (std::pair<size_t, size_t>{0, 10}));
+}
+
+TEST(ParallelTest, NestedParallelForRunsSerially) {
+  ScopedThreads st(4);
+  std::vector<int> hits(1 << 12, 0);
+  ParallelFor(4, 1, [&](size_t begin, size_t end) {
+    for (size_t c = begin; c < end; ++c) {
+      // The nested call must not deadlock and must cover its range inline.
+      ParallelFor(1 << 10, 1, [&](size_t b2, size_t e2) {
+        for (size_t i = b2; i < e2; ++i) ++hits[c * (1 << 10) + i];
+      });
+    }
+  });
+  EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
+                          [](int h) { return h == 1; }));
+}
+
+TEST(ParallelTest, ParallelSortMatchesStdSort) {
+  // Deterministic LCG fill, large enough to cross kDefaultSerialCutoff.
+  std::vector<uint64_t> v(1 << 16);
+  uint64_t x = 88172645463325252ull;
+  for (auto& e : v) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    e = x;
+  }
+  std::vector<uint64_t> want = v;
+  std::sort(want.begin(), want.end());
+  ScopedThreads st(8);
+  ParallelSort(v.begin(), v.end(), std::less<uint64_t>());
+  EXPECT_EQ(v, want);
+}
+
+// -- Byte-identical kernel outputs across thread counts ----------------------
+
+TEST(ParallelKernelTest, GroupIsByteIdenticalAcrossThreadCounts) {
+  Table flat = fixtures::SyntheticSales(96, 8);
+  ScopedThreads serial(1);
+  auto want = algebra::Group(flat, {S("Region")}, {S("Sold")}, S("Sales"));
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+  for (size_t threads : {2, 4, 8}) {
+    ScopedThreads st(threads);
+    auto got = algebra::Group(flat, {S("Region")}, {S("Sold")}, S("Sales"));
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_TABLE_EXACT(*got, *want);
+  }
+}
+
+TEST(ParallelKernelTest, MergeIsByteIdenticalAcrossThreadCounts) {
+  Table flat = fixtures::SyntheticSales(64, 8);
+  auto grouped = algebra::Group(flat, {S("Region")}, {S("Sold")}, S("Sales"));
+  ASSERT_TRUE(grouped.ok());
+  ScopedThreads serial(1);
+  auto want = algebra::Merge(*grouped, {S("Sold")}, {S("Region")}, S("Sales"));
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+  for (size_t threads : {2, 4, 8}) {
+    ScopedThreads st(threads);
+    auto got =
+        algebra::Merge(*grouped, {S("Sold")}, {S("Region")}, S("Sales"));
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_TABLE_EXACT(*got, *want);
+  }
+}
+
+TEST(ParallelKernelTest, CartesianProductIsByteIdenticalAcrossThreadCounts) {
+  Table r = fixtures::SyntheticSales(48, 8);
+  Table s = fixtures::SyntheticSales(24, 4);
+  s.set_name(S("Sales2"));
+  ScopedThreads serial(1);
+  auto want = algebra::CartesianProduct(r, s, S("RS"));
+  ASSERT_TRUE(want.ok()) << want.status().ToString();
+  for (size_t threads : {2, 4, 8}) {
+    ScopedThreads st(threads);
+    auto got = algebra::CartesianProduct(r, s, S("RS"));
+    ASSERT_TRUE(got.ok()) << got.status().ToString();
+    EXPECT_TABLE_EXACT(*got, *want);
+  }
+}
+
+TEST(ParallelKernelTest, CanonicalRepIsIdenticalAcrossThreadCounts) {
+  TabularDatabase db;
+  db.Add(fixtures::SyntheticSales(64, 8));
+  Table second = fixtures::SyntheticSales(32, 4);
+  second.set_name(S("Sales2"));
+  db.Add(second);
+
+  ScopedThreads serial(1);
+  auto want_rep = rel::CanonicalEncode(db);
+  ASSERT_TRUE(want_rep.ok()) << want_rep.status().ToString();
+  auto want_back = rel::CanonicalDecode(*want_rep);
+  ASSERT_TRUE(want_back.ok()) << want_back.status().ToString();
+
+  for (size_t threads : {2, 4, 8}) {
+    ScopedThreads st(threads);
+    auto rep = rel::CanonicalEncode(db);
+    ASSERT_TRUE(rep.ok()) << rep.status().ToString();
+    EXPECT_TRUE(*rep == *want_rep);
+    auto back = rel::CanonicalDecode(*rep);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    ASSERT_EQ(back->size(), want_back->size());
+    for (size_t i = 0; i < back->size(); ++i) {
+      EXPECT_TABLE_EXACT(back->tables()[i], want_back->tables()[i]);
+    }
+    EXPECT_TRUE(core::EquivalentDatabases(db, *back));
+  }
+}
+
+}  // namespace
+}  // namespace tabular::exec

@@ -2,6 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "tests/test_util.h"
 
 namespace tabular::core {
@@ -52,6 +59,63 @@ TEST(SymbolTest, NumberConstructionAndParsing) {
   EXPECT_FALSE(Symbol::Value("nuts").AsNumber().has_value());
   EXPECT_FALSE(Symbol::Name("50").AsNumber().has_value());
   EXPECT_FALSE(Symbol::Null().AsNumber().has_value());
+}
+
+TEST(SymbolTest, NumberDoubleEdgeCases) {
+  // NaN and infinities render deterministically instead of hitting the
+  // undefined double→int64 cast.
+  EXPECT_EQ(Symbol::Number(std::numeric_limits<double>::quiet_NaN()),
+            Symbol::Value("nan"));
+  EXPECT_EQ(Symbol::Number(std::numeric_limits<double>::infinity()),
+            Symbol::Value("inf"));
+  EXPECT_EQ(Symbol::Number(-std::numeric_limits<double>::infinity()),
+            Symbol::Value("-inf"));
+  // Integral but outside int64 range: decimal formatting, no cast.
+  EXPECT_EQ(Symbol::Number(1e19), Symbol::Value("1e+19"));
+  EXPECT_EQ(Symbol::Number(-1e19), Symbol::Value("-1e+19"));
+  EXPECT_EQ(Symbol::Number(9223372036854775808.0),  // 2^63, first excluded
+            Symbol::Value("9.223372037e+18"));
+  // Exactly representable integral doubles inside the range still go
+  // through the integer path.
+  EXPECT_EQ(Symbol::Number(4611686018427387904.0),  // 2^62
+            Symbol::Value("4611686018427387904"));
+  EXPECT_EQ(Symbol::Number(-0.0), Symbol::Value("0"));
+  EXPECT_EQ(Symbol::Number(2.5).AsNumber(), 2.5);
+}
+
+TEST(SymbolTest, ConcurrentInterningIsConsistent) {
+  // Hammer the pool from several threads with a mix of shared and
+  // thread-private strings; reads (text/Compare) run concurrently with
+  // interning. Interning must hand every thread the same id for the same
+  // string, and every handle must read back its exact text.
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::vector<uint32_t>> shared_ids(kThreads);
+  std::vector<bool> ok(kThreads, true);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t, &shared_ids, &ok] {
+      shared_ids[t].reserve(kPerThread);
+      for (int i = 0; i < kPerThread; ++i) {
+        std::string shared = "shared_" + std::to_string(i);
+        Symbol s = Symbol::Value(shared);
+        shared_ids[t].push_back(s.raw_id());
+        if (s.text() != shared) ok[t] = false;
+
+        std::string mine =
+            "t" + std::to_string(t) + "_" + std::to_string(i);
+        Symbol m = Symbol::Name(mine);
+        if (m.text() != mine) ok[t] = false;
+        if (Symbol::Compare(m, s) >= 0) ok[t] = false;  // Name < Value
+        if (Symbol::Name(mine) != m) ok[t] = false;     // stable identity
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_TRUE(ok[t]) << "thread " << t << " saw an inconsistency";
+    EXPECT_EQ(shared_ids[t], shared_ids[0]);
+  }
 }
 
 TEST(SymbolTest, ToString) {
