@@ -40,6 +40,11 @@ void BM_GroupByRegionOnSold(benchmark::State& state) {
     }
   }
   tabular::exec::ScopedThreads st(threads);
+  tabular::bench::CounterDeltas deltas(
+      state, {{"ta_calls", "algebra.group.calls"},
+              {"ta_rows_in", "algebra.group.rows_in"},
+              {"ta_rows_out", "algebra.group.rows_out"},
+              {"par_forks", "exec.parallel.forks"}});
   for (auto _ : state) {
     auto r = tabular::algebra::Group(flat, {S("Region")}, {S("Sold")},
                                      S("Sales"));
@@ -72,6 +77,10 @@ void BM_GroupThenCleanUp(benchmark::State& state) {
     state.SkipWithError(grouped.status().ToString().c_str());
     return;
   }
+  tabular::bench::CounterDeltas deltas(
+      state, {{"ta_calls", "algebra.cleanup.calls"},
+              {"ta_rows_in", "algebra.cleanup.rows_in"},
+              {"ta_rows_out", "algebra.cleanup.rows_out"}});
   for (auto _ : state) {
     auto r = tabular::algebra::CleanUp(*grouped, {S("Part")},
                                        {Symbol::Null()}, S("Sales"));
@@ -89,6 +98,11 @@ void BM_GroupCleanPurgePipeline(benchmark::State& state) {
   const size_t parts = static_cast<size_t>(state.range(0));
   const size_t regions = static_cast<size_t>(state.range(1));
   Table flat = tabular::fixtures::SyntheticSales(parts, regions);
+  tabular::bench::CounterDeltas deltas(
+      state, {{"group_rows_in", "algebra.group.rows_in"},
+              {"cleanup_rows_in", "algebra.cleanup.rows_in"},
+              {"purge_rows_in", "algebra.purge.rows_in"},
+              {"purge_rows_out", "algebra.purge.rows_out"}});
   for (auto _ : state) {
     auto grouped = tabular::algebra::Group(flat, {S("Region")}, {S("Sold")},
                                            S("Sales"));

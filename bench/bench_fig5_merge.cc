@@ -49,6 +49,11 @@ void BM_MergeOnSoldByRegion(benchmark::State& state) {
     }
   }
   tabular::exec::ScopedThreads st(threads);
+  tabular::bench::CounterDeltas deltas(
+      state, {{"ta_calls", "algebra.merge.calls"},
+              {"ta_rows_in", "algebra.merge.rows_in"},
+              {"ta_rows_out", "algebra.merge.rows_out"},
+              {"par_forks", "exec.parallel.forks"}});
   for (auto _ : state) {
     auto r = tabular::algebra::Merge(pivoted, {S("Sold")}, {S("Region")},
                                      S("Sales"));
@@ -76,6 +81,9 @@ BENCHMARK(BM_MergeOnSoldByRegion)
 void BM_GroupMergeRoundTrip(benchmark::State& state) {
   const size_t parts = static_cast<size_t>(state.range(0));
   Table flat = tabular::fixtures::SyntheticSales(parts, 8);
+  tabular::bench::CounterDeltas deltas(
+      state, {{"group_rows_out", "algebra.group.rows_out"},
+              {"merge_rows_out", "algebra.merge.rows_out"}});
   for (auto _ : state) {
     auto grouped = tabular::algebra::Group(flat, {S("Region")}, {S("Sold")},
                                            S("Sales"));

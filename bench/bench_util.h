@@ -3,9 +3,13 @@
 
 #include <benchmark/benchmark.h>
 
-#include <cstring>
+#include <cstdint>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace tabular::bench {
 
@@ -17,9 +21,16 @@ inline int BenchMain(const char* json_name, int argc, char** argv) {
   std::vector<char*> args(argv, argv + argc);
   bool user_out = false;
   for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--benchmark_out", 15) == 0) user_out = true;
+    // Exactly --benchmark_out or --benchmark_out=...; a prefix test would
+    // also match --benchmark_out_format and suppress the default output.
+    std::string_view arg(argv[i]);
+    if (arg == "--benchmark_out" || arg.rfind("--benchmark_out=", 0) == 0) {
+      user_out = true;
+    }
   }
-  std::string out_flag, fmt_flag;
+  // Static storage: benchmark::Initialize keeps pointers into argv alive
+  // for the whole run, so the injected flags must not be function locals.
+  static std::string out_flag, fmt_flag;
   if (!user_out) {
     out_flag = std::string("--benchmark_out=") + json_name;
     fmt_flag = "--benchmark_out_format=json";
@@ -33,6 +44,46 @@ inline int BenchMain(const char* json_name, int argc, char** argv) {
   benchmark::Shutdown();
   return 0;
 }
+
+/// Attaches per-iteration deltas of obs counters to a benchmark's emitted
+/// counters (and thus to the BENCH_*.json). Construct before the timing
+/// loop; the destructor reads the counters again and reports
+/// (after - before) / iterations under the given keys:
+///
+///   void BM_Group(benchmark::State& state) {
+///     CounterDeltas deltas(state, {{"ta_rows_in", "algebra.group.rows_in"},
+///                                  {"ta_rows_out", "algebra.group.rows_out"}});
+///     for (auto _ : state) { ... }
+///   }
+class CounterDeltas {
+ public:
+  /// `metrics`: pairs of (benchmark counter key, obs metric name).
+  CounterDeltas(benchmark::State& state,
+                std::vector<std::pair<std::string, std::string>> metrics)
+      : state_(state), metrics_(std::move(metrics)) {
+    before_.reserve(metrics_.size());
+    for (const auto& [key, name] : metrics_) {
+      before_.push_back(obs::CounterValue(name));
+    }
+  }
+
+  ~CounterDeltas() {
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      const double delta = static_cast<double>(
+          obs::CounterValue(metrics_[i].second) - before_[i]);
+      state_.counters[metrics_[i].first] =
+          benchmark::Counter(delta, benchmark::Counter::kAvgIterations);
+    }
+  }
+
+  CounterDeltas(const CounterDeltas&) = delete;
+  CounterDeltas& operator=(const CounterDeltas&) = delete;
+
+ private:
+  benchmark::State& state_;
+  std::vector<std::pair<std::string, std::string>> metrics_;
+  std::vector<uint64_t> before_;
+};
 
 }  // namespace tabular::bench
 

@@ -13,6 +13,8 @@
 #include "io/grid_format.h"
 #include "lang/interpreter.h"
 #include "lang/parser.h"
+#include "obs/metrics.h"
+#include "obs/profile.h"
 #include "olap/pivot.h"
 #include "relational/canonical.h"
 
@@ -32,6 +34,8 @@ void Check(const char* what, bool ok) {
   std::printf("  [%s] %s\n", ok ? "ok" : "FAIL", what);
 }
 
+// Profile reports go to stderr: stdout holds the deterministic figure
+// output, while wall times vary run to run.
 TabularDatabase RunTa(const TabularDatabase& in, const char* src) {
   auto program = tabular::lang::ParseProgram(src);
   if (!program.ok()) {
@@ -39,8 +43,13 @@ TabularDatabase RunTa(const TabularDatabase& in, const char* src) {
     return in;
   }
   TabularDatabase db = in;
-  tabular::Status st = tabular::lang::RunProgram(*program, &db);
+  tabular::lang::InterpreterOptions options;
+  options.profile = true;
+  tabular::lang::Interpreter interp(options);
+  tabular::Status st = interp.Run(*program, &db);
   if (!st.ok()) std::fprintf(stderr, "run: %s\n", st.ToString().c_str());
+  std::fprintf(stderr, "--- profile ---\n%s",
+               tabular::obs::RenderProfile(interp.profile()).c_str());
   return db;
 }
 
@@ -124,5 +133,7 @@ int main() {
 
   std::printf("\nAll four representations of Figure 1 reproduced and "
               "inter-converted.\n");
+  std::fprintf(stderr, "--- metrics ---\n%s",
+               tabular::obs::MetricsSnapshot().c_str());
   return 0;
 }

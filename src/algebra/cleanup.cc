@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "algebra/transpose.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tabular::algebra {
 
@@ -59,6 +61,7 @@ bool TryMerge(const Table& t, const std::vector<size_t>& rows,
 
 Result<Table> CleanUp(const Table& rho, const SymbolVec& by_attrs,
                       const SymbolVec& on_row_attrs, Symbol result_name) {
+  TABULAR_TRACE_SPAN("cleanup", "algebra");
   SymbolSet candidate_attrs(on_row_attrs.begin(), on_row_attrs.end());
 
   // Group candidate rows, remembering first-appearance order.
@@ -96,16 +99,21 @@ Result<Table> CleanUp(const Table& rho, const SymbolVec& by_attrs,
     // Emit the merged tuple at the group's first member only.
     if (groups[g].front() == i) out.AppendRow(merged_rows[g]);
   }
+  static obs::OpCounters counters("algebra.cleanup");
+  counters.Record(rho.height(), out.height());
   return out;
 }
 
 Result<Table> Purge(const Table& rho, const SymbolVec& on_col_attrs,
                     const SymbolVec& by_attrs, Symbol result_name) {
+  TABULAR_TRACE_SPAN("purge", "algebra");
   Table t = rho.Transposed();
   TABULAR_ASSIGN_OR_RETURN(Table cleaned,
                            CleanUp(t, by_attrs, on_col_attrs, rho.name()));
   Table out = cleaned.Transposed();
   out.set_name(result_name);
+  static obs::OpCounters counters("algebra.purge");
+  counters.Record(rho.height(), out.height());
   return out;
 }
 

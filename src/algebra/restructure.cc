@@ -7,6 +7,8 @@
 
 #include "algebra/traditional.h"
 #include "exec/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tabular::algebra {
 
@@ -56,6 +58,7 @@ SymbolVec DistinctInOrder(const SymbolVec& attrs) {
 
 Result<Table> Group(const Table& rho, const SymbolVec& by_attrs,
                     const SymbolVec& on_attrs, Symbol result_name) {
+  TABULAR_TRACE_SPAN("group", "algebra");
   if (by_attrs.empty() || on_attrs.empty()) {
     return Status::InvalidArgument("GROUP needs non-empty 'by' and 'on'");
   }
@@ -128,11 +131,14 @@ Result<Table> Group(const Table& rho, const SymbolVec& by_attrs,
       }
     }
   });
+  static obs::OpCounters counters("algebra.group");
+  counters.Record(rho.height(), out.height());
   return out;
 }
 
 Result<Table> Merge(const Table& rho, const SymbolVec& on_attrs,
                     const SymbolVec& by_attrs, Symbol result_name) {
+  TABULAR_TRACE_SPAN("merge", "algebra");
   if (on_attrs.empty() || by_attrs.empty()) {
     return Status::InvalidArgument("MERGE needs non-empty 'on' and 'by'");
   }
@@ -233,11 +239,14 @@ Result<Table> Merge(const Table& rho, const SymbolVec& on_attrs,
       }
     }
   });
+  static obs::OpCounters counters("algebra.merge");
+  counters.Record(rho.height(), out.height());
   return out;
 }
 
 Result<std::vector<Table>> Split(const Table& rho, const SymbolVec& attrs,
                                  Symbol result_name) {
+  TABULAR_TRACE_SPAN("split", "algebra");
   if (attrs.empty()) {
     return Status::InvalidArgument("SPLIT needs a non-empty attribute set");
   }
@@ -293,11 +302,17 @@ Result<std::vector<Table>> Split(const Table& rho, const SymbolVec& attrs,
     }
     out.push_back(std::move(t));
   }
+  static obs::OpCounters counters("algebra.split");
+  uint64_t rows_out = 0;
+  for (const Table& t : out) rows_out += t.height();
+  counters.Record(rho.height(), rows_out);
+  obs::GetCounter("algebra.split.tables_out").Add(out.size());
   return out;
 }
 
 Result<Table> Collapse(const std::vector<Table>& tables,
                        const SymbolVec& attrs, Symbol result_name) {
+  TABULAR_TRACE_SPAN("collapse", "algebra");
   if (attrs.empty()) {
     return Status::InvalidArgument(
         "COLLAPSE needs a non-empty attribute set");
@@ -319,6 +334,10 @@ Result<Table> Collapse(const std::vector<Table>& tables,
   for (size_t i = 1; i < merged.size(); ++i) {
     TABULAR_ASSIGN_OR_RETURN(acc, Union(acc, merged[i], result_name));
   }
+  static obs::OpCounters counters("algebra.collapse");
+  uint64_t rows_in = 0;
+  for (const Table& t : tables) rows_in += t.height();
+  counters.Record(rows_in, acc.height());
   return acc;
 }
 

@@ -2,6 +2,9 @@
 
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace tabular::algebra {
 
 using tabular::Status;
@@ -20,6 +23,7 @@ void FreshValueGenerator::Reserve(const SymbolSet& more) {
 
 Result<Table> TupleNew(const Table& rho, Symbol attr,
                        FreshValueGenerator* gen, Symbol result_name) {
+  TABULAR_TRACE_SPAN("tuplenew", "algebra");
   Table out = rho;
   out.set_name(result_name);
   SymbolVec col;
@@ -27,11 +31,14 @@ Result<Table> TupleNew(const Table& rho, Symbol attr,
   col.push_back(attr);
   for (size_t i = 1; i <= out.height(); ++i) col.push_back(gen->Fresh());
   out.AppendColumn(col);
+  static obs::OpCounters counters("algebra.tuplenew");
+  counters.Record(rho.height(), out.height());
   return out;
 }
 
 Result<Table> SetNew(const Table& rho, Symbol attr, FreshValueGenerator* gen,
                      Symbol result_name) {
+  TABULAR_TRACE_SPAN("setnew", "algebra");
   const size_t m = rho.height();
   if (m > 63) {
     return Status::ResourceExhausted("SETNEW on " + std::to_string(m) +
@@ -59,6 +66,8 @@ Result<Table> SetNew(const Table& rho, Symbol attr, FreshValueGenerator* gen,
       out.AppendRow(row);
     }
   }
+  static obs::OpCounters counters("algebra.setnew");
+  counters.Record(rho.height(), out.height());
   return out;
 }
 

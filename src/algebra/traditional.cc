@@ -5,6 +5,8 @@
 #include <unordered_set>
 
 #include "exec/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tabular::algebra {
 
@@ -13,6 +15,7 @@ using core::WeaklyEqual;
 
 Result<Table> Union(const Table& rho, const Table& sigma,
                     Symbol result_name) {
+  TABULAR_TRACE_SPAN("union", "algebra");
   const size_t wr = rho.width();
   const size_t ws = sigma.width();
   Table out(1, 1 + wr + ws);
@@ -31,6 +34,8 @@ Result<Table> Union(const Table& rho, const Table& sigma,
     for (size_t j = 1; j <= ws; ++j) row[wr + j] = sigma.at(k, j);
     out.AppendRow(row);
   }
+  static obs::OpCounters counters("algebra.union");
+  counters.Record(rho.height() + sigma.height(), out.height());
   return out;
 }
 
@@ -66,6 +71,7 @@ std::string RowSubsumptionKey(const Table& t, size_t i) {
 
 Result<Table> Difference(const Table& rho, const Table& sigma,
                          Symbol result_name) {
+  TABULAR_TRACE_SPAN("difference", "algebra");
   std::unordered_set<std::string> sigma_keys;
   sigma_keys.reserve(sigma.height());
   for (size_t k = 1; k <= sigma.height(); ++k) {
@@ -79,6 +85,8 @@ Result<Table> Difference(const Table& rho, const Table& sigma,
       out.AppendRow(rho.Row(i));
     }
   }
+  static obs::OpCounters counters("algebra.difference");
+  counters.Record(rho.height() + sigma.height(), out.height());
   return out;
 }
 
@@ -96,6 +104,7 @@ Symbol CombineRowAttributes(Symbol a, Symbol b) {
 
 Result<Table> CartesianProduct(const Table& rho, const Table& sigma,
                                Symbol result_name) {
+  TABULAR_TRACE_SPAN("product", "algebra");
   const size_t wr = rho.width();
   const size_t ws = sigma.width();
   const size_t hr = rho.height();
@@ -118,21 +127,27 @@ Result<Table> CartesianProduct(const Table& rho, const Table& sigma,
       for (size_t j = 1; j <= ws; ++j) out.set(row, wr + j, sigma.at(k, j));
     }
   });
+  static obs::OpCounters counters("algebra.product");
+  counters.Record(hr + hs, out.height());
   return out;
 }
 
 Result<Table> Rename(const Table& rho, Symbol from, Symbol to,
                      Symbol result_name) {
+  TABULAR_TRACE_SPAN("rename", "algebra");
   Table out = rho;
   out.set_name(result_name);
   for (size_t j = 1; j < out.num_cols(); ++j) {
     if (out.at(0, j) == from) out.set(0, j, to);
   }
+  static obs::OpCounters counters("algebra.rename");
+  counters.Record(rho.height(), out.height());
   return out;
 }
 
 Result<Table> Project(const Table& rho, const SymbolSet& attrs,
                       Symbol result_name) {
+  TABULAR_TRACE_SPAN("project", "algebra");
   std::vector<size_t> keep;
   for (size_t j = 1; j < rho.num_cols(); ++j) {
     if (attrs.contains(rho.at(0, j))) keep.push_back(j);
@@ -145,16 +160,20 @@ Result<Table> Project(const Table& rho, const SymbolSet& attrs,
       out.set(i, c + 1, rho.at(i, keep[c]));
     }
   }
+  static obs::OpCounters counters("algebra.project");
+  counters.Record(rho.height(), out.height());
   return out;
 }
 
 Result<Table> Select(const Table& rho, Symbol attr_a, Symbol attr_b,
                      Symbol result_name) {
+  TABULAR_TRACE_SPAN("select", "algebra");
   Table out(1, rho.num_cols());
   out.set_name(result_name);
   for (size_t j = 1; j < rho.num_cols(); ++j) out.set(0, j, rho.at(0, j));
   const std::vector<size_t> cols_a = rho.ColumnsNamed(attr_a);
   const std::vector<size_t> cols_b = rho.ColumnsNamed(attr_b);
+  static obs::OpCounters counters("algebra.select");
   // Fast path: singleton columns — ⊥-stripped sets are equal iff the two
   // cells coincide (covers the common relational shape without per-row set
   // allocations).
@@ -164,6 +183,7 @@ Result<Table> Select(const Table& rho, Symbol attr_a, Symbol attr_b,
         out.AppendRow(rho.Row(i));
       }
     }
+    counters.Record(rho.height(), out.height());
     return out;
   }
   for (size_t i = 1; i <= rho.height(); ++i) {
@@ -171,19 +191,23 @@ Result<Table> Select(const Table& rho, Symbol attr_a, Symbol attr_b,
       out.AppendRow(rho.Row(i));
     }
   }
+  counters.Record(rho.height(), out.height());
   return out;
 }
 
 Result<Table> SelectConstant(const Table& rho, Symbol attr, Symbol value,
                              Symbol result_name) {
+  TABULAR_TRACE_SPAN("selectconst", "algebra");
   Table out(1, rho.num_cols());
   out.set_name(result_name);
   for (size_t j = 1; j < rho.num_cols(); ++j) out.set(0, j, rho.at(0, j));
   const std::vector<size_t> cols = rho.ColumnsNamed(attr);
+  static obs::OpCounters counters("algebra.selectconst");
   if (cols.size() == 1) {
     for (size_t i = 1; i <= rho.height(); ++i) {
       if (rho.at(i, cols[0]) == value) out.AppendRow(rho.Row(i));
     }
+    counters.Record(rho.height(), out.height());
     return out;
   }
   SymbolSet target;
@@ -193,11 +217,13 @@ Result<Table> SelectConstant(const Table& rho, Symbol attr, Symbol value,
       out.AppendRow(rho.Row(i));
     }
   }
+  counters.Record(rho.height(), out.height());
   return out;
 }
 
 Result<Table> Intersection(const Table& rho, const Table& sigma,
                            Symbol result_name) {
+  TABULAR_TRACE_SPAN("intersection", "algebra");
   TABULAR_ASSIGN_OR_RETURN(Table diff,
                            Difference(rho, sigma, result_name));
   return Difference(rho, diff, result_name);

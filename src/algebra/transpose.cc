@@ -1,15 +1,24 @@
 #include "algebra/transpose.h"
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace tabular::algebra {
 
 Result<Table> Transpose(const Table& rho, Symbol result_name) {
+  TABULAR_TRACE_SPAN("transpose", "algebra");
   Table out = rho.Transposed();
   out.set_name(result_name);
+  static obs::OpCounters counters("algebra.transpose");
+  counters.Record(rho.height(), out.height());
   return out;
 }
 
 Result<Table> Switch(const Table& rho, Symbol v,
                      std::optional<Symbol> result_name) {
+  TABULAR_TRACE_SPAN("switch", "algebra");
+  static obs::OpCounters counters("algebra.switch");
+  counters.Record(rho.height(), rho.height());
   size_t hit_i = 0;
   size_t hit_j = 0;
   size_t count = 0;

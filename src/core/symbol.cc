@@ -9,6 +9,8 @@
 #include <shared_mutex>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+
 namespace tabular::core {
 
 namespace {
@@ -70,6 +72,8 @@ class SymbolPool {
     // The slot is exclusively ours until the id escapes below.
     *slot = std::string(text);
     published_.fetch_add(1, std::memory_order_release);
+    static obs::Counter& interned = obs::GetCounter("core.symbols_interned");
+    interned.Add(1);
     uint32_t id = (static_cast<uint32_t>(kind) << Symbol::kKindShift) | index;
     it->second = id;
     return id;

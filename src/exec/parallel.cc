@@ -5,8 +5,12 @@
 #include <condition_variable>
 #include <cstdlib>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tabular::exec {
 
@@ -91,11 +95,13 @@ class ThreadPool {
   void EnsureWorkers(size_t want) {
     std::lock_guard<std::mutex> lock(mutex_);
     while (workers_.size() < want) {
-      workers_.emplace_back([this] { WorkerLoop(); });
+      const size_t index = workers_.size();
+      workers_.emplace_back([this, index] { WorkerLoop(index); });
     }
   }
 
-  void WorkerLoop() {
+  void WorkerLoop(size_t index) {
+    obs::SetCurrentThreadName("tabular-worker-" + std::to_string(index));
     t_in_parallel_region = true;
     for (;;) {
       Job* job;
@@ -150,13 +156,26 @@ void ParallelFor(size_t n, size_t min_parallel,
   if (n == 0) return;
   const size_t threads = Threads();
   if (threads <= 1 || n < min_parallel || t_in_parallel_region) {
+    if (threads > 1 && n < min_parallel && !t_in_parallel_region) {
+      static obs::Counter& cutoff_hits =
+          obs::GetCounter("exec.parallel.serial_cutoff_hits");
+      cutoff_hits.Add(1);
+    }
     fn(0, n);
     return;
   }
   // A few chunks per thread smooths skewed per-range costs; the partition
   // is a pure function of (n, chunks), so results stay deterministic.
   const size_t chunks = std::min(n, threads * 4);
+  static obs::Counter& forks = obs::GetCounter("exec.parallel.forks");
+  static obs::Counter& tasks = obs::GetCounter("exec.parallel.tasks");
+  static obs::Gauge& threads_gauge = obs::GetGauge("exec.threads");
+  forks.Add(1);
+  tasks.Add(chunks);
+  threads_gauge.Set(static_cast<int64_t>(threads));
+  TABULAR_TRACE_SPAN("parallel_for", "exec");
   ThreadPool::Instance().Run(threads, chunks, [&](size_t c) {
+    TABULAR_TRACE_SPAN("parallel_for.range", "exec");
     const size_t begin = n * c / chunks;
     const size_t end = n * (c + 1) / chunks;
     if (begin < end) fn(begin, end);

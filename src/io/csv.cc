@@ -2,6 +2,9 @@
 
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace tabular::io {
 
 using core::Symbol;
@@ -11,6 +14,14 @@ using tabular::Result;
 using tabular::Status;
 
 namespace {
+
+/// Every CSV parse failure funnels through here so `io.csv.parse_errors`
+/// counts them all, wherever they originate.
+Status CountedParseError(std::string message) {
+  static obs::Counter& parse_errors = obs::GetCounter("io.csv.parse_errors");
+  parse_errors.Add(1);
+  return Status::ParseError(std::move(message));
+}
 
 struct CsvField {
   std::string text;
@@ -46,10 +57,10 @@ Result<std::vector<std::vector<CsvField>>> ParseCsv(std::string_view csv) {
     switch (c) {
       case '"':
         if (field.quoted) {
-          return Status::ParseError("quote after closing quote in CSV field");
+          return CountedParseError("quote after closing quote in CSV field");
         }
         if (!field.text.empty()) {
-          return Status::ParseError("quote inside unquoted CSV field");
+          return CountedParseError("quote inside unquoted CSV field");
         }
         in_quotes = true;
         field.quoted = true;
@@ -77,7 +88,7 @@ Result<std::vector<std::vector<CsvField>>> ParseCsv(std::string_view csv) {
         break;
       default:
         if (field.quoted) {
-          return Status::ParseError("text after closing quote in CSV field");
+          return CountedParseError("text after closing quote in CSV field");
         }
         field.text.push_back(c);
         any = true;
@@ -85,7 +96,7 @@ Result<std::vector<std::vector<CsvField>>> ParseCsv(std::string_view csv) {
         break;
     }
   }
-  if (in_quotes) return Status::ParseError("unterminated quoted CSV field");
+  if (in_quotes) return CountedParseError("unterminated quoted CSV field");
   if (any || !field.text.empty() || !record.empty()) {
     record.push_back(std::move(field));
     records.push_back(std::move(record));
@@ -97,9 +108,10 @@ Result<std::vector<std::vector<CsvField>>> ParseCsv(std::string_view csv) {
 
 Result<Relation> ReadCsvRelation(std::string_view name,
                                  std::string_view csv) {
+  TABULAR_TRACE_SPAN("csv_read", "io");
   TABULAR_ASSIGN_OR_RETURN(auto records, ParseCsv(csv));
   if (records.empty()) {
-    return Status::ParseError("CSV needs a header record");
+    return CountedParseError("CSV needs a header record");
   }
   SymbolVec attrs;
   for (const CsvField& f : records[0]) {
@@ -109,10 +121,10 @@ Result<Relation> ReadCsvRelation(std::string_view name,
   TABULAR_RETURN_NOT_OK(out.Validate());
   for (size_t r = 1; r < records.size(); ++r) {
     if (records[r].size() != out.arity()) {
-      return Status::ParseError("CSV record " + std::to_string(r) + " has " +
-                                std::to_string(records[r].size()) +
-                                " fields, header has " +
-                                std::to_string(out.arity()));
+      return CountedParseError(
+          "CSV record " + std::to_string(r) + " has " +
+          std::to_string(records[r].size()) + " fields, header has " +
+          std::to_string(out.arity()));
     }
     SymbolVec tuple;
     tuple.reserve(out.arity());
@@ -125,6 +137,9 @@ Result<Relation> ReadCsvRelation(std::string_view name,
     }
     TABULAR_RETURN_NOT_OK(out.Insert(std::move(tuple)));
   }
+  static obs::OpCounters counters("io.csv.read");
+  counters.Record(records.size() - 1, out.size());
+  obs::GetHistogram("io.csv.record_fields").Record(out.arity());
   return out;
 }
 
@@ -146,6 +161,9 @@ std::string CsvEscape(std::string_view text) {
 }  // namespace
 
 std::string WriteCsv(const Relation& relation) {
+  TABULAR_TRACE_SPAN("csv_write", "io");
+  static obs::Counter& rows_out = obs::GetCounter("io.csv.write.rows_out");
+  rows_out.Add(relation.size());
   std::string out;
   for (size_t j = 0; j < relation.arity(); ++j) {
     if (j) out.push_back(',');

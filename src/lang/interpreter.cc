@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "algebra/ops.h"
+#include "exec/parallel.h"
+#include "obs/trace.h"
 
 namespace tabular::lang {
 
@@ -100,6 +102,22 @@ size_t ExpectedParamCount(OpKind op) {
   }
 }
 
+/// `[<path>] <statement text>`; while loops render condensed (their
+/// multi-line body is the node's children).
+std::string StatementLabel(const Statement& s, const std::string& path) {
+  std::string text;
+  if (const auto* w = std::get_if<WhileLoop>(&s.node)) {
+    text = "while " + w->condition.ToString() + " do ...";
+  } else {
+    text = s.ToString();
+  }
+  return "[" + path + "] " + text;
+}
+
+Status AnnotateStatement(const Status& st, const std::string& path) {
+  return Status(st.code(), "statement " + path + ": " + st.message());
+}
+
 size_t ExpectedArgCount(OpKind op) {
   switch (op) {
     case OpKind::kUnion:
@@ -116,47 +134,98 @@ size_t ExpectedArgCount(OpKind op) {
 
 Status Interpreter::Run(const Program& program, TabularDatabase* db) {
   steps_ = 0;
-  return RunStatements(program.statements, db);
+  profile_root_ = obs::ProfileNode{};
+  profile_root_.label = "program";
+  obs::ProfileNode* root = options_.profile ? &profile_root_ : nullptr;
+  const uint64_t t0 = obs::TraceNowNs();
+  Status st = RunStatements(program.statements, db, "", root);
+  if (root != nullptr) {
+    root->wall_ns = obs::TraceNowNs() - t0;
+    root->invocations = 1;
+    root->threads = exec::Threads();
+  }
+  return st;
 }
 
 Status Interpreter::RunStatements(const std::vector<Statement>& statements,
-                                  TabularDatabase* db) {
-  for (const Statement& s : statements) {
+                                  TabularDatabase* db,
+                                  const std::string& path_prefix,
+                                  obs::ProfileNode* parent) {
+  // One child per statement; while-loop iterations re-enter with the same
+  // parent and accumulate into the same nodes.
+  if (parent != nullptr && parent->children.size() != statements.size()) {
+    parent->children.resize(statements.size());
+  }
+  for (size_t i = 0; i < statements.size(); ++i) {
+    const Statement& s = statements[i];
+    const std::string path = path_prefix + std::to_string(i + 1);
+    obs::ProfileNode* node =
+        parent == nullptr ? nullptr : &parent->children[i];
+    if (node != nullptr && node->label.empty()) {
+      node->label = StatementLabel(s, path);
+    }
     if (const auto* a = std::get_if<Assignment>(&s.node)) {
-      TABULAR_RETURN_NOT_OK(RunAssignment(*a, db));
+      Status st = RunAssignment(*a, db, node);
+      if (!st.ok()) return AnnotateStatement(st, path);
     } else if (const auto* d = std::get_if<DropStatement>(&s.node)) {
       // Drops resolve literal names only (a wildcard drop would need a
       // binding context it does not have).
-      TABULAR_ASSIGN_OR_RETURN(SymbolSet names,
-                               EvalParam(d->target, Bindings{}, nullptr));
-      for (Symbol nm : names) db->RemoveNamed(nm);
+      const uint64_t t0 = obs::TraceNowNs();
+      Result<SymbolSet> names = EvalParam(d->target, Bindings{}, nullptr);
+      if (!names.ok()) return AnnotateStatement(names.status(), path);
+      for (Symbol nm : *names) db->RemoveNamed(nm);
+      if (node != nullptr) {
+        ++node->invocations;
+        node->wall_ns += obs::TraceNowNs() - t0;
+      }
     } else {
-      TABULAR_RETURN_NOT_OK(RunWhile(std::get<WhileLoop>(s.node), db));
+      // While errors are annotated at the failing inner statement (or by
+      // RunWhile itself for condition/limit errors), not re-wrapped here.
+      TABULAR_RETURN_NOT_OK(
+          RunWhile(std::get<WhileLoop>(s.node), db, path, node));
     }
   }
   return Status::OK();
 }
 
-Status Interpreter::RunWhile(const WhileLoop& loop, TabularDatabase* db) {
+Status Interpreter::RunWhile(const WhileLoop& loop, TabularDatabase* db,
+                             const std::string& path,
+                             obs::ProfileNode* node) {
+  TABULAR_TRACE_SPAN("while", "lang");
+  const uint64_t t0 = obs::TraceNowNs();
   for (size_t iter = 0;; ++iter) {
     if (iter >= options_.max_while_iterations) {
-      return Status::ResourceExhausted(
-          "while loop exceeded " +
-          std::to_string(options_.max_while_iterations) + " iterations");
+      return AnnotateStatement(
+          Status::ResourceExhausted(
+              "while loop exceeded " +
+              std::to_string(options_.max_while_iterations) + " iterations"),
+          path);
     }
     // Condition: some table whose name matches the parameter has data rows.
-    TABULAR_ASSIGN_OR_RETURN(SymbolSet names,
-                             EvalParam(loop.condition, Bindings{}, nullptr));
-    bool nonempty = std::any_of(names.begin(), names.end(), [&](Symbol nm) {
+    Result<SymbolSet> names = EvalParam(loop.condition, Bindings{}, nullptr);
+    if (!names.ok()) return AnnotateStatement(names.status(), path);
+    bool nonempty = std::any_of(names->begin(), names->end(), [&](Symbol nm) {
       return db->NameHasDataRows(nm);
     });
-    if (!nonempty) return Status::OK();
-    TABULAR_RETURN_NOT_OK(RunStatements(loop.body, db));
+    if (!nonempty) break;
+    if (node != nullptr) ++node->iterations;
+    TABULAR_RETURN_NOT_OK(RunStatements(loop.body, db, path + ".", node));
   }
+  if (node != nullptr) {
+    ++node->invocations;
+    node->wall_ns += obs::TraceNowNs() - t0;
+  }
+  return Status::OK();
 }
 
 Status Interpreter::RunAssignment(const Assignment& stmt,
-                                  TabularDatabase* db) {
+                                  TabularDatabase* db,
+                                  obs::ProfileNode* node) {
+  // OpKindToString returns the static keyword table entry, which satisfies
+  // TraceSpan's static-storage requirement.
+  obs::TraceSpan span(OpKindToString(stmt.op), "lang");
+  const uint64_t t0 = obs::TraceNowNs();
+  uint64_t insts = 0, rows_in = 0, cols_in = 0;
   if (stmt.params.size() != ExpectedParamCount(stmt.op)) {
     return Status::InvalidArgument(
         std::string(OpKindToString(stmt.op)) + " expects " +
@@ -190,6 +259,9 @@ Status Interpreter::RunAssignment(const Assignment& stmt,
       }
       std::vector<Table> group = db->Named(combo.names[0]);
       const Table* context = group.empty() ? nullptr : &group[0];
+      ++insts;
+      for (const Table& g : group) rows_in += g.height();
+      if (!group.empty()) cols_in += group[0].width();
       TABULAR_ASSIGN_OR_RETURN(
           SymbolSet by, EvalParam(stmt.params[0], combo.bindings, context));
       TABULAR_ASSIGN_OR_RETURN(
@@ -223,6 +295,9 @@ Status Interpreter::RunAssignment(const Assignment& stmt,
       const Table* second =
           pools.size() > 1 ? pools[1][idx[1]] : nullptr;
       const Table* context = &first;
+      ++insts;
+      rows_in += first.height();
+      cols_in += first.width();
       TABULAR_ASSIGN_OR_RETURN(
           Symbol target,
           EvalSingleton(stmt.target, combo.bindings, context));
@@ -378,6 +453,17 @@ Status Interpreter::RunAssignment(const Assignment& stmt,
   SymbolSet produced;
   for (const Staged& s : staged) produced.insert(s.target);
   for (Symbol nm : produced) db->RemoveNamed(nm);
+  if (node != nullptr) {
+    node->invocations += insts;
+    node->rows_in += rows_in;
+    node->cols_in += cols_in;
+    for (const Staged& s : staged) {
+      node->rows_out += s.table.height();
+      node->cols_out += s.table.width();
+    }
+    node->threads = exec::Threads();
+    node->wall_ns += obs::TraceNowNs() - t0;
+  }
   for (Staged& s : staged) db->Add(std::move(s.table));
   if (db->size() > options_.max_tables) {
     return Status::ResourceExhausted("database grew past " +
@@ -390,6 +476,30 @@ Status Interpreter::RunAssignment(const Assignment& stmt,
 Status RunProgram(const Program& program, TabularDatabase* db) {
   Interpreter interp;
   return interp.Run(program, db);
+}
+
+namespace {
+
+void BuildExplain(const std::vector<Statement>& statements,
+                  const std::string& path_prefix, obs::ProfileNode* parent) {
+  parent->children.resize(statements.size());
+  for (size_t i = 0; i < statements.size(); ++i) {
+    const std::string path = path_prefix + std::to_string(i + 1);
+    obs::ProfileNode& node = parent->children[i];
+    node.label = StatementLabel(statements[i], path);
+    if (const auto* w = std::get_if<WhileLoop>(&statements[i].node)) {
+      BuildExplain(w->body, path + ".", &node);
+    }
+  }
+}
+
+}  // namespace
+
+obs::ProfileNode Explain(const Program& program) {
+  obs::ProfileNode root;
+  root.label = "program";
+  BuildExplain(program.statements, "", &root);
+  return root;
 }
 
 }  // namespace tabular::lang

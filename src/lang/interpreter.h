@@ -2,11 +2,13 @@
 #define TABULAR_LANG_INTERPRETER_H_
 
 #include <cstddef>
+#include <string>
 
 #include "algebra/tagging.h"
 #include "core/database.h"
 #include "core/status.h"
 #include "lang/ast.h"
+#include "obs/profile.h"
 
 namespace tabular::lang {
 
@@ -22,6 +24,10 @@ struct InterpreterOptions {
   size_t max_steps = 1000000;
   /// Maximum number of tables the database may grow to.
   size_t max_tables = 100000;
+  /// Collect a per-statement execution profile during Run (wall time,
+  /// instantiation counts, input/output sizes); read it back with
+  /// Interpreter::profile() and render with obs::RenderProfile.
+  bool profile = false;
 };
 
 /// Executes tabular-algebra programs against a database (paper §3.6).
@@ -44,18 +50,32 @@ class Interpreter {
   /// Total assignment instantiations executed by the last Run.
   size_t steps_executed() const { return steps_; }
 
+  /// Per-statement profile of the last Run. Only populated when
+  /// `options.profile` was set; one child per top-level statement,
+  /// labeled `[<position>] <statement text>` (while bodies nest).
+  const obs::ProfileNode& profile() const { return profile_root_; }
+
  private:
   Status RunStatements(const std::vector<Statement>& statements,
-                       TabularDatabase* db);
-  Status RunAssignment(const Assignment& stmt, TabularDatabase* db);
-  Status RunWhile(const WhileLoop& loop, TabularDatabase* db);
+                       TabularDatabase* db, const std::string& path_prefix,
+                       obs::ProfileNode* parent);
+  Status RunAssignment(const Assignment& stmt, TabularDatabase* db,
+                       obs::ProfileNode* node);
+  Status RunWhile(const WhileLoop& loop, TabularDatabase* db,
+                  const std::string& path, obs::ProfileNode* node);
 
   InterpreterOptions options_;
   size_t steps_ = 0;
+  obs::ProfileNode profile_root_;
 };
 
 /// Convenience: parse-free single-program execution with default options.
 Status RunProgram(const Program& program, TabularDatabase* db);
+
+/// EXPLAIN: the statement tree of `program` as a label-only profile (no
+/// execution, no stats). Render with
+/// `obs::RenderProfile(node, {.show_times = false})`.
+obs::ProfileNode Explain(const Program& program);
 
 }  // namespace tabular::lang
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "olap/pivot.h"
 
 namespace tabular::olap {
@@ -76,6 +78,9 @@ Result<Cube> Cube::Dice(Symbol dimension,
 
 Result<Relation> Cube::Rollup(const SymbolVec& keep, AggFn fn,
                               Symbol result_name) const {
+  TABULAR_TRACE_SPAN("rollup", "olap");
+  static obs::Counter& calls = obs::GetCounter("olap.rollup.calls");
+  calls.Add(1);
   if (keep.empty()) {
     // Grand total: aggregate everything into a single tuple.
     TABULAR_ASSIGN_OR_RETURN(size_t m_idx, facts_.AttributeIndex(measure_));
@@ -92,6 +97,7 @@ Result<Relation> Cube::Rollup(const SymbolVec& keep, AggFn fn,
 
 Result<Relation> Cube::CubeAggregate(AggFn fn, Symbol all_marker,
                                      Symbol result_name) const {
+  TABULAR_TRACE_SPAN("cube_aggregate", "olap");
   if (dimensions_.size() > 20) {
     return Status::ResourceExhausted("CUBE over more than 20 dimensions");
   }
@@ -115,6 +121,8 @@ Result<Relation> Cube::CubeAggregate(AggFn fn, Symbol all_marker,
       TABULAR_RETURN_NOT_OK(out.Insert(std::move(tuple)));
     }
   }
+  static obs::OpCounters counters("olap.cube_aggregate");
+  counters.Record(facts_.size(), out.size());
   return out;
 }
 

@@ -4,6 +4,8 @@
 #include <vector>
 
 #include "algebra/ops.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "relational/canonical.h"
 
 namespace tabular::olap {
@@ -15,6 +17,7 @@ using rel::Relation;
 Result<Table> PivotViaAlgebra(const Relation& facts, Symbol row_dim,
                               Symbol col_dim, Symbol measure,
                               Symbol result_name) {
+  TABULAR_TRACE_SPAN("pivot_via_algebra", "olap");
   Table flat = rel::RelationToTable(facts);
   TABULAR_ASSIGN_OR_RETURN(
       Table grouped,
@@ -27,6 +30,7 @@ Result<Table> PivotViaAlgebra(const Relation& facts, Symbol row_dim,
 
 Result<Table> PivotHash(const Relation& facts, Symbol row_dim,
                         Symbol col_dim, Symbol measure, Symbol result_name) {
+  TABULAR_TRACE_SPAN("pivot_hash", "olap");
   TABULAR_ASSIGN_OR_RETURN(size_t r_idx, facts.AttributeIndex(row_dim));
   TABULAR_ASSIGN_OR_RETURN(size_t c_idx, facts.AttributeIndex(col_dim));
   TABULAR_ASSIGN_OR_RETURN(size_t m_idx, facts.AttributeIndex(measure));
@@ -75,11 +79,14 @@ Result<Table> PivotHash(const Relation& facts, Symbol row_dim,
     }
     out.set(i, j, t[m_idx]);
   }
+  static obs::OpCounters counters("olap.pivot_hash");
+  counters.Record(facts.size(), out.height());
   return out;
 }
 
 Result<Table> CrossTab(const Relation& facts, Symbol row_dim, Symbol col_dim,
                        Symbol measure, Symbol result_name) {
+  TABULAR_TRACE_SPAN("crosstab", "olap");
   TABULAR_ASSIGN_OR_RETURN(size_t r_idx, facts.AttributeIndex(row_dim));
   TABULAR_ASSIGN_OR_RETURN(size_t c_idx, facts.AttributeIndex(col_dim));
   TABULAR_ASSIGN_OR_RETURN(size_t m_idx, facts.AttributeIndex(measure));
@@ -112,6 +119,8 @@ Result<Table> CrossTab(const Relation& facts, Symbol row_dim, Symbol col_dim,
     }
     out.set(i, j, t[m_idx]);
   }
+  static obs::OpCounters counters("olap.crosstab");
+  counters.Record(facts.size(), out.height());
   return out;
 }
 
@@ -136,6 +145,7 @@ Result<Relation> UnpivotViaAlgebra(const Table& pivoted, Symbol col_dim,
 
 Result<Relation> UnpivotHash(const Table& pivoted, Symbol col_dim,
                              Symbol measure, Symbol result_name) {
+  TABULAR_TRACE_SPAN("unpivot_hash", "olap");
   std::vector<size_t> label_rows = pivoted.RowsNamed(col_dim);
   if (label_rows.size() != 1) {
     return Status::InvalidArgument("expected exactly one row named " +
@@ -170,6 +180,8 @@ Result<Relation> UnpivotHash(const Table& pivoted, Symbol col_dim,
       TABULAR_RETURN_NOT_OK(out.Insert(std::move(tuple)));
     }
   }
+  static obs::OpCounters counters("olap.unpivot_hash");
+  counters.Record(pivoted.height(), out.size());
   return out;
 }
 

@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "exec/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tabular::rel {
 
@@ -30,6 +32,7 @@ Symbol NilId(const CanonicalOptions& options) {
 
 Result<RelationalDatabase> CanonicalEncode(const TabularDatabase& db,
                                            const CanonicalOptions& options) {
+  TABULAR_TRACE_SPAN("canonical_encode", "rel");
   // The nil marker is deliberately *not* given a Map entry: decode
   // recognizes it structurally as an unmapped id (an ordinary row id often
   // maps to ⊥, so the entry value cannot distinguish it).
@@ -129,6 +132,10 @@ Result<RelationalDatabase> CanonicalEncode(const TabularDatabase& db,
   RelationalDatabase out;
   out.Put(std::move(data));
   out.Put(std::move(map));
+  static obs::OpCounters counters("rel.canonical_encode");
+  uint64_t rows_in = 0;
+  for (const TablePlan& p : plans) rows_in += p.m;
+  counters.Record(rows_in, ids);
   return out;
 }
 
@@ -167,6 +174,7 @@ Status ValidateRep(const RelationalDatabase& rep) {
 }
 
 Result<TabularDatabase> CanonicalDecode(const RelationalDatabase& rep) {
+  TABULAR_TRACE_SPAN("canonical_decode", "rel");
   TABULAR_RETURN_NOT_OK(ValidateRep(rep));
   TABULAR_ASSIGN_OR_RETURN(Relation map, rep.Get(RepMapName()));
   TABULAR_ASSIGN_OR_RETURN(Relation data, rep.Get(RepDataName()));
@@ -299,6 +307,10 @@ Result<TabularDatabase> CanonicalDecode(const RelationalDatabase& rep) {
     }
     out.Add(std::move(t));
   }
+  static obs::OpCounters counters("rel.canonical_decode");
+  uint64_t rows_out = 0;
+  for (const core::Table& t : out.tables()) rows_out += t.height();
+  counters.Record(data.size(), rows_out);
   return out;
 }
 

@@ -1,0 +1,302 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "exec/parallel.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace tabular::obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimal JSON syntax validator: objects, arrays, strings, numbers and the
+// three literals. Enough to prove the exported trace parses back, without
+// a JSON library dependency.
+class JsonValidator {
+ public:
+  explicit JsonValidator(std::string_view text) : text_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Eat(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool Value() {
+    if (pos_ >= text_.size()) return false;
+    switch (text_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+
+  bool Literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Eat('}')) return true;
+    for (;;) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (!Eat(':')) return false;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Eat('}')) return true;
+      if (!Eat(',')) return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Eat(']')) return true;
+    for (;;) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Eat(']')) return true;
+      if (!Eat(',')) return false;
+    }
+  }
+
+  bool String() {
+    if (!Eat('"')) return false;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        ++pos_;  // Escaped character; \uXXXX hex digits pass as chars.
+      }
+    }
+    return false;
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    Eat('-');
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return pos_ > start;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+TEST(JsonValidatorTest, AcceptsAndRejects) {
+  EXPECT_TRUE(JsonValidator(R"({"a":[1,2.5,-3e4],"b":"x\"y","c":null})")
+                  .Valid());
+  EXPECT_TRUE(JsonValidator("[]").Valid());
+  EXPECT_FALSE(JsonValidator(R"({"a":})").Valid());
+  EXPECT_FALSE(JsonValidator(R"({"a":1)").Valid());
+  EXPECT_FALSE(JsonValidator(R"([1,2,)").Valid());
+  EXPECT_FALSE(JsonValidator(R"("unterminated)").Valid());
+}
+
+// ---------------------------------------------------------------------------
+// Metrics.
+
+TEST(MetricsTest, CounterAccumulatesAcrossThreads) {
+  ResetMetricsForTest();
+  Counter& c = GetCounter("test.obs.mt_counter");
+  constexpr int kThreads = 8;
+  constexpr int kAddsPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kAddsPerThread; ++i) c.Add(1);
+    });
+  }
+  for (auto& t : threads) t.join();
+  // Exited threads' cells are flushed into the retired sums; the total must
+  // be exact.
+  EXPECT_EQ(c.Value(), uint64_t{kThreads} * kAddsPerThread);
+  EXPECT_EQ(CounterValue("test.obs.mt_counter"),
+            uint64_t{kThreads} * kAddsPerThread);
+}
+
+TEST(MetricsTest, GetCounterInternsByName) {
+  Counter& a = GetCounter("test.obs.interned");
+  Counter& b = GetCounter("test.obs.interned");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(MetricsTest, MissingCounterReadsZero) {
+  EXPECT_EQ(CounterValue("test.obs.never_created"), 0u);
+}
+
+TEST(MetricsTest, GaugeSetAndAdd) {
+  ResetMetricsForTest();
+  Gauge& g = GetGauge("test.obs.gauge");
+  g.Set(5);
+  g.Add(-2);
+  EXPECT_EQ(g.Value(), 3);
+}
+
+TEST(MetricsTest, HistogramBucketsByLog2) {
+  ResetMetricsForTest();
+  Histogram& h = GetHistogram("test.obs.hist");
+  h.Record(0);   // bucket 0
+  h.Record(1);   // bucket 1
+  h.Record(2);   // bucket 2
+  h.Record(3);   // bucket 2
+  h.Record(16);  // bucket 5
+  Histogram::Snapshot s = h.Snap();
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_EQ(s.sum, 22u);
+  EXPECT_EQ(s.buckets[0], 1u);
+  EXPECT_EQ(s.buckets[1], 1u);
+  EXPECT_EQ(s.buckets[2], 2u);
+  EXPECT_EQ(s.buckets[5], 1u);
+}
+
+TEST(MetricsTest, OpCountersRecordTriple) {
+  ResetMetricsForTest();
+  OpCounters counters("test.obs.op");
+  counters.Record(10, 4);
+  counters.Record(6, 2);
+  EXPECT_EQ(CounterValue("test.obs.op.calls"), 2u);
+  EXPECT_EQ(CounterValue("test.obs.op.rows_in"), 16u);
+  EXPECT_EQ(CounterValue("test.obs.op.rows_out"), 6u);
+}
+
+TEST(MetricsTest, SnapshotIsSortedAndJsonParses) {
+  ResetMetricsForTest();
+  GetCounter("test.obs.zz").Add(1);
+  GetCounter("test.obs.aa").Add(2);
+  GetGauge("test.obs.gauge2").Set(7);
+  GetHistogram("test.obs.hist2").Record(3);
+  std::string snap = MetricsSnapshot();
+  EXPECT_NE(snap.find("test.obs.aa 2"), std::string::npos);
+  EXPECT_NE(snap.find("test.obs.zz 1"), std::string::npos);
+  EXPECT_NE(snap.find("test.obs.gauge2 7 (gauge)"), std::string::npos);
+  EXPECT_LT(snap.find("test.obs.aa 2"), snap.find("test.obs.zz 1"));
+  std::string json = MetricsJson();
+  EXPECT_TRUE(JsonValidator(json).Valid()) << json;
+  EXPECT_NE(json.find("\"test.obs.aa\":2"), std::string::npos);
+}
+
+TEST(MetricsTest, ResetZeroesEverything) {
+  GetCounter("test.obs.reset_me").Add(41);
+  ResetMetricsForTest();
+  EXPECT_EQ(CounterValue("test.obs.reset_me"), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Tracing.
+
+std::atomic<uint64_t> benchmark_dummy{0};
+
+TEST(TraceTest, DisabledSpansRecordNothing) {
+  Tracing::Disable();
+  Tracing::Clear();
+  { TABULAR_TRACE_SPAN("nothing", "test"); }
+  EXPECT_EQ(Tracing::EventCount(), 0u);
+}
+
+TEST(TraceTest, SpansNestAcrossParallelForWorkers) {
+  Tracing::Clear();
+  Tracing::Enable();
+  SetCurrentThreadName("obs-test-main");
+  {
+    exec::ScopedThreads threads(4);
+    TABULAR_TRACE_SPAN("outer", "test");
+    // min_parallel = 1 forces the fork even for a small n.
+    exec::ParallelFor(64, 1, [](size_t begin, size_t end) {
+      TABULAR_TRACE_SPAN("inner", "test");
+      for (size_t i = begin; i < end; ++i) {
+        benchmark_dummy.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  Tracing::Disable();
+  // Outer span, the parallel_for span from exec, and one inner span per
+  // chunk all landed in the ring.
+  const std::string json = Tracing::ToJson();
+  EXPECT_TRUE(JsonValidator(json).Valid()) << json;
+  EXPECT_NE(json.find("\"outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"parallel_for\""), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+  EXPECT_NE(json.find("obs-test-main"), std::string::npos);
+}
+
+TEST(TraceTest, ConcurrentExportWhileRecordingIsWellFormed) {
+  Tracing::Clear();
+  Tracing::Enable();
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      TABULAR_TRACE_SPAN("concurrent", "test");
+    }
+  });
+  for (int i = 0; i < 20; ++i) {
+    std::string json = Tracing::ToJson();
+    EXPECT_TRUE(JsonValidator(json).Valid());
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+  Tracing::Disable();
+}
+
+TEST(TraceTest, RingOverflowDropsOldestButStaysValid) {
+  Tracing::Clear();
+  Tracing::Enable();
+  // 2^16 slots; overshoot to force a wrap.
+  for (int i = 0; i < (1 << 16) + 500; ++i) {
+    TABULAR_TRACE_SPAN("wrap", "test");
+  }
+  Tracing::Disable();
+  EXPECT_GE(Tracing::DroppedCount(), 500u);
+  EXPECT_EQ(Tracing::EventCount(), size_t{1} << 16);
+  EXPECT_TRUE(JsonValidator(Tracing::ToJson()).Valid());
+  Tracing::Clear();
+  EXPECT_EQ(Tracing::EventCount(), 0u);
+  EXPECT_EQ(Tracing::DroppedCount(), 0u);
+}
+
+}  // namespace
+}  // namespace tabular::obs

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include "core/table.h"
+#include "lang/interpreter.h"
+#include "lang/parser.h"
+
 namespace tabular {
 namespace {
 
@@ -73,6 +77,61 @@ Status Check(bool ok) {
 TEST(StatusTest, ReturnNotOkMacro) {
   EXPECT_TRUE(Check(true).ok());
   EXPECT_EQ(Check(false).code(), StatusCode::kInternal);
+}
+
+// ---------------------------------------------------------------------------
+// Errors surfacing through Interpreter::Run carry the failing statement's
+// position, so a multi-statement program pinpoints where it died.
+
+core::Table SmallTable() {
+  core::Table t(2, 3);
+  t.set_name(core::Symbol::Name("T"));
+  t.set(0, 1, core::Symbol::Name("Region"));
+  t.set(0, 2, core::Symbol::Name("Sold"));
+  t.set(1, 1, core::Symbol::Value("East"));
+  t.set(1, 2, core::Symbol::Value("10"));
+  return t;
+}
+
+Status RunOn(const char* src, lang::InterpreterOptions options = {}) {
+  auto program = lang::ParseProgram(src);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  core::TabularDatabase db;
+  db.Add(SmallTable());
+  lang::Interpreter interp(options);
+  return interp.Run(*program, &db);
+}
+
+TEST(StatusTest, InterpreterErrorNamesFailingStatement) {
+  // Statement 1 succeeds; statement 2's GROUP has an empty by-set.
+  Status st = RunOn(
+      "T <- group by {Region} on {Sold} (T);\n"
+      "T <- group by {} on {Sold} (T);");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message().rfind("statement 2: ", 0), 0u) << st.message();
+}
+
+TEST(StatusTest, InterpreterErrorNamesNestedStatement) {
+  // The failing statement is the first one inside the while body.
+  Status st = RunOn(
+      "while T do { T <- group by {} on {Sold} (T); }");
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.message().rfind("statement 1.1: ", 0), 0u) << st.message();
+}
+
+TEST(StatusTest, WhileLimitErrorNamesTheLoop) {
+  lang::InterpreterOptions options;
+  options.max_while_iterations = 3;
+  // The body never empties T, so the loop hits its iteration cap.
+  Status st = RunOn("while T do { S <- transpose (T); }", options);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(st.message(), "statement 1: while loop exceeded 3 iterations");
+}
+
+TEST(StatusTest, SuccessfulRunReportsOk) {
+  EXPECT_TRUE(RunOn("T <- group by {Region} on {Sold} (T);").ok());
 }
 
 }  // namespace
