@@ -1,0 +1,1013 @@
+#include "analysis/analyzer.h"
+
+#include <algorithm>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace tabular::analysis {
+
+using core::Symbol;
+using core::SymbolSet;
+using lang::Assignment;
+using lang::DropStatement;
+using lang::OpKind;
+using lang::Param;
+using lang::ParamItem;
+using lang::Program;
+using lang::Statement;
+using lang::WhileLoop;
+
+namespace {
+
+/// Surface keyword per operation. Mirrors lang::OpKindToString; duplicated
+/// here so the analysis library depends only on lang *headers* (keeping the
+/// layering acyclic: core ← analysis ← lang).
+const char* OpWord(OpKind op) {
+  switch (op) {
+    case OpKind::kUnion: return "union";
+    case OpKind::kDifference: return "difference";
+    case OpKind::kIntersection: return "intersection";
+    case OpKind::kProduct: return "product";
+    case OpKind::kRename: return "rename";
+    case OpKind::kProject: return "project";
+    case OpKind::kSelect: return "select";
+    case OpKind::kSelectConst: return "selectconst";
+    case OpKind::kGroup: return "group";
+    case OpKind::kMerge: return "merge";
+    case OpKind::kSplit: return "split";
+    case OpKind::kCollapse: return "collapse";
+    case OpKind::kTranspose: return "transpose";
+    case OpKind::kSwitch: return "switch";
+    case OpKind::kCleanUp: return "cleanup";
+    case OpKind::kPurge: return "purge";
+    case OpKind::kTupleNew: return "tuplenew";
+    case OpKind::kSetNew: return "setnew";
+  }
+  return "?";
+}
+
+/// Interpreter arity contracts (mirrors lang/interpreter.cc, which checks
+/// them before enumerating argument combinations).
+size_t ExpectedParamCount(OpKind op) {
+  switch (op) {
+    case OpKind::kUnion:
+    case OpKind::kDifference:
+    case OpKind::kIntersection:
+    case OpKind::kProduct:
+    case OpKind::kTranspose:
+      return 0;
+    case OpKind::kProject:
+    case OpKind::kSplit:
+    case OpKind::kCollapse:
+    case OpKind::kSwitch:
+    case OpKind::kTupleNew:
+    case OpKind::kSetNew:
+      return 1;
+    default:
+      return 2;
+  }
+}
+
+size_t ExpectedArgCount(OpKind op) {
+  switch (op) {
+    case OpKind::kUnion:
+    case OpKind::kDifference:
+    case OpKind::kIntersection:
+    case OpKind::kProduct:
+      return 2;
+    default:
+      return 1;
+  }
+}
+
+/// Abstract interpretation of a parameter, relative to the wildcard ids the
+/// statement's argument positions bind.
+struct AbsParam {
+  enum class Kind {
+    kKnown,          ///< denotes exactly `elems`
+    kUniverseMinus,  ///< the whole column universe of the context minus `elems`
+    kUnknown,        ///< bound wildcard or entry pair: anything
+  };
+  Kind kind = Kind::kUnknown;
+  SymbolSet elems;
+
+  bool known() const { return kind == Kind::kKnown; }
+  std::optional<Symbol> Singleton() const {
+    if (kind == Kind::kKnown && elems.size() == 1) return *elems.begin();
+    return std::nullopt;
+  }
+};
+
+void CollectWildcardIds(const Param& p, std::vector<int>* out);
+
+void CollectItemWildcardIds(const ParamItem& it, std::vector<int>* out) {
+  switch (it.kind) {
+    case ParamItem::Kind::kWildcard:
+      out->push_back(it.wildcard_id);
+      break;
+    case ParamItem::Kind::kPair:
+      if (it.row != nullptr) CollectWildcardIds(*it.row, out);
+      if (it.col != nullptr) CollectWildcardIds(*it.col, out);
+      break;
+    default:
+      break;
+  }
+}
+
+void CollectWildcardIds(const Param& p, std::vector<int>* out) {
+  for (const ParamItem& it : p.positive) CollectItemWildcardIds(it, out);
+  for (const ParamItem& it : p.negative) CollectItemWildcardIds(it, out);
+}
+
+/// Literal symbol set of a positive/negative item list, or nullopt if some
+/// item is a wildcard or pair.
+std::optional<SymbolSet> LiteralItems(const std::vector<ParamItem>& items) {
+  SymbolSet out;
+  for (const ParamItem& it : items) {
+    switch (it.kind) {
+      case ParamItem::Kind::kSymbol:
+        out.insert(it.symbol);
+        break;
+      case ParamItem::Kind::kNull:
+        out.insert(Symbol::Null());
+        break;
+      default:
+        return std::nullopt;
+    }
+  }
+  return out;
+}
+
+AbsParam EvalAbstract(const Param& p, const std::vector<int>& bound_ids) {
+  std::optional<SymbolSet> neg = LiteralItems(p.negative);
+  if (neg.has_value()) {
+    std::optional<SymbolSet> pos = LiteralItems(p.positive);
+    if (pos.has_value()) {
+      SymbolSet elems = *pos;
+      for (Symbol s : *neg) elems.erase(s);
+      return AbsParam{AbsParam::Kind::kKnown, std::move(elems)};
+    }
+    // An *unbound* wildcard in an attribute position denotes the whole
+    // column universe of the context table (lang::EvalParam).
+    if (p.positive.size() == 1 &&
+        p.positive[0].kind == ParamItem::Kind::kWildcard &&
+        std::find(bound_ids.begin(), bound_ids.end(),
+                  p.positive[0].wildcard_id) == bound_ids.end()) {
+      return AbsParam{AbsParam::Kind::kUniverseMinus, std::move(*neg)};
+    }
+  }
+  return AbsParam{AbsParam::Kind::kUnknown, {}};
+}
+
+/// The sole-wildcard item of a parameter, if it is exactly `*k`.
+const ParamItem* SoleWildcard(const Param& p) {
+  if (p.positive.size() == 1 && p.negative.empty() &&
+      p.positive[0].kind == ParamItem::Kind::kWildcard) {
+    return &p.positive[0];
+  }
+  return nullptr;
+}
+
+std::string Quoted(Symbol s) { return "'" + s.ToString() + "'"; }
+
+std::string SetToString(const SymbolSet& s) {
+  std::string out = "{";
+  bool first = true;
+  for (Symbol x : s) {
+    if (!first) out += ", ";
+    first = false;
+    out += x.ToString();
+  }
+  return out + "}";
+}
+
+// ---------------------------------------------------------------------------
+// The forward dataflow pass.
+// ---------------------------------------------------------------------------
+
+class Analyzer {
+ public:
+  Analyzer(const AnalyzerOptions& options, std::vector<Diagnostic>* sink)
+      : options_(options), sink_(sink) {}
+
+  void AnalyzeStatements(const std::vector<Statement>& statements,
+                         const std::string& path_prefix,
+                         AbstractDatabase* state, bool certain_context) {
+    for (size_t i = 0; i < statements.size(); ++i) {
+      const std::string path = path_prefix + std::to_string(i + 1);
+      const Statement& s = statements[i];
+      if (const auto* a = std::get_if<Assignment>(&s.node)) {
+        AnalyzeAssignment(*a, path, state, certain_context);
+      } else if (const auto* d = std::get_if<DropStatement>(&s.node)) {
+        AnalyzeDrop(*d, state);
+      } else {
+        AnalyzeWhile(std::get<WhileLoop>(s.node), path, state,
+                     certain_context);
+      }
+    }
+  }
+
+ private:
+  void Emit(Severity severity, const std::string& path, std::string message,
+            std::string note = "") {
+    if (!emit_) return;
+    sink_->push_back(Diagnostic{severity, path, std::move(message),
+                                std::move(note)});
+  }
+
+  /// Error when the violation provably happens on every run reaching the
+  /// statement; warning when the statement may not execute (inside a while
+  /// body, or an argument table only may-exist).
+  static Severity Sev(bool definite) {
+    return definite ? Severity::kError : Severity::kWarning;
+  }
+
+  void AnalyzeDrop(const DropStatement& d, AbstractDatabase* state) {
+    SymbolSet names;
+    bool universal = false;
+    CollectParamNames(d.target, &names, &universal);
+    if (universal) {
+      // A wildcard drop may remove anything: existence is no longer
+      // certain for any name (shapes stay valid may-supersets).
+      for (auto& [nm, shape] : state->tables) shape.certain = false;
+      return;
+    }
+    for (Symbol nm : names) state->tables.erase(nm);
+  }
+
+  void AnalyzeWhile(const WhileLoop& loop, const std::string& path,
+                    AbstractDatabase* state, bool certain_context) {
+    SymbolSet guard;
+    bool guard_universal = false;
+    CollectParamNames(loop.condition, &guard, &guard_universal);
+
+    if (!guard_universal && !guard.empty()) {
+      bool any_may_exist = false;
+      for (Symbol g : guard) any_may_exist |= state->MayExist(g);
+      if (!any_may_exist) {
+        Emit(Severity::kWarning, path,
+             "while body is unreachable: guard " + GuardNames(guard) +
+                 " matches no table defined at this point");
+        return;  // the loop is skipped; the body never runs
+      }
+    }
+
+    // Non-termination heuristic: nothing in the body writes or drops a
+    // guard table, so once entered the loop can never become empty.
+    if (!guard_universal && !guard.empty()) {
+      SymbolSet writes;
+      bool writes_universal = false;
+      CollectBodyWrites(loop.body, &writes, &writes_universal);
+      bool touches_guard = writes_universal;
+      for (Symbol g : guard) touches_guard |= writes.contains(g);
+      if (!touches_guard) {
+        Emit(Severity::kWarning, path,
+             "while guard " + GuardNames(guard) +
+                 " is never written or dropped in the loop body; the loop "
+                 "may not terminate",
+             "statements after this loop may be unreachable");
+      }
+    }
+
+    // Fixpoint over the join of all iteration counts (0, 1, 2, ...);
+    // diagnostics are suppressed while iterating, then one labeled pass
+    // runs over the stabilized state.
+    AbstractDatabase loop_state = *state;
+    const bool saved_emit = emit_;
+    emit_ = false;
+    for (size_t iter = 0;; ++iter) {
+      if (iter >= options_.max_fixpoint_iterations) {
+        loop_state.WildcardWrite();  // widen to ⊤
+        break;
+      }
+      AbstractDatabase body_out = loop_state;
+      AnalyzeStatements(loop.body, path + ".", &body_out, false);
+      AbstractDatabase joined = loop_state;
+      joined.Join(body_out);
+      if (joined == loop_state) break;
+      loop_state = std::move(joined);
+    }
+    emit_ = saved_emit;
+    if (emit_) {
+      AbstractDatabase scratch = loop_state;
+      AnalyzeStatements(loop.body, path + ".", &scratch,
+                        /*certain_context=*/false);
+    }
+    (void)certain_context;
+    *state = std::move(loop_state);
+  }
+
+  static std::string GuardNames(const SymbolSet& guard) {
+    std::string out;
+    bool first = true;
+    for (Symbol g : guard) {
+      if (!first) out += ", ";
+      first = false;
+      out += Quoted(g);
+    }
+    return out;
+  }
+
+  static void CollectBodyWrites(const std::vector<Statement>& body,
+                                SymbolSet* out, bool* universal) {
+    for (const Statement& s : body) {
+      if (const auto* a = std::get_if<Assignment>(&s.node)) {
+        CollectParamNames(a->target, out, universal);
+      } else if (const auto* d = std::get_if<DropStatement>(&s.node)) {
+        CollectParamNames(d->target, out, universal);
+      } else {
+        CollectBodyWrites(std::get<WhileLoop>(s.node).body, out, universal);
+      }
+    }
+  }
+
+  void AnalyzeAssignment(const Assignment& stmt, const std::string& path,
+                         AbstractDatabase* state, bool certain_context) {
+    // Arity first — the interpreter rejects these before enumerating
+    // argument combinations, so they are definite regardless of state.
+    if (stmt.params.size() != ExpectedParamCount(stmt.op)) {
+      Emit(Severity::kError, path,
+           std::string(OpWord(stmt.op)) + " expects " +
+               std::to_string(ExpectedParamCount(stmt.op)) +
+               " parameter(s), got " + std::to_string(stmt.params.size()));
+      return;
+    }
+    if (stmt.args.size() != ExpectedArgCount(stmt.op)) {
+      Emit(Severity::kError, path,
+           std::string(OpWord(stmt.op)) + " expects " +
+               std::to_string(ExpectedArgCount(stmt.op)) +
+               " argument(s), got " + std::to_string(stmt.args.size()));
+      return;
+    }
+
+    // Wildcard ids bound during argument enumeration: params mentioning
+    // them denote table names, not attribute sets.
+    std::vector<int> bound_ids;
+    for (const Param& arg : stmt.args) CollectWildcardIds(arg, &bound_ids);
+
+    std::vector<AbsParam> params;
+    params.reserve(stmt.params.size());
+    for (const Param& p : stmt.params) {
+      params.push_back(EvalAbstract(p, bound_ids));
+    }
+
+    // Resolve arguments: literal single names are precise; anything else
+    // (wildcards, multi-name parameters) degrades to unknown shapes.
+    std::vector<std::optional<Symbol>> arg_names;
+    bool args_all_literal = true;
+    for (const Param& arg : stmt.args) {
+      AbsParam a = EvalAbstract(arg, {});
+      std::optional<Symbol> nm = a.Singleton();
+      arg_names.push_back(nm);
+      args_all_literal &= nm.has_value();
+    }
+
+    // The self-wildcard idiom `*k <- op (*k[, *k])`: every table is
+    // rewritten in place, name-preserving. Apply the transfer per name.
+    const ParamItem* target_star = SoleWildcard(stmt.target);
+    if (target_star != nullptr) {
+      bool self = !stmt.args.empty();
+      for (const Param& arg : stmt.args) {
+        const ParamItem* star = SoleWildcard(arg);
+        self &= star != nullptr && star->wildcard_id == target_star->wildcard_id;
+      }
+      if (self) {
+        for (auto& [nm, shape] : state->tables) {
+          TableShape out = ApplyOp(stmt.op, params, shape, &shape);
+          shape.cols = out.cols;
+          shape.rows = out.rows;
+        }
+        return;
+      }
+    }
+
+    // Use-before-definition: a literal argument naming no table makes the
+    // whole statement a no-op (zero instantiations) — diagnose and leave
+    // the state untouched.
+    bool any_definitely_absent = false;
+    for (size_t i = 0; i < stmt.args.size(); ++i) {
+      if (arg_names[i].has_value() &&
+          state->DefinitelyAbsent(*arg_names[i])) {
+        any_definitely_absent = true;
+        Emit(Severity::kWarning, path,
+             "argument table " + Quoted(*arg_names[i]) +
+                 " is not defined at this point; the statement has no "
+                 "effect");
+      }
+    }
+    if (any_definitely_absent) return;
+
+    // Input shapes and execution certainty.
+    TableShape in1 = TableShape::Top(false);
+    TableShape in2 = TableShape::Top(false);
+    bool args_certain = certain_context;
+    if (args_all_literal) {
+      in1 = state->ShapeOf(*arg_names[0]);
+      args_certain &= in1.certain;
+      if (arg_names.size() > 1) {
+        in2 = state->ShapeOf(*arg_names[1]);
+        args_certain &= in2.certain;
+      }
+    } else {
+      args_certain = false;
+    }
+
+    CheckOperation(stmt, path, params, arg_names, in1, in2, args_certain);
+
+    TableShape out = ApplyOp(stmt.op, params, in1, &in2);
+
+    // Write the target.
+    std::optional<Symbol> target = EvalAbstract(stmt.target, {}).Singleton();
+    if (!target.has_value()) {
+      // A wildcard or pair target may write arbitrary names.
+      state->WildcardWrite();
+      return;
+    }
+    // SPLIT may stage zero tables (no data rows), leaving the old target
+    // in place; all other operations produce exactly one table per
+    // instantiation, so a certainly-instantiated statement certainly
+    // replaces its target.
+    const bool always_writes = args_certain && stmt.op != OpKind::kSplit &&
+                               args_all_literal;
+    if (always_writes) {
+      state->tables[*target] = TableShape{out.cols, out.rows, true};
+      return;
+    }
+    auto it = state->tables.find(*target);
+    if (it != state->tables.end()) {
+      it->second.cols.Join(out.cols);
+      it->second.rows.Join(out.rows);
+    } else {
+      TableShape entry{out.cols, out.rows, /*certain=*/false};
+      if (state->top) {
+        entry.cols = AttrSet::Top();
+        entry.rows = AttrSet::Top();
+      }
+      state->tables.emplace(*target, std::move(entry));
+    }
+  }
+
+  // -- Per-operation contract checks ---------------------------------------
+
+  void CheckOperation(const Assignment& stmt, const std::string& path,
+                      const std::vector<AbsParam>& params,
+                      const std::vector<std::optional<Symbol>>& arg_names,
+                      const TableShape& in1, const TableShape& in2,
+                      bool definite) {
+    const std::string arg0 =
+        arg_names[0].has_value() ? Quoted(*arg_names[0]) : "the argument";
+    const std::string cols_note =
+        in1.cols.top ? ""
+                     : "inferred columns of " + arg0 + ": " +
+                           in1.cols.ToString();
+    const std::string rows_note =
+        in1.rows.top ? ""
+                     : "inferred rows of " + arg0 + ": " + in1.rows.ToString();
+
+    switch (stmt.op) {
+      case OpKind::kGroup:
+        CheckGroupLike(path, "group", "by", "on", params[0], params[1], in1,
+                       arg0, cols_note, definite,
+                       /*by_is_rows=*/false);
+        break;
+      case OpKind::kMerge:
+        // merge on ℬ by 𝒜: 'on' attributes must label columns; 'by'
+        // attributes must name rows.
+        CheckNonEmpty(path, "merge", "on", params[0], definite);
+        CheckNonEmpty(path, "merge", "by", params[1], definite);
+        CheckAllLabelColumns(path, "merge", "on", params[0], in1, arg0,
+                             cols_note, definite);
+        CheckEachNamesRow(path, "merge", "by", params[1], in1, arg0,
+                          rows_note, definite);
+        break;
+      case OpKind::kSplit:
+        CheckNonEmpty(path, "split", "on", params[0], definite);
+        CheckEachLabelsColumn(path, "split", "on", params[0], in1, arg0,
+                              cols_note, Sev(definite));
+        break;
+      case OpKind::kCollapse:
+        CheckNonEmpty(path, "collapse", "by", params[0], definite);
+        CheckEachNamesRow(path, "collapse", "by", params[0], in1, arg0,
+                          rows_note, definite);
+        break;
+      case OpKind::kCleanUp:
+        // Total at runtime: out-of-region sets are warnings.
+        CheckEachLabelsColumn(path, "cleanup", "by", params[0], in1, arg0,
+                              cols_note, Severity::kWarning);
+        CheckEachNamesRowWarn(path, "cleanup", "on", params[1], in1, arg0,
+                              rows_note);
+        break;
+      case OpKind::kPurge:
+        CheckEachLabelsColumn(path, "purge", "on", params[0], in1, arg0,
+                              cols_note, Severity::kWarning);
+        CheckEachNamesRowWarn(path, "purge", "by", params[1], in1, arg0,
+                              rows_note);
+        break;
+      case OpKind::kRename: {
+        CheckSingleton(path, "rename", "target attribute", params[0],
+                       definite);
+        CheckSingleton(path, "rename", "source attribute", params[1],
+                       definite);
+        std::optional<Symbol> from = params[1].Singleton();
+        if (from.has_value() && in1.cols.DefinitelyLacks(*from)) {
+          Emit(Severity::kWarning, path,
+               "rename source attribute " + Quoted(*from) +
+                   " labels no column of " + arg0 +
+                   "; the rename has no effect",
+               cols_note);
+        }
+        break;
+      }
+      case OpKind::kProject:
+        if (params[0].known()) {
+          for (Symbol a : params[0].elems) {
+            if (in1.cols.DefinitelyLacks(a)) {
+              Emit(Severity::kWarning, path,
+                   "project attribute " + Quoted(a) +
+                       " labels no column of " + arg0,
+                   cols_note);
+            }
+          }
+        }
+        break;
+      case OpKind::kSelect:
+      case OpKind::kSelectConst: {
+        const char* word = OpWord(stmt.op);
+        CheckSingleton(path, word, "attribute", params[0], definite);
+        if (stmt.op == OpKind::kSelect) {
+          CheckSingleton(path, word, "attribute", params[1], definite);
+        } else {
+          CheckSingleton(path, word, "value", params[1], definite);
+        }
+        std::optional<Symbol> a = params[0].Singleton();
+        if (a.has_value() && in1.cols.DefinitelyLacks(*a)) {
+          Emit(Severity::kWarning, path,
+               std::string(word) + " attribute " + Quoted(*a) +
+                   " labels no column of " + arg0,
+               cols_note);
+        }
+        if (stmt.op == OpKind::kSelect) {
+          std::optional<Symbol> b = params[1].Singleton();
+          if (b.has_value() && in1.cols.DefinitelyLacks(*b)) {
+            Emit(Severity::kWarning, path,
+                 "select attribute " + Quoted(*b) + " labels no column of " +
+                     arg0,
+                 cols_note);
+          }
+        }
+        break;
+      }
+      case OpKind::kSwitch:
+        CheckSingleton(path, "switch", "value", params[0], definite);
+        break;
+      case OpKind::kTupleNew:
+      case OpKind::kSetNew:
+        CheckSingleton(path, OpWord(stmt.op), "attribute", params[0],
+                       definite);
+        break;
+      case OpKind::kProduct: {
+        if (!arg_names[0].has_value() || !arg_names[1].has_value()) break;
+        if (in1.cols.top || in2.cols.top) break;
+        SymbolSet shared;
+        for (Symbol a : in1.cols.elems) {
+          if (!a.is_null() && in2.cols.elems.contains(a)) shared.insert(a);
+        }
+        if (!shared.empty()) {
+          Emit(Severity::kWarning, path,
+               "product operands " + Quoted(*arg_names[0]) + " and " +
+                   Quoted(*arg_names[1]) + " share column attribute(s) " +
+                   SetToString(shared) +
+                   "; the result carries duplicate columns");
+        }
+        break;
+      }
+      case OpKind::kUnion:
+      case OpKind::kDifference:
+      case OpKind::kIntersection: {
+        if (!arg_names[0].has_value() || !arg_names[1].has_value()) break;
+        if (in1.cols.top || in2.cols.top) break;
+        if (in1.cols.elems.empty() || in2.cols.elems.empty()) break;
+        bool disjoint = true;
+        for (Symbol a : in1.cols.elems) {
+          if (in2.cols.elems.contains(a)) disjoint = false;
+        }
+        if (disjoint) {
+          Emit(Severity::kWarning, path,
+               std::string(OpWord(stmt.op)) + " operands " +
+                   Quoted(*arg_names[0]) + " and " + Quoted(*arg_names[1]) +
+                   " have provably disjoint column-attribute sets",
+               "columns of " + Quoted(*arg_names[0]) + ": " +
+                   in1.cols.ToString() + "; columns of " +
+                   Quoted(*arg_names[1]) + ": " + in2.cols.ToString());
+        }
+        break;
+      }
+      case OpKind::kTranspose:
+        break;
+    }
+  }
+
+  void CheckNonEmpty(const std::string& path, const char* op,
+                     const char* which, const AbsParam& p, bool definite) {
+    if (p.known() && p.elems.empty()) {
+      Emit(Sev(definite), path,
+           std::string(op) + " '" + which + "' set is empty");
+    }
+  }
+
+  void CheckSingleton(const std::string& path, const char* op,
+                      const char* what, const AbsParam& p, bool definite) {
+    if (p.known() && p.elems.size() != 1) {
+      Emit(Sev(definite), path,
+           std::string(op) + " " + what + " must denote a single symbol, "
+               "got " + SetToString(p.elems));
+    }
+  }
+
+  /// GROUP: by/on non-empty and disjoint; every 'by' attribute and at
+  /// least one 'on' attribute must label a column.
+  void CheckGroupLike(const std::string& path, const char* op,
+                      const char* by_word, const char* on_word,
+                      const AbsParam& by, const AbsParam& on,
+                      const TableShape& in, const std::string& arg0,
+                      const std::string& cols_note, bool definite,
+                      bool by_is_rows) {
+    (void)by_is_rows;
+    CheckNonEmpty(path, op, by_word, by, definite);
+    CheckNonEmpty(path, op, on_word, on, definite);
+    if (by.known() && on.known()) {
+      for (Symbol a : by.elems) {
+        if (on.elems.contains(a)) {
+          Emit(Sev(definite), path,
+               std::string(op) + " '" + by_word + "' and '" + on_word +
+                   "' sets overlap at " + Quoted(a));
+        }
+      }
+    }
+    CheckEachLabelsColumn(path, op, by_word, by, in, arg0, cols_note,
+                          Sev(definite));
+    CheckAllLabelColumns(path, op, on_word, on, in, arg0, cols_note,
+                         definite);
+  }
+
+  /// Each attribute of `p` must label a column (kernel errors per attr).
+  void CheckEachLabelsColumn(const std::string& path, const char* op,
+                             const char* which, const AbsParam& p,
+                             const TableShape& in, const std::string& arg0,
+                             const std::string& cols_note,
+                             Severity severity) {
+    if (!p.known()) return;
+    for (Symbol a : p.elems) {
+      if (in.cols.DefinitelyLacks(a)) {
+        Emit(severity, path,
+             std::string(op) + " '" + which + "' attribute " + Quoted(a) +
+                 " labels no column of " + arg0,
+             cols_note);
+      }
+    }
+  }
+
+  /// At least one attribute of `p` must label a column (kernel errors only
+  /// when the whole set misses).
+  void CheckAllLabelColumns(const std::string& path, const char* op,
+                            const char* which, const AbsParam& p,
+                            const TableShape& in, const std::string& arg0,
+                            const std::string& cols_note, bool definite) {
+    if (!p.known() || p.elems.empty()) return;
+    bool any_may_label = false;
+    for (Symbol a : p.elems) any_may_label |= in.cols.MayContain(a);
+    if (!any_may_label) {
+      Emit(Sev(definite), path,
+           "no " + std::string(op) + " '" + which +
+               "' attribute labels a column of " + arg0,
+           cols_note);
+    }
+  }
+
+  /// Each attribute of `p` must name a row (MERGE/COLLAPSE kernel errors).
+  void CheckEachNamesRow(const std::string& path, const char* op,
+                         const char* which, const AbsParam& p,
+                         const TableShape& in, const std::string& arg0,
+                         const std::string& rows_note, bool definite) {
+    if (!p.known()) return;
+    for (Symbol a : p.elems) {
+      if (in.rows.DefinitelyLacks(a)) {
+        Emit(Sev(definite), path,
+             std::string(op) + " '" + which + "' attribute " + Quoted(a) +
+                 " names no row of " + arg0,
+             rows_note);
+      }
+    }
+  }
+
+  /// Warning-only variant for the total operators (CLEAN-UP/PURGE).
+  void CheckEachNamesRowWarn(const std::string& path, const char* op,
+                             const char* which, const AbsParam& p,
+                             const TableShape& in, const std::string& arg0,
+                             const std::string& rows_note) {
+    if (!p.known()) return;
+    for (Symbol a : p.elems) {
+      if (in.rows.DefinitelyLacks(a)) {
+        Emit(Severity::kWarning, path,
+             std::string(op) + " '" + which + "' attribute " + Quoted(a) +
+                 " names no row of " + arg0,
+             rows_note);
+      }
+    }
+  }
+
+  // -- Shape transfer --------------------------------------------------------
+
+  /// The output shape of one instantiation. `in2` is used by the binary
+  /// operations only.
+  static TableShape ApplyOp(OpKind op, const std::vector<AbsParam>& params,
+                            const TableShape& in1, const TableShape* in2) {
+    TableShape out = in1;
+    out.certain = false;
+    switch (op) {
+      case OpKind::kUnion:
+      case OpKind::kProduct:
+        out.cols.Join(in2->cols);
+        out.rows.Join(in2->rows);
+        if (op == OpKind::kProduct) {
+          // The combined row attribute may fall back to ⊥ (paper-gap).
+          out.rows.Insert(Symbol::Null());
+        }
+        break;
+      case OpKind::kDifference:
+      case OpKind::kIntersection:
+        break;  // ρ's shape, rows a subset
+      case OpKind::kRename: {
+        std::optional<Symbol> to = params[0].Singleton();
+        std::optional<Symbol> from = params[1].Singleton();
+        if (to.has_value() && from.has_value()) {
+          out.cols.Erase(*from);
+          out.cols.Insert(*to);
+        } else {
+          out.cols = AttrSet::Top();
+        }
+        break;
+      }
+      case OpKind::kProject:
+        out.cols = ApplySetRestriction(in1.cols, params[0]);
+        break;
+      case OpKind::kSelect:
+      case OpKind::kSelectConst:
+        break;  // row subset, shape preserved
+      case OpKind::kGroup:
+        // by-attrs leave the columns and become row attributes.
+        if (params[0].known()) {
+          for (Symbol a : params[0].elems) out.cols.Erase(a);
+          for (Symbol a : params[0].elems) out.rows.Insert(a);
+        } else {
+          out.rows = AttrSet::Top();
+        }
+        break;
+      case OpKind::kMerge:
+        // by-attrs' rows are consumed and become columns.
+        if (params[1].known()) {
+          for (Symbol a : params[1].elems) out.rows.Erase(a);
+          for (Symbol a : params[1].elems) out.cols.Insert(a);
+        } else {
+          out.cols = AttrSet::Top();
+        }
+        break;
+      case OpKind::kSplit:
+        // on-attrs' columns are dropped; one leading row per attribute.
+        if (params[0].known()) {
+          for (Symbol a : params[0].elems) out.cols.Erase(a);
+          for (Symbol a : params[0].elems) out.rows.Insert(a);
+        } else {
+          out.rows = AttrSet::Top();
+        }
+        break;
+      case OpKind::kCollapse:
+        // Inverse of split: the by-rows are consumed, re-adding columns.
+        if (params[0].known()) {
+          for (Symbol a : params[0].elems) out.rows.Erase(a);
+          for (Symbol a : params[0].elems) out.cols.Insert(a);
+        } else {
+          out.cols = AttrSet::Top();
+        }
+        break;
+      case OpKind::kTranspose:
+        std::swap(out.cols, out.rows);
+        break;
+      case OpKind::kSwitch:
+        // Row 0 and column 0 swap with the promoted entry's position:
+        // any entry may become an attribute.
+        out.cols = AttrSet::Top();
+        out.rows = AttrSet::Top();
+        break;
+      case OpKind::kCleanUp:
+      case OpKind::kPurge:
+        break;  // redundancy removal preserves the attribute regions
+      case OpKind::kTupleNew:
+      case OpKind::kSetNew: {
+        std::optional<Symbol> a = params[0].Singleton();
+        if (a.has_value()) {
+          out.cols.Insert(*a);
+        } else {
+          out.cols = AttrSet::Top();
+        }
+        break;
+      }
+    }
+    return out;
+  }
+
+  /// PROJECT's column restriction under the three parameter shapes.
+  static AttrSet ApplySetRestriction(const AttrSet& cols, const AbsParam& p) {
+    switch (p.kind) {
+      case AbsParam::Kind::kKnown: {
+        if (cols.top) return AttrSet::Of(p.elems);
+        SymbolSet kept;
+        for (Symbol a : cols.elems) {
+          if (p.elems.contains(a)) kept.insert(a);
+        }
+        return AttrSet::Of(std::move(kept));
+      }
+      case AbsParam::Kind::kUniverseMinus: {
+        AttrSet out = cols;
+        for (Symbol a : p.elems) out.Erase(a);
+        return out;
+      }
+      case AbsParam::Kind::kUnknown:
+        return cols;  // a subset of the input columns either way
+    }
+    return cols;
+  }
+
+  const AnalyzerOptions options_;
+  std::vector<Diagnostic>* sink_;
+  bool emit_ = true;
+};
+
+/// Dead-store warnings over the top-level statement list.
+void DiagnoseDeadStores(const Program& program,
+                        std::vector<Diagnostic>* sink) {
+  std::vector<bool> keep = DeadStoreKeepMask(program, AllTableNames(program));
+  for (size_t i = 0; i < program.statements.size(); ++i) {
+    if (keep[i]) continue;
+    const auto* a = std::get_if<Assignment>(&program.statements[i].node);
+    if (a == nullptr) continue;
+    SymbolSet writes;
+    bool universal = false;
+    CollectParamNames(a->target, &writes, &universal);
+    if (universal || writes.size() != 1) continue;
+    Symbol target = *writes.begin();
+    // The killing statement (a full reassignment or a drop), for the
+    // message. The mask guarantees one exists.
+    size_t killer = 0;
+    bool killed_by_drop = false;
+    for (size_t j = i + 1; j < program.statements.size() && killer == 0;
+         ++j) {
+      SymbolSet w2;
+      bool u2 = false;
+      if (const auto* b = std::get_if<Assignment>(&program.statements[j].node)) {
+        CollectParamNames(b->target, &w2, &u2);
+        if (!u2 && w2.size() == 1 && *w2.begin() == target) killer = j + 1;
+      } else if (const auto* d =
+                     std::get_if<DropStatement>(&program.statements[j].node)) {
+        CollectParamNames(d->target, &w2, &u2);
+        if (!u2 && w2.contains(target)) {
+          killer = j + 1;
+          killed_by_drop = true;
+        }
+      }
+    }
+    if (killer == 0) continue;
+    Diagnostic d;
+    d.severity = Severity::kWarning;
+    d.path = std::to_string(i + 1);
+    d.message = "store to " + Quoted(target) + " is dead: " +
+                (killed_by_drop ? "dropped" : "overwritten") +
+                " at statement " + std::to_string(killer) +
+                " before any read";
+    sink->push_back(std::move(d));
+  }
+}
+
+}  // namespace
+
+AnalysisResult AnalyzeProgram(const Program& program, AbstractDatabase initial,
+                              const AnalyzerOptions& options) {
+  AnalysisResult result;
+  result.final_state = std::move(initial);
+  Analyzer analyzer(options, &result.diagnostics);
+  analyzer.AnalyzeStatements(program.statements, "", &result.final_state,
+                             /*certain_context=*/true);
+  if (options.check_dead_stores) {
+    DiagnoseDeadStores(program, &result.diagnostics);
+  }
+  // Deterministic order: by statement path (numeric, dotted), then by
+  // insertion. Dead-store diagnostics land after the dataflow pass, so a
+  // stable sort interleaves them at their statement positions.
+  std::stable_sort(result.diagnostics.begin(), result.diagnostics.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return PathLess(a.path, b.path);
+                   });
+  return result;
+}
+
+// -- Name-flow facts ---------------------------------------------------------
+
+void CollectParamNames(const Param& p, SymbolSet* out, bool* universal) {
+  for (const ParamItem& it : p.positive) {
+    switch (it.kind) {
+      case ParamItem::Kind::kSymbol:
+        out->insert(it.symbol);
+        break;
+      case ParamItem::Kind::kNull:
+        out->insert(Symbol::Null());
+        break;
+      case ParamItem::Kind::kWildcard:
+      case ParamItem::Kind::kPair:
+        *universal = true;
+        break;
+    }
+  }
+}
+
+void CollectStatementReads(const Statement& s, SymbolSet* out,
+                           bool* universal) {
+  if (const auto* a = std::get_if<Assignment>(&s.node)) {
+    for (const Param& arg : a->args) CollectParamNames(arg, out, universal);
+  } else if (const auto* w = std::get_if<WhileLoop>(&s.node)) {
+    CollectParamNames(w->condition, out, universal);
+    for (const Statement& inner : w->body) {
+      CollectStatementReads(inner, out, universal);
+    }
+  }
+  // Drop reads nothing.
+}
+
+namespace {
+
+void CollectAllStatementNames(const Statement& s, SymbolSet* out) {
+  bool universal = false;
+  CollectStatementReads(s, out, &universal);
+  if (const auto* a = std::get_if<Assignment>(&s.node)) {
+    CollectParamNames(a->target, out, &universal);
+  } else if (const auto* d = std::get_if<DropStatement>(&s.node)) {
+    CollectParamNames(d->target, out, &universal);
+  } else if (const auto* w = std::get_if<WhileLoop>(&s.node)) {
+    for (const Statement& inner : w->body) {
+      CollectAllStatementNames(inner, out);
+    }
+  }
+}
+
+}  // namespace
+
+SymbolSet AllTableNames(const Program& program) {
+  SymbolSet out;
+  for (const Statement& s : program.statements) {
+    CollectAllStatementNames(s, &out);
+  }
+  return out;
+}
+
+std::vector<bool> DeadStoreKeepMask(const Program& program,
+                                    const SymbolSet& live_out) {
+  SymbolSet live = live_out;
+  bool universal_live = false;
+  std::vector<bool> keep(program.statements.size(), true);
+
+  for (size_t idx = program.statements.size(); idx-- > 0;) {
+    const Statement& s = program.statements[idx];
+    if (const auto* a = std::get_if<Assignment>(&s.node)) {
+      SymbolSet writes;
+      bool universal_write = false;
+      CollectParamNames(a->target, &writes, &universal_write);
+      const bool single_literal_write =
+          !universal_write && writes.size() == 1;
+      if (!universal_live && single_literal_write &&
+          !live.contains(*writes.begin())) {
+        keep[idx] = false;
+        continue;  // dead: no kill, no new reads
+      }
+      // Replacement semantics: a literal write fully overwrites its name.
+      if (single_literal_write) live.erase(*writes.begin());
+      CollectStatementReads(s, &live, &universal_live);
+    } else if (const auto* d = std::get_if<DropStatement>(&s.node)) {
+      SymbolSet dropped;
+      bool universal_drop = false;
+      CollectParamNames(d->target, &dropped, &universal_drop);
+      if (!universal_drop) {
+        for (Symbol nm : dropped) live.erase(nm);
+      }
+    } else {
+      // While loops: everything read inside stays live across the loop;
+      // bodies are left untouched (iteration makes in-body stores
+      // observable by earlier body statements).
+      CollectStatementReads(s, &live, &universal_live);
+    }
+  }
+  return keep;
+}
+
+}  // namespace tabular::analysis

@@ -1,0 +1,90 @@
+#ifndef TABULAR_ANALYSIS_ANALYZER_H_
+#define TABULAR_ANALYSIS_ANALYZER_H_
+
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "analysis/shape.h"
+#include "core/symbol.h"
+#include "lang/ast.h"
+
+namespace tabular::analysis {
+
+/// Static semantic analysis for tabular-algebra programs.
+///
+/// A forward dataflow pass infers a `TableShape` for every table name
+/// through every statement (while bodies iterate to a fixpoint over the
+/// join of all iteration counts), and a diagnostic engine reports:
+///
+///   * arity errors (parameter/argument counts per operation)       [error]
+///   * operator contract violations the kernels reject at runtime —
+///     GROUP/MERGE/SPLIT/COLLAPSE empty or overlapping sets, by/on
+///     attributes provably outside the inferred region  [error when the
+///     statement certainly executes, warning otherwise]
+///   * use-before-definition of argument tables (the statement is a
+///     no-op under the interpreter's semantics)                   [warning]
+///   * parameters provably outside the region for the total operators
+///     (rename source, project set, σ attributes, cleanup/purge sets)
+///                                                                [warning]
+///   * union/difference operands with provably disjoint column-attribute
+///     sets, product operands with colliding column attributes    [warning]
+///   * dead stores: a target fully overwritten before any read    [warning]
+///   * while bodies that are unreachable because the guard provably
+///     matches no table                                           [warning]
+///   * a non-termination heuristic: the guard is never written or
+///     dropped inside the loop body                               [warning]
+///
+/// Shape sets are may-supersets, so "provably" above always means an
+/// *absence* argument — membership in an inferred set never triggers a
+/// diagnostic by itself. Errors additionally require that the statement
+/// certainly executes: it is at the top level (not inside a while body)
+/// and all of its argument tables certainly exist.
+struct AnalyzerOptions {
+  /// Emit dead-store warnings (the fact computation itself is always
+  /// available through `DeadStoreKeepMask`).
+  bool check_dead_stores = true;
+  /// Iteration cap for the while-body fixpoint before widening to ⊤.
+  size_t max_fixpoint_iterations = 64;
+};
+
+struct AnalysisResult {
+  std::vector<Diagnostic> diagnostics;
+  /// The abstract database after the whole program.
+  AbstractDatabase final_state;
+};
+
+/// Analyzes `program` starting from `initial` (use
+/// `AbstractDatabase::FromDatabase` for a concrete database,
+/// `::Unknown()` when the schema is open, `::Empty()` for a fresh run).
+AnalysisResult AnalyzeProgram(const lang::Program& program,
+                              AbstractDatabase initial,
+                              const AnalyzerOptions& options = {});
+
+// -- Name-flow facts (shared with lang::Optimizer) --------------------------
+
+/// Collects the literal names `p` can denote; sets `*universal` when it
+/// may denote arbitrary names (wildcards, entry pairs). The negative list
+/// only narrows, so ignoring it stays conservative.
+void CollectParamNames(const lang::Param& p, core::SymbolSet* out,
+                       bool* universal);
+
+/// The table names a statement reads (argument positions and while
+/// conditions only — attribute parameters never name tables).
+void CollectStatementReads(const lang::Statement& s, core::SymbolSet* out,
+                           bool* universal);
+
+/// Every table name the program mentions (reads, writes, drops).
+core::SymbolSet AllTableNames(const lang::Program& program);
+
+/// The dead-store fact: `mask[i]` is false when top-level statement i is
+/// an assignment whose target cannot influence any `live_out` table — no
+/// later statement reads it before it is fully reassigned. This is the
+/// exact removal criterion of `lang::EliminateDeadStores`; the analyzer's
+/// dead-store *warnings* use `live_out = AllTableNames(program)`, which
+/// narrows the fact to "overwritten before any read".
+std::vector<bool> DeadStoreKeepMask(const lang::Program& program,
+                                    const core::SymbolSet& live_out);
+
+}  // namespace tabular::analysis
+
+#endif  // TABULAR_ANALYSIS_ANALYZER_H_

@@ -1,0 +1,70 @@
+#include "analysis/diagnostics.h"
+
+namespace tabular::analysis {
+
+const char* SeverityToString(Severity s) {
+  switch (s) {
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+std::string Render(const Diagnostic& d, std::string_view file) {
+  std::string out(file.empty() ? "<program>" : file);
+  if (!d.path.empty()) out += ":" + d.path;
+  out += ": ";
+  out += SeverityToString(d.severity);
+  out += ": ";
+  out += d.message;
+  if (!d.note.empty()) {
+    out += "\n  note: " + d.note;
+  }
+  return out;
+}
+
+std::string RenderAll(const std::vector<Diagnostic>& ds,
+                      std::string_view file) {
+  std::string out;
+  for (const Diagnostic& d : ds) {
+    out += Render(d, file);
+    out += "\n";
+  }
+  return out;
+}
+
+size_t CountSeverity(const std::vector<Diagnostic>& ds, Severity s) {
+  size_t n = 0;
+  for (const Diagnostic& d : ds) {
+    if (d.severity == s) ++n;
+  }
+  return n;
+}
+
+bool HasErrors(const std::vector<Diagnostic>& ds) {
+  return FirstError(ds) != nullptr;
+}
+
+bool PathLess(const std::string& a, const std::string& b) {
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    unsigned long long x = 0, y = 0;
+    while (i < a.size() && a[i] != '.') x = x * 10 + (a[i++] - '0');
+    while (j < b.size() && b[j] != '.') y = y * 10 + (b[j++] - '0');
+    if (x != y) return x < y;
+    if (i < a.size()) ++i;  // skip '.'
+    if (j < b.size()) ++j;
+  }
+  return a.size() - i < b.size() - j;  // shorter (outer) path first
+}
+
+const Diagnostic* FirstError(const std::vector<Diagnostic>& ds) {
+  for (const Diagnostic& d : ds) {
+    if (d.severity == Severity::kError) return &d;
+  }
+  return nullptr;
+}
+
+}  // namespace tabular::analysis

@@ -1,0 +1,56 @@
+#ifndef TABULAR_ANALYSIS_DIAGNOSTICS_H_
+#define TABULAR_ANALYSIS_DIAGNOSTICS_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tabular::analysis {
+
+/// Severity of a static-analysis finding.
+///
+/// * `kError` — the statement provably misbehaves on every run that
+///   reaches it (the interpreter would fail; `analyze_first` aborts
+///   before any mutation).
+/// * `kWarning` — the statement is suspicious but may be intended (no-op
+///   reads of absent tables, dead stores, possible non-termination).
+enum class Severity {
+  kWarning = 0,
+  kError = 1,
+};
+
+const char* SeverityToString(Severity s);  // "warning" / "error"
+
+/// One finding, anchored to a statement path in the format PR 3
+/// introduced for profiles and Status annotation: top-level statements
+/// are "1", "2", ...; while bodies nest as "2.1", "2.1.3", ... An empty
+/// path anchors to the whole program.
+struct Diagnostic {
+  Severity severity = Severity::kWarning;
+  std::string path;     ///< statement path ("2.1"); empty = whole program
+  std::string message;  ///< one line, no trailing period
+  std::string note;     ///< optional secondary line (inferred shapes, ...)
+};
+
+/// Clang-style rendering: `<file>:<path>: <severity>: <message>` plus an
+/// indented `note: ...` when present. `file` may be empty ("<program>").
+std::string Render(const Diagnostic& d, std::string_view file);
+
+/// All diagnostics, one per line (notes indented), in order.
+std::string RenderAll(const std::vector<Diagnostic>& ds,
+                      std::string_view file);
+
+size_t CountSeverity(const std::vector<Diagnostic>& ds, Severity s);
+bool HasErrors(const std::vector<Diagnostic>& ds);
+
+/// Orders statement paths numerically segment by segment ("2" < "10",
+/// "2.1" < "2.2" < "3"); an empty path sorts first.
+bool PathLess(const std::string& a, const std::string& b);
+
+/// The first error, or nullptr.
+const Diagnostic* FirstError(const std::vector<Diagnostic>& ds);
+
+}  // namespace tabular::analysis
+
+#endif  // TABULAR_ANALYSIS_DIAGNOSTICS_H_

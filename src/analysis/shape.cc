@@ -1,0 +1,117 @@
+#include "analysis/shape.h"
+
+#include <utility>
+
+namespace tabular::analysis {
+
+using core::Symbol;
+using core::SymbolSet;
+using core::Table;
+using core::TabularDatabase;
+
+void AttrSet::Join(const AttrSet& o) {
+  if (top) return;
+  if (o.top) {
+    top = true;
+    elems.clear();
+    return;
+  }
+  elems.insert(o.elems.begin(), o.elems.end());
+}
+
+std::string AttrSet::ToString() const {
+  if (top) return "⊤";
+  std::string out = "{";
+  bool first = true;
+  for (Symbol s : elems) {
+    if (!first) out += ", ";
+    first = false;
+    out += s.ToString();
+  }
+  out += "}";
+  return out;
+}
+
+void TableShape::Join(const TableShape& o) {
+  cols.Join(o.cols);
+  rows.Join(o.rows);
+  certain = certain && o.certain;
+}
+
+std::string TableShape::ToString() const {
+  return "cols=" + cols.ToString() + " rows=" + rows.ToString();
+}
+
+AbstractDatabase AbstractDatabase::FromDatabase(const TabularDatabase& db) {
+  AbstractDatabase out;
+  for (const Table& t : db.tables()) {
+    SymbolSet cols, rows;
+    for (size_t j = 1; j <= t.width(); ++j) cols.insert(t.ColumnAttribute(j));
+    for (size_t i = 1; i <= t.height(); ++i) rows.insert(t.RowAttribute(i));
+    TableShape shape{AttrSet::Of(std::move(cols)), AttrSet::Of(std::move(rows)),
+                     /*certain=*/true};
+    auto [it, inserted] = out.tables.emplace(t.name(), shape);
+    if (!inserted) {
+      // Same-named tables: join shapes, existence stays certain.
+      it->second.cols.Join(shape.cols);
+      it->second.rows.Join(shape.rows);
+    }
+  }
+  return out;
+}
+
+const TableShape* AbstractDatabase::Find(Symbol name) const {
+  auto it = tables.find(name);
+  return it == tables.end() ? nullptr : &it->second;
+}
+
+TableShape AbstractDatabase::ShapeOf(Symbol name) const {
+  const TableShape* s = Find(name);
+  if (s != nullptr) return *s;
+  return TableShape::Top(/*certain=*/false);
+}
+
+void AbstractDatabase::Join(const AbstractDatabase& o) {
+  top = top || o.top;
+  for (auto& [name, shape] : tables) {
+    const TableShape* other = o.Find(name);
+    if (other != nullptr) {
+      shape.Join(*other);
+    } else if (o.top) {
+      TableShape t = TableShape::Top(false);
+      shape.Join(t);
+    } else {
+      shape.certain = false;  // absent on the other path
+    }
+  }
+  for (const auto& [name, shape] : o.tables) {
+    if (tables.contains(name)) continue;
+    TableShape joined = shape;
+    if (top) {
+      joined.cols = AttrSet::Top();
+      joined.rows = AttrSet::Top();
+    }
+    joined.certain = false;
+    tables.emplace(name, std::move(joined));
+  }
+}
+
+void AbstractDatabase::WildcardWrite() {
+  top = true;
+  for (auto& [name, shape] : tables) {
+    shape.cols = AttrSet::Top();
+    shape.rows = AttrSet::Top();
+  }
+}
+
+std::string AbstractDatabase::ToString() const {
+  std::string out;
+  if (top) out += "⊤\n";
+  for (const auto& [name, shape] : tables) {
+    out += name.ToString() + (shape.certain ? "" : "?") + ": " +
+           shape.ToString() + "\n";
+  }
+  return out;
+}
+
+}  // namespace tabular::analysis

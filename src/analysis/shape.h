@@ -1,0 +1,126 @@
+#ifndef TABULAR_ANALYSIS_SHAPE_H_
+#define TABULAR_ANALYSIS_SHAPE_H_
+
+#include <map>
+#include <string>
+
+#include "core/database.h"
+#include "core/symbol.h"
+
+namespace tabular::analysis {
+
+/// The abstract-schema domain for the static analyzer.
+///
+/// A `TableShape` approximates every table carrying one name by its two
+/// attribute regions (paper §2): the column attributes τ⁰_{>0} and the row
+/// attributes τ_{>0}⁰. Sets are *may*-supersets — every attribute a real
+/// run can produce is in the set — so membership proves nothing, but
+/// **absence is definite**: if `cols.DefinitelyLacks(A)`, no execution
+/// reaches this point with a column named A. All diagnostics that claim an
+/// error are absence-based for exactly this reason.
+
+/// An abstract attribute set: ⊤ (anything, from wildcard-bound unknowns)
+/// or a finite may-superset of the attributes that can occur.
+struct AttrSet {
+  bool top = false;
+  core::SymbolSet elems;  // meaningful only when !top
+
+  static AttrSet Top() { return AttrSet{true, {}}; }
+  static AttrSet Of(core::SymbolSet s) { return AttrSet{false, std::move(s)}; }
+
+  bool MayContain(core::Symbol s) const { return top || elems.contains(s); }
+  /// The sound negative: no run produces attribute `s` here.
+  bool DefinitelyLacks(core::Symbol s) const { return !top && !elems.contains(s); }
+
+  void Insert(core::Symbol s) {
+    if (!top) elems.insert(s);
+  }
+  void Erase(core::Symbol s) {
+    if (!top) elems.erase(s);
+  }
+
+  /// Least upper bound: ⊤ absorbs; otherwise set union.
+  void Join(const AttrSet& o);
+
+  /// "⊤" or "{A, B, ⊥}" in deterministic symbol order.
+  std::string ToString() const;
+
+  friend bool operator==(const AttrSet& a, const AttrSet& b) {
+    return a.top == b.top && (a.top || a.elems == b.elems);
+  }
+};
+
+/// Abstract shape of the tables carrying one name.
+struct TableShape {
+  AttrSet cols;  ///< column attributes τ⁰_{>0}
+  AttrSet rows;  ///< row attributes τ_{>0}⁰
+  /// True when at least one table with this name exists on *every* path
+  /// reaching the program point (so a statement reading it always has at
+  /// least one instantiation).
+  bool certain = false;
+
+  static TableShape Top(bool certain) {
+    return TableShape{AttrSet::Top(), AttrSet::Top(), certain};
+  }
+
+  void Join(const TableShape& o);
+
+  /// "cols=⋯ rows=⋯" (existence flag not rendered).
+  std::string ToString() const;
+
+  friend bool operator==(const TableShape& a, const TableShape& b) {
+    return a.cols == b.cols && a.rows == b.rows && a.certain == b.certain;
+  }
+};
+
+/// The abstract database: shapes keyed by table name. When `top` is set, a
+/// wildcard (or pair) target may have written arbitrary names, so a name
+/// missing from `tables` can still exist; when `top` is clear, a missing
+/// name is **provably absent**.
+struct AbstractDatabase {
+  bool top = false;
+  std::map<core::Symbol, TableShape, core::SymbolLess> tables;
+
+  /// The lint default when no initial schema is given: anything may exist.
+  static AbstractDatabase Unknown() { return AbstractDatabase{true, {}}; }
+
+  /// The empty database: nothing exists until the program creates it.
+  static AbstractDatabase Empty() { return AbstractDatabase{}; }
+
+  /// Exact shapes of a concrete database (joined across same-named
+  /// tables); every name present is `certain`.
+  static AbstractDatabase FromDatabase(const core::TabularDatabase& db);
+
+  const TableShape* Find(core::Symbol name) const;
+  bool MayExist(core::Symbol name) const {
+    return top || tables.contains(name);
+  }
+  bool DefinitelyAbsent(core::Symbol name) const { return !MayExist(name); }
+  bool CertainlyExists(core::Symbol name) const {
+    const TableShape* s = Find(name);
+    return s != nullptr && s->certain;
+  }
+
+  /// Shape read for a name under the current ⊤-state: ⊤ shape when the
+  /// name is only covered by `top`.
+  TableShape ShapeOf(core::Symbol name) const;
+
+  /// Least upper bound: per-name shape join; a name on only one side stays
+  /// with `certain` cleared (it may be absent on the other path).
+  void Join(const AbstractDatabase& o);
+
+  /// A wildcard write: any name may now exist with any shape. Existing
+  /// names stay (replacement semantics never removes a name) but their
+  /// shapes degrade to ⊤.
+  void WildcardWrite();
+
+  friend bool operator==(const AbstractDatabase& a, const AbstractDatabase& b) {
+    return a.top == b.top && a.tables == b.tables;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace tabular::analysis
+
+#endif  // TABULAR_ANALYSIS_SHAPE_H_

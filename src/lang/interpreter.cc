@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "algebra/ops.h"
+#include "analysis/analyzer.h"
 #include "exec/parallel.h"
 #include "obs/trace.h"
 
@@ -134,8 +135,26 @@ size_t ExpectedArgCount(OpKind op) {
 
 Status Interpreter::Run(const Program& program, TabularDatabase* db) {
   steps_ = 0;
+  last_commit_path_.clear();
   profile_root_ = obs::ProfileNode{};
   profile_root_.label = "program";
+
+  if (options_.analyze_first) {
+    analysis::AnalysisResult analyzed = analysis::AnalyzeProgram(
+        program, analysis::AbstractDatabase::FromDatabase(*db));
+    if (options_.on_diagnostic) {
+      for (const analysis::Diagnostic& d : analyzed.diagnostics) {
+        options_.on_diagnostic(d);
+      }
+    }
+    if (const analysis::Diagnostic* err =
+            analysis::FirstError(analyzed.diagnostics)) {
+      // Rejected before any mutation: the database is untouched.
+      return Status::InvalidArgument("statement " + err->path + ": " +
+                                     err->message);
+    }
+  }
+
   obs::ProfileNode* root = options_.profile ? &profile_root_ : nullptr;
   const uint64_t t0 = obs::TraceNowNs();
   Status st = RunStatements(program.statements, db, "", root);
@@ -143,6 +162,11 @@ Status Interpreter::Run(const Program& program, TabularDatabase* db) {
     root->wall_ns = obs::TraceNowNs() - t0;
     root->invocations = 1;
     root->threads = exec::Threads();
+  }
+  if (!st.ok() && !last_commit_path_.empty()) {
+    st = Status(st.code(),
+                st.message() + " (partial results committed through "
+                "statement " + last_commit_path_ + ")");
   }
   return st;
 }
@@ -165,7 +189,7 @@ Status Interpreter::RunStatements(const std::vector<Statement>& statements,
       node->label = StatementLabel(s, path);
     }
     if (const auto* a = std::get_if<Assignment>(&s.node)) {
-      Status st = RunAssignment(*a, db, node);
+      Status st = RunAssignment(*a, path, db, node);
       if (!st.ok()) return AnnotateStatement(st, path);
     } else if (const auto* d = std::get_if<DropStatement>(&s.node)) {
       // Drops resolve literal names only (a wildcard drop would need a
@@ -173,7 +197,10 @@ Status Interpreter::RunStatements(const std::vector<Statement>& statements,
       const uint64_t t0 = obs::TraceNowNs();
       Result<SymbolSet> names = EvalParam(d->target, Bindings{}, nullptr);
       if (!names.ok()) return AnnotateStatement(names.status(), path);
-      for (Symbol nm : *names) db->RemoveNamed(nm);
+      for (Symbol nm : *names) {
+        if (!db->IndicesNamed(nm).empty()) last_commit_path_ = path;
+        db->RemoveNamed(nm);
+      }
       if (node != nullptr) {
         ++node->invocations;
         node->wall_ns += obs::TraceNowNs() - t0;
@@ -219,6 +246,7 @@ Status Interpreter::RunWhile(const WhileLoop& loop, TabularDatabase* db,
 }
 
 Status Interpreter::RunAssignment(const Assignment& stmt,
+                                  const std::string& path,
                                   TabularDatabase* db,
                                   obs::ProfileNode* node) {
   // OpKindToString returns the static keyword table entry, which satisfies
@@ -452,6 +480,7 @@ Status Interpreter::RunAssignment(const Assignment& stmt,
   // Replacement semantics: drop previous carriers of each produced name.
   SymbolSet produced;
   for (const Staged& s : staged) produced.insert(s.target);
+  if (!staged.empty()) last_commit_path_ = path;
   for (Symbol nm : produced) db->RemoveNamed(nm);
   if (node != nullptr) {
     node->invocations += insts;

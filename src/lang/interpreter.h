@@ -2,9 +2,11 @@
 #define TABULAR_LANG_INTERPRETER_H_
 
 #include <cstddef>
+#include <functional>
 #include <string>
 
 #include "algebra/tagging.h"
+#include "analysis/diagnostics.h"
 #include "core/database.h"
 #include "core/status.h"
 #include "lang/ast.h"
@@ -28,6 +30,14 @@ struct InterpreterOptions {
   /// instantiation counts, input/output sizes); read it back with
   /// Interpreter::profile() and render with obs::RenderProfile.
   bool profile = false;
+  /// Statically analyze the program against the database's schema before
+  /// executing anything. Error diagnostics abort the run with
+  /// InvalidArgument *before any table is mutated*; warnings go to
+  /// `on_diagnostic` and do not block execution.
+  bool analyze_first = true;
+  /// Receives every diagnostic `analyze_first` produces (warnings and
+  /// errors), in statement order. May be empty.
+  std::function<void(const analysis::Diagnostic&)> on_diagnostic;
 };
 
 /// Executes tabular-algebra programs against a database (paper §3.6).
@@ -43,8 +53,12 @@ class Interpreter {
   explicit Interpreter(InterpreterOptions options = InterpreterOptions())
       : options_(options) {}
 
-  /// Runs `program` against `db` in place. On error the database may hold
-  /// partial results of already-executed statements.
+  /// Runs `program` against `db` in place. With `analyze_first` (the
+  /// default) statically-detected errors reject the program before any
+  /// mutation; runtime errors leave partial results of already-executed
+  /// statements, and the Status message then carries a
+  /// "(partial results committed through statement N)" suffix naming the
+  /// last statement whose results were committed.
   Status Run(const Program& program, TabularDatabase* db);
 
   /// Total assignment instantiations executed by the last Run.
@@ -59,14 +73,17 @@ class Interpreter {
   Status RunStatements(const std::vector<Statement>& statements,
                        TabularDatabase* db, const std::string& path_prefix,
                        obs::ProfileNode* parent);
-  Status RunAssignment(const Assignment& stmt, TabularDatabase* db,
-                       obs::ProfileNode* node);
+  Status RunAssignment(const Assignment& stmt, const std::string& path,
+                       TabularDatabase* db, obs::ProfileNode* node);
   Status RunWhile(const WhileLoop& loop, TabularDatabase* db,
                   const std::string& path, obs::ProfileNode* node);
 
   InterpreterOptions options_;
   size_t steps_ = 0;
   obs::ProfileNode profile_root_;
+  /// Path of the last statement whose results were committed to the
+  /// database during the current Run (empty: nothing committed yet).
+  std::string last_commit_path_;
 };
 
 /// Convenience: parse-free single-program execution with default options.

@@ -3,86 +3,21 @@
 #include <map>
 #include <vector>
 
+#include "analysis/analyzer.h"
+
 namespace tabular::lang {
 
 using core::Symbol;
 using core::SymbolSet;
 
-namespace {
-
-/// Collects the literal names a parameter can denote; sets `universal` if
-/// it may denote arbitrary names (wildcards, entry pairs). The negative
-/// list only narrows the set, so ignoring it stays conservative.
-void CollectParamNames(const Param& p, SymbolSet* out, bool* universal) {
-  for (const ParamItem& it : p.positive) {
-    switch (it.kind) {
-      case ParamItem::Kind::kSymbol:
-        out->insert(it.symbol);
-        break;
-      case ParamItem::Kind::kNull:
-        out->insert(Symbol::Null());
-        break;
-      case ParamItem::Kind::kWildcard:
-      case ParamItem::Kind::kPair:
-        *universal = true;
-        break;
-    }
-  }
-}
-
-/// The table names a statement reads (argument positions only — attribute
-/// parameters never name tables).
-void CollectReads(const Statement& s, SymbolSet* out, bool* universal) {
-  if (const auto* a = std::get_if<Assignment>(&s.node)) {
-    for (const Param& arg : a->args) CollectParamNames(arg, out, universal);
-  } else if (const auto* w = std::get_if<WhileLoop>(&s.node)) {
-    CollectParamNames(w->condition, out, universal);
-    for (const Statement& inner : w->body) {
-      CollectReads(inner, out, universal);
-    }
-  }
-  // Drop reads nothing.
-}
-
-}  // namespace
+// The name-flow collectors live in the analysis library now (the static
+// analyzer's dead-store diagnostics share them).
+using analysis::CollectParamNames;
+using analysis::CollectStatementReads;
 
 Program EliminateDeadStores(const Program& program,
                             const SymbolSet& live_out) {
-  SymbolSet live = live_out;
-  bool universal_live = false;
-  std::vector<bool> keep(program.statements.size(), true);
-
-  for (size_t idx = program.statements.size(); idx-- > 0;) {
-    const Statement& s = program.statements[idx];
-    if (const auto* a = std::get_if<Assignment>(&s.node)) {
-      SymbolSet writes;
-      bool universal_write = false;
-      CollectParamNames(a->target, &writes, &universal_write);
-      const bool single_literal_write =
-          !universal_write && writes.size() == 1;
-      if (!universal_live && single_literal_write &&
-          !live.contains(*writes.begin())) {
-        keep[idx] = false;
-        continue;  // dead: no kill, no new reads
-      }
-      // Replacement semantics: a literal write fully overwrites its name.
-      if (single_literal_write) live.erase(*writes.begin());
-      CollectReads(s, &live, &universal_live);
-    } else if (const auto* d = std::get_if<DropStatement>(&s.node)) {
-      SymbolSet dropped;
-      bool universal_drop = false;
-      CollectParamNames(d->target, &dropped, &universal_drop);
-      if (!universal_drop) {
-        for (Symbol nm : dropped) live.erase(nm);
-      }
-    } else {
-      // While loops: everything read inside stays live across the loop;
-      // bodies are left untouched (iteration makes in-body stores
-      // observable by earlier body statements).
-      CollectReads(s, &live, &universal_live);
-    }
-  }
-
+  std::vector<bool> keep = analysis::DeadStoreKeepMask(program, live_out);
   Program out;
   for (size_t i = 0; i < program.statements.size(); ++i) {
     if (keep[i]) out.statements.push_back(program.statements[i]);
@@ -101,7 +36,7 @@ namespace {
 
 /// All names a statement references (reads, writes, drops).
 void CollectAllNames(const Statement& s, SymbolSet* out, bool* universal) {
-  CollectReads(s, out, universal);
+  CollectStatementReads(s, out, universal);
   if (const auto* a = std::get_if<Assignment>(&s.node)) {
     CollectParamNames(a->target, out, universal);
   } else if (const auto* d = std::get_if<DropStatement>(&s.node)) {
@@ -131,7 +66,7 @@ bool FirstReferenceIsWrite(const std::vector<Statement>& list, Symbol name) {
     if (uw || writes.size() != 1 || *writes.begin() != name) return false;
     SymbolSet reads;
     bool ur = false;
-    CollectReads(s, &reads, &ur);
+    CollectStatementReads(s, &reads, &ur);
     return !ur && !reads.contains(name);
   }
   return false;

@@ -1,0 +1,317 @@
+// Tests for the static analyzer's abstract-schema domain and dataflow
+// pass: shape inference through every operation, wildcard handling, the
+// while-body fixpoint, and the shared name-flow facts.
+
+#include <gtest/gtest.h>
+
+#include <string_view>
+
+#include "analysis/analyzer.h"
+#include "analysis/diagnostics.h"
+#include "analysis/shape.h"
+#include "core/symbol.h"
+#include "io/grid_format.h"
+#include "lang/parser.h"
+
+namespace tabular::analysis {
+namespace {
+
+using core::Symbol;
+using core::SymbolSet;
+
+Symbol N(const char* text) { return Symbol::Name(text); }
+
+// The flat Sales table of Figure 1: columns {Part, Region, Sold}, one
+// data row with a ⊥ row attribute.
+constexpr std::string_view kSalesFlat =
+    "!Sales | !Part  | !Region | !Sold\n"
+    "#      | nuts   | east    | 50\n"
+    "#      | bolts  | west    | 60\n";
+
+AbstractDatabase StateFor(std::string_view grid) {
+  auto db = io::ParseDatabase(grid);
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  return AbstractDatabase::FromDatabase(*db);
+}
+
+AnalysisResult Analyze(std::string_view grid, std::string_view src,
+                       AnalyzerOptions options = {}) {
+  auto program = lang::ParseProgram(src);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return AnalyzeProgram(*program, StateFor(grid), options);
+}
+
+TableShape Shape(const AnalysisResult& r, const char* name) {
+  const TableShape* s = r.final_state.Find(N(name));
+  EXPECT_NE(s, nullptr) << "no shape for " << name;
+  return s == nullptr ? TableShape{} : *s;
+}
+
+AttrSet Cols(std::initializer_list<const char*> names) {
+  SymbolSet s;
+  for (const char* n : names) s.insert(N(n));
+  return AttrSet::Of(std::move(s));
+}
+
+AttrSet NullRows() { return AttrSet::Of(SymbolSet{Symbol::Null()}); }
+
+// -- Initial state -----------------------------------------------------------
+
+TEST(AnalysisShapeTest, FromDatabaseReadsBothRegions) {
+  AbstractDatabase state = StateFor(kSalesFlat);
+  EXPECT_FALSE(state.top);
+  ASSERT_TRUE(state.CertainlyExists(N("Sales")));
+  EXPECT_EQ(state.ShapeOf(N("Sales")).cols, Cols({"Part", "Region", "Sold"}));
+  EXPECT_EQ(state.ShapeOf(N("Sales")).rows, NullRows());
+  EXPECT_TRUE(state.DefinitelyAbsent(N("Other")));
+}
+
+// -- Per-operation transfer functions ---------------------------------------
+
+TEST(AnalysisShapeTest, GroupMovesByAttributesIntoRows) {
+  auto r = Analyze(kSalesFlat, "Sales <- group by {Region} on {Sold} (Sales);");
+  EXPECT_TRUE(r.diagnostics.empty());
+  EXPECT_EQ(Shape(r, "Sales").cols, Cols({"Part", "Sold"}));
+  AttrSet rows = NullRows();
+  rows.Insert(N("Region"));
+  EXPECT_EQ(Shape(r, "Sales").rows, rows);
+  EXPECT_TRUE(Shape(r, "Sales").certain);
+}
+
+TEST(AnalysisShapeTest, MergeMovesByAttributesBackIntoColumns) {
+  auto r = Analyze(kSalesFlat,
+                   "Sales <- group by {Region} on {Sold} (Sales);\n"
+                   "Wide <- merge on {Sold} by {Region} (Sales);");
+  EXPECT_TRUE(r.diagnostics.empty()) << RenderAll(r.diagnostics, "t");
+  EXPECT_EQ(Shape(r, "Wide").cols, Cols({"Part", "Region", "Sold"}));
+  EXPECT_EQ(Shape(r, "Wide").rows, NullRows());
+}
+
+TEST(AnalysisShapeTest, SplitResultJoinsWithSurvivingTarget) {
+  // SPLIT may stage zero tables, so the old target may survive: the
+  // reflexive form joins old and new shapes and stays certain.
+  auto r = Analyze(kSalesFlat, "Sales <- split on {Region} (Sales);");
+  EXPECT_TRUE(r.diagnostics.empty());
+  EXPECT_EQ(Shape(r, "Sales").cols, Cols({"Part", "Region", "Sold"}));
+  AttrSet rows = NullRows();
+  rows.Insert(N("Region"));
+  EXPECT_EQ(Shape(r, "Sales").rows, rows);
+  EXPECT_TRUE(Shape(r, "Sales").certain);
+
+  // A fresh target only may-exist.
+  auto r2 = Analyze(kSalesFlat, "Pieces <- split on {Region} (Sales);");
+  EXPECT_EQ(Shape(r2, "Pieces").cols, Cols({"Part", "Sold"}));
+  EXPECT_FALSE(Shape(r2, "Pieces").certain);
+}
+
+TEST(AnalysisShapeTest, CollapseConsumesByRows) {
+  auto r = Analyze(kSalesFlat,
+                   "Sales <- split on {Region} (Sales);\n"
+                   "Sales <- collapse by {Region} (Sales);");
+  EXPECT_TRUE(r.diagnostics.empty()) << RenderAll(r.diagnostics, "t");
+  EXPECT_EQ(Shape(r, "Sales").cols, Cols({"Part", "Region", "Sold"}));
+  EXPECT_EQ(Shape(r, "Sales").rows, NullRows());
+}
+
+TEST(AnalysisShapeTest, ProjectWithLiteralSetIntersects) {
+  auto r = Analyze(kSalesFlat, "P <- project {Part, Sold} (Sales);");
+  EXPECT_EQ(Shape(r, "P").cols, Cols({"Part", "Sold"}));
+}
+
+TEST(AnalysisShapeTest, ProjectWithNegativeWildcardSubtracts) {
+  // `{*1 ~ Sold}` denotes the whole column universe minus Sold.
+  auto r = Analyze(kSalesFlat, "P <- project {*1 ~ Sold} (Sales);");
+  EXPECT_TRUE(r.diagnostics.empty());
+  EXPECT_EQ(Shape(r, "P").cols, Cols({"Part", "Region"}));
+}
+
+TEST(AnalysisShapeTest, RenameReplacesTheColumnAttribute) {
+  auto r = Analyze(kSalesFlat, "Q <- rename Qty / Sold (Sales);");
+  EXPECT_EQ(Shape(r, "Q").cols, Cols({"Part", "Region", "Qty"}));
+}
+
+TEST(AnalysisShapeTest, SelectionsPreserveTheShape) {
+  auto r = Analyze(kSalesFlat,
+                   "A <- select Part = Region (Sales);\n"
+                   "B <- selectconst Region = 'east' (Sales);");
+  EXPECT_EQ(Shape(r, "A").cols, Cols({"Part", "Region", "Sold"}));
+  EXPECT_EQ(Shape(r, "B").cols, Cols({"Part", "Region", "Sold"}));
+}
+
+TEST(AnalysisShapeTest, PairParameterDegradesGracefully) {
+  // Entry pairs are unknowable statically: no diagnostics, shape kept.
+  auto r = Analyze(kSalesFlat,
+                   "T <- selectconst Part = (Region, Sold) (Sales);");
+  EXPECT_TRUE(r.diagnostics.empty());
+  EXPECT_EQ(Shape(r, "T").cols, Cols({"Part", "Region", "Sold"}));
+}
+
+TEST(AnalysisShapeTest, TransposeSwapsTheRegions) {
+  auto r = Analyze(kSalesFlat, "T <- transpose (Sales);");
+  EXPECT_EQ(Shape(r, "T").cols, NullRows());
+  EXPECT_EQ(Shape(r, "T").rows, Cols({"Part", "Region", "Sold"}));
+}
+
+TEST(AnalysisShapeTest, SwitchDegradesToTop) {
+  // SWITCH promotes a data entry into the attribute position: anything.
+  auto r = Analyze(kSalesFlat, "T <- switch 'nuts' (Sales);");
+  EXPECT_TRUE(Shape(r, "T").cols.top);
+  EXPECT_TRUE(Shape(r, "T").rows.top);
+}
+
+TEST(AnalysisShapeTest, ProductJoinsColumnsAndKeepsNullRow) {
+  constexpr std::string_view kTwo =
+      "!A | !X\n#  | 1\n\n!B | !Y\n#  | 2\n";
+  auto r = Analyze(kTwo, "T <- product (A, B);");
+  EXPECT_EQ(Shape(r, "T").cols, Cols({"X", "Y"}));
+  EXPECT_EQ(Shape(r, "T").rows, NullRows());
+}
+
+TEST(AnalysisShapeTest, UnionJoinsBothSchemes) {
+  constexpr std::string_view kTwo =
+      "!A | !X | !Z\n#  | 1 | 2\n\n!B | !Y | !Z\n#  | 3 | 4\n";
+  auto r = Analyze(kTwo, "T <- union (A, B);");
+  EXPECT_TRUE(r.diagnostics.empty());
+  EXPECT_EQ(Shape(r, "T").cols, Cols({"X", "Y", "Z"}));
+}
+
+TEST(AnalysisShapeTest, DifferenceKeepsTheFirstScheme) {
+  constexpr std::string_view kTwo =
+      "!A | !X | !Z\n#  | 1 | 2\n\n!B | !Y | !Z\n#  | 3 | 4\n";
+  auto r = Analyze(kTwo, "T <- difference (A, B);");
+  EXPECT_EQ(Shape(r, "T").cols, Cols({"X", "Z"}));
+}
+
+TEST(AnalysisShapeTest, TaggingAddsTheIdAttribute) {
+  auto r = Analyze(kSalesFlat,
+                   "T <- tuplenew Tid (Sales);\n"
+                   "S <- setnew Sid (Sales);");
+  EXPECT_EQ(Shape(r, "T").cols, Cols({"Part", "Region", "Sold", "Tid"}));
+  EXPECT_EQ(Shape(r, "S").cols, Cols({"Part", "Region", "Sold", "Sid"}));
+}
+
+TEST(AnalysisShapeTest, CleanupAndPurgePreserveTheShape) {
+  auto r = Analyze(kSalesFlat,
+                   "Sales <- cleanup by {Part} on {_} (Sales);\n"
+                   "Sales <- purge on {Sold} by {_} (Sales);");
+  EXPECT_TRUE(r.diagnostics.empty()) << RenderAll(r.diagnostics, "t");
+  EXPECT_EQ(Shape(r, "Sales").cols, Cols({"Part", "Region", "Sold"}));
+}
+
+// -- Wildcard targets --------------------------------------------------------
+
+TEST(AnalysisWildcardTest, SelfWildcardAppliesPerName) {
+  // `*1 <- transpose (*1)` rewrites every table in place, name-preserving.
+  auto r = Analyze(kSalesFlat, "*1 <- transpose (*1);");
+  EXPECT_FALSE(r.final_state.top);
+  EXPECT_EQ(Shape(r, "Sales").cols, NullRows());
+  EXPECT_EQ(Shape(r, "Sales").rows, Cols({"Part", "Region", "Sold"}));
+  EXPECT_TRUE(Shape(r, "Sales").certain);
+}
+
+TEST(AnalysisWildcardTest, MixedWildcardTargetDegradesToTop) {
+  // A wildcard target not tied to the argument may write arbitrary names.
+  auto r = Analyze(kSalesFlat, "*1 <- difference (*1, *2);");
+  EXPECT_TRUE(r.final_state.top);
+  EXPECT_TRUE(r.final_state.MayExist(N("Anything")));
+  EXPECT_FALSE(r.final_state.DefinitelyAbsent(N("Sales")));
+}
+
+// -- While loops -------------------------------------------------------------
+
+TEST(AnalysisWhileTest, FixpointJoinsAllIterationCounts) {
+  auto r = Analyze(kSalesFlat,
+                   "while Sales do {\n"
+                   "  Sales <- group by {Region} on {Sold} (Sales);\n"
+                   "}");
+  EXPECT_TRUE(r.diagnostics.empty()) << RenderAll(r.diagnostics, "t");
+  // Zero iterations keep {Part, Region, Sold}; one or more drop Region
+  // from the columns and add it to the rows. The join covers both.
+  EXPECT_EQ(Shape(r, "Sales").cols, Cols({"Part", "Region", "Sold"}));
+  AttrSet rows = NullRows();
+  rows.Insert(N("Region"));
+  EXPECT_EQ(Shape(r, "Sales").rows, rows);
+  EXPECT_TRUE(Shape(r, "Sales").certain);
+}
+
+TEST(AnalysisWhileTest, BodyWritesOnlyMayHappen) {
+  auto r = Analyze(kSalesFlat,
+                   "while Sales do {\n"
+                   "  Sales <- difference (Sales, Sales);\n"
+                   "  Out <- transpose (Sales);\n"
+                   "}");
+  EXPECT_TRUE(r.diagnostics.empty()) << RenderAll(r.diagnostics, "t");
+  EXPECT_TRUE(r.final_state.MayExist(N("Out")));
+  EXPECT_FALSE(Shape(r, "Out").certain);  // the loop may not iterate
+}
+
+TEST(AnalysisWhileTest, ZeroIterationCapWidensToTop) {
+  AnalyzerOptions options;
+  options.max_fixpoint_iterations = 0;
+  auto r = Analyze(kSalesFlat,
+                   "while Sales do {\n"
+                   "  Sales <- difference (Sales, Sales);\n"
+                   "}",
+                   options);
+  EXPECT_TRUE(Shape(r, "Sales").cols.top);
+}
+
+// -- Name-flow facts ---------------------------------------------------------
+
+TEST(AnalysisFactsTest, AllTableNamesWalksEveryPosition) {
+  auto program = lang::ParseProgram(
+      "T <- union (A, B);\n"
+      "while C do { drop D; }\n");
+  ASSERT_TRUE(program.ok());
+  SymbolSet names = AllTableNames(*program);
+  EXPECT_EQ(names, (SymbolSet{N("A"), N("B"), N("C"), N("D"), N("T")}));
+}
+
+TEST(AnalysisFactsTest, DeadStoreKeepMaskFlagsOverwrites) {
+  auto program = lang::ParseProgram(
+      "X <- transpose (Sales);\n"     // dead: overwritten at 3
+      "Y <- transpose (Sales);\n"     // live: read at 3
+      "X <- project {Part} (Y);\n"    // live: in live_out
+      "Z <- transpose (Sales);\n");   // live: in live_out
+  ASSERT_TRUE(program.ok());
+  std::vector<bool> keep =
+      DeadStoreKeepMask(*program, AllTableNames(*program));
+  ASSERT_EQ(keep.size(), 4u);
+  EXPECT_FALSE(keep[0]);
+  EXPECT_TRUE(keep[1]);
+  EXPECT_TRUE(keep[2]);
+  EXPECT_TRUE(keep[3]);
+}
+
+TEST(AnalysisFactsTest, CollectParamNamesMarksWildcardsUniversal) {
+  auto program = lang::ParseProgram("*1 <- transpose (T);");
+  ASSERT_TRUE(program.ok());
+  const auto& a =
+      std::get<lang::Assignment>(program->statements[0].node);
+  SymbolSet names;
+  bool universal = false;
+  CollectParamNames(a.target, &names, &universal);
+  EXPECT_TRUE(universal);
+  CollectParamNames(a.args[0], &names, &universal);
+  EXPECT_TRUE(names.contains(N("T")));
+}
+
+// -- Diagnostic ordering -----------------------------------------------------
+
+TEST(AnalysisDiagnosticsTest, PathLessOrdersNumericallyAndByDepth) {
+  EXPECT_TRUE(PathLess("2", "10"));
+  EXPECT_TRUE(PathLess("2.1", "2.2"));
+  EXPECT_TRUE(PathLess("2", "2.1"));
+  EXPECT_TRUE(PathLess("2.9", "10"));
+  EXPECT_FALSE(PathLess("3", "2.1"));
+  EXPECT_FALSE(PathLess("2", "2"));
+}
+
+TEST(AnalysisDiagnosticsTest, RenderIsClangStyle) {
+  Diagnostic d{Severity::kError, "2.1", "something is off", "a note"};
+  EXPECT_EQ(Render(d, "prog.ta"),
+            "prog.ta:2.1: error: something is off\n  note: a note");
+}
+
+}  // namespace
+}  // namespace tabular::analysis

@@ -123,11 +123,14 @@ TEST(StatusTest, InterpreterErrorNamesNestedStatement) {
 TEST(StatusTest, WhileLimitErrorNamesTheLoop) {
   lang::InterpreterOptions options;
   options.max_while_iterations = 3;
-  // The body never empties T, so the loop hits its iteration cap.
+  // The body never empties T, so the loop hits its iteration cap. The body
+  // committed results before the error, and the message says so.
   Status st = RunOn("while T do { S <- transpose (T); }", options);
   ASSERT_FALSE(st.ok());
   EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
-  EXPECT_EQ(st.message(), "statement 1: while loop exceeded 3 iterations");
+  EXPECT_EQ(st.message(),
+            "statement 1: while loop exceeded 3 iterations "
+            "(partial results committed through statement 1.1)");
 }
 
 TEST(StatusTest, SuccessfulRunReportsOk) {

@@ -1,0 +1,193 @@
+// tabular_lint: static semantic analysis for tabular-algebra programs.
+//
+// Reads .ta program files, runs the src/analysis dataflow pass, and prints
+// clang-style diagnostics. The initial schema is open (anything may exist)
+// unless pinned with --empty-db, --db, or --csv.
+//
+// Exit codes (CI-friendly):
+//   0  no diagnostics at the failing severity
+//   1  errors found (or warnings, under --werror)
+//   2  usage, file-read, or parse failure
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "analysis/diagnostics.h"
+#include "analysis/shape.h"
+#include "core/database.h"
+#include "core/status.h"
+#include "io/csv.h"
+#include "io/grid_format.h"
+#include "lang/ast.h"
+#include "lang/parser.h"
+#include "relational/canonical.h"
+
+namespace {
+
+constexpr const char* kUsage =
+    R"(usage: tabular_lint [options] <program.ta>...
+
+Statically analyzes tabular-algebra programs: shape inference over every
+statement plus diagnostics for arity errors, operator contract violations,
+use-before-definition, dead stores, and unreachable or non-terminating
+while loops.
+
+options:
+  --db <file>        initial schema from a grid-format database file
+  --csv <name=file>  add relation <name> from a CSV file (repeatable)
+  --empty-db         start from an empty database (default: open schema,
+                     every table may exist)
+  --werror           exit 1 on warnings too
+  --no-dead-stores   suppress dead-store warnings
+  -h, --help         show this help
+)";
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using tabular::analysis::AbstractDatabase;
+  using tabular::analysis::AnalysisResult;
+  using tabular::analysis::Diagnostic;
+  using tabular::analysis::Severity;
+
+  std::vector<std::string> files;
+  tabular::core::TabularDatabase schema_db;
+  bool have_schema = false;
+  bool empty_db = false;
+  bool werror = false;
+  tabular::analysis::AnalyzerOptions options;
+
+  auto need_value = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::cerr << "tabular_lint: error: " << flag
+                << " requires a value\n";
+      return nullptr;
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") {
+      std::cout << kUsage;
+      return 0;
+    } else if (arg == "--werror") {
+      werror = true;
+    } else if (arg == "--empty-db") {
+      empty_db = true;
+    } else if (arg == "--no-dead-stores") {
+      options.check_dead_stores = false;
+    } else if (arg == "--db") {
+      const char* value = need_value(i, "--db");
+      if (value == nullptr) return 2;
+      auto db = tabular::io::LoadDatabaseFile(value);
+      if (!db.ok()) {
+        std::cerr << "tabular_lint: error: cannot load database '" << value
+                  << "': " << db.status().message() << "\n";
+        return 2;
+      }
+      for (const tabular::core::Table& t : db->tables()) {
+        schema_db.Add(t);
+      }
+      have_schema = true;
+    } else if (arg == "--csv") {
+      const char* value = need_value(i, "--csv");
+      if (value == nullptr) return 2;
+      const std::string spec = value;
+      const size_t eq = spec.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        std::cerr << "tabular_lint: error: --csv expects <name=file>, got '"
+                  << spec << "'\n";
+        return 2;
+      }
+      const std::string name = spec.substr(0, eq);
+      const std::string path = spec.substr(eq + 1);
+      std::string csv;
+      if (!ReadFile(path, &csv)) {
+        std::cerr << "tabular_lint: error: cannot read '" << path << "'\n";
+        return 2;
+      }
+      auto relation = tabular::io::ReadCsvRelation(name, csv);
+      if (!relation.ok()) {
+        std::cerr << "tabular_lint: error: cannot parse CSV '" << path
+                  << "': " << relation.status().message() << "\n";
+        return 2;
+      }
+      schema_db.Add(tabular::rel::RelationToTable(*relation));
+      have_schema = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "tabular_lint: error: unknown option '" << arg << "'\n"
+                << kUsage;
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+
+  if (files.empty()) {
+    std::cerr << "tabular_lint: error: no program files given\n" << kUsage;
+    return 2;
+  }
+
+  // The initial abstract state: an explicit schema is exact; --empty-db
+  // means nothing exists until the program creates it; the default is the
+  // open schema (no use-before-definition or shape diagnostics possible
+  // for tables the program did not itself define).
+  AbstractDatabase initial;
+  if (have_schema) {
+    initial = AbstractDatabase::FromDatabase(schema_db);
+    if (empty_db) {
+      std::cerr << "tabular_lint: error: --empty-db conflicts with "
+                   "--db/--csv\n";
+      return 2;
+    }
+  } else if (empty_db) {
+    initial = AbstractDatabase::Empty();
+  } else {
+    initial = AbstractDatabase::Unknown();
+  }
+
+  size_t errors = 0, warnings = 0;
+  bool io_failure = false;
+  for (const std::string& file : files) {
+    std::string source;
+    if (!ReadFile(file, &source)) {
+      std::cerr << "tabular_lint: error: cannot read '" << file << "'\n";
+      io_failure = true;
+      continue;
+    }
+    auto program = tabular::lang::ParseProgram(source);
+    if (!program.ok()) {
+      std::cout << file << ": error: " << program.status().message() << "\n";
+      io_failure = true;
+      continue;
+    }
+    AnalysisResult result =
+        tabular::analysis::AnalyzeProgram(*program, initial, options);
+    std::cout << tabular::analysis::RenderAll(result.diagnostics, file);
+    errors += tabular::analysis::CountSeverity(result.diagnostics,
+                                               Severity::kError);
+    warnings += tabular::analysis::CountSeverity(result.diagnostics,
+                                                 Severity::kWarning);
+  }
+
+  if (errors + warnings > 0) {
+    std::cout << errors << " error(s), " << warnings << " warning(s)\n";
+  }
+  if (io_failure) return 2;
+  if (errors > 0 || (werror && warnings > 0)) return 1;
+  return 0;
+}
