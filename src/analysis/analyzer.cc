@@ -190,8 +190,9 @@ std::string SetToString(const SymbolSet& s) {
 
 class Analyzer {
  public:
-  Analyzer(const AnalyzerOptions& options, std::vector<Diagnostic>* sink)
-      : options_(options), sink_(sink) {}
+  Analyzer(const AnalyzerOptions& options, std::vector<Diagnostic>* sink,
+           std::vector<AbstractDatabase>* top_level_states = nullptr)
+      : options_(options), sink_(sink), states_(top_level_states) {}
 
   void AnalyzeStatements(const std::vector<Statement>& statements,
                          const std::string& path_prefix,
@@ -206,6 +207,9 @@ class Analyzer {
       } else {
         AnalyzeWhile(std::get<WhileLoop>(s.node), path, state,
                      certain_context);
+      }
+      if (states_ != nullptr && path_prefix.empty()) {
+        states_->push_back(*state);
       }
     }
   }
@@ -231,8 +235,12 @@ class Analyzer {
     CollectParamNames(d.target, &names, &universal);
     if (universal) {
       // A wildcard drop may remove anything: existence is no longer
-      // certain for any name (shapes stay valid may-supersets).
-      for (auto& [nm, shape] : state->tables) shape.certain = false;
+      // certain for any name, and any pool may have shrunk to nothing
+      // (shapes stay valid may-supersets).
+      for (auto& [nm, shape] : state->tables) {
+        shape.certain = false;
+        shape.count.lo = 0;
+      }
       return;
     }
     for (Symbol nm : names) state->tables.erase(nm);
@@ -252,6 +260,12 @@ class Analyzer {
              "while body is unreachable: guard " + GuardNames(guard) +
                  " matches no table defined at this point");
         return;  // the loop is skipped; the body never runs
+      }
+      if (GuardDefinitelyFalse(*state, guard, guard_universal)) {
+        Emit(Severity::kWarning, path,
+             "while body is unreachable: every table matching guard " +
+                 GuardNames(guard) + " provably has no data rows");
+        return;  // the guard is false on entry; the body never runs
       }
     }
 
@@ -274,7 +288,9 @@ class Analyzer {
 
     // Fixpoint over the join of all iteration counts (0, 1, 2, ...);
     // diagnostics are suppressed while iterating, then one labeled pass
-    // runs over the stabilized state.
+    // runs over the stabilized state. Joins *widen* the cardinality
+    // intervals, so row counts that grow (or shrink) every iteration jump
+    // to an interval end instead of creeping toward the iteration cap.
     AbstractDatabase loop_state = *state;
     const bool saved_emit = emit_;
     emit_ = false;
@@ -286,7 +302,7 @@ class Analyzer {
       AbstractDatabase body_out = loop_state;
       AnalyzeStatements(loop.body, path + ".", &body_out, false);
       AbstractDatabase joined = loop_state;
-      joined.Join(body_out);
+      joined.Join(body_out, /*widen=*/true);
       if (joined == loop_state) break;
       loop_state = std::move(joined);
     }
@@ -297,6 +313,18 @@ class Analyzer {
                         /*certain_context=*/false);
     }
     (void)certain_context;
+    // Exit refinement: the loop only exits when no guard table has data
+    // rows, so every surviving carrier of a literal guard name is provably
+    // empty (and can carry no row attributes).
+    if (!guard_universal) {
+      for (Symbol g : guard) {
+        auto it = loop_state.tables.find(g);
+        if (it == loop_state.tables.end()) continue;
+        it->second.rows = AttrSet::Of({});
+        it->second.must_rows = MustSet::Top();
+        it->second.row_card = CardInterval::Exact(0);
+      }
+    }
     *state = std::move(loop_state);
   }
 
@@ -375,10 +403,26 @@ class Analyzer {
         self &= star != nullptr && star->wildcard_id == target_star->wildcard_id;
       }
       if (self) {
+        const bool binary = ExpectedArgCount(stmt.op) == 2;
         for (auto& [nm, shape] : state->tables) {
-          TableShape out = ApplyOp(stmt.op, params, shape, &shape);
-          shape.cols = out.cols;
-          shape.rows = out.rows;
+          // A binary self-application pairs carriers of the *same* name.
+          TableShape out = ApplyOp(stmt.op, params, shape, &shape,
+                                   /*same_single_arg=*/binary);
+          out.certain = shape.certain;
+          if (binary) {
+            out.count = shape.count.Times(shape.count);
+          } else if (stmt.op == OpKind::kCollapse) {
+            out.count = CardInterval::Range(shape.count.lo >= 1 ? 1 : 0, 1);
+          } else if (stmt.op != OpKind::kSplit) {
+            out.count = shape.count;
+          }
+          if (stmt.op == OpKind::kSplit) {
+            // Staging zero tables leaves the old pool in place.
+            out.count = SplitCount(shape);
+            shape.Join(out);
+          } else {
+            shape = out;
+          }
         }
         return;
       }
@@ -417,7 +461,23 @@ class Analyzer {
 
     CheckOperation(stmt, path, params, arg_names, in1, in2, args_certain);
 
-    TableShape out = ApplyOp(stmt.op, params, in1, &in2);
+    const bool binary = stmt.args.size() == 2;
+    const bool same_single_arg =
+        binary && args_all_literal && *arg_names[0] == *arg_names[1];
+    TableShape out = ApplyOp(stmt.op, params, in1, &in2, same_single_arg);
+
+    // How many tables an *executed* statement stages under the target name:
+    // one per instantiation (the cross product of the argument pools),
+    // except COLLAPSE (one per name) and SPLIT (one per value combination).
+    if (stmt.op == OpKind::kCollapse) {
+      out.count = CardInterval::Range(in1.count.lo >= 1 ? 1 : 0, 1);
+    } else if (stmt.op == OpKind::kSplit) {
+      out.count = SplitCount(in1);
+    } else if (binary) {
+      out.count = in1.count.Times(in2.count);
+    } else {
+      out.count = in1.count;
+    }
 
     // Write the target.
     std::optional<Symbol> target = EvalAbstract(stmt.target, {}).Singleton();
@@ -433,19 +493,28 @@ class Analyzer {
     const bool always_writes = args_certain && stmt.op != OpKind::kSplit &&
                                args_all_literal;
     if (always_writes) {
-      state->tables[*target] = TableShape{out.cols, out.rows, true};
+      out.certain = true;
+      state->tables[*target] = std::move(out);
       return;
     }
+    // The statement may stage nothing (an argument pool may be empty, or
+    // SPLIT may find no data rows), in which case the old pool survives:
+    // join the executed outcome into whatever was there.
+    out.certain = true;  // join keeps the existing certainty bit
     auto it = state->tables.find(*target);
     if (it != state->tables.end()) {
-      it->second.cols.Join(out.cols);
-      it->second.rows.Join(out.rows);
+      it->second.Join(out);
     } else {
-      TableShape entry{out.cols, out.rows, /*certain=*/false};
+      TableShape entry;
       if (state->top) {
-        entry.cols = AttrSet::Top();
-        entry.rows = AttrSet::Top();
+        // Under ⊤ the name may already exist with an arbitrary shape.
+        entry = TableShape::Top(false);
+        entry.Join(out);
+      } else {
+        entry = std::move(out);
+        entry.count.Join(CardInterval::Exact(0));  // may not have executed
       }
+      entry.certain = false;
       state->tables.emplace(*target, std::move(entry));
     }
   }
@@ -721,10 +790,42 @@ class Analyzer {
 
   // -- Shape transfer --------------------------------------------------------
 
+  static uint64_t SatAdd(uint64_t a, uint64_t b) {
+    if (a == CardInterval::kInf || b == CardInterval::kInf) {
+      return CardInterval::kInf;
+    }
+    return a > CardInterval::kInf - b ? CardInterval::kInf : a + b;
+  }
+
+  static uint64_t SatMul(uint64_t a, uint64_t b) {
+    if (a == 0 || b == 0) return 0;
+    if (a == CardInterval::kInf || b == CardInterval::kInf) {
+      return CardInterval::kInf;
+    }
+    return a > CardInterval::kInf / b ? CardInterval::kInf : a * b;
+  }
+
+  /// SETNEW's data-row count: m ↦ m·2^(m-1), saturating.
+  static uint64_t SetNewRows(uint64_t m) {
+    if (m == 0) return 0;
+    if (m == CardInterval::kInf || m - 1 >= 63) return CardInterval::kInf;
+    return SatMul(m, uint64_t{1} << (m - 1));
+  }
+
+  /// How many tables one executed SPLIT stages: one per distinct value
+  /// combination among the data rows of each carrier, so at most
+  /// carriers × data rows (and possibly none at all).
+  static CardInterval SplitCount(const TableShape& in) {
+    return CardInterval::AtMost(SatMul(in.count.hi, in.row_card.hi));
+  }
+
   /// The output shape of one instantiation. `in2` is used by the binary
-  /// operations only.
+  /// operations only; `same_single_arg` flags a binary operation whose two
+  /// arguments literally name the same table pool. The caller owns
+  /// `certain` and the carrier `count`.
   static TableShape ApplyOp(OpKind op, const std::vector<AbsParam>& params,
-                            const TableShape& in1, const TableShape* in2) {
+                            const TableShape& in1, const TableShape* in2,
+                            bool same_single_arg) {
     TableShape out = in1;
     out.certain = false;
     switch (op) {
@@ -732,89 +833,247 @@ class Analyzer {
       case OpKind::kProduct:
         out.cols.Join(in2->cols);
         out.rows.Join(in2->rows);
+        out.col_card = in1.col_card.Plus(in2->col_card);
         if (op == OpKind::kProduct) {
-          // The combined row attribute may fall back to ⊥ (paper-gap).
+          // The combined row attribute may fall back to ⊥ (paper-gap),
+          // and no particular pairing survives an empty side.
           out.rows.Insert(Symbol::Null());
+          out.must_rows = MustSet::Top();
+          out.row_card = in1.row_card.Times(in2->row_card);
+        } else {
+          // Both attribute rows and both data-row blocks concatenate.
+          out.must_rows.elems.insert(in2->must_rows.elems.begin(),
+                                     in2->must_rows.elems.end());
+          out.row_card = in1.row_card.Plus(in2->row_card);
         }
+        out.must_cols.elems.insert(in2->must_cols.elems.begin(),
+                                   in2->must_cols.elems.end());
         break;
       case OpKind::kDifference:
+        // ρ's shape, rows a subset.
+        if (same_single_arg && in1.count == CardInterval::Exact(1)) {
+          // difference(X, X) over a single carrier: every row subsumes
+          // itself, so the result provably has no data rows.
+          out.rows = AttrSet::Of({});
+          out.must_rows = MustSet::Top();
+          out.row_card = CardInterval::Exact(0);
+        } else {
+          out.must_rows = MustSet::Top();
+          out.row_card = CardInterval::AtMost(in1.row_card.hi);
+        }
+        break;
       case OpKind::kIntersection:
-        break;  // ρ's shape, rows a subset
+        if (same_single_arg && in1.count == CardInterval::Exact(1)) {
+          break;  // intersection(X, X) over a single carrier: identity
+        }
+        out.must_rows = MustSet::Top();
+        out.row_card = CardInterval::AtMost(in1.row_card.hi);
+        break;
       case OpKind::kRename: {
         std::optional<Symbol> to = params[0].Singleton();
         std::optional<Symbol> from = params[1].Singleton();
         if (to.has_value() && from.has_value()) {
           out.cols.Erase(*from);
           out.cols.Insert(*to);
+          const bool had = out.must_cols.CertainlyContains(*from);
+          out.must_cols.Erase(*from);
+          if (had) out.must_cols.Insert(*to);
         } else {
           out.cols = AttrSet::Top();
+          out.must_cols = MustSet::Top();
         }
-        break;
+        break;  // relabeling only: both dimensions are exact
       }
       case OpKind::kProject:
         out.cols = ApplySetRestriction(in1.cols, params[0]);
-        break;
+        switch (params[0].kind) {
+          case AbsParam::Kind::kKnown: {
+            std::erase_if(out.must_cols.elems, [&](Symbol a) {
+              return !params[0].elems.contains(a);
+            });
+            bool any_may_match = in1.cols.top;
+            for (Symbol a : params[0].elems) {
+              any_may_match |= in1.cols.MayContain(a);
+            }
+            out.col_card = any_may_match
+                               ? CardInterval::AtMost(in1.col_card.hi)
+                               : CardInterval::Exact(0);
+            break;
+          }
+          case AbsParam::Kind::kUniverseMinus:
+            for (Symbol a : params[0].elems) out.must_cols.Erase(a);
+            out.col_card = CardInterval::AtMost(in1.col_card.hi);
+            break;
+          case AbsParam::Kind::kUnknown:
+            out.must_cols = MustSet::Top();
+            out.col_card = CardInterval::AtMost(in1.col_card.hi);
+            break;
+        }
+        break;  // data rows pass through untouched
       case OpKind::kSelect:
+        // SELECT_{A=A} keeps every row (weak equality is reflexive);
+        // otherwise a row subset with the column layout preserved.
+        if (params[0].Singleton().has_value() &&
+            params[0].Singleton() == params[1].Singleton()) {
+          break;
+        }
+        out.must_rows = MustSet::Top();
+        out.row_card = CardInterval::AtMost(in1.row_card.hi);
+        break;
       case OpKind::kSelectConst:
-        break;  // row subset, shape preserved
+        out.must_rows = MustSet::Top();
+        out.row_card = CardInterval::AtMost(in1.row_card.hi);
+        break;
       case OpKind::kGroup:
-        // by-attrs leave the columns and become row attributes.
+        // by-attrs leave the columns and become row attributes; the
+        // ℬ-column block is replicated once per input data row.
         if (params[0].known()) {
           for (Symbol a : params[0].elems) out.cols.Erase(a);
           for (Symbol a : params[0].elems) out.rows.Insert(a);
+          // One leading row per by-attr plus one sparse row per input row.
+          out.must_rows = MustSet::Of(params[0].elems);
+          out.row_card = in1.row_card.PlusConst(params[0].elems.size());
         } else {
           out.rows = AttrSet::Top();
+          out.must_rows = MustSet::Top();
+          out.row_card = in1.row_card.Plus(CardInterval{1, CardInterval::kInf});
         }
+        if (params[0].known() && params[1].known()) {
+          std::erase_if(out.must_cols.elems, [&](Symbol a) {
+            return params[0].elems.contains(a) || params[1].elems.contains(a);
+          });
+          if (in1.row_card.lo >= 1) {
+            // At least one block exists, carrying every present ℬ-attr.
+            for (Symbol b : params[1].elems) {
+              if (in1.must_cols.CertainlyContains(b)) out.must_cols.Insert(b);
+            }
+          }
+        } else {
+          out.must_cols = MustSet::Top();
+        }
+        out.col_card = CardInterval::AtMost(
+            SatAdd(in1.col_card.hi, SatMul(in1.row_card.hi, in1.col_card.hi)));
         break;
       case OpKind::kMerge:
-        // by-attrs' rows are consumed and become columns.
+        // by-attrs' rows are consumed and become columns; every column
+        // attribute survives (kept outright or re-emitted in the block).
         if (params[1].known()) {
           for (Symbol a : params[1].elems) out.rows.Erase(a);
           for (Symbol a : params[1].elems) out.cols.Insert(a);
         } else {
           out.cols = AttrSet::Top();
         }
+        if (params[0].known() && params[1].known()) {
+          // Rows survive only if at least one block forms, i.e. some
+          // 'on' attribute certainly labels a column.
+          bool block_certain = false;
+          for (Symbol b : params[0].elems) {
+            block_certain |= in1.must_cols.CertainlyContains(b);
+          }
+          if (block_certain) {
+            for (Symbol a : params[1].elems) out.must_rows.Erase(a);
+          } else {
+            out.must_rows = MustSet::Top();
+          }
+          out.col_card = CardInterval::AtMost(
+              SatAdd(SatAdd(in1.col_card.hi, in1.col_card.hi),
+                     params[1].elems.size()));
+        } else {
+          out.must_rows = MustSet::Top();
+          out.col_card = CardInterval::Top();
+        }
+        out.row_card = in1.row_card.hi == 0 ? CardInterval::Exact(0)
+                                            : CardInterval::Top();
         break;
       case OpKind::kSplit:
-        // on-attrs' columns are dropped; one leading row per attribute.
+        // on-attrs' columns are dropped; one leading row per attribute,
+        // then at least one matching data row per produced table.
         if (params[0].known()) {
           for (Symbol a : params[0].elems) out.cols.Erase(a);
           for (Symbol a : params[0].elems) out.rows.Insert(a);
+          std::erase_if(out.must_cols.elems, [&](Symbol a) {
+            return params[0].elems.contains(a);
+          });
+          out.must_rows = MustSet::Of(params[0].elems);
+          out.row_card = CardInterval::Range(
+              SatAdd(params[0].elems.size(), 1),
+              SatAdd(params[0].elems.size(), in1.row_card.hi));
         } else {
           out.rows = AttrSet::Top();
+          out.must_cols = MustSet::Top();
+          out.must_rows = MustSet::Top();
+          out.row_card = CardInterval::AtMost(
+              SatAdd(in1.row_card.hi, in1.col_card.hi));
         }
+        out.col_card = CardInterval::AtMost(in1.col_card.hi);
         break;
       case OpKind::kCollapse:
-        // Inverse of split: the by-rows are consumed, re-adding columns.
+        // Inverse of split: the by-rows are consumed, re-adding columns;
+        // implemented as a merge-on-everything per carrier plus a union.
         if (params[0].known()) {
           for (Symbol a : params[0].elems) out.rows.Erase(a);
           for (Symbol a : params[0].elems) out.cols.Insert(a);
         } else {
           out.cols = AttrSet::Top();
         }
+        out.must_rows = MustSet::Top();
+        out.row_card = in1.row_card.hi == 0 ? CardInterval::Exact(0)
+                                            : CardInterval::Top();
+        out.col_card = CardInterval::Top();
         break;
       case OpKind::kTranspose:
         std::swap(out.cols, out.rows);
+        std::swap(out.must_cols, out.must_rows);
+        std::swap(out.row_card, out.col_card);
         break;
       case OpKind::kSwitch:
-        // Row 0 and column 0 swap with the promoted entry's position:
-        // any entry may become an attribute.
+        // Row 0 and column 0 swap with the promoted entry's position: any
+        // entry may become an attribute, but both dimensions are exact.
         out.cols = AttrSet::Top();
         out.rows = AttrSet::Top();
+        out.must_cols = MustSet::Top();
+        out.must_rows = MustSet::Top();
         break;
       case OpKind::kCleanUp:
+        // Row-redundancy removal: groups merge into a subsumer that keeps
+        // the group's row attribute, so attribute regions and the column
+        // layout survive; only the data-row count can shrink.
+        out.row_card = CardInterval::AtMost(in1.row_card.hi);
+        break;
       case OpKind::kPurge:
-        break;  // redundancy removal preserves the attribute regions
+        out.col_card = CardInterval::AtMost(in1.col_card.hi);
+        break;
       case OpKind::kTupleNew:
       case OpKind::kSetNew: {
         std::optional<Symbol> a = params[0].Singleton();
         if (a.has_value()) {
           out.cols.Insert(*a);
+          out.must_cols.Insert(*a);
         } else {
           out.cols = AttrSet::Top();
+          out.must_cols = MustSet::Top();
+        }
+        out.col_card = in1.col_card.PlusConst(1);
+        if (op == OpKind::kSetNew) {
+          // Every input row reappears (tagged) in its singleton subset,
+          // but the data-row count explodes to m·2^(m-1).
+          out.row_card = CardInterval{SetNewRows(in1.row_card.lo),
+                                      SetNewRows(in1.row_card.hi)};
         }
         break;
       }
+    }
+    // Every attribute certainly present labels at least one column/names
+    // at least one row, so the must-sets bound the dimensions from below.
+    const uint64_t col_floor = out.must_cols.elems.size();
+    if (out.col_card.lo < col_floor) {
+      out.col_card.lo = col_floor < out.col_card.hi ? col_floor
+                                                    : out.col_card.hi;
+    }
+    const uint64_t row_floor = out.must_rows.elems.size();
+    if (out.row_card.lo < row_floor) {
+      out.row_card.lo = row_floor < out.row_card.hi ? row_floor
+                                                    : out.row_card.hi;
     }
     return out;
   }
@@ -843,6 +1102,7 @@ class Analyzer {
 
   const AnalyzerOptions options_;
   std::vector<Diagnostic>* sink_;
+  std::vector<AbstractDatabase>* states_ = nullptr;
   bool emit_ = true;
 };
 
@@ -897,7 +1157,9 @@ AnalysisResult AnalyzeProgram(const Program& program, AbstractDatabase initial,
                               const AnalyzerOptions& options) {
   AnalysisResult result;
   result.final_state = std::move(initial);
-  Analyzer analyzer(options, &result.diagnostics);
+  Analyzer analyzer(options, &result.diagnostics,
+                    options.record_top_level_states ? &result.top_level_states
+                                                    : nullptr);
   analyzer.AnalyzeStatements(program.statements, "", &result.final_state,
                              /*certain_context=*/true);
   if (options.check_dead_stores) {
@@ -911,6 +1173,35 @@ AnalysisResult AnalyzeProgram(const Program& program, AbstractDatabase initial,
                      return PathLess(a.path, b.path);
                    });
   return result;
+}
+
+// -- Guard facts -------------------------------------------------------------
+
+bool GuardDefinitelyFalse(const AbstractDatabase& state,
+                          const SymbolSet& guard, bool guard_universal) {
+  if (guard_universal || guard.empty()) return false;
+  for (Symbol g : guard) {
+    if (state.DefinitelyAbsent(g)) continue;
+    TableShape shape = state.ShapeOf(g);
+    if (shape.count.DefinitelyZero() || shape.row_card.DefinitelyZero()) {
+      continue;
+    }
+    return false;  // this name may have a data row
+  }
+  return true;
+}
+
+bool GuardCertainlyTrue(const AbstractDatabase& state,
+                        const SymbolSet& guard) {
+  for (Symbol g : guard) {
+    if (!state.CertainlyExists(g)) continue;
+    TableShape shape = state.ShapeOf(g);
+    if (shape.count.DefinitelyPositive() &&
+        shape.row_card.DefinitelyPositive()) {
+      return true;
+    }
+  }
+  return false;
 }
 
 // -- Name-flow facts ---------------------------------------------------------

@@ -45,12 +45,19 @@ struct AnalyzerOptions {
   bool check_dead_stores = true;
   /// Iteration cap for the while-body fixpoint before widening to ⊤.
   size_t max_fixpoint_iterations = 64;
+  /// Record the abstract state after every *top-level* statement in
+  /// `AnalysisResult::top_level_states` (the translation validator's sync
+  /// points).
+  bool record_top_level_states = false;
 };
 
 struct AnalysisResult {
   std::vector<Diagnostic> diagnostics;
   /// The abstract database after the whole program.
   AbstractDatabase final_state;
+  /// With `record_top_level_states`: state after top-level statement i
+  /// (so `top_level_states[k-1]` is the state "after k statements").
+  std::vector<AbstractDatabase> top_level_states;
 };
 
 /// Analyzes `program` starting from `initial` (use
@@ -59,6 +66,23 @@ struct AnalysisResult {
 AnalysisResult AnalyzeProgram(const lang::Program& program,
                               AbstractDatabase initial,
                               const AnalyzerOptions& options = {});
+
+// -- Guard facts (shared with lang::Optimizer) ------------------------------
+
+/// The interpreter enters a while body when some table named in the guard
+/// has at least one data row. These two predicates are the optimizer's
+/// cardinality-domain justification for loop elimination / unrolling; both
+/// return false for a universal (wildcard) guard.
+///
+/// Definitely false: every guard name is provably absent, or provably has
+/// zero carriers or zero data rows.
+bool GuardDefinitelyFalse(const AbstractDatabase& state,
+                          const core::SymbolSet& guard, bool guard_universal);
+
+/// Certainly true: some guard name certainly exists with at least one
+/// carrier and at least one data row on every run.
+bool GuardCertainlyTrue(const AbstractDatabase& state,
+                        const core::SymbolSet& guard);
 
 // -- Name-flow facts (shared with lang::Optimizer) --------------------------
 

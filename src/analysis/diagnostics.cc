@@ -35,6 +35,53 @@ std::string RenderAll(const std::vector<Diagnostic>& ds,
   return out;
 }
 
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (c < 0x20) {
+          static const char kHex[] = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[c >> 4];
+          out += kHex[c & 0xf];
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string RenderJson(const Diagnostic& d, std::string_view file) {
+  std::string out = "{\"file\":\"" + JsonEscape(file) + "\"";
+  out += ",\"severity\":\"";
+  out += SeverityToString(d.severity);
+  out += "\",\"path\":\"" + JsonEscape(d.path) + "\"";
+  out += ",\"message\":\"" + JsonEscape(d.message) + "\"";
+  if (!d.note.empty()) {
+    out += ",\"note\":\"" + JsonEscape(d.note) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
 size_t CountSeverity(const std::vector<Diagnostic>& ds, Severity s) {
   size_t n = 0;
   for (const Diagnostic& d : ds) {

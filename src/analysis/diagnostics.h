@@ -41,6 +41,16 @@ std::string Render(const Diagnostic& d, std::string_view file);
 std::string RenderAll(const std::vector<Diagnostic>& ds,
                       std::string_view file);
 
+/// JSON string escaping (quotes, backslashes, control characters; other
+/// UTF-8 passes through verbatim). Exposed for the tools' JSON emitters.
+std::string JsonEscape(std::string_view s);
+
+/// One diagnostic as a single-line JSON object:
+/// `{"file":…,"severity":…,"path":…,"message":…}` plus `"note"` when
+/// present. Machine-readable counterpart of `Render` (tabular_lint
+/// --json).
+std::string RenderJson(const Diagnostic& d, std::string_view file);
+
 size_t CountSeverity(const std::vector<Diagnostic>& ds, Severity s);
 bool HasErrors(const std::vector<Diagnostic>& ds);
 

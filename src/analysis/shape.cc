@@ -19,6 +19,15 @@ void AttrSet::Join(const AttrSet& o) {
   elems.insert(o.elems.begin(), o.elems.end());
 }
 
+bool AttrSet::SubsetOf(const AttrSet& o) const {
+  if (o.top) return true;
+  if (top) return false;
+  for (Symbol s : elems) {
+    if (!o.elems.contains(s)) return false;
+  }
+  return true;
+}
+
 std::string AttrSet::ToString() const {
   if (top) return "⊤";
   std::string out = "{";
@@ -32,14 +41,119 @@ std::string AttrSet::ToString() const {
   return out;
 }
 
-void TableShape::Join(const TableShape& o) {
+void MustSet::Join(const MustSet& o) {
+  std::erase_if(elems, [&](Symbol s) { return !o.elems.contains(s); });
+}
+
+bool MustSet::Covers(const MustSet& o) const {
+  for (Symbol s : o.elems) {
+    if (!elems.contains(s)) return false;
+  }
+  return true;
+}
+
+std::string MustSet::ToString() const {
+  if (elems.empty()) return "∅";
+  std::string out = "{";
+  bool first = true;
+  for (Symbol s : elems) {
+    if (!first) out += ", ";
+    first = false;
+    out += s.ToString();
+  }
+  out += "}";
+  return out;
+}
+
+namespace {
+
+uint64_t SatAdd(uint64_t a, uint64_t b) {
+  if (a == CardInterval::kInf || b == CardInterval::kInf) {
+    return CardInterval::kInf;
+  }
+  return a > CardInterval::kInf - b ? CardInterval::kInf : a + b;
+}
+
+/// 0·∞ = 0: a count multiplied by a provably-zero count is zero no matter
+/// how unbounded the other side is (e.g. PRODUCT rows with an empty side).
+uint64_t SatMul(uint64_t a, uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  if (a == CardInterval::kInf || b == CardInterval::kInf) {
+    return CardInterval::kInf;
+  }
+  return a > CardInterval::kInf / b ? CardInterval::kInf : a * b;
+}
+
+}  // namespace
+
+void CardInterval::Join(const CardInterval& o) {
+  lo = o.lo < lo ? o.lo : lo;
+  hi = o.hi > hi ? o.hi : hi;
+}
+
+void CardInterval::Widen(const CardInterval& o) {
+  if (o.lo < lo) lo = 0;
+  if (o.hi > hi) hi = kInf;
+}
+
+CardInterval CardInterval::Plus(const CardInterval& o) const {
+  return CardInterval{SatAdd(lo, o.lo), SatAdd(hi, o.hi)};
+}
+
+CardInterval CardInterval::Times(const CardInterval& o) const {
+  return CardInterval{SatMul(lo, o.lo), SatMul(hi, o.hi)};
+}
+
+CardInterval CardInterval::PlusConst(uint64_t n) const {
+  return CardInterval{SatAdd(lo, n), SatAdd(hi, n)};
+}
+
+std::string CardInterval::ToString() const {
+  // Built with += on a constructed string: GCC 12's -Wrestrict
+  // false-positives on `"lit" + std::to_string(n)` and on literal
+  // assignment through _M_replace (PR105651).
+  if (lo == hi) {
+    std::string out("=");
+    out += std::to_string(lo);
+    return out;
+  }
+  std::string out("[");
+  out += std::to_string(lo);
+  out += ",";
+  if (hi == kInf) {
+    out += "∞)";
+  } else {
+    out += std::to_string(hi);
+    out += "]";
+  }
+  return out;
+}
+
+void TableShape::Join(const TableShape& o, bool widen) {
   cols.Join(o.cols);
   rows.Join(o.rows);
   certain = certain && o.certain;
+  must_cols.Join(o.must_cols);
+  must_rows.Join(o.must_rows);
+  if (widen) {
+    row_card.Widen(o.row_card);
+    col_card.Widen(o.col_card);
+    count.Widen(o.count);
+  } else {
+    row_card.Join(o.row_card);
+    col_card.Join(o.col_card);
+    count.Join(o.count);
+  }
 }
 
 std::string TableShape::ToString() const {
-  return "cols=" + cols.ToString() + " rows=" + rows.ToString();
+  std::string out = "cols=" + cols.ToString() + " rows=" + rows.ToString();
+  if (!must_cols.IsTop()) out += " must_cols=" + must_cols.ToString();
+  if (!must_rows.IsTop()) out += " must_rows=" + must_rows.ToString();
+  if (!row_card.IsTop()) out += " #rows" + row_card.ToString();
+  if (!col_card.IsTop()) out += " #cols" + col_card.ToString();
+  if (!count.IsTop()) out += " #tables" + count.ToString();
+  return out;
 }
 
 AbstractDatabase AbstractDatabase::FromDatabase(const TabularDatabase& db) {
@@ -48,13 +162,23 @@ AbstractDatabase AbstractDatabase::FromDatabase(const TabularDatabase& db) {
     SymbolSet cols, rows;
     for (size_t j = 1; j <= t.width(); ++j) cols.insert(t.ColumnAttribute(j));
     for (size_t i = 1; i <= t.height(); ++i) rows.insert(t.RowAttribute(i));
-    TableShape shape{AttrSet::Of(std::move(cols)), AttrSet::Of(std::move(rows)),
-                     /*certain=*/true};
+    TableShape shape;
+    shape.cols = AttrSet::Of(cols);
+    shape.rows = AttrSet::Of(rows);
+    shape.certain = true;
+    shape.must_cols = MustSet::Of(std::move(cols));
+    shape.must_rows = MustSet::Of(std::move(rows));
+    shape.row_card = CardInterval::Exact(t.height());
+    shape.col_card = CardInterval::Exact(t.width());
+    shape.count = CardInterval::Exact(1);
     auto [it, inserted] = out.tables.emplace(t.name(), shape);
     if (!inserted) {
-      // Same-named tables: join shapes, existence stays certain.
-      it->second.cols.Join(shape.cols);
-      it->second.rows.Join(shape.rows);
+      // Same-named tables: join the per-table facts (existence stays
+      // certain), count the extra carrier exactly.
+      CardInterval count = it->second.count;
+      it->second.Join(shape);
+      it->second.certain = true;
+      it->second.count = count.PlusConst(1);
     }
   }
   return out;
@@ -68,28 +192,46 @@ const TableShape* AbstractDatabase::Find(Symbol name) const {
 TableShape AbstractDatabase::ShapeOf(Symbol name) const {
   const TableShape* s = Find(name);
   if (s != nullptr) return *s;
-  return TableShape::Top(/*certain=*/false);
+  if (top) return TableShape::Top(/*certain=*/false);
+  // Provably absent: the empty pool. Per-table facts hold vacuously; the
+  // only informative component is the carrier count.
+  TableShape none;
+  none.cols = AttrSet::Of({});
+  none.rows = AttrSet::Of({});
+  none.count = CardInterval::Exact(0);
+  return none;
 }
 
-void AbstractDatabase::Join(const AbstractDatabase& o) {
+void AbstractDatabase::Join(const AbstractDatabase& o, bool widen) {
   top = top || o.top;
   for (auto& [name, shape] : tables) {
     const TableShape* other = o.Find(name);
     if (other != nullptr) {
-      shape.Join(*other);
+      shape.Join(*other, widen);
     } else if (o.top) {
       TableShape t = TableShape::Top(false);
-      shape.Join(t);
+      shape.Join(t, widen);
     } else {
-      shape.certain = false;  // absent on the other path
+      // Absent on the other path: zero carriers there.
+      shape.certain = false;
+      CardInterval none = CardInterval::Exact(0);
+      if (widen) {
+        shape.count.Widen(none);
+      } else {
+        shape.count.Join(none);
+      }
     }
   }
   for (const auto& [name, shape] : o.tables) {
     if (tables.contains(name)) continue;
-    TableShape joined = shape;
+    TableShape joined;
     if (top) {
-      joined.cols = AttrSet::Top();
-      joined.rows = AttrSet::Top();
+      // This side may hold the name with an arbitrary shape.
+      joined = TableShape::Top(false);
+      joined.Join(shape, widen);
+    } else {
+      joined = shape;
+      joined.count.Join(CardInterval::Exact(0));
     }
     joined.certain = false;
     tables.emplace(name, std::move(joined));
@@ -99,8 +241,9 @@ void AbstractDatabase::Join(const AbstractDatabase& o) {
 void AbstractDatabase::WildcardWrite() {
   top = true;
   for (auto& [name, shape] : tables) {
-    shape.cols = AttrSet::Top();
-    shape.rows = AttrSet::Top();
+    // Replacement semantics never removes a name, so existence survives;
+    // every other fact is lost.
+    shape = TableShape::Top(shape.certain);
   }
 }
 

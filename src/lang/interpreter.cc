@@ -136,6 +136,7 @@ size_t ExpectedArgCount(OpKind op) {
 Status Interpreter::Run(const Program& program, TabularDatabase* db) {
   steps_ = 0;
   last_commit_path_.clear();
+  optimize_stats_ = OptimizeStats{};
   profile_root_ = obs::ProfileNode{};
   profile_root_.label = "program";
 
@@ -155,9 +156,24 @@ Status Interpreter::Run(const Program& program, TabularDatabase* db) {
     }
   }
 
+  // The rewrite engine runs on the analyzed original (gating above sees
+  // the user's statement numbering); the rewritten program is what
+  // executes. Each kept rewrite is validator-certified unless
+  // `validate_rewrites` was turned off.
+  const Program* to_run = &program;
+  Program optimized;
+  if (options_.optimize) {
+    OptimizerOptions opt;
+    opt.validate_rewrites = options_.validate_rewrites;
+    optimized =
+        OptimizeProgram(program, analysis::AbstractDatabase::FromDatabase(*db),
+                        opt, &optimize_stats_);
+    to_run = &optimized;
+  }
+
   obs::ProfileNode* root = options_.profile ? &profile_root_ : nullptr;
   const uint64_t t0 = obs::TraceNowNs();
-  Status st = RunStatements(program.statements, db, "", root);
+  Status st = RunStatements(to_run->statements, db, "", root);
   if (root != nullptr) {
     root->wall_ns = obs::TraceNowNs() - t0;
     root->invocations = 1;

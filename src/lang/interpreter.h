@@ -10,6 +10,7 @@
 #include "core/database.h"
 #include "core/status.h"
 #include "lang/ast.h"
+#include "lang/optimizer.h"
 #include "obs/profile.h"
 
 namespace tabular::lang {
@@ -38,6 +39,14 @@ struct InterpreterOptions {
   /// Receives every diagnostic `analyze_first` produces (warnings and
   /// errors), in statement order. May be empty.
   std::function<void(const analysis::Diagnostic&)> on_diagnostic;
+  /// Run the translation-validated rewrite engine (`OptimizeProgram`) over
+  /// the program before executing it, starting from the abstract image of
+  /// the concrete database. Off by default.
+  bool optimize = false;
+  /// With `optimize`: certify each candidate rewrite with the translation
+  /// validator, dropping (and counting) any rewrite it cannot prove. On by
+  /// default — turning this off trusts the rewrite rules outright.
+  bool validate_rewrites = true;
 };
 
 /// Executes tabular-algebra programs against a database (paper §3.6).
@@ -64,6 +73,10 @@ class Interpreter {
   /// Total assignment instantiations executed by the last Run.
   size_t steps_executed() const { return steps_; }
 
+  /// Rewrite-engine report of the last Run (empty unless
+  /// `options.optimize` was set).
+  const OptimizeStats& optimize_stats() const { return optimize_stats_; }
+
   /// Per-statement profile of the last Run. Only populated when
   /// `options.profile` was set; one child per top-level statement,
   /// labeled `[<position>] <statement text>` (while bodies nest).
@@ -80,6 +93,7 @@ class Interpreter {
 
   InterpreterOptions options_;
   size_t steps_ = 0;
+  OptimizeStats optimize_stats_;
   obs::ProfileNode profile_root_;
   /// Path of the last statement whose results were committed to the
   /// database during the current Run (empty: nothing committed yet).

@@ -1,9 +1,15 @@
 #include "lang/optimizer.h"
 
 #include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/analyzer.h"
+#include "analysis/validate.h"
+#include "obs/metrics.h"
 
 namespace tabular::lang {
 
@@ -152,6 +158,441 @@ Program OptimizeTranslated(const Program& program,
                            const SymbolSet& live_out) {
   Program trimmed = EliminateDeadStores(program, live_out);
   return InsertScratchDrops(trimmed, IsTranslatorScratchName);
+}
+
+// -- The translation-validated rewrite engine --------------------------------
+
+namespace {
+
+using analysis::AbstractDatabase;
+using analysis::TableShape;
+
+/// The single literal table name of a parameter, if that is all it is.
+std::optional<Symbol> LitName(const Param& p) {
+  if (p.positive.size() == 1 && p.negative.empty() &&
+      p.positive[0].kind == ParamItem::Kind::kSymbol) {
+    return p.positive[0].symbol;
+  }
+  return std::nullopt;
+}
+
+/// The literal symbol set of a parameter with no negative items; nullopt
+/// when any item is a wildcard or pair.
+std::optional<SymbolSet> LitSet(const Param& p) {
+  if (!p.negative.empty()) return std::nullopt;
+  SymbolSet out;
+  for (const ParamItem& it : p.positive) {
+    switch (it.kind) {
+      case ParamItem::Kind::kSymbol:
+        out.insert(it.symbol);
+        break;
+      case ParamItem::Kind::kNull:
+        out.insert(Symbol::Null());
+        break;
+      default:
+        return std::nullopt;
+    }
+  }
+  return out;
+}
+
+std::optional<Symbol> LitSingleton(const Param& p) {
+  std::optional<SymbolSet> s = LitSet(p);
+  if (s.has_value() && s->size() == 1) return *s->begin();
+  return std::nullopt;
+}
+
+/// True when the assignment provably cannot fail at runtime: a total
+/// kernel (the §3.1/§3.4 operations plus transpose), every parameter a
+/// statically valid literal, every argument a literal name. The partial
+/// restructuring kernels (GROUP/MERGE/SPLIT/COLLAPSE/SWITCH) and the
+/// tagging operations (fresh-symbol generation reads the whole database)
+/// are excluded.
+bool StaticallyTotal(const Assignment& a) {
+  for (const Param& arg : a.args) {
+    if (!LitName(arg).has_value()) return false;
+  }
+  switch (a.op) {
+    case OpKind::kUnion:
+    case OpKind::kDifference:
+    case OpKind::kIntersection:
+    case OpKind::kProduct:
+    case OpKind::kTranspose:
+      return true;
+    case OpKind::kProject:
+      return LitSet(a.params[0]).has_value();
+    case OpKind::kRename:
+    case OpKind::kSelect:
+    case OpKind::kSelectConst:
+      return LitSingleton(a.params[0]).has_value() &&
+             LitSingleton(a.params[1]).has_value();
+    case OpKind::kCleanUp:
+    case OpKind::kPurge:
+      return LitSet(a.params[0]).has_value() &&
+             LitSet(a.params[1]).has_value();
+    default:
+      return false;
+  }
+}
+
+/// A proposed rewrite of the top-level statement window [index,
+/// index+consumed) into `replacement`.
+struct Candidate {
+  const char* rule;
+  size_t index;
+  size_t consumed;
+  std::vector<Statement> replacement;
+};
+
+std::string WindowText(const std::vector<Statement>& ss, size_t index,
+                       size_t consumed) {
+  std::string out;
+  for (size_t i = 0; i < consumed; ++i) {
+    if (!out.empty()) out += " ";
+    out += ss[index + i].ToString();
+  }
+  return out;
+}
+
+std::string Fingerprint(const Candidate& c,
+                        const std::vector<Statement>& ss) {
+  return std::string(c.rule) + "|" + WindowText(ss, c.index, c.consumed);
+}
+
+/// `T <- select A A (T)` where A is certainly a column of every T: weak
+/// equality is reflexive, so every data row is kept and the statement is
+/// the identity on the pool.
+std::optional<Candidate> MatchSelectIdentity(const std::vector<Statement>& ss,
+                                             size_t i,
+                                             const AbstractDatabase& before) {
+  const auto* a = std::get_if<Assignment>(&ss[i].node);
+  if (a == nullptr || a->op != OpKind::kSelect) return std::nullopt;
+  std::optional<Symbol> target = LitName(a->target);
+  if (!target.has_value() || a->args.size() != 1 ||
+      LitName(a->args[0]) != target) {
+    return std::nullopt;
+  }
+  std::optional<Symbol> lhs = LitSingleton(a->params[0]);
+  if (!lhs.has_value() || lhs != LitSingleton(a->params[1])) {
+    return std::nullopt;
+  }
+  if (!before.ShapeOf(*target).must_cols.CertainlyContains(*lhs)) {
+    return std::nullopt;
+  }
+  return Candidate{"select-identity", i, 1, {}};
+}
+
+/// `T <- project P (T)` where P covers every column attribute T may
+/// carry: all columns are kept, identity on the pool. This rule is
+/// deliberately *optimistic* when the column set is ⊤ (open schema): the
+/// candidate is proposed anyway and the translation validator vetoes it —
+/// the engine's division of labor is "rules propose, the validator
+/// disposes", so gates only need to be precise enough to keep the
+/// candidate stream short.
+std::optional<Candidate> MatchProjectSuperset(const std::vector<Statement>& ss,
+                                              size_t i,
+                                              const AbstractDatabase& before) {
+  const auto* a = std::get_if<Assignment>(&ss[i].node);
+  if (a == nullptr || a->op != OpKind::kProject) return std::nullopt;
+  std::optional<Symbol> target = LitName(a->target);
+  if (!target.has_value() || a->args.size() != 1 ||
+      LitName(a->args[0]) != target) {
+    return std::nullopt;
+  }
+  std::optional<SymbolSet> p = LitSet(a->params[0]);
+  if (!p.has_value()) return std::nullopt;
+  const TableShape shape = before.ShapeOf(*target);
+  if (!shape.cols.top) {
+    for (Symbol c : shape.cols.elems) {
+      if (!p->contains(c)) return std::nullopt;
+    }
+  }
+  return Candidate{"project-superset", i, 1, {}};
+}
+
+/// `T <- rename B A (T)` where A provably labels no column of T: the
+/// rename has nothing to relabel.
+std::optional<Candidate> MatchRenameAbsent(const std::vector<Statement>& ss,
+                                           size_t i,
+                                           const AbstractDatabase& before) {
+  const auto* a = std::get_if<Assignment>(&ss[i].node);
+  if (a == nullptr || a->op != OpKind::kRename) return std::nullopt;
+  std::optional<Symbol> target = LitName(a->target);
+  if (!target.has_value() || a->args.size() != 1 ||
+      LitName(a->args[0]) != target) {
+    return std::nullopt;
+  }
+  std::optional<Symbol> from = LitSingleton(a->params[1]);
+  if (!from.has_value() || !LitSingleton(a->params[0]).has_value()) {
+    return std::nullopt;
+  }
+  if (!before.ShapeOf(*target).cols.DefinitelyLacks(*from)) {
+    return std::nullopt;
+  }
+  return Candidate{"rename-absent", i, 1, {}};
+}
+
+/// `X <- project P (R); X <- project Q (X)` fuses to
+/// `X <- project P∩Q (R)` when R certainly exists (so both statements
+/// certainly execute) or R is X itself (both fire or neither does).
+std::optional<Candidate> MatchFuseProjects(const std::vector<Statement>& ss,
+                                           size_t i,
+                                           const AbstractDatabase& before) {
+  if (i + 1 >= ss.size()) return std::nullopt;
+  const auto* a = std::get_if<Assignment>(&ss[i].node);
+  const auto* b = std::get_if<Assignment>(&ss[i + 1].node);
+  if (a == nullptr || b == nullptr || a->op != OpKind::kProject ||
+      b->op != OpKind::kProject) {
+    return std::nullopt;
+  }
+  std::optional<Symbol> x = LitName(a->target);
+  if (!x.has_value() || b->args.size() != 1 || a->args.size() != 1 ||
+      LitName(b->target) != x || LitName(b->args[0]) != x) {
+    return std::nullopt;
+  }
+  std::optional<Symbol> source = LitName(a->args[0]);
+  std::optional<SymbolSet> p = LitSet(a->params[0]);
+  std::optional<SymbolSet> q = LitSet(b->params[0]);
+  if (!source.has_value() || !p.has_value() || !q.has_value()) {
+    return std::nullopt;
+  }
+  if (source != x && !before.ShapeOf(*source).certain) return std::nullopt;
+  Assignment fused = *a;
+  fused.params[0] = Param{};
+  for (Symbol s : *p) {
+    if (!q->contains(s)) continue;
+    ParamItem item;
+    if (s.is_null()) {
+      item.kind = ParamItem::Kind::kNull;
+    } else {
+      item.kind = ParamItem::Kind::kSymbol;
+      item.symbol = s;
+    }
+    fused.params[0].positive.push_back(std::move(item));
+  }
+  Statement st;
+  st.node = std::move(fused);
+  std::vector<Statement> repl;
+  repl.push_back(std::move(st));
+  return Candidate{"fuse-projects", i, 2, std::move(repl)};
+}
+
+/// `T <- transpose (T); T <- transpose (T)`: transposition is an
+/// involution, so the adjacent pair is the identity on the pool.
+std::optional<Candidate> MatchTransposePair(const std::vector<Statement>& ss,
+                                            size_t i) {
+  if (i + 1 >= ss.size()) return std::nullopt;
+  auto is_self_transpose = [](const Statement& s) -> std::optional<Symbol> {
+    const auto* a = std::get_if<Assignment>(&s.node);
+    if (a == nullptr || a->op != OpKind::kTranspose) return std::nullopt;
+    std::optional<Symbol> t = LitName(a->target);
+    if (!t.has_value() || a->args.size() != 1 || LitName(a->args[0]) != t) {
+      return std::nullopt;
+    }
+    return t;
+  };
+  std::optional<Symbol> t1 = is_self_transpose(ss[i]);
+  if (!t1.has_value() || is_self_transpose(ss[i + 1]) != t1) {
+    return std::nullopt;
+  }
+  return Candidate{"transpose-involution", i, 2, {}};
+}
+
+/// `X <- op(...); drop Y;` with disjoint names hoists the drop above the
+/// assignment (earlier reclamation shrinks every later wildcard scan); the
+/// assignment must be statically total so the reorder cannot move a drop
+/// across a failing statement.
+std::optional<Candidate> MatchDropHoist(const std::vector<Statement>& ss,
+                                        size_t i) {
+  if (i + 1 >= ss.size()) return std::nullopt;
+  const auto* a = std::get_if<Assignment>(&ss[i].node);
+  const auto* d = std::get_if<DropStatement>(&ss[i + 1].node);
+  if (a == nullptr || d == nullptr || !StaticallyTotal(*a)) {
+    return std::nullopt;
+  }
+  std::optional<SymbolSet> dropped = LitSet(d->target);
+  if (!dropped.has_value() || dropped->empty()) return std::nullopt;
+  SymbolSet stmt_names;
+  bool universal = false;
+  CollectStatementReads(ss[i], &stmt_names, &universal);
+  CollectParamNames(a->target, &stmt_names, &universal);
+  if (universal) return std::nullopt;
+  for (Symbol y : *dropped) {
+    if (stmt_names.contains(y)) return std::nullopt;
+  }
+  std::vector<Statement> repl;
+  repl.push_back(ss[i + 1]);
+  repl.push_back(ss[i]);
+  return Candidate{"drop-hoist", i, 2, std::move(repl)};
+}
+
+/// `X <- op(...); drop X;` cancels to `drop X` when the assignment is
+/// statically total (it cannot fail, so removing it never hides an error).
+std::optional<Candidate> MatchCancelBeforeDrop(const std::vector<Statement>& ss,
+                                               size_t i) {
+  if (i + 1 >= ss.size()) return std::nullopt;
+  const auto* a = std::get_if<Assignment>(&ss[i].node);
+  const auto* d = std::get_if<DropStatement>(&ss[i + 1].node);
+  if (a == nullptr || d == nullptr || !StaticallyTotal(*a)) {
+    return std::nullopt;
+  }
+  std::optional<Symbol> x = LitName(a->target);
+  std::optional<SymbolSet> dropped = LitSet(d->target);
+  if (!x.has_value() || !dropped.has_value() || !dropped->contains(*x)) {
+    return std::nullopt;
+  }
+  std::vector<Statement> repl;
+  repl.push_back(ss[i + 1]);
+  return Candidate{"cancel-before-drop", i, 2, std::move(repl)};
+}
+
+/// `while G do …` whose guard is provably false on entry never runs.
+std::optional<Candidate> MatchWhileNeverEntered(
+    const std::vector<Statement>& ss, size_t i,
+    const AbstractDatabase& before) {
+  const auto* w = std::get_if<WhileLoop>(&ss[i].node);
+  if (w == nullptr) return std::nullopt;
+  SymbolSet guard;
+  bool universal = false;
+  CollectParamNames(w->condition, &guard, &universal);
+  if (!analysis::GuardDefinitelyFalse(before, guard, universal)) {
+    return std::nullopt;
+  }
+  return Candidate{"while-never-entered", i, 1, {}};
+}
+
+/// Cardinality-guided unrolling: the guard certainly holds on entry and is
+/// provably false after one abstract body pass, so the loop runs its body
+/// exactly once — inline it.
+std::optional<Candidate> MatchWhileUnroll(const std::vector<Statement>& ss,
+                                          size_t i,
+                                          const AbstractDatabase& before) {
+  const auto* w = std::get_if<WhileLoop>(&ss[i].node);
+  if (w == nullptr) return std::nullopt;
+  SymbolSet guard;
+  bool universal = false;
+  CollectParamNames(w->condition, &guard, &universal);
+  if (universal || guard.empty()) return std::nullopt;
+  if (!analysis::GuardCertainlyTrue(before, guard)) return std::nullopt;
+  Program body;
+  body.statements = w->body;
+  analysis::AnalyzerOptions opts;
+  opts.check_dead_stores = false;
+  analysis::AnalysisResult one_pass =
+      analysis::AnalyzeProgram(body, before, opts);
+  if (!analysis::GuardDefinitelyFalse(one_pass.final_state, guard,
+                                      /*guard_universal=*/false)) {
+    return std::nullopt;
+  }
+  return Candidate{"while-unroll", i, 1, w->body};
+}
+
+std::optional<Candidate> FindCandidate(
+    const std::vector<Statement>& ss,
+    const std::vector<AbstractDatabase>& before,
+    const std::set<std::string>& rejected) {
+  for (size_t i = 0; i < ss.size(); ++i) {
+    std::optional<Candidate> c;
+    auto consider = [&](std::optional<Candidate> m) {
+      if (!c.has_value() && m.has_value() &&
+          !rejected.contains(Fingerprint(*m, ss))) {
+        c = std::move(m);
+      }
+    };
+    consider(MatchSelectIdentity(ss, i, before[i]));
+    consider(MatchProjectSuperset(ss, i, before[i]));
+    consider(MatchRenameAbsent(ss, i, before[i]));
+    consider(MatchTransposePair(ss, i));
+    consider(MatchFuseProjects(ss, i, before[i]));
+    consider(MatchCancelBeforeDrop(ss, i));
+    consider(MatchDropHoist(ss, i));
+    consider(MatchWhileNeverEntered(ss, i, before[i]));
+    consider(MatchWhileUnroll(ss, i, before[i]));
+    if (c.has_value()) return c;
+  }
+  return std::nullopt;
+}
+
+/// Abstract state *before* each top-level statement (index 0 = initial).
+std::vector<AbstractDatabase> StatesBefore(const Program& program,
+                                           const AbstractDatabase& initial) {
+  analysis::AnalyzerOptions opts;
+  opts.check_dead_stores = false;
+  opts.record_top_level_states = true;
+  analysis::AnalysisResult result =
+      analysis::AnalyzeProgram(program, initial, opts);
+  std::vector<AbstractDatabase> before;
+  before.reserve(program.statements.size());
+  before.push_back(initial);
+  for (size_t i = 0; i + 1 < result.top_level_states.size(); ++i) {
+    before.push_back(std::move(result.top_level_states[i]));
+  }
+  return before;
+}
+
+}  // namespace
+
+Program OptimizeProgram(const Program& program,
+                        const AbstractDatabase& initial,
+                        const OptimizerOptions& options,
+                        OptimizeStats* stats) {
+  static obs::Counter& applied_counter =
+      obs::GetCounter("optimizer.rewrites_applied");
+  static obs::Counter& rejected_counter =
+      obs::GetCounter("optimizer.rewrites_rejected");
+
+  Program current = program;
+  std::set<std::string> rejected;
+  for (size_t step = 0; step < options.max_rewrites; ++step) {
+    std::vector<AbstractDatabase> before = StatesBefore(current, initial);
+    std::optional<Candidate> cand =
+        FindCandidate(current.statements, before, rejected);
+    if (!cand.has_value()) break;
+
+    Program rewritten;
+    rewritten.statements.assign(current.statements.begin(),
+                                current.statements.begin() + cand->index);
+    for (const Statement& s : cand->replacement) {
+      rewritten.statements.push_back(s);
+    }
+    rewritten.statements.insert(
+        rewritten.statements.end(),
+        current.statements.begin() + cand->index + cand->consumed,
+        current.statements.end());
+
+    RewriteRecord record;
+    record.rule = cand->rule;
+    record.path = std::to_string(cand->index + 1);
+    record.before = WindowText(current.statements, cand->index,
+                               cand->consumed);
+    for (const Statement& s : cand->replacement) {
+      if (!record.after.empty()) record.after += " ";
+      record.after += s.ToString();
+    }
+
+    bool keep = true;
+    if (options.validate_rewrites) {
+      analysis::ValidationReport report =
+          analysis::ValidateTranslation(current, rewritten, initial);
+      keep = report.certified;
+      record.certified = report.certified;
+      record.reason = report.reason;
+    } else {
+      record.certified = false;  // kept, but unproven
+    }
+
+    if (keep) {
+      applied_counter.Add(1);
+      if (stats != nullptr) ++stats->applied;
+      current = std::move(rewritten);
+    } else {
+      rejected_counter.Add(1);
+      if (stats != nullptr) ++stats->rejected;
+      rejected.insert(Fingerprint(*cand, current.statements));
+    }
+    if (stats != nullptr) stats->records.push_back(std::move(record));
+  }
+  return current;
 }
 
 }  // namespace tabular::lang

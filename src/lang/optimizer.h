@@ -3,7 +3,9 @@
 
 #include <functional>
 #include <string>
+#include <vector>
 
+#include "analysis/shape.h"
 #include "lang/ast.h"
 
 namespace tabular::lang {
@@ -45,6 +47,48 @@ bool IsTranslatorScratchName(core::Symbol name);
 /// against `live_out`, then scratch drops for translator temporaries.
 Program OptimizeTranslated(const Program& program,
                            const core::SymbolSet& live_out);
+
+// -- The translation-validated rewrite engine (PR 5) -------------------------
+
+/// One attempted rewrite, for reports and the `--optimize` diff.
+struct RewriteRecord {
+  std::string rule;      ///< rule id, e.g. "fuse-projects"
+  std::string path;      ///< 1-based top-level statement number
+  std::string before;    ///< surface text of the replaced statement(s)
+  std::string after;     ///< surface text of the replacement ("" = removed)
+  bool certified = false;
+  std::string reason;    ///< validator failure explanation when rejected
+};
+
+struct OptimizeStats {
+  size_t applied = 0;   ///< rewrites kept (certified, or trusted)
+  size_t rejected = 0;  ///< rewrites the validator refused
+  std::vector<RewriteRecord> records;
+};
+
+struct OptimizerOptions {
+  /// Certify every candidate rewrite with the translation validator
+  /// (`analysis::ValidateTranslation`); uncertified candidates are dropped
+  /// and counted in the `optimizer.rewrites_rejected` metric. Turning this
+  /// off keeps every candidate on the rules' own soundness arguments.
+  bool validate_rewrites = true;
+  /// Upper bound on accepted-plus-rejected candidates, a divergence guard.
+  size_t max_rewrites = 256;
+};
+
+/// The rule-based rewrite engine. Candidates are proposed by a fixed rule
+/// catalog (see DESIGN.md §9.3) justified by the must-set and cardinality
+/// domains — no-op elimination, drop/assignment reordering, fusion of
+/// adjacent total restructuring operations, and ≤1-iteration while
+/// unrolling — and each is kept only when the validator certifies that the
+/// rewritten program's abstract state refines the original's at every
+/// untouched statement. `initial` abstracts the database the program will
+/// run against (`AbstractDatabase::FromDatabase(db)` in the interpreter,
+/// `::Unknown()` when the schema is open — fewer rules fire).
+Program OptimizeProgram(const Program& program,
+                        const analysis::AbstractDatabase& initial,
+                        const OptimizerOptions& options = {},
+                        OptimizeStats* stats = nullptr);
 
 }  // namespace tabular::lang
 

@@ -4,6 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
 #include <string_view>
 
 #include "analysis/analyzer.h"
@@ -11,6 +15,7 @@
 #include "analysis/shape.h"
 #include "core/symbol.h"
 #include "io/grid_format.h"
+#include "lang/interpreter.h"
 #include "lang/parser.h"
 
 namespace tabular::analysis {
@@ -226,11 +231,13 @@ TEST(AnalysisWhileTest, FixpointJoinsAllIterationCounts) {
                    "}");
   EXPECT_TRUE(r.diagnostics.empty()) << RenderAll(r.diagnostics, "t");
   // Zero iterations keep {Part, Region, Sold}; one or more drop Region
-  // from the columns and add it to the rows. The join covers both.
+  // from the columns and add it to the rows. The join covers both — and
+  // the loop only exits once no Sales table has a data row, so the exit
+  // refinement (PR 5) empties the row-attribute set and pins the
+  // data-row count to zero.
   EXPECT_EQ(Shape(r, "Sales").cols, Cols({"Part", "Region", "Sold"}));
-  AttrSet rows = NullRows();
-  rows.Insert(N("Region"));
-  EXPECT_EQ(Shape(r, "Sales").rows, rows);
+  EXPECT_EQ(Shape(r, "Sales").rows, AttrSet::Of({}));
+  EXPECT_EQ(Shape(r, "Sales").row_card, CardInterval::Exact(0));
   EXPECT_TRUE(Shape(r, "Sales").certain);
 }
 
@@ -254,6 +261,45 @@ TEST(AnalysisWhileTest, ZeroIterationCapWidensToTop) {
                    "}",
                    options);
   EXPECT_TRUE(Shape(r, "Sales").cols.top);
+}
+
+TEST(AnalysisWhileTest, DeepNestedWhilePathsRenderAndRoundTrip) {
+  // Whiles nested ≥3 deep: the diagnostic carries the full dotted path
+  // (statement 2, body 1, body 3, body 1 → "2.1.3.1") and the interpreter
+  // annotates the matching runtime error with the same path.
+  const std::string_view src =
+      "Seed <- transpose (Sales);\n"             // 1
+      "while Sales do {\n"                       // 2
+      "  while Sales do {\n"                     // 2.1
+      "    A <- transpose (Sales);\n"            // 2.1.1
+      "    B <- transpose (Sales);\n"            // 2.1.2
+      "    while Sales do {\n"                   // 2.1.3
+      "      X <- group by {} on {Sold} (Sales);\n"  // 2.1.3.1
+      "    }\n"
+      "  }\n"
+      "}\n";
+  auto r = Analyze(kSalesFlat, src);
+  bool found = false;
+  for (const Diagnostic& d : r.diagnostics) {
+    if (d.path == "2.1.3.1") {
+      found = true;
+      EXPECT_EQ(Render(d, "p.ta"),
+                "p.ta:2.1.3.1: warning: group 'by' set is empty");
+    }
+  }
+  EXPECT_TRUE(found) << RenderAll(r.diagnostics, "p.ta");
+
+  // Round-trip: the runtime error of the same statement names the same
+  // dotted path in the interpreter's "statement <path>:" suffix.
+  auto program = lang::ParseProgram(src);
+  ASSERT_TRUE(program.ok());
+  auto db = io::ParseDatabase(kSalesFlat);
+  ASSERT_TRUE(db.ok());
+  lang::Interpreter interp;
+  Status st = interp.Run(*program, &*db);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("statement 2.1.3.1: "), std::string::npos)
+      << st.ToString();
 }
 
 // -- Name-flow facts ---------------------------------------------------------
@@ -294,6 +340,153 @@ TEST(AnalysisFactsTest, CollectParamNamesMarksWildcardsUniversal) {
   EXPECT_TRUE(universal);
   CollectParamNames(a.args[0], &names, &universal);
   EXPECT_TRUE(names.contains(N("T")));
+}
+
+// -- Lattice laws for the PR 5 domains ---------------------------------------
+
+TEST(AnalysisLatticeTest, MustSetJoinIsIntersectionAndTopAbsorbs) {
+  MustSet ab = MustSet::Of({N("A"), N("B")});
+  MustSet bc = MustSet::Of({N("B"), N("C")});
+  MustSet j = ab;
+  j.Join(bc);
+  EXPECT_EQ(j, MustSet::Of({N("B")}));
+  // ⊤ (= ∅, no certain knowledge) absorbs any join.
+  MustSet top = MustSet::Top();
+  top.Join(ab);
+  EXPECT_TRUE(top.IsTop());
+  MustSet t2 = ab;
+  t2.Join(MustSet::Top());
+  EXPECT_TRUE(t2.IsTop());
+  // Join is an upper bound in the reverse-inclusion order: the result's
+  // guarantee is implied by both inputs (Covers runs downward).
+  EXPECT_TRUE(ab.Covers(j));
+  EXPECT_TRUE(bc.Covers(j));
+  // Monotonicity: joining with a weaker fact never strengthens.
+  MustSet weaker = MustSet::Of({N("B")});
+  MustSet m1 = ab;
+  m1.Join(weaker);
+  EXPECT_TRUE(ab.Covers(m1));
+}
+
+TEST(AnalysisLatticeTest, CardIntervalJoinIsHullWidenJumpsToBounds) {
+  CardInterval a = CardInterval::Range(2, 5);
+  CardInterval b = CardInterval::Range(4, 9);
+  CardInterval j = a;
+  j.Join(b);
+  EXPECT_EQ(j, CardInterval::Range(2, 9));
+  // Join is an upper bound: both inputs are within the hull.
+  EXPECT_TRUE(a.WithinOf(j));
+  EXPECT_TRUE(b.WithinOf(j));
+  // ⊤ absorbs.
+  CardInterval top = CardInterval::Top();
+  top.Join(a);
+  EXPECT_TRUE(top.IsTop());
+  CardInterval t2 = a;
+  t2.Join(CardInterval::Top());
+  EXPECT_TRUE(t2.IsTop());
+  // Widen jumps unstable bounds to the lattice ends (and is therefore
+  // above the join).
+  CardInterval w = a;
+  w.Widen(b);
+  EXPECT_EQ(w, CardInterval::Range(2, CardInterval::kInf));
+  EXPECT_TRUE(j.WithinOf(w));
+  // A stable bound widens to itself.
+  CardInterval s = CardInterval::Range(2, 9);
+  s.Widen(CardInterval::Range(3, 9));
+  EXPECT_EQ(s, CardInterval::Range(2, 9));
+}
+
+TEST(AnalysisLatticeTest, CardIntervalSaturatingArithmetic) {
+  CardInterval inf = CardInterval::Top();
+  // 0·∞ = 0: an empty side annihilates the product.
+  EXPECT_EQ(CardInterval::Exact(0).Times(inf), CardInterval::Exact(0));
+  EXPECT_EQ(CardInterval::Exact(3).Times(CardInterval::Exact(4)),
+            CardInterval::Exact(12));
+  EXPECT_EQ(CardInterval::Exact(2).Plus(inf).hi, CardInterval::kInf);
+  EXPECT_EQ(CardInterval::Exact(CardInterval::kInf - 1).PlusConst(5).hi,
+            CardInterval::kInf);
+}
+
+// -- Concrete runs stay within the abstract bounds ---------------------------
+
+// Every examples/*.ta program, executed for real, must land inside the
+// abstract final state: per table name, attribute may-sets contain the
+// concrete regions, must-sets are contained in them, and the three
+// cardinalities lie inside their intervals.
+TEST(AnalysisSoundnessTest, ExamplesStayWithinAbstractBounds) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(TABULAR_SOURCE_DIR) / "examples";
+  auto slurp = [](const fs::path& p) {
+    std::ifstream in(p);
+    EXPECT_TRUE(in.good()) << p;
+    std::stringstream out;
+    out << in.rdbuf();
+    return out.str();
+  };
+  size_t checked = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() != ".ta") continue;
+    SCOPED_TRACE(entry.path().filename().string());
+    auto program = lang::ParseProgram(slurp(entry.path()));
+    ASSERT_TRUE(program.ok()) << program.status().ToString();
+    auto db = io::ParseDatabase(slurp(dir / "sales.tdb"));
+    ASSERT_TRUE(db.ok());
+
+    AnalysisResult r =
+        AnalyzeProgram(*program, AbstractDatabase::FromDatabase(*db));
+    lang::Interpreter interp;
+    ASSERT_TRUE(interp.Run(*program, &*db).ok());
+    ++checked;
+
+    std::map<Symbol, size_t, core::SymbolLess> counts;
+    for (const core::Table& t : db->tables()) {
+      const TableShape shape = r.final_state.ShapeOf(t.name());
+      ++counts[t.name()];
+      for (size_t j = 1; j <= t.width(); ++j) {
+        EXPECT_TRUE(shape.cols.MayContain(t.ColumnAttribute(j)))
+            << t.name().ToString() << " col " << j;
+      }
+      for (size_t i = 1; i <= t.height(); ++i) {
+        EXPECT_TRUE(shape.rows.MayContain(t.RowAttribute(i)))
+            << t.name().ToString() << " row " << i;
+      }
+      for (Symbol a : shape.must_cols.elems) {
+        bool found = false;
+        for (size_t j = 1; j <= t.width(); ++j) {
+          found |= t.ColumnAttribute(j) == a;
+        }
+        EXPECT_TRUE(found) << t.name().ToString() << " must col "
+                           << a.ToString();
+      }
+      for (Symbol a : shape.must_rows.elems) {
+        bool found = false;
+        for (size_t i = 1; i <= t.height(); ++i) {
+          found |= t.RowAttribute(i) == a;
+        }
+        EXPECT_TRUE(found) << t.name().ToString() << " must row "
+                           << a.ToString();
+      }
+      EXPECT_TRUE(shape.row_card.Contains(t.height()))
+          << t.name().ToString() << " height " << t.height() << " outside "
+          << shape.row_card.ToString();
+      EXPECT_TRUE(shape.col_card.Contains(t.width()))
+          << t.name().ToString() << " width " << t.width() << " outside "
+          << shape.col_card.ToString();
+    }
+    for (const auto& [name, n] : counts) {
+      EXPECT_TRUE(r.final_state.ShapeOf(name).count.Contains(n))
+          << name.ToString() << " carried by " << n << " tables, outside "
+          << r.final_state.ShapeOf(name).count.ToString();
+    }
+    // Names the abstract state claims certain must really be present.
+    for (const auto& [name, shape] : r.final_state.tables) {
+      if (shape.certain) {
+        EXPECT_TRUE(counts.contains(name))
+            << name.ToString() << " claimed certain but absent";
+      }
+    }
+  }
+  EXPECT_GE(checked, 3u);
 }
 
 // -- Diagnostic ordering -----------------------------------------------------

@@ -202,6 +202,50 @@ TEST(LintGoldenTest, NonTerminationHeuristic) {
             "  note: statements after this loop may be unreachable\n");
 }
 
+// -- JSON rendering (tabular_lint --json) ------------------------------------
+
+std::string LintJson(std::string_view grid, std::string_view src) {
+  auto db = io::ParseDatabase(grid);
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  auto program = lang::ParseProgram(src);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  AnalysisResult result =
+      AnalyzeProgram(*program, AbstractDatabase::FromDatabase(*db));
+  std::string out;
+  for (const Diagnostic& d : result.diagnostics) {
+    out += RenderJson(d, "p.ta");
+    out += "\n";
+  }
+  return out;
+}
+
+TEST(LintJsonGoldenTest, OneObjectPerDiagnostic) {
+  EXPECT_EQ(
+      LintJson(kSalesFlat, "T <- group by {Nope} on {Sold} (Sales);"),
+      "{\"file\":\"p.ta\",\"severity\":\"error\",\"path\":\"1\","
+      "\"message\":\"group 'by' attribute 'Nope' labels no column of "
+      "'Sales'\",\"note\":\"inferred columns of 'Sales': "
+      "{Part, Region, Sold}\"}\n");
+}
+
+TEST(LintJsonGoldenTest, WarningWithoutNoteOmitsTheField) {
+  EXPECT_EQ(LintJson(kSalesFlat, "T <- transpose (Absent);"),
+            "{\"file\":\"p.ta\",\"severity\":\"warning\",\"path\":\"1\","
+            "\"message\":\"argument table 'Absent' is not defined at this "
+            "point; the statement has no effect\"}\n");
+}
+
+TEST(LintJsonGoldenTest, EscapesQuotesBackslashesAndControls) {
+  Diagnostic d;
+  d.severity = Severity::kError;
+  d.path = "2.1";
+  d.message = "quote \" backslash \\ newline \n tab \t bell \x07 end";
+  EXPECT_EQ(RenderJson(d, "dir\\file.ta"),
+            "{\"file\":\"dir\\\\file.ta\",\"severity\":\"error\","
+            "\"path\":\"2.1\",\"message\":\"quote \\\" backslash \\\\ "
+            "newline \\n tab \\t bell \\u0007 end\"}");
+}
+
 TEST(LintGoldenTest, SingletonParameterViolation) {
   // The surface grammar only admits single items for rename parameters;
   // build the two-symbol target directly.

@@ -1,0 +1,413 @@
+// Tests for the translation validator (analysis/validate) and the
+// validated rewrite engine (lang::OptimizeProgram): the refinement
+// relation, per-rule positive certification, rejection of unsound
+// rewrites, and byte-identity of optimized execution.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "analysis/shape.h"
+#include "analysis/validate.h"
+#include "core/symbol.h"
+#include "io/grid_format.h"
+#include "lang/interpreter.h"
+#include "lang/optimizer.h"
+#include "lang/parser.h"
+#include "obs/metrics.h"
+
+namespace tabular::analysis {
+namespace {
+
+using core::Symbol;
+using core::SymbolSet;
+using core::TabularDatabase;
+
+Symbol N(const char* text) { return Symbol::Name(text); }
+
+constexpr std::string_view kSalesFlat =
+    "!Sales | !Part  | !Region | !Sold\n"
+    "#      | nuts   | east    | 50\n"
+    "#      | bolts  | west    | 60\n";
+
+TabularDatabase Db(std::string_view grid) {
+  auto db = io::ParseDatabase(grid);
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  return std::move(*db);
+}
+
+lang::Program Parse(std::string_view src) {
+  auto program = lang::ParseProgram(src);
+  EXPECT_TRUE(program.ok()) << program.status().ToString();
+  return program.ok() ? std::move(*program) : lang::Program{};
+}
+
+ValidationReport Validate(std::string_view original,
+                          std::string_view rewritten,
+                          const AbstractDatabase& initial) {
+  return ValidateTranslation(Parse(original), Parse(rewritten), initial);
+}
+
+// -- The refinement relation -------------------------------------------------
+
+TEST(RefinementTest, EqualShapesRefineAndLostFactsDoNot) {
+  AbstractDatabase state =
+      AbstractDatabase::FromDatabase(Db(kSalesFlat));
+  TableShape o = state.ShapeOf(N("Sales"));
+
+  std::string why;
+  EXPECT_TRUE(Refines(o, o, &why)) << why;
+
+  // Gaining a possible column breaks may-set containment.
+  TableShape wider = o;
+  wider.cols.Insert(N("Extra"));
+  EXPECT_FALSE(Refines(wider, o, &why));
+  EXPECT_NE(why.find("may-set"), std::string::npos) << why;
+  EXPECT_TRUE(Refines(o, wider, &why)) << why;  // narrowing is fine
+
+  // Losing a must-column breaks the guarantee.
+  TableShape weaker = o;
+  weaker.must_cols.Erase(N("Part"));
+  EXPECT_FALSE(Refines(weaker, o, &why));
+  EXPECT_NE(why.find("must-columns"), std::string::npos) << why;
+
+  // Losing certainty breaks refinement; losing it on both sides is fine.
+  TableShape uncertain = o;
+  uncertain.certain = false;
+  EXPECT_FALSE(Refines(uncertain, o, &why));
+  EXPECT_TRUE(Refines(uncertain, uncertain, &why)) << why;
+
+  // A cardinality escaping the original interval breaks containment.
+  TableShape more_rows = o;
+  more_rows.row_card = more_rows.row_card.PlusConst(1);
+  EXPECT_FALSE(Refines(more_rows, o, &why));
+}
+
+TEST(RefinementTest, ProvablyAbsentRefinesAnythingUncertain) {
+  TableShape absent;
+  absent.count = CardInterval::Exact(0);
+  TableShape maybe = TableShape::Top(/*certain=*/false);
+  std::string why;
+  EXPECT_TRUE(Refines(absent, maybe, &why)) << why;
+
+  TableShape certainly_there = TableShape::Top(/*certain=*/true);
+  EXPECT_FALSE(Refines(absent, certainly_there, &why));
+}
+
+TEST(RefinementTest, DatabaseLevelTopAndNameUnion) {
+  AbstractDatabase concrete =
+      AbstractDatabase::FromDatabase(Db(kSalesFlat));
+  AbstractDatabase open = AbstractDatabase::Unknown();
+  std::string why;
+  // Narrow refines open, not vice versa.
+  EXPECT_TRUE(Refines(concrete, open, &why)) << why;
+  EXPECT_FALSE(Refines(open, concrete, &why));
+  EXPECT_NE(why.find("arbitrary names"), std::string::npos) << why;
+}
+
+// -- The validator on hand-built rewrites ------------------------------------
+
+TEST(ValidateTranslationTest, CertifiesIdenticalPrograms) {
+  AbstractDatabase initial =
+      AbstractDatabase::FromDatabase(Db(kSalesFlat));
+  const std::string_view src =
+      "T <- project {Part} (Sales);\n"
+      "U <- transpose (T);\n";
+  ValidationReport r = Validate(src, src, initial);
+  EXPECT_TRUE(r.certified) << r.reason;
+  EXPECT_TRUE(r.reason.empty());
+}
+
+TEST(ValidateTranslationTest, RejectsDeliberatelyUnsoundRewrite) {
+  AbstractDatabase initial =
+      AbstractDatabase::FromDatabase(Db(kSalesFlat));
+  // Unsound: replacing the projection with a transpose produces a table
+  // whose columns ({⊥} from the data-row attributes) escape the
+  // original's {Part}.
+  ValidationReport r = Validate(
+      "T <- project {Part} (Sales);\n"
+      "U <- transpose (T);\n",
+      "T <- transpose (Sales);\n"
+      "U <- transpose (T);\n",
+      initial);
+  EXPECT_FALSE(r.certified);
+  EXPECT_FALSE(r.divergent_path.empty());
+  EXPECT_NE(r.reason.find("'T'"), std::string::npos) << r.reason;
+}
+
+TEST(ValidateTranslationTest, RejectsDroppedEffect) {
+  AbstractDatabase initial =
+      AbstractDatabase::FromDatabase(Db(kSalesFlat));
+  // Removing a statement whose effect is visible at exit must not verify.
+  ValidationReport r = Validate(
+      "T <- project {Part} (Sales);\n",
+      "",
+      initial);
+  EXPECT_FALSE(r.certified);
+  EXPECT_EQ(r.divergent_path, "exit");
+}
+
+TEST(ValidateTranslationTest, NamesFirstDivergentSyncPoint) {
+  AbstractDatabase initial =
+      AbstractDatabase::FromDatabase(Db(kSalesFlat));
+  // The rewritten first statement diverges, but statements 2 and 3 are an
+  // untouched suffix: the report points at the first suffix sync point
+  // (one rewritten statement executed), not at program exit.
+  ValidationReport r = Validate(
+      "T <- project {Part} (Sales);\n"
+      "U <- transpose (Sales);\n"
+      "V <- transpose (Sales);\n",
+      "T <- project {Part, Region} (Sales);\n"
+      "U <- transpose (Sales);\n"
+      "V <- transpose (Sales);\n",
+      initial);
+  EXPECT_FALSE(r.certified);
+  EXPECT_EQ(r.divergent_path, "1");
+}
+
+// -- The rewrite engine: every rule, positive --------------------------------
+
+struct EngineRun {
+  lang::Program optimized;
+  lang::OptimizeStats stats;
+};
+
+EngineRun Optimize(std::string_view src, std::string_view grid = kSalesFlat) {
+  EngineRun run;
+  run.optimized = lang::OptimizeProgram(
+      Parse(src), AbstractDatabase::FromDatabase(Db(grid)), {}, &run.stats);
+  return run;
+}
+
+bool Applied(const EngineRun& run, const char* rule) {
+  for (const auto& rec : run.stats.records) {
+    if (rec.rule == rule && rec.certified) return true;
+  }
+  return false;
+}
+
+/// Runs `src` unoptimized and optimized on the same initial database and
+/// expects byte-identical serialized results.
+void ExpectByteIdentical(std::string_view src,
+                         std::string_view grid = kSalesFlat) {
+  lang::Program program = Parse(src);
+  TabularDatabase plain = Db(grid);
+  TabularDatabase fancy = Db(grid);
+
+  lang::Interpreter unopt;
+  ASSERT_TRUE(unopt.Run(program, &plain).ok());
+
+  lang::InterpreterOptions options;
+  options.optimize = true;
+  lang::Interpreter opt(options);
+  ASSERT_TRUE(opt.Run(program, &fancy).ok());
+
+  EXPECT_EQ(io::SerializeDatabase(plain), io::SerializeDatabase(fancy));
+}
+
+TEST(RewriteEngineTest, SelectIdentityEliminated) {
+  const std::string_view src = "Sales <- select Part = Part (Sales);\n";
+  EngineRun run = Optimize(src);
+  EXPECT_TRUE(Applied(run, "select-identity"));
+  EXPECT_TRUE(run.optimized.statements.empty());
+  ExpectByteIdentical(src);
+}
+
+TEST(RewriteEngineTest, ProjectSupersetEliminated) {
+  const std::string_view src =
+      "Sales <- project {Part, Region, Sold, Extra} (Sales);\n";
+  EngineRun run = Optimize(src);
+  EXPECT_TRUE(Applied(run, "project-superset"));
+  EXPECT_TRUE(run.optimized.statements.empty());
+  ExpectByteIdentical(src);
+}
+
+TEST(RewriteEngineTest, ProjectSupersetRejectedWhenColumnsUnknown) {
+  // The wildcard argument degrades Sales' columns to ⊤, so the optimistic
+  // gate proposes eliminating the projection anyway ("rules propose, the
+  // validator disposes"); the validator sees the original restrict the
+  // columns to ⊆ {Part}, vetoes the candidate, and the rejection lands in
+  // the metric.
+  const uint64_t rejected_before =
+      obs::CounterValue("optimizer.rewrites_rejected");
+  lang::OptimizeStats stats;
+  lang::Program optimized = lang::OptimizeProgram(
+      Parse("Sales <- transpose (*1);\n"
+            "Sales <- project {Part} (Sales);\n"),
+      AbstractDatabase::FromDatabase(Db(kSalesFlat)), {}, &stats);
+  EXPECT_EQ(optimized.statements.size(), 2u);
+  EXPECT_EQ(stats.applied, 0u);
+  EXPECT_EQ(stats.rejected, 1u);
+  ASSERT_FALSE(stats.records.empty());
+  EXPECT_EQ(stats.records[0].rule, "project-superset");
+  EXPECT_FALSE(stats.records[0].certified);
+  EXPECT_FALSE(stats.records[0].reason.empty());
+  EXPECT_GT(obs::CounterValue("optimizer.rewrites_rejected"),
+            rejected_before);
+}
+
+TEST(RewriteEngineTest, RenameAbsentEliminated) {
+  const std::string_view src = "Sales <- rename Qty / Price (Sales);\n";
+  EngineRun run = Optimize(src);
+  EXPECT_TRUE(Applied(run, "rename-absent"));
+  EXPECT_TRUE(run.optimized.statements.empty());
+  ExpectByteIdentical(src);
+}
+
+TEST(RewriteEngineTest, TransposeInvolutionEliminated) {
+  const std::string_view src =
+      "Sales <- transpose (Sales);\n"
+      "Sales <- transpose (Sales);\n";
+  EngineRun run = Optimize(src);
+  EXPECT_TRUE(Applied(run, "transpose-involution"));
+  EXPECT_TRUE(run.optimized.statements.empty());
+  ExpectByteIdentical(src);
+}
+
+TEST(RewriteEngineTest, AdjacentProjectsFused) {
+  const std::string_view src =
+      "T <- project {Part, Region} (Sales);\n"
+      "T <- project {Region, Sold} (T);\n";
+  EngineRun run = Optimize(src);
+  EXPECT_TRUE(Applied(run, "fuse-projects"));
+  ASSERT_EQ(run.optimized.statements.size(), 1u);
+  EXPECT_EQ(run.optimized.statements[0].ToString(),
+            "T <- project {Region} (Sales);");
+  ExpectByteIdentical(src);
+}
+
+TEST(RewriteEngineTest, DropHoistedAboveUnrelatedAssignment) {
+  const std::string_view src =
+      "Scratch <- transpose (Sales);\n"
+      "T <- project {Part} (Sales);\n"
+      "drop Scratch;\n";
+  EngineRun run = Optimize(src);
+  EXPECT_TRUE(Applied(run, "drop-hoist"));
+  // The hoist makes the Scratch assignment adjacent to its drop, so
+  // cancel-before-drop then erases it too.
+  EXPECT_TRUE(Applied(run, "cancel-before-drop"));
+  ASSERT_EQ(run.optimized.statements.size(), 2u);
+  EXPECT_EQ(run.optimized.statements[0].ToString(), "drop Scratch;");
+  ExpectByteIdentical(src);
+}
+
+TEST(RewriteEngineTest, AssignmentCancelledBeforeDrop) {
+  const std::string_view src =
+      "T <- project {Part} (Sales);\n"
+      "T <- transpose (T);\n"
+      "drop T;\n";
+  EngineRun run = Optimize(src);
+  EXPECT_TRUE(Applied(run, "cancel-before-drop"));
+  // Both assignments cancel against the drop, leaving only `drop T`.
+  ASSERT_EQ(run.optimized.statements.size(), 1u);
+  EXPECT_EQ(run.optimized.statements[0].ToString(), "drop T;");
+  ExpectByteIdentical(src);
+}
+
+TEST(RewriteEngineTest, NeverEnteredWhileEliminated) {
+  const std::string_view src =
+      "Work <- difference (Sales, Sales);\n"
+      "Work <- difference (Work, Work);\n"
+      "while Work do {\n"
+      "  Work <- transpose (Work);\n"
+      "}\n";
+  // difference(W, W) over the single carrier provably empties it, so the
+  // guard is false on entry.
+  EngineRun run = Optimize(src);
+  EXPECT_TRUE(Applied(run, "while-never-entered"));
+  ASSERT_EQ(run.optimized.statements.size(), 2u);
+  ExpectByteIdentical(src);
+}
+
+TEST(RewriteEngineTest, ProvablySingleIterationWhileUnrolled) {
+  const std::string_view src =
+      "Wide <- rename Qty / Sold (Sales);\n"
+      "while Wide do {\n"
+      "  Wide <- difference (Wide, Wide);\n"
+      "}\n";
+  EngineRun run = Optimize(src);
+  EXPECT_TRUE(Applied(run, "while-unroll"));
+  ASSERT_EQ(run.optimized.statements.size(), 2u);
+  EXPECT_EQ(run.optimized.statements[1].ToString(),
+            "Wide <- difference (Wide, Wide);");
+  ExpectByteIdentical(src);
+}
+
+TEST(RewriteEngineTest, MultiIterationWhileLeftAlone) {
+  // The body only *may* shrink the table (select keeps [0, hi] rows), so
+  // neither while rule can prove an iteration count and the loop survives.
+  const std::string_view src =
+      "while Sales do {\n"
+      "  Sales <- select Part = Region (Sales);\n"
+      "}\n";
+  EngineRun run = Optimize(src);
+  ASSERT_EQ(run.optimized.statements.size(), 1u);
+  EXPECT_TRUE(
+      std::holds_alternative<lang::WhileLoop>(run.optimized.statements[0].node));
+}
+
+TEST(RewriteEngineTest, ValidateRewritesOffKeepsCandidatesUnproven) {
+  lang::OptimizerOptions options;
+  options.validate_rewrites = false;
+  lang::OptimizeStats stats;
+  lang::Program optimized = lang::OptimizeProgram(
+      Parse("Sales <- select Part = Part (Sales);\n"),
+      AbstractDatabase::FromDatabase(Db(kSalesFlat)), options, &stats);
+  EXPECT_TRUE(optimized.statements.empty());
+  EXPECT_EQ(stats.applied, 1u);
+  ASSERT_EQ(stats.records.size(), 1u);
+  EXPECT_FALSE(stats.records[0].certified);  // kept, but unproven
+}
+
+// -- Byte-identity across the shipped examples -------------------------------
+
+TEST(RewriteEngineTest, ExamplesRunByteIdenticalUnderOptimization) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::path(TABULAR_SOURCE_DIR) / "examples";
+  auto slurp = [](const fs::path& p) {
+    std::ifstream in(p);
+    EXPECT_TRUE(in.good()) << p;
+    std::stringstream out;
+    out << in.rdbuf();
+    return out.str();
+  };
+  const std::string grid = slurp(dir / "sales.tdb");
+  size_t checked = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().extension() != ".ta") continue;
+    SCOPED_TRACE(entry.path().filename().string());
+    ExpectByteIdentical(slurp(entry.path()), grid);
+    ++checked;
+  }
+  EXPECT_GE(checked, 4u);
+}
+
+TEST(RewriteEngineTest, UnrollExampleAppliesCertifiedRewrites) {
+  namespace fs = std::filesystem;
+  std::ifstream in(fs::path(TABULAR_SOURCE_DIR) / "examples" /
+                   "optimize_unroll.ta");
+  ASSERT_TRUE(in.good());
+  std::stringstream src;
+  src << in.rdbuf();
+
+  std::ifstream schema(fs::path(TABULAR_SOURCE_DIR) / "examples" /
+                       "sales.tdb");
+  std::stringstream grid;
+  grid << schema.rdbuf();
+
+  EngineRun run = Optimize(src.str(), grid.str());
+  EXPECT_TRUE(Applied(run, "while-unroll"));
+  EXPECT_TRUE(Applied(run, "select-identity"));
+  EXPECT_EQ(run.stats.rejected, 0u);
+  for (const auto& rec : run.stats.records) {
+    EXPECT_TRUE(rec.certified) << rec.rule << ": " << rec.reason;
+  }
+}
+
+}  // namespace
+}  // namespace tabular::analysis

@@ -23,6 +23,7 @@
 #include "io/csv.h"
 #include "io/grid_format.h"
 #include "lang/ast.h"
+#include "lang/optimizer.h"
 #include "lang/parser.h"
 #include "relational/canonical.h"
 
@@ -41,8 +42,13 @@ options:
   --csv <name=file>  add relation <name> from a CSV file (repeatable)
   --empty-db         start from an empty database (default: open schema,
                      every table may exist)
-  --werror           exit 1 on warnings too
+  --werror           exit 1 on warnings too (and, with --optimize, on
+                     validator-rejected rewrites)
   --no-dead-stores   suppress dead-store warnings
+  --json             machine-readable output: a JSON array with one object
+                     per diagnostic (file, severity, path, message[, note])
+  --optimize         run the translation-validated rewrite engine and print
+                     each certified rewrite as a diff plus a summary report
   -h, --help         show this help
 )";
 
@@ -68,6 +74,8 @@ int main(int argc, char** argv) {
   bool have_schema = false;
   bool empty_db = false;
   bool werror = false;
+  bool json = false;
+  bool optimize = false;
   tabular::analysis::AnalyzerOptions options;
 
   auto need_value = [&](int& i, const char* flag) -> const char* {
@@ -90,6 +98,10 @@ int main(int argc, char** argv) {
       empty_db = true;
     } else if (arg == "--no-dead-stores") {
       options.check_dead_stores = false;
+    } else if (arg == "--json") {
+      json = true;
+    } else if (arg == "--optimize") {
+      optimize = true;
     } else if (arg == "--db") {
       const char* value = need_value(i, "--db");
       if (value == nullptr) return 2;
@@ -161,7 +173,9 @@ int main(int argc, char** argv) {
   }
 
   size_t errors = 0, warnings = 0;
+  size_t rewrites_applied = 0, rewrites_rejected = 0;
   bool io_failure = false;
+  std::vector<std::string> json_objects;
   for (const std::string& file : files) {
     std::string source;
     if (!ReadFile(file, &source)) {
@@ -171,23 +185,80 @@ int main(int argc, char** argv) {
     }
     auto program = tabular::lang::ParseProgram(source);
     if (!program.ok()) {
-      std::cout << file << ": error: " << program.status().message() << "\n";
+      Diagnostic parse_error;
+      parse_error.severity = Severity::kError;
+      parse_error.message = program.status().message();
+      if (json) {
+        json_objects.push_back(
+            tabular::analysis::RenderJson(parse_error, file));
+      } else {
+        std::cout << file << ": error: " << program.status().message()
+                  << "\n";
+      }
       io_failure = true;
       continue;
     }
     AnalysisResult result =
         tabular::analysis::AnalyzeProgram(*program, initial, options);
-    std::cout << tabular::analysis::RenderAll(result.diagnostics, file);
+    if (json) {
+      for (const Diagnostic& d : result.diagnostics) {
+        json_objects.push_back(tabular::analysis::RenderJson(d, file));
+      }
+    } else {
+      std::cout << tabular::analysis::RenderAll(result.diagnostics, file);
+    }
     errors += tabular::analysis::CountSeverity(result.diagnostics,
                                                Severity::kError);
     warnings += tabular::analysis::CountSeverity(result.diagnostics,
                                                  Severity::kWarning);
+
+    if (optimize) {
+      tabular::lang::OptimizeStats stats;
+      tabular::lang::OptimizeProgram(*program, initial, {}, &stats);
+      rewrites_applied += stats.applied;
+      rewrites_rejected += stats.rejected;
+      for (const tabular::lang::RewriteRecord& r : stats.records) {
+        if (json) {
+          using tabular::analysis::JsonEscape;
+          json_objects.push_back(
+              "{\"file\":\"" + JsonEscape(file) + "\",\"rewrite\":\"" +
+              JsonEscape(r.rule) + "\",\"path\":\"" + JsonEscape(r.path) +
+              "\",\"certified\":" + (r.certified ? "true" : "false") +
+              ",\"before\":\"" + JsonEscape(r.before) + "\",\"after\":\"" +
+              JsonEscape(r.after) +
+              (r.reason.empty()
+                   ? std::string()
+                   : "\",\"reason\":\"" + JsonEscape(r.reason)) +
+              "\"}");
+          continue;
+        }
+        std::cout << file << ":" << r.path << ": optimize: " << r.rule
+                  << (r.certified ? " (certified)" : " (rejected)") << "\n";
+        std::cout << "  - " << r.before << "\n";
+        if (!r.after.empty()) std::cout << "  + " << r.after << "\n";
+        if (!r.reason.empty()) std::cout << "  reason: " << r.reason << "\n";
+      }
+    }
   }
 
-  if (errors + warnings > 0) {
-    std::cout << errors << " error(s), " << warnings << " warning(s)\n";
+  if (json) {
+    std::cout << "[";
+    for (size_t i = 0; i < json_objects.size(); ++i) {
+      std::cout << (i == 0 ? "\n" : ",\n") << json_objects[i];
+    }
+    std::cout << (json_objects.empty() ? "]\n" : "\n]\n");
+  } else {
+    if (errors + warnings > 0) {
+      std::cout << errors << " error(s), " << warnings << " warning(s)\n";
+    }
+    if (optimize) {
+      std::cout << rewrites_applied << " rewrite(s) applied, "
+                << rewrites_rejected << " rejected\n";
+    }
   }
   if (io_failure) return 2;
-  if (errors > 0 || (werror && warnings > 0)) return 1;
+  if (errors > 0 || (werror && (warnings > 0 || rewrites_rejected > 0))) {
+    return 1;
+  }
   return 0;
 }
