@@ -16,6 +16,11 @@ Usage:
       --expect BM_GroupByRegionOnSold --expect-counter ta_rows_in \
       --run ./bench/bench_fig4_group --benchmark_min_time=0.01s
 
+  # Enforce a floor on a counter (acceptance gates, e.g. the server bench
+  # must reach 64 connections with a >=90% cache hit rate):
+  check_bench_json.py --json BENCH_server.json \
+      --min-counter ta_connections=64 --min-counter ta_cache_hit_rate=0.9
+
 Exit status 0 when every check passes, 1 otherwise.
 """
 
@@ -31,7 +36,19 @@ def fail(msg):
     return 1
 
 
-def check_file(path, expects, expect_counters):
+def parse_min_counter(spec):
+    key, sep, value = spec.partition("=")
+    if not sep or not key:
+        raise argparse.ArgumentTypeError(
+            f"--min-counter expects KEY=VALUE, got {spec!r}")
+    try:
+        return key, float(value)
+    except ValueError as e:
+        raise argparse.ArgumentTypeError(
+            f"--min-counter {spec!r}: {e}") from e
+
+
+def check_file(path, expects, expect_counters, min_counters):
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
@@ -76,8 +93,19 @@ def check_file(path, expects, expect_counters):
                 return fail(f"{path}: {b['name']}: counter '{key}' not a "
                             f"finite number: {v!r}")
 
+    for key, floor in min_counters:
+        holders = [b for b in benchmarks if key in b]
+        if not holders:
+            return fail(f"{path}: counter '{key}' missing from every "
+                        f"benchmark entry (--min-counter {key}={floor})")
+        best = max(float(b[key]) for b in holders)
+        if not math.isfinite(best) or best < floor:
+            return fail(f"{path}: counter '{key}' max {best} is below the "
+                        f"required floor {floor}")
+
     print(f"check_bench_json: OK: {path}: {len(benchmarks)} benchmarks, "
-          f"{len(expect_counters)} expected counters present")
+          f"{len(expect_counters)} expected counters present, "
+          f"{len(min_counters)} counter floors met")
     return 0
 
 
@@ -89,6 +117,10 @@ def main():
                         help="substring required among benchmark names")
     parser.add_argument("--expect-counter", action="append", default=[],
                         help="counter key required on at least one benchmark")
+    parser.add_argument("--min-counter", action="append", default=[],
+                        type=parse_min_counter, metavar="KEY=VALUE",
+                        help="require some benchmark entry's counter KEY to "
+                             "be >= VALUE")
     parser.add_argument("--run", nargs=argparse.REMAINDER, default=None,
                         help="bench command to execute before validating")
     args = parser.parse_args()
@@ -101,7 +133,8 @@ def main():
 
     status = 0
     for path in args.json:
-        status |= check_file(path, args.expect, args.expect_counter)
+        status |= check_file(path, args.expect, args.expect_counter,
+                             args.min_counter)
     return status
 
 

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# End-to-end smoke for the tabulard server (PR 6, CI job):
+#
+#   1. Run the Fig-1 restructuring example through the single-shot
+#      interpreter (tabular_shell) to produce the golden database.
+#   2. Start tabulard on a unix socket, run the same program through
+#      tabular_cli, dump the committed result.
+#   3. Byte-compare server result against the golden.
+#   4. SIGTERM the daemon and assert it drains and exits 0.
+#
+# Usage: scripts/server_smoke.sh <build-dir>
+
+set -u
+
+BUILD_DIR="${1:?usage: server_smoke.sh <build-dir>}"
+REPO_DIR="$(cd "$(dirname "$0")/.." && pwd)"
+SHELL_BIN="$BUILD_DIR/examples/tabular_shell"
+DAEMON_BIN="$BUILD_DIR/tools/tabulard"
+CLI_BIN="$BUILD_DIR/tools/tabular_cli"
+DB="$REPO_DIR/examples/sales.tdb"
+PROGRAM="$REPO_DIR/examples/sales_restructuring.ta"
+
+WORK="$(mktemp -d)"
+SOCK="$WORK/tabulard.sock"
+DAEMON_PID=""
+
+fail() {
+  echo "server_smoke: FAIL: $*" >&2
+  [ -n "$DAEMON_PID" ] && kill -9 "$DAEMON_PID" 2>/dev/null
+  rm -rf "$WORK"
+  exit 1
+}
+
+for bin in "$SHELL_BIN" "$DAEMON_BIN" "$CLI_BIN"; do
+  [ -x "$bin" ] || fail "missing binary: $bin"
+done
+
+# 1. The single-shot golden.
+"$SHELL_BIN" "$DB" "$PROGRAM" "$WORK/golden.tdb" \
+  || fail "tabular_shell failed on $PROGRAM"
+
+# 2. The server path.
+"$DAEMON_BIN" --db "$DB" --unix "$SOCK" --quiet &
+DAEMON_PID=$!
+
+for _ in $(seq 1 100); do
+  if "$CLI_BIN" --unix "$SOCK" ping >/dev/null 2>&1; then
+    break
+  fi
+  kill -0 "$DAEMON_PID" 2>/dev/null || fail "tabulard died during startup"
+  sleep 0.1
+done
+"$CLI_BIN" --unix "$SOCK" ping >/dev/null || fail "tabulard never answered ping"
+
+"$CLI_BIN" --unix "$SOCK" run "$PROGRAM" || fail "tabular_cli run failed"
+"$CLI_BIN" --unix "$SOCK" dump > "$WORK/server.tdb" \
+  || fail "tabular_cli dump failed"
+
+# 3. Byte identity between the server-committed database and the golden.
+cmp "$WORK/golden.tdb" "$WORK/server.tdb" \
+  || fail "server result differs from the single-shot interpreter golden"
+
+# A second session still sees the committed version.
+"$CLI_BIN" --unix "$SOCK" tables | grep -q "Sales" \
+  || fail "committed tables not visible to a fresh session"
+
+# 4. Graceful shutdown: SIGTERM drains and exits 0.
+kill -TERM "$DAEMON_PID"
+WAIT_STATUS=0
+wait "$DAEMON_PID" || WAIT_STATUS=$?
+[ "$WAIT_STATUS" -eq 0 ] || fail "tabulard exited $WAIT_STATUS on SIGTERM"
+[ ! -e "$SOCK" ] || fail "tabulard left its unix socket behind"
+DAEMON_PID=""
+
+rm -rf "$WORK"
+echo "server_smoke: OK: server output byte-identical to single-shot golden," \
+     "graceful shutdown exited 0"

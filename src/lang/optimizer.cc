@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "analysis/analyzer.h"
+#include "analysis/diagnostics.h"
 #include "analysis/validate.h"
 #include "obs/metrics.h"
 
@@ -532,6 +533,28 @@ std::vector<AbstractDatabase> StatesBefore(const Program& program,
 
 }  // namespace
 
+std::string RenderRewriteJson(const RewriteRecord& r, std::string_view file) {
+  using analysis::JsonEscape;
+  // An uncertified record with no validator reason was kept on the rules'
+  // own soundness argument (validation off): "trusted".
+  const char* verdict =
+      r.certified ? "certified" : (r.reason.empty() ? "trusted" : "rejected");
+  std::string out = "{\"file\":\"" + JsonEscape(file) + "\",\"rewrite\":\"" +
+                    JsonEscape(r.rule) + "\",\"path\":\"" +
+                    JsonEscape(r.path) + "\",\"verdict\":\"" + verdict +
+                    "\",\"certified\":" + (r.certified ? "true" : "false") +
+                    ",\"before\":\"" + JsonEscape(r.before) +
+                    "\",\"after\":\"" + JsonEscape(r.after) + "\"";
+  if (!r.reason.empty()) {
+    out += ",\"reason\":\"" + JsonEscape(r.reason) + "\"";
+  }
+  if (!r.divergent_at.empty()) {
+    out += ",\"divergent_at\":\"" + JsonEscape(r.divergent_at) + "\"";
+  }
+  out += "}";
+  return out;
+}
+
 Program OptimizeProgram(const Program& program,
                         const AbstractDatabase& initial,
                         const OptimizerOptions& options,
@@ -577,6 +600,7 @@ Program OptimizeProgram(const Program& program,
       keep = report.certified;
       record.certified = report.certified;
       record.reason = report.reason;
+      record.divergent_at = report.divergent_path;
     } else {
       record.certified = false;  // kept, but unproven
     }

@@ -3,6 +3,7 @@
 
 #include <functional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "analysis/shape.h"
@@ -58,7 +59,18 @@ struct RewriteRecord {
   std::string after;     ///< surface text of the replacement ("" = removed)
   bool certified = false;
   std::string reason;    ///< validator failure explanation when rejected
+  /// Validator sync point where refinement first broke ("0" = entry state,
+  /// a statement count, or "exit"); empty when certified or unvalidated.
+  std::string divergent_at;
 };
+
+/// One rewrite attempt as a single-line JSON object for machine-readable
+/// reports (`tabular_lint --json --optimize`): file, rewrite (rule name),
+/// path, the validator verdict ("certified"/"rejected"/"trusted" — the
+/// last when validation was off), before/after texts, and — for
+/// rejections — the validator's reason and divergent_at sync point, so CI
+/// logs explain every `rewrites_rejected` count.
+std::string RenderRewriteJson(const RewriteRecord& r, std::string_view file);
 
 struct OptimizeStats {
   size_t applied = 0;   ///< rewrites kept (certified, or trusted)

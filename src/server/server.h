@@ -1,0 +1,144 @@
+#ifndef TABULAR_SERVER_SERVER_H_
+#define TABULAR_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/database.h"
+#include "core/status.h"
+#include "lang/interpreter.h"
+#include "server/program_cache.h"
+#include "server/version.h"
+
+namespace tabular::server {
+
+struct ServerOptions {
+  /// Listen on a unix socket at this path when non-empty; otherwise on
+  /// localhost TCP.
+  std::string unix_path;
+  std::string host = "127.0.0.1";
+  /// 0 picks an ephemeral port; read it back with `port()`.
+  uint16_t port = 0;
+  /// Compiled-program cache size (entries) and front-end behavior.
+  ProgramCache::Options cache;
+  /// Resource guards applied to every request's execution.
+  lang::InterpreterOptions interp;
+  /// Seconds Shutdown() waits for in-flight requests before force-closing
+  /// the remaining connections.
+  double drain_seconds = 5.0;
+  /// Refuse connections beyond this many concurrent sessions.
+  size_t max_sessions = 1024;
+};
+
+/// Point-in-time server statistics (the Stats request renders these as
+/// JSON).
+struct ServerStats {
+  uint64_t version = 0;
+  uint64_t commits = 0;
+  uint64_t conflicts = 0;
+  uint64_t sessions_active = 0;
+  uint64_t sessions_total = 0;
+  uint64_t requests = 0;
+  uint64_t request_errors = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_evictions = 0;
+  uint64_t cache_size = 0;
+
+  std::string ToJson() const;
+};
+
+/// `tabulard`'s engine: a concurrent multi-session TA server executing
+/// programs under snapshot isolation (see `VersionedDatabase`) with a
+/// compiled-program cache (see `ProgramCache`). One thread per session;
+/// each request pins the newest version, executes the cached compiled form
+/// against a private copy, and — for commits — installs the result with an
+/// atomic first-committer-wins swap. Readers never wait on writers, and a
+/// failed program never publishes partial state: the version store only
+/// ever receives fully-executed databases.
+class Server {
+ public:
+  /// Binds, listens, and spawns the accept thread.
+  static Result<std::unique_ptr<Server>> Start(core::TabularDatabase initial,
+                                               ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bound TCP port (0 when listening on a unix socket).
+  uint16_t port() const { return port_; }
+  /// "unix:<path>" or "<host>:<port>".
+  const std::string& endpoint() const { return endpoint_; }
+
+  /// Flags the server to shut down: new connections are refused from this
+  /// point on. Non-blocking; safe from any thread, including session
+  /// handlers (the Shutdown request) and the daemon's signal-watcher.
+  void RequestShutdown();
+
+  /// True once RequestShutdown has been called.
+  bool ShutdownRequested() const {
+    return shutdown_requested_.load(std::memory_order_acquire);
+  }
+
+  /// Blocks until RequestShutdown is called (the daemon's main loop).
+  void WaitForShutdownRequest();
+
+  /// Graceful stop: refuses new sessions, drains in-flight requests for up
+  /// to `drain_seconds`, force-closes whatever remains, joins every
+  /// thread. Implies RequestShutdown; idempotent. Must not be called from
+  /// a session thread.
+  void Shutdown();
+
+  ServerStats Stats() const;
+  const VersionedDatabase& versions() const { return *versions_; }
+  ProgramCache& cache() { return cache_; }
+
+ private:
+  Server(ServerOptions options, core::TabularDatabase initial);
+  Status Listen();
+  void AcceptLoop();
+  void SessionLoop(int fd);
+  /// One request frame → one response payload. Never fails: protocol and
+  /// execution errors become kError payloads.
+  std::string HandleRequest(const std::string& payload);
+  std::string HandleRun(const std::string& payload);
+
+  ServerOptions options_;
+  std::unique_ptr<VersionedDatabase> versions_;
+  ProgramCache cache_;
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::string endpoint_;
+  /// Wakes poll()ers (accept loop, idle sessions) on shutdown.
+  int wake_pipe_[2] = {-1, -1};
+
+  std::atomic<bool> shutdown_requested_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<uint64_t> sessions_active_{0};
+  std::atomic<uint64_t> sessions_total_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> request_errors_{0};
+  std::atomic<uint64_t> in_flight_{0};
+
+  mutable std::mutex mu_;
+  std::condition_variable shutdown_cv_;
+  std::thread accept_thread_;
+  struct SessionSlot {
+    std::thread thread;
+    int fd = -1;
+    bool done = false;
+  };
+  std::vector<std::unique_ptr<SessionSlot>> sessions_;  // guarded by mu_
+};
+
+}  // namespace tabular::server
+
+#endif  // TABULAR_SERVER_SERVER_H_

@@ -1,0 +1,53 @@
+#include "server/version.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace tabular::server {
+
+VersionedDatabase::VersionedDatabase(core::TabularDatabase initial) {
+  current_.version = 1;
+  current_.db = std::make_shared<const core::TabularDatabase>(
+      std::move(initial));
+}
+
+Snapshot VersionedDatabase::Current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+Result<uint64_t> VersionedDatabase::Commit(uint64_t base_version,
+                                           core::TabularDatabase next) {
+  static obs::Counter& commits = obs::GetCounter("server.commits");
+  static obs::Counter& conflicts = obs::GetCounter("server.commit_conflicts");
+  // The new version is materialized outside the critical section; the lock
+  // covers only the compare and the pointer swap.
+  auto published = std::make_shared<const core::TabularDatabase>(
+      std::move(next));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (current_.version != base_version) {
+    ++conflicts_;
+    conflicts.Add(1);
+    return Status::Undefined(
+        "commit conflict: base version " + std::to_string(base_version) +
+        " is no longer current (now " + std::to_string(current_.version) +
+        ")");
+  }
+  current_.version = base_version + 1;
+  current_.db = std::move(published);
+  commits.Add(1);
+  return current_.version;
+}
+
+uint64_t VersionedDatabase::CommitCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_.version - 1;
+}
+
+uint64_t VersionedDatabase::ConflictCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return conflicts_;
+}
+
+}  // namespace tabular::server

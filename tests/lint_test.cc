@@ -18,6 +18,7 @@
 #include "io/grid_format.h"
 #include "lang/ast.h"
 #include "lang/interpreter.h"
+#include "lang/optimizer.h"
 #include "lang/parser.h"
 
 namespace tabular::analysis {
@@ -244,6 +245,77 @@ TEST(LintJsonGoldenTest, EscapesQuotesBackslashesAndControls) {
             "{\"file\":\"dir\\\\file.ta\",\"severity\":\"error\","
             "\"path\":\"2.1\",\"message\":\"quote \\\" backslash \\\\ "
             "newline \\n tab \\t bell \\u0007 end\"}");
+}
+
+// -- Rewrite-report JSON (tabular_lint --json --optimize) --------------------
+
+TEST(RewriteJsonGoldenTest, CertifiedRecord) {
+  lang::RewriteRecord r;
+  r.rule = "select-identity";
+  r.path = "2";
+  r.before = "T <- select Part = Part (T);";
+  r.after = "";
+  r.certified = true;
+  EXPECT_EQ(lang::RenderRewriteJson(r, "p.ta"),
+            "{\"file\":\"p.ta\",\"rewrite\":\"select-identity\","
+            "\"path\":\"2\",\"verdict\":\"certified\",\"certified\":true,"
+            "\"before\":\"T <- select Part = Part (T);\",\"after\":\"\"}");
+}
+
+TEST(RewriteJsonGoldenTest, RejectedRecordCarriesReasonAndDivergence) {
+  lang::RewriteRecord r;
+  r.rule = "project-superset";
+  r.path = "2";
+  r.before = "Sales <- project {Part} (Sales);";
+  r.after = "";
+  r.certified = false;
+  r.reason = "state at 'T' is not refined";
+  r.divergent_at = "exit";
+  EXPECT_EQ(lang::RenderRewriteJson(r, "p.ta"),
+            "{\"file\":\"p.ta\",\"rewrite\":\"project-superset\","
+            "\"path\":\"2\",\"verdict\":\"rejected\",\"certified\":false,"
+            "\"before\":\"Sales <- project {Part} (Sales);\",\"after\":\"\","
+            "\"reason\":\"state at 'T' is not refined\","
+            "\"divergent_at\":\"exit\"}");
+}
+
+TEST(RewriteJsonGoldenTest, UnvalidatedKeptRecordIsTrusted) {
+  // certified=false with no validator reason means the rewrite was kept on
+  // the rule's own soundness argument (validation switched off).
+  lang::RewriteRecord r;
+  r.rule = "rename-absent";
+  r.path = "1";
+  r.before = "T <- rename A / B (T);";
+  r.after = "";
+  EXPECT_EQ(lang::RenderRewriteJson(r, "p.ta"),
+            "{\"file\":\"p.ta\",\"rewrite\":\"rename-absent\",\"path\":\"1\","
+            "\"verdict\":\"trusted\",\"certified\":false,"
+            "\"before\":\"T <- rename A / B (T);\",\"after\":\"\"}");
+}
+
+TEST(RewriteJsonGoldenTest, EndToEndRejectionCarriesValidatorVerdict) {
+  // The transpose wildcard blinds the must-domain, so the project-superset
+  // candidate at statement 2 fails validation; the JSON report must say
+  // why and where.
+  auto db = io::ParseDatabase(kSalesFlat);
+  ASSERT_TRUE(db.ok());
+  auto program = lang::ParseProgram(
+      "Sales <- transpose (*1);\n"
+      "Sales <- project {Part} (Sales);\n");
+  ASSERT_TRUE(program.ok());
+  lang::OptimizeStats stats;
+  lang::OptimizeProgram(*program, AbstractDatabase::FromDatabase(*db), {},
+                        &stats);
+  ASSERT_EQ(stats.rejected, 1u);
+  ASSERT_FALSE(stats.records.empty());
+  const std::string json =
+      lang::RenderRewriteJson(stats.records[0], "p.ta");
+  EXPECT_NE(json.find("\"rewrite\":\"project-superset\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"verdict\":\"rejected\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"certified\":false"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"reason\":\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"divergent_at\":\""), std::string::npos) << json;
 }
 
 TEST(LintGoldenTest, SingletonParameterViolation) {

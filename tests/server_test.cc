@@ -1,0 +1,593 @@
+// tabulard end to end: the copy-on-write version store, the compiled-
+// program cache (keying, negative caching, eviction), and a live server
+// exercised through the client library — snapshot isolation under
+// concurrent readers and writers, first-committer-wins conflicts, byte
+// identity with the single-shot interpreter on every shipped example,
+// graceful shutdown, and a hostile-peer fuzz at the protocol boundary.
+//
+// The concurrency tests are written to run under TSan
+// (-DTABULAR_SANITIZE=tsan): real threads, no sleeps-as-synchronization.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/database.h"
+#include "core/status.h"
+#include "io/grid_format.h"
+#include "lang/interpreter.h"
+#include "lang/parser.h"
+#include "server/client.h"
+#include "server/program_cache.h"
+#include "server/server.h"
+#include "server/version.h"
+#include "server/wire.h"
+
+namespace tabular::server {
+namespace {
+
+constexpr std::string_view kSalesFlat =
+    "!Sales | !Part  | !Region | !Sold\n"
+    "#      | nuts   | east    | 50\n"
+    "#      | bolts  | west    | 60\n";
+
+core::TabularDatabase Db(std::string_view grid) {
+  auto db = io::ParseDatabase(grid);
+  EXPECT_TRUE(db.ok()) << db.status().ToString();
+  return std::move(*db);
+}
+
+std::string ReadExample(const std::string& name) {
+  std::ifstream in(std::string(TABULAR_SOURCE_DIR) + "/examples/" + name);
+  EXPECT_TRUE(in.good()) << name;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// -- VersionedDatabase -------------------------------------------------------
+
+TEST(VersionedDatabaseTest, InitialVersionIsOne) {
+  VersionedDatabase store{Db(kSalesFlat)};
+  Snapshot snap = store.Current();
+  EXPECT_EQ(snap.version, 1u);
+  ASSERT_NE(snap.db, nullptr);
+  EXPECT_TRUE(snap.db->HasTableNamed(core::Symbol::Name("Sales")));
+  EXPECT_EQ(store.CommitCount(), 0u);
+}
+
+TEST(VersionedDatabaseTest, CommitAdvancesTheVersion) {
+  VersionedDatabase store{Db(kSalesFlat)};
+  auto v2 = store.Commit(1, core::TabularDatabase());
+  ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+  EXPECT_EQ(*v2, 2u);
+  EXPECT_EQ(store.Current().version, 2u);
+  EXPECT_EQ(store.Current().db->size(), 0u);
+  EXPECT_EQ(store.CommitCount(), 1u);
+  EXPECT_EQ(store.ConflictCount(), 0u);
+}
+
+TEST(VersionedDatabaseTest, StaleBaseVersionConflicts) {
+  VersionedDatabase store{Db(kSalesFlat)};
+  ASSERT_TRUE(store.Commit(1, Db(kSalesFlat)).ok());
+  auto lost = store.Commit(1, core::TabularDatabase());
+  ASSERT_FALSE(lost.ok());
+  EXPECT_EQ(lost.status().code(), StatusCode::kUndefined);
+  EXPECT_NE(lost.status().message().find("commit conflict"),
+            std::string::npos);
+  // The losing commit left the store untouched.
+  EXPECT_EQ(store.Current().version, 2u);
+  EXPECT_EQ(store.Current().db->size(), 1u);
+  EXPECT_EQ(store.ConflictCount(), 1u);
+}
+
+TEST(VersionedDatabaseTest, PinnedSnapshotsOutliveNewerCommits) {
+  VersionedDatabase store{Db(kSalesFlat)};
+  Snapshot pinned = store.Current();
+  const std::string before = io::SerializeDatabase(*pinned.db);
+  ASSERT_TRUE(store.Commit(1, core::TabularDatabase()).ok());
+  // The old snapshot still reads its full database.
+  EXPECT_EQ(io::SerializeDatabase(*pinned.db), before);
+  EXPECT_EQ(store.Current().db->size(), 0u);
+}
+
+// -- Cache keying ------------------------------------------------------------
+
+TEST(SchemaFingerprintTest, RowContentDoesNotChangeTheFingerprint) {
+  // Same columns, different data rows, both nonempty: one coarsened class.
+  const std::string fp2 = SchemaFingerprint(Db(kSalesFlat));
+  const std::string fp3 = SchemaFingerprint(
+      Db("!Sales | !Part  | !Region | !Sold\n"
+         "#      | nuts   | east    | 50\n"
+         "#      | bolts  | west    | 60\n"
+         "#      | screws | north   | 70\n"));
+  EXPECT_EQ(fp2, fp3);
+}
+
+TEST(SchemaFingerprintTest, EmptyAndNonemptyTablesDiffer) {
+  // Zero data rows coarsens to =0, which analysis distinguishes from ≥1
+  // (a while guard on the table behaves differently), so it must re-key.
+  const std::string nonempty = SchemaFingerprint(Db(kSalesFlat));
+  const std::string empty = SchemaFingerprint(
+      Db("!Sales | !Part  | !Region | !Sold\n"));
+  EXPECT_NE(nonempty, empty);
+}
+
+TEST(SchemaFingerprintTest, DifferentColumnsDiffer) {
+  EXPECT_NE(SchemaFingerprint(Db(kSalesFlat)),
+            SchemaFingerprint(Db("!Sales | !Part | !Qty\n# | nuts | 5\n")));
+}
+
+// -- ProgramCache ------------------------------------------------------------
+
+TEST(ProgramCacheTest, SecondLookupHitsAndSharesTheEntry) {
+  ProgramCache cache;
+  bool hit = true;
+  auto first = cache.Get("T <- transpose (Sales);", Db(kSalesFlat), &hit);
+  EXPECT_FALSE(hit);
+  ASSERT_NE(first, nullptr);
+  EXPECT_TRUE(first->front_end.ok());
+
+  auto second = cache.Get("T <- transpose (Sales);", Db(kSalesFlat), &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(first.get(), second.get());  // the same compiled object
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(ProgramCacheTest, SameShapeDifferentRowsStillHits) {
+  ProgramCache cache;
+  cache.Get("T <- project {Part} (Sales);", Db(kSalesFlat));
+  bool hit = false;
+  cache.Get("T <- project {Part} (Sales);",
+            Db("!Sales | !Part  | !Region | !Sold\n"
+               "#      | screws | north   | 70\n"),
+            &hit);
+  EXPECT_TRUE(hit);
+}
+
+TEST(ProgramCacheTest, DifferentSchemaMisses) {
+  ProgramCache cache;
+  cache.Get("T <- transpose (Sales);", Db(kSalesFlat));
+  bool hit = true;
+  cache.Get("T <- transpose (Sales);",
+            Db("!Sales | !Part | !Qty\n# | nuts | 5\n"), &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_EQ(cache.misses(), 2u);
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(ProgramCacheTest, AnalysisErrorsAreNegativelyCached) {
+  ProgramCache cache;
+  bool hit = true;
+  auto entry = cache.Get("T <- union (Sales);", Db(kSalesFlat), &hit);
+  EXPECT_FALSE(hit);
+  ASSERT_NE(entry, nullptr);
+  ASSERT_FALSE(entry->front_end.ok());
+  EXPECT_NE(entry->front_end.message().find("union expects 2 argument(s)"),
+            std::string::npos)
+      << entry->front_end.ToString();
+
+  // The failure is served from cache — no recompile.
+  auto again = cache.Get("T <- union (Sales);", Db(kSalesFlat), &hit);
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(entry.get(), again.get());
+}
+
+TEST(ProgramCacheTest, LruEvictionDropsTheColdestEntry) {
+  ProgramCache::Options options;
+  options.capacity = 2;
+  ProgramCache cache(options);
+  const core::TabularDatabase db = Db(kSalesFlat);
+  cache.Get("A <- transpose (Sales);", db);
+  cache.Get("B <- transpose (Sales);", db);
+  cache.Get("A <- transpose (Sales);", db);  // A is now most-recent
+  cache.Get("C <- transpose (Sales);", db);  // evicts B
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+
+  bool hit = false;
+  cache.Get("A <- transpose (Sales);", db, &hit);
+  EXPECT_TRUE(hit);
+  cache.Get("B <- transpose (Sales);", db, &hit);
+  EXPECT_FALSE(hit);  // B was evicted
+}
+
+TEST(ProgramCacheTest, ZeroCapacityCompilesEveryTime) {
+  ProgramCache::Options options;
+  options.capacity = 0;
+  ProgramCache cache(options);
+  const core::TabularDatabase db = Db(kSalesFlat);
+  bool hit = true;
+  auto a = cache.Get("T <- transpose (Sales);", db, &hit);
+  EXPECT_FALSE(hit);
+  auto b = cache.Get("T <- transpose (Sales);", db, &hit);
+  EXPECT_FALSE(hit);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(ProgramCacheTest, CertifiedRewritesLandInTheCachedForm) {
+  ProgramCache cache;
+  auto entry = cache.Get(ReadExample("optimize_unroll.ta"),
+                         Db(std::string(
+                             "!Sales | !Part  | !Region | !Sold\n"
+                             "#      | nuts   | east    | 50\n")));
+  ASSERT_NE(entry, nullptr);
+  ASSERT_TRUE(entry->front_end.ok()) << entry->front_end.ToString();
+  EXPECT_GT(entry->optimize_stats.applied, 0u);
+  EXPECT_LT(entry->executable().statements.size(),
+            entry->parsed.statements.size());
+}
+
+// -- The live server ---------------------------------------------------------
+
+struct LiveServer {
+  std::unique_ptr<Server> server;
+
+  explicit LiveServer(core::TabularDatabase db = Db(kSalesFlat),
+                      ServerOptions options = {}) {
+    auto started = Server::Start(std::move(db), std::move(options));
+    EXPECT_TRUE(started.ok()) << started.status().ToString();
+    server = std::move(*started);
+  }
+
+  Client Connect() {
+    auto client = Client::ConnectTcp("127.0.0.1", server->port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(*client);
+  }
+};
+
+TEST(ServerTest, PingTablesAndStatsAnswer) {
+  LiveServer live;
+  Client client = live.Connect();
+  EXPECT_TRUE(client.Ping().ok());
+  auto tables = client.Tables();
+  ASSERT_TRUE(tables.ok());
+  EXPECT_EQ(*tables, "Sales\n");
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->find("\"version\":1"), std::string::npos) << *stats;
+}
+
+TEST(ServerTest, CommittedRunsAreVisibleToNewSessions) {
+  LiveServer live;
+  Client writer = live.Connect();
+  auto run = writer.Run("Parts <- project {Part} (Sales);");
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->executed_version, 1u);
+  EXPECT_EQ(run->committed_version, 2u);
+
+  Client reader = live.Connect();
+  auto tables = reader.Tables();
+  ASSERT_TRUE(tables.ok());
+  EXPECT_NE(tables->find("Parts"), std::string::npos) << *tables;
+  auto dump = reader.DumpDatabase();
+  ASSERT_TRUE(dump.ok());
+  EXPECT_EQ(dump->version, 2u);
+  EXPECT_NE(dump->database.find("!Parts"), std::string::npos);
+}
+
+TEST(ServerTest, UncommittedQueryLeavesTheVersionAlone) {
+  LiveServer live;
+  Client client = live.Connect();
+  auto run = client.Run("Parts <- project {Part} (Sales);",
+                        /*commit=*/false, /*want_dump=*/true);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_EQ(run->committed_version, 0u);
+  EXPECT_NE(run->dump.find("!Parts"), std::string::npos);
+  EXPECT_EQ(live.server->versions().Current().version, 1u);
+}
+
+TEST(ServerTest, FailingProgramsNeverCommit) {
+  LiveServer live;
+  Client client = live.Connect();
+  const std::string before =
+      io::SerializeDatabase(*live.server->versions().Current().db);
+  // Statically an error: union is binary.
+  auto run = client.Run("T <- union (Sales);");
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(live.server->versions().Current().version, 1u);
+  EXPECT_EQ(io::SerializeDatabase(*live.server->versions().Current().db),
+            before);
+  // The session survives its own failed request.
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST(ServerTest, RepeatedProgramsHitTheCompiledProgramCache) {
+  LiveServer live;
+  Client client = live.Connect();
+  auto first = client.Run("Parts <- project {Part} (Sales);",
+                          /*commit=*/false);
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(first->cache_hit);
+  auto second = client.Run("Parts <- project {Part} (Sales);",
+                           /*commit=*/false);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->cache_hit);
+  EXPECT_EQ(live.server->cache().hits(), 1u);
+  EXPECT_EQ(live.server->cache().misses(), 1u);
+}
+
+// -- Byte identity with the single-shot interpreter --------------------------
+
+TEST(ServerTest, ExamplesMatchTheSingleShotInterpreterByteForByte) {
+  namespace fs = std::filesystem;
+  const core::TabularDatabase initial =
+      Db([] {
+        std::ifstream in(std::string(TABULAR_SOURCE_DIR) +
+                         "/examples/sales.tdb");
+        std::stringstream ss;
+        ss << in.rdbuf();
+        return ss.str();
+      }());
+
+  size_t checked = 0;
+  for (const auto& entry : fs::directory_iterator(
+           std::string(TABULAR_SOURCE_DIR) + "/examples")) {
+    if (entry.path().extension() != ".ta") continue;
+    SCOPED_TRACE(entry.path().filename().string());
+    std::ifstream in(entry.path());
+    std::stringstream src;
+    src << in.rdbuf();
+
+    // Single shot: parse + run in process on a private copy.
+    core::TabularDatabase local = initial;
+    Status single_shot = Status::OK();
+    auto program = lang::ParseProgram(src.str());
+    if (program.ok()) {
+      lang::Interpreter interp;
+      single_shot = interp.Run(*program, &local);
+    } else {
+      single_shot = program.status();
+    }
+
+    // Server: a fresh server per example so every program sees the same
+    // initial database the single shot did.
+    LiveServer live{initial};
+    Client client = live.Connect();
+    auto run = client.Run(src.str(), /*commit=*/true, /*want_dump=*/true);
+
+    if (single_shot.ok()) {
+      ASSERT_TRUE(run.ok()) << run.status().ToString();
+      EXPECT_EQ(run->dump, io::SerializeDatabase(local));
+      // And the committed version dumps identically too.
+      auto dump = client.DumpDatabase();
+      ASSERT_TRUE(dump.ok());
+      EXPECT_EQ(dump->database, io::SerializeDatabase(local));
+    } else {
+      EXPECT_FALSE(run.ok())
+          << "server accepted a program the single shot rejects";
+    }
+    ++checked;
+  }
+  EXPECT_GE(checked, 4u);  // the shipped examples
+}
+
+// -- Snapshot isolation under concurrency ------------------------------------
+
+TEST(ServerTest, ReadersSeeCommitsAtomicallyWhileWritersRun) {
+  LiveServer live;
+
+  // The writer's program creates TWO tables in one commit; a reader must
+  // observe both or neither — never a half-applied program — and versions
+  // must be monotonic within a session.
+  std::atomic<bool> writer_done{false};
+  std::thread writer([&] {
+    Client client = live.Connect();
+    auto run = client.Run(
+        "Alpha <- project {Part} (Sales);\n"
+        "Beta <- project {Region} (Sales);\n");
+    EXPECT_TRUE(run.ok()) << run.status().ToString();
+    writer_done.store(true, std::memory_order_release);
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 4; ++r) {
+    readers.emplace_back([&] {
+      Client client = live.Connect();
+      uint64_t last_version = 0;
+      bool saw_both = false;
+      // Keep reading until the commit has landed and we observed it.
+      while (!saw_both || !writer_done.load(std::memory_order_acquire)) {
+        auto dump = client.DumpDatabase();
+        ASSERT_TRUE(dump.ok()) << dump.status().ToString();
+        EXPECT_GE(dump->version, last_version);
+        last_version = dump->version;
+        const bool alpha = dump->database.find("!Alpha") != std::string::npos;
+        const bool beta = dump->database.find("!Beta") != std::string::npos;
+        EXPECT_EQ(alpha, beta) << "half-applied commit visible:\n"
+                               << dump->database;
+        if (alpha && beta) saw_both = true;
+      }
+    });
+  }
+
+  writer.join();
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(live.server->versions().Current().version, 2u);
+}
+
+std::string WriterTable(int writer, int commit) {
+  std::string name = "W";
+  name += std::to_string(writer);
+  name += "C";
+  name += std::to_string(commit);
+  return name;
+}
+
+TEST(ServerTest, ConflictingWritersSerializeWithRetry) {
+  LiveServer live;
+  constexpr int kWriters = 4;
+  constexpr int kCommitsPerWriter = 8;
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&live, w] {
+      Client client = live.Connect();
+      for (int i = 0; i < kCommitsPerWriter; ++i) {
+        const std::string program =
+            WriterTable(w, i) + " <- project {Part} (Sales);";
+        for (;;) {
+          auto run = client.Run(program);
+          if (run.ok()) break;
+          // The only acceptable failure is a first-committer-wins
+          // conflict; re-execute against a fresh snapshot.
+          ASSERT_EQ(run.status().code(), StatusCode::kUndefined)
+              << run.status().ToString();
+        }
+      }
+    });
+  }
+  for (auto& t : writers) t.join();
+
+  // Every commit eventually landed, versions form a linear history.
+  const Snapshot final_snap = live.server->versions().Current();
+  EXPECT_EQ(final_snap.version,
+            1u + static_cast<uint64_t>(kWriters * kCommitsPerWriter));
+  for (int w = 0; w < kWriters; ++w) {
+    for (int i = 0; i < kCommitsPerWriter; ++i) {
+      EXPECT_TRUE(
+          final_snap.db->HasTableNamed(core::Symbol::Name(WriterTable(w, i))));
+    }
+  }
+}
+
+// -- Graceful shutdown -------------------------------------------------------
+
+TEST(ServerTest, ShutdownRefusesNewSessionsAndDrains) {
+  LiveServer live;
+  Client client = live.Connect();
+  ASSERT_TRUE(client.Ping().ok());
+
+  live.server->RequestShutdown();
+
+  // New connections are refused: the accept loop closes them, so the
+  // first round trip fails cleanly.
+  auto late = Client::ConnectTcp("127.0.0.1", live.server->port());
+  if (late.ok()) {
+    EXPECT_FALSE(late->Ping().ok());
+  }
+
+  live.server->Shutdown();
+  EXPECT_EQ(live.server->Stats().sessions_active, 0u);
+}
+
+TEST(ServerTest, ClientShutdownRequestDrainsTheServer) {
+  LiveServer live;
+  Client client = live.Connect();
+  EXPECT_TRUE(client.Shutdown().ok());  // the server answers, then drains
+  EXPECT_TRUE(live.server->ShutdownRequested());
+  live.server->WaitForShutdownRequest();  // must not block
+  live.server->Shutdown();
+}
+
+// -- Hostile peers -----------------------------------------------------------
+
+int RawConnect(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  EXPECT_EQ(::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr), 1);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  return fd;
+}
+
+TEST(ServerFuzzTest, WellFramedGarbageGetsAnErrorAndTheSessionLives) {
+  LiveServer live;
+  const int fd = RawConnect(live.server->port());
+
+  uint64_t rng = 0xC0FFEE;
+  auto next = [&rng] {
+    rng = rng * 6364136223846793005ull + 1442695040888963407ull;
+    return rng >> 33;
+  };
+  for (int round = 0; round < 32; ++round) {
+    std::string junk;
+    const size_t len = 1 + next() % 24;
+    for (size_t i = 0; i < len; ++i) {
+      junk.push_back(static_cast<char>(next() & 0xFF));
+    }
+    // Force a request-range type byte so the frame is "plausible" but the
+    // body is garbage (or the type is unknown) — excluding kShutdown,
+    // which a server rightly honors by draining.
+    uint8_t type_byte = static_cast<uint8_t>(next() % 96);
+    if (type_byte == static_cast<uint8_t>(MsgType::kShutdown)) ++type_byte;
+    junk[0] = static_cast<char>(type_byte);
+    ASSERT_TRUE(WriteFrame(fd, junk).ok());
+    auto resp = ReadFrame(fd);
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    ASSERT_TRUE(resp->has_value()) << "server dropped a framed request";
+    // Every answer is a well-formed kOk or kError payload.
+    ASSERT_FALSE((*resp)->empty());
+    const uint8_t type = static_cast<uint8_t>((**resp)[0]);
+    EXPECT_TRUE(type == static_cast<uint8_t>(MsgType::kOk) ||
+                type == static_cast<uint8_t>(MsgType::kError))
+        << "type=" << int(type);
+  }
+
+  // The session is still usable for real work afterwards.
+  ASSERT_TRUE(WriteFrame(fd, EncodeBareRequest(MsgType::kPing)).ok());
+  auto pong = ReadFrame(fd);
+  ASSERT_TRUE(pong.ok());
+  ASSERT_TRUE(pong->has_value());
+  EXPECT_EQ(static_cast<uint8_t>((**pong)[0]),
+            static_cast<uint8_t>(MsgType::kOk));
+  ::close(fd);
+
+  // And the server itself is unharmed.
+  Client client = live.Connect();
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST(ServerFuzzTest, BrokenFramingDropsOnlyThatSession) {
+  LiveServer live;
+
+  {  // Truncated length prefix, then close.
+    const int fd = RawConnect(live.server->port());
+    const char two[] = {0x7F, 0x00};
+    ASSERT_EQ(::write(fd, two, 2), 2);
+    ::close(fd);
+  }
+  {  // Oversized frame announcement.
+    const int fd = RawConnect(live.server->port());
+    std::string prefix;
+    PutU32(&prefix, kMaxFramePayload + 7);
+    ASSERT_EQ(::write(fd, prefix.data(), prefix.size()), 4);
+    // The server answers with a parse error (best effort) and drops us.
+    auto resp = ReadFrame(fd);
+    if (resp.ok() && resp->has_value()) {
+      EXPECT_EQ(static_cast<uint8_t>((**resp)[0]),
+                static_cast<uint8_t>(MsgType::kError));
+    }
+    ::close(fd);
+  }
+
+  // A well-behaved client is unaffected throughout.
+  Client client = live.Connect();
+  EXPECT_TRUE(client.Ping().ok());
+  auto tables = client.Tables();
+  ASSERT_TRUE(tables.ok());
+  EXPECT_EQ(*tables, "Sales\n");
+}
+
+}  // namespace
+}  // namespace tabular::server

@@ -1,0 +1,313 @@
+// The tabulard wire protocol: encode/decode round trips, cursor
+// truncation behavior, framed stream I/O over a socketpair, and a
+// deterministic malformed-frame fuzz — a hostile peer must produce clean
+// kParseError statuses, never a crash or an oversized allocation.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "core/status.h"
+#include "server/wire.h"
+
+namespace tabular::server {
+namespace {
+
+// -- Primitive round trips ---------------------------------------------------
+
+TEST(WireCursorTest, PrimitivesRoundTrip) {
+  std::string buf;
+  PutU8(&buf, 0xAB);
+  PutU32(&buf, 0xDEADBEEF);
+  PutU64(&buf, 0x0123456789ABCDEFull);
+  PutString(&buf, "hello \0 world");
+
+  WireCursor cursor(buf);
+  uint8_t u8 = 0;
+  uint32_t u32 = 0;
+  uint64_t u64 = 0;
+  std::string s;
+  ASSERT_TRUE(cursor.GetU8(&u8).ok());
+  ASSERT_TRUE(cursor.GetU32(&u32).ok());
+  ASSERT_TRUE(cursor.GetU64(&u64).ok());
+  ASSERT_TRUE(cursor.GetString(&s).ok());
+  EXPECT_EQ(u8, 0xAB);
+  EXPECT_EQ(u32, 0xDEADBEEFu);
+  EXPECT_EQ(u64, 0x0123456789ABCDEFull);
+  EXPECT_EQ(s, "hello ");  // string_view literal stops at the NUL
+  EXPECT_TRUE(cursor.AtEnd());
+  EXPECT_TRUE(cursor.ExpectEnd().ok());
+}
+
+TEST(WireCursorTest, EncodingIsLittleEndian) {
+  std::string buf;
+  PutU32(&buf, 0x01020304);
+  ASSERT_EQ(buf.size(), 4u);
+  EXPECT_EQ(static_cast<uint8_t>(buf[0]), 0x04);
+  EXPECT_EQ(static_cast<uint8_t>(buf[3]), 0x01);
+}
+
+TEST(WireCursorTest, TruncationIsAParseErrorNotARead) {
+  std::string buf;
+  PutU32(&buf, 7);
+  buf.resize(2);  // half a u32
+  WireCursor cursor(buf);
+  uint32_t v = 0;
+  Status st = cursor.GetU32(&v);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+}
+
+TEST(WireCursorTest, StringLengthBeyondBufferIsAParseError) {
+  std::string buf;
+  PutU32(&buf, 1000);  // claims 1000 bytes, provides 3
+  buf += "abc";
+  WireCursor cursor(buf);
+  std::string s;
+  Status st = cursor.GetString(&s);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+}
+
+TEST(WireCursorTest, TrailingGarbageFailsExpectEnd) {
+  std::string buf;
+  PutU8(&buf, 1);
+  buf += "extra";
+  WireCursor cursor(buf);
+  uint8_t v = 0;
+  ASSERT_TRUE(cursor.GetU8(&v).ok());
+  EXPECT_FALSE(cursor.AtEnd());
+  Status st = cursor.ExpectEnd();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+}
+
+// -- Message round trips -----------------------------------------------------
+
+TEST(WireMessageTest, RunRequestRoundTrip) {
+  RunRequest req;
+  req.program = "T <- transpose (Sales);\n";
+  req.commit = false;
+  req.want_dump = true;
+  RunRequest out;
+  ASSERT_TRUE(DecodeRunRequest(EncodeRunRequest(req), &out).ok());
+  EXPECT_EQ(out.program, req.program);
+  EXPECT_EQ(out.commit, false);
+  EXPECT_EQ(out.want_dump, true);
+}
+
+TEST(WireMessageTest, RunRequestUnknownFlagRejected) {
+  RunRequest req;
+  req.program = "p";
+  std::string payload = EncodeRunRequest(req);
+  // The flags byte follows the type byte; set an undefined bit.
+  payload[1] = static_cast<char>(payload[1] | 0x80);
+  RunRequest out;
+  Status st = DecodeRunRequest(payload, &out);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+}
+
+TEST(WireMessageTest, RunRequestWrongTypeByteRejected) {
+  std::string payload = EncodeBareRequest(MsgType::kPing);
+  RunRequest out;
+  EXPECT_FALSE(DecodeRunRequest(payload, &out).ok());
+}
+
+TEST(WireMessageTest, RunResponseRoundTrip) {
+  RunResponse resp;
+  resp.executed_version = 41;
+  resp.committed_version = 42;
+  resp.cache_hit = true;
+  resp.steps = 17;
+  resp.rewrites_applied = 3;
+  resp.rewrites_rejected = 1;
+  resp.dump = "!T | !A\n#  | 1\n";
+  RunResponse out;
+  ASSERT_TRUE(DecodeRunResponse(EncodeRunResponse(resp), &out).ok());
+  EXPECT_EQ(out.executed_version, 41u);
+  EXPECT_EQ(out.committed_version, 42u);
+  EXPECT_TRUE(out.cache_hit);
+  EXPECT_EQ(out.steps, 17u);
+  EXPECT_EQ(out.rewrites_applied, 3u);
+  EXPECT_EQ(out.rewrites_rejected, 1u);
+  EXPECT_EQ(out.dump, resp.dump);
+}
+
+TEST(WireMessageTest, ErrorRoundTripPreservesCode) {
+  ErrorResponse err;
+  err.code = StatusCode::kUndefined;
+  err.message = "commit conflict: base version 3 is no longer current";
+  ErrorResponse out;
+  ASSERT_TRUE(DecodeError(EncodeError(err), &out).ok());
+  EXPECT_EQ(out.code, StatusCode::kUndefined);
+  EXPECT_EQ(out.message, err.message);
+}
+
+TEST(WireMessageTest, TruncatedRunRequestBodyIsAParseError) {
+  std::string payload = EncodeRunRequest(RunRequest{"program text", true, false});
+  for (size_t cut = 1; cut < payload.size(); ++cut) {
+    RunRequest out;
+    Status st = DecodeRunRequest(payload.substr(0, cut), &out);
+    ASSERT_FALSE(st.ok()) << "cut=" << cut;
+    EXPECT_EQ(st.code(), StatusCode::kParseError) << "cut=" << cut;
+  }
+}
+
+// -- Framed stream I/O -------------------------------------------------------
+
+struct SocketPair {
+  int a = -1, b = -1;
+  SocketPair() {
+    int fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = fds[0];
+    b = fds[1];
+  }
+  ~SocketPair() {
+    if (a >= 0) ::close(a);
+    if (b >= 0) ::close(b);
+  }
+  void CloseA() {
+    ::close(a);
+    a = -1;
+  }
+};
+
+TEST(WireFrameTest, FramesRoundTripInOrder) {
+  SocketPair sp;
+  ASSERT_TRUE(WriteFrame(sp.a, "first").ok());
+  ASSERT_TRUE(WriteFrame(sp.a, std::string(100000, 'x')).ok());
+  auto f1 = ReadFrame(sp.b);
+  ASSERT_TRUE(f1.ok()) << f1.status().ToString();
+  ASSERT_TRUE(f1->has_value());
+  EXPECT_EQ(**f1, "first");
+  auto f2 = ReadFrame(sp.b);
+  ASSERT_TRUE(f2.ok());
+  ASSERT_TRUE(f2->has_value());
+  EXPECT_EQ((*f2)->size(), 100000u);
+}
+
+TEST(WireFrameTest, CleanCloseAtBoundaryIsEof) {
+  SocketPair sp;
+  ASSERT_TRUE(WriteFrame(sp.a, "only").ok());
+  sp.CloseA();
+  auto f1 = ReadFrame(sp.b);
+  ASSERT_TRUE(f1.ok());
+  ASSERT_TRUE(f1->has_value());
+  auto f2 = ReadFrame(sp.b);
+  ASSERT_TRUE(f2.ok()) << f2.status().ToString();
+  EXPECT_FALSE(f2->has_value());  // clean EOF, not an error
+}
+
+TEST(WireFrameTest, TruncatedLengthPrefixIsAParseError) {
+  SocketPair sp;
+  const char two[] = {0x10, 0x00};
+  ASSERT_EQ(::write(sp.a, two, 2), 2);
+  sp.CloseA();
+  auto f = ReadFrame(sp.b);
+  ASSERT_FALSE(f.ok());
+  EXPECT_EQ(f.status().code(), StatusCode::kParseError);
+}
+
+TEST(WireFrameTest, TruncatedPayloadIsAParseError) {
+  SocketPair sp;
+  std::string partial;
+  PutU32(&partial, 10);  // promises 10 payload bytes
+  partial += "abc";      // delivers 3
+  ASSERT_EQ(::write(sp.a, partial.data(), partial.size()),
+            static_cast<ssize_t>(partial.size()));
+  sp.CloseA();
+  auto f = ReadFrame(sp.b);
+  ASSERT_FALSE(f.ok());
+  EXPECT_EQ(f.status().code(), StatusCode::kParseError);
+}
+
+TEST(WireFrameTest, OversizedLengthPrefixRejectedBeforeAllocation) {
+  SocketPair sp;
+  std::string prefix;
+  PutU32(&prefix, kMaxFramePayload + 1);
+  ASSERT_EQ(::write(sp.a, prefix.data(), prefix.size()), 4);
+  auto f = ReadFrame(sp.b);
+  ASSERT_FALSE(f.ok());
+  EXPECT_EQ(f.status().code(), StatusCode::kParseError);
+}
+
+TEST(WireFrameTest, ZeroLengthFrameIsAParseError) {
+  SocketPair sp;
+  std::string prefix;
+  PutU32(&prefix, 0);  // a payload must hold at least the type byte
+  ASSERT_EQ(::write(sp.a, prefix.data(), prefix.size()), 4);
+  auto f = ReadFrame(sp.b);
+  ASSERT_FALSE(f.ok());
+  EXPECT_EQ(f.status().code(), StatusCode::kParseError);
+}
+
+// -- Malformed-byte fuzz -----------------------------------------------------
+
+/// Deterministic LCG so failures reproduce; no global RNG state.
+class Lcg {
+ public:
+  explicit Lcg(uint64_t seed) : state_(seed) {}
+  uint64_t Next() {
+    state_ = state_ * 6364136223846793005ull + 1442695040888963407ull;
+    return state_ >> 33;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+TEST(WireFuzzTest, RandomBytesNeverCrashReadFrame) {
+  Lcg rng(0xF00D);
+  for (int round = 0; round < 200; ++round) {
+    SocketPair sp;
+    const size_t len = rng.Next() % 64;
+    std::string junk;
+    for (size_t i = 0; i < len; ++i) {
+      junk.push_back(static_cast<char>(rng.Next() & 0xFF));
+    }
+    if (!junk.empty()) {
+      ASSERT_EQ(::write(sp.a, junk.data(), junk.size()),
+                static_cast<ssize_t>(junk.size()));
+    }
+    sp.CloseA();
+    // Drain the stream: every outcome must be a clean EOF, a parse error,
+    // or a well-formed frame — never a crash or hang.
+    for (int frames = 0; frames < 8; ++frames) {
+      auto f = ReadFrame(sp.b);
+      if (!f.ok()) {
+        EXPECT_EQ(f.status().code(), StatusCode::kParseError)
+            << f.status().ToString();
+        break;
+      }
+      if (!f->has_value()) break;  // clean EOF
+    }
+  }
+}
+
+TEST(WireFuzzTest, RandomPayloadsNeverCrashDecoders) {
+  Lcg rng(0xBEEF);
+  for (int round = 0; round < 500; ++round) {
+    const size_t len = rng.Next() % 48;
+    std::string payload;
+    for (size_t i = 0; i < len; ++i) {
+      payload.push_back(static_cast<char>(rng.Next() & 0xFF));
+    }
+    RunRequest req;
+    RunResponse resp;
+    ErrorResponse err;
+    // Decoders must return a Status, never crash; contents are unchecked.
+    (void)DecodeRunRequest(payload, &req);
+    (void)DecodeRunResponse(payload, &resp);
+    (void)DecodeError(payload, &err);
+  }
+}
+
+}  // namespace
+}  // namespace tabular::server

@@ -1,0 +1,179 @@
+// tabular_cli: client for a running tabulard server.
+//
+//   tabular_cli [--connect host:port | --unix path] <command> [args]
+//
+// commands:
+//   ping                   check the server is alive
+//   run <program.ta>       execute and commit a new database version
+//   query <program.ta>     execute read-only; prints the resulting
+//                          database (grid format) to stdout
+//   dump                   print the current database (grid format)
+//   tables                 list table names, one per line
+//   stats                  server statistics as JSON
+//   metrics                server metrics registry as JSON
+//   shutdown               ask the server to shut down gracefully
+//
+// Exit codes: 0 success, 1 server-side error, 2 usage/connection failure.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "server/client.h"
+
+namespace {
+
+constexpr const char* kUsage =
+    R"(usage: tabular_cli [--connect host:port | --unix path] <command> [args]
+
+commands: ping, run <program.ta>, query <program.ta>, dump, tables, stats,
+metrics, shutdown (default endpoint: --connect 127.0.0.1:7690)
+)";
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using tabular::server::Client;
+  using tabular::server::RunResponse;
+
+  std::string host = "127.0.0.1";
+  uint16_t port = 7690;
+  std::string unix_path;
+  std::string command;
+  std::string command_arg;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    } else if (arg == "--connect") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "tabular_cli: --connect requires host:port\n");
+        return 2;
+      }
+      const std::string spec = argv[++i];
+      const size_t colon = spec.rfind(':');
+      if (colon == std::string::npos || colon == 0) {
+        std::fprintf(stderr, "tabular_cli: --connect expects host:port\n");
+        return 2;
+      }
+      host = spec.substr(0, colon);
+      port = static_cast<uint16_t>(
+          std::strtoul(spec.c_str() + colon + 1, nullptr, 10));
+    } else if (arg == "--unix") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "tabular_cli: --unix requires a path\n");
+        return 2;
+      }
+      unix_path = argv[++i];
+    } else if (command.empty()) {
+      command = arg;
+    } else if (command_arg.empty()) {
+      command_arg = arg;
+    } else {
+      std::fprintf(stderr, "tabular_cli: unexpected argument '%s'\n%s",
+                   arg.c_str(), kUsage);
+      return 2;
+    }
+  }
+
+  if (command.empty()) {
+    std::fprintf(stderr, "tabular_cli: no command given\n%s", kUsage);
+    return 2;
+  }
+
+  auto connected = unix_path.empty() ? Client::ConnectTcp(host, port)
+                                     : Client::ConnectUnix(unix_path);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "tabular_cli: %s\n",
+                 connected.status().message().c_str());
+    return 2;
+  }
+  Client client = std::move(*connected);
+
+  auto fail = [](const tabular::Status& st) {
+    std::fprintf(stderr, "tabular_cli: error: %s\n", st.ToString().c_str());
+    return 1;
+  };
+
+  if (command == "ping") {
+    tabular::Status st = client.Ping();
+    if (!st.ok()) return fail(st);
+    std::printf("pong\n");
+    return 0;
+  }
+  if (command == "run" || command == "query") {
+    if (command_arg.empty()) {
+      std::fprintf(stderr, "tabular_cli: %s requires a .ta file\n%s",
+                   command.c_str(), kUsage);
+      return 2;
+    }
+    std::string program;
+    if (!ReadFile(command_arg, &program)) {
+      std::fprintf(stderr, "tabular_cli: cannot read '%s'\n",
+                   command_arg.c_str());
+      return 2;
+    }
+    const bool commit = command == "run";
+    auto result = client.Run(program, commit, /*want_dump=*/!commit);
+    if (!result.ok()) return fail(result.status());
+    if (commit) {
+      std::printf("ok: version %llu -> %llu (%s, %llu step(s), "
+                  "%u rewrite(s))\n",
+                  static_cast<unsigned long long>(result->executed_version),
+                  static_cast<unsigned long long>(result->committed_version),
+                  result->cache_hit ? "cache hit" : "compiled",
+                  static_cast<unsigned long long>(result->steps),
+                  result->rewrites_applied);
+    } else {
+      std::fputs(result->dump.c_str(), stdout);
+    }
+    return 0;
+  }
+  if (command == "dump") {
+    auto dump = client.DumpDatabase();
+    if (!dump.ok()) return fail(dump.status());
+    std::fputs(dump->database.c_str(), stdout);
+    return 0;
+  }
+  if (command == "tables") {
+    auto tables = client.Tables();
+    if (!tables.ok()) return fail(tables.status());
+    std::fputs(tables->c_str(), stdout);
+    return 0;
+  }
+  if (command == "stats") {
+    auto stats = client.Stats();
+    if (!stats.ok()) return fail(stats.status());
+    std::printf("%s\n", stats->c_str());
+    return 0;
+  }
+  if (command == "metrics") {
+    auto metrics = client.Metrics();
+    if (!metrics.ok()) return fail(metrics.status());
+    std::printf("%s\n", metrics->c_str());
+    return 0;
+  }
+  if (command == "shutdown") {
+    tabular::Status st = client.Shutdown();
+    if (!st.ok()) return fail(st);
+    std::printf("shutting down\n");
+    return 0;
+  }
+  std::fprintf(stderr, "tabular_cli: unknown command '%s'\n%s",
+               command.c_str(), kUsage);
+  return 2;
+}

@@ -219,24 +219,28 @@ int main(int argc, char** argv) {
       rewrites_rejected += stats.rejected;
       for (const tabular::lang::RewriteRecord& r : stats.records) {
         if (json) {
-          using tabular::analysis::JsonEscape;
-          json_objects.push_back(
-              "{\"file\":\"" + JsonEscape(file) + "\",\"rewrite\":\"" +
-              JsonEscape(r.rule) + "\",\"path\":\"" + JsonEscape(r.path) +
-              "\",\"certified\":" + (r.certified ? "true" : "false") +
-              ",\"before\":\"" + JsonEscape(r.before) + "\",\"after\":\"" +
-              JsonEscape(r.after) +
-              (r.reason.empty()
-                   ? std::string()
-                   : "\",\"reason\":\"" + JsonEscape(r.reason)) +
-              "\"}");
+          json_objects.push_back(tabular::lang::RenderRewriteJson(r, file));
           continue;
         }
         std::cout << file << ":" << r.path << ": optimize: " << r.rule
                   << (r.certified ? " (certified)" : " (rejected)") << "\n";
         std::cout << "  - " << r.before << "\n";
         if (!r.after.empty()) std::cout << "  + " << r.after << "\n";
-        if (!r.reason.empty()) std::cout << "  reason: " << r.reason << "\n";
+        if (!r.reason.empty()) {
+          std::cout << "  reason: " << r.reason
+                    << (r.divergent_at.empty()
+                            ? ""
+                            : " (diverged at " + r.divergent_at + ")")
+                    << "\n";
+        }
+      }
+      if (json) {
+        // Per-file summary so CI logs can tie rejected counts to files
+        // without re-deriving them from the rewrite objects.
+        json_objects.push_back(
+            "{\"file\":\"" + tabular::analysis::JsonEscape(file) +
+            "\",\"rewrites_applied\":" + std::to_string(stats.applied) +
+            ",\"rewrites_rejected\":" + std::to_string(stats.rejected) + "}");
       }
     }
   }

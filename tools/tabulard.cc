@@ -1,0 +1,186 @@
+// tabulard: the concurrent multi-session tabular-algebra server.
+//
+// Serves TA programs over the length-prefixed wire protocol of
+// src/server/wire.h (localhost TCP or a unix socket) under snapshot
+// isolation: every request executes against an immutable database version;
+// commits install a new version with an atomic first-committer-wins swap.
+// Parsed + analyzed + optimizer-certified programs are cached per
+// (program text, schema shape).
+//
+//   tabulard --db examples/sales.tdb --listen 127.0.0.1:7690
+//   tabulard --db examples/sales.tdb --unix /tmp/tabulard.sock
+//
+// SIGINT/SIGTERM shut down gracefully: new sessions are refused, in-flight
+// requests drain (bounded by --drain-seconds), and the process exits 0.
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include <unistd.h>
+
+#include "core/database.h"
+#include "core/status.h"
+#include "io/grid_format.h"
+#include "server/server.h"
+
+namespace {
+
+constexpr const char* kUsage =
+    R"(usage: tabulard [options]
+
+options:
+  --db <file>          initial database (grid format; default: empty)
+  --listen <host:port> listen on localhost TCP (port 0 = ephemeral)
+  --unix <path>        listen on a unix socket instead
+  --cache-capacity <n> compiled-program cache entries (default 128)
+  --no-optimize        skip the certified rewrite engine when compiling
+  --drain-seconds <s>  graceful-shutdown drain deadline (default 5)
+  --max-sessions <n>   concurrent session limit (default 1024)
+  --quiet              no startup banner
+  -h, --help           show this help
+)";
+
+// Signal handling: the handler only writes one byte to a self-pipe
+// (async-signal-safe); the main thread blocks on the pipe and runs the
+// graceful shutdown outside signal context.
+int g_signal_pipe[2] = {-1, -1};
+
+void OnShutdownSignal(int /*sig*/) {
+  const char byte = 1;
+  ssize_t ignored = ::write(g_signal_pipe[1], &byte, 1);
+  (void)ignored;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using tabular::server::Server;
+  using tabular::server::ServerOptions;
+
+  ServerOptions options;
+  std::string db_path;
+  std::string listen = "127.0.0.1:0";
+  bool quiet = false;
+
+  auto need_value = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "tabulard: error: %s requires a value\n", flag);
+      return nullptr;
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "-h" || arg == "--help") {
+      std::fputs(kUsage, stdout);
+      return 0;
+    } else if (arg == "--db") {
+      const char* v = need_value(i, "--db");
+      if (v == nullptr) return 2;
+      db_path = v;
+    } else if (arg == "--listen") {
+      const char* v = need_value(i, "--listen");
+      if (v == nullptr) return 2;
+      listen = v;
+    } else if (arg == "--unix") {
+      const char* v = need_value(i, "--unix");
+      if (v == nullptr) return 2;
+      options.unix_path = v;
+    } else if (arg == "--cache-capacity") {
+      const char* v = need_value(i, "--cache-capacity");
+      if (v == nullptr) return 2;
+      options.cache.capacity = static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--no-optimize") {
+      options.cache.optimize = false;
+    } else if (arg == "--drain-seconds") {
+      const char* v = need_value(i, "--drain-seconds");
+      if (v == nullptr) return 2;
+      options.drain_seconds = std::strtod(v, nullptr);
+    } else if (arg == "--max-sessions") {
+      const char* v = need_value(i, "--max-sessions");
+      if (v == nullptr) return 2;
+      options.max_sessions =
+          static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      std::fprintf(stderr, "tabulard: error: unknown option '%s'\n%s",
+                   arg.c_str(), kUsage);
+      return 2;
+    }
+  }
+
+  if (options.unix_path.empty()) {
+    const size_t colon = listen.rfind(':');
+    if (colon == std::string::npos || colon == 0) {
+      std::fprintf(stderr, "tabulard: error: --listen expects host:port\n");
+      return 2;
+    }
+    options.host = listen.substr(0, colon);
+    options.port = static_cast<uint16_t>(
+        std::strtoul(listen.c_str() + colon + 1, nullptr, 10));
+  }
+
+  tabular::core::TabularDatabase db;
+  if (!db_path.empty()) {
+    auto loaded = tabular::io::LoadDatabaseFile(db_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "tabulard: error: cannot load '%s': %s\n",
+                   db_path.c_str(), loaded.status().message().c_str());
+      return 2;
+    }
+    db = std::move(*loaded);
+  }
+
+  if (::pipe(g_signal_pipe) != 0) {
+    std::perror("tabulard: pipe");
+    return 1;
+  }
+  struct sigaction sa{};
+  sa.sa_handler = OnShutdownSignal;
+  ::sigemptyset(&sa.sa_mask);
+  ::sigaction(SIGINT, &sa, nullptr);
+  ::sigaction(SIGTERM, &sa, nullptr);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  auto server = Server::Start(std::move(db), options);
+  if (!server.ok()) {
+    std::fprintf(stderr, "tabulard: error: %s\n",
+                 server.status().message().c_str());
+    return 1;
+  }
+  if (!quiet) {
+    std::printf("tabulard: listening on %s (%zu table(s), cache %zu)\n",
+                (*server)->endpoint().c_str(),
+                (*server)->versions().Current().db->size(),
+                options.cache.capacity);
+    std::fflush(stdout);
+  }
+
+  // Block until a shutdown signal or a client Shutdown request, whichever
+  // comes first, then drain and exit 0. The signal watcher runs in a
+  // helper thread so the Shutdown *request* path needs no signal at all.
+  std::thread signal_watcher([&server] {
+    char byte;
+    while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+    }
+    (*server)->RequestShutdown();
+  });
+  (*server)->WaitForShutdownRequest();
+  if (!quiet) {
+    std::printf("tabulard: draining sessions\n");
+    std::fflush(stdout);
+  }
+  (*server)->Shutdown();
+  // Unblock the watcher if shutdown came from a client request.
+  OnShutdownSignal(0);
+  signal_watcher.join();
+  if (!quiet) std::printf("tabulard: bye\n");
+  return 0;
+}
