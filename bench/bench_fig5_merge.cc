@@ -96,6 +96,37 @@ void BM_GroupMergeRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_GroupMergeRoundTrip)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 
+// The 10M-row Figure 5 workload: MERGE on Sold by Region over a pivoted
+// table of 625k parts × 16 regions emits exactly one tuple per (part,
+// region) pair — 10M output rows, ⊥ combinations included. Unlike GROUP,
+// MERGE's output is linear in its input, so this runs as a single kernel
+// invocation; the `rows` counter (and the ta_rows_out delta) record the
+// 10M-row floor for CI.
+void BM_MergeOnSoldByRegion10M(benchmark::State& state) {
+  const size_t parts = 625'000;
+  const size_t regions = 16;
+  const Table pivoted =
+      tabular::fixtures::SyntheticPivotedSales(parts, regions);
+  tabular::bench::CounterDeltas deltas(
+      state, {{"ta_calls", "algebra.merge.calls"},
+              {"ta_rows_in", "algebra.merge.rows_in"},
+              {"ta_rows_out", "algebra.merge.rows_out"}});
+  for (auto _ : state) {
+    auto r = tabular::algebra::Merge(pivoted, {S("Sold")}, {S("Region")},
+                                     S("Sales"));
+    if (!r.ok()) state.SkipWithError(r.status().ToString().c_str());
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["rows"] = static_cast<double>(parts * regions);
+  state.SetItemsProcessed(state.iterations() * parts * regions);
+}
+BENCHMARK(BM_MergeOnSoldByRegion10M)
+    ->Unit(benchmark::kMillisecond)
+    // One warm-up pass so the measured iterations exercise the kernel, not
+    // first-touch page faults on ~160 MiB of freshly mapped output.
+    ->MinWarmUpTime(0.2)
+    ->MinTime(0.05);
+
 }  // namespace
 
 TABULAR_BENCH_MAIN("BENCH_fig5_merge.json")

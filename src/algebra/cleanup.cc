@@ -1,6 +1,6 @@
 #include "algebra/cleanup.h"
 
-#include <map>
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -10,95 +10,321 @@
 
 namespace tabular::algebra {
 
-using core::StripNull;
-using core::SymbolSet;
-
 namespace {
 
-void AppendSymbolFingerprint(Symbol s, std::string* out) {
-  out->push_back(static_cast<char>('0' + static_cast<int>(s.kind())));
-  out->append(s.is_null() ? "" : s.text());
-  out->push_back('\x1f');
+/// Appends a symbol handle to a byte key. A `Symbol` is its interned
+/// dictionary handle, so handle equality is symbol equality and the four
+/// raw bytes are an injective fingerprint — no text needed.
+void AppendHandle(Symbol s, std::string* out) {
+  const uint32_t id = s.raw_id();
+  out->push_back(static_cast<char>(id));
+  out->push_back(static_cast<char>(id >> 8));
+  out->push_back(static_cast<char>(id >> 16));
+  out->push_back(static_cast<char>(id >> 24));
 }
 
-/// Grouping key: row attribute plus, per 𝒜-attribute, the ⊥-stripped set
-/// of entries under columns with that attribute.
-std::string GroupKey(const Table& t, size_t row, const SymbolVec& by_attrs) {
-  std::string key;
-  AppendSymbolFingerprint(t.at(row, 0), &key);
-  for (Symbol a : by_attrs) {
-    key.push_back('\x1e');
-    for (Symbol s : StripNull(t.RowEntries(row, a))) {
-      AppendSymbolFingerprint(s, &key);
-    }
+/// Open-addressed byte-string → group-id index. The sharded GROUP+CLEAN-UP
+/// ingest path calls CleanUp tens of thousands of times on small tables,
+/// where `unordered_map<std::string, ...>`'s per-lookup hashing/allocation
+/// overhead dominates; this map keeps all inserted keys in one arena and
+/// probes a flat pow2 slot array on a 64-bit FNV-1a, so a lookup is one
+/// hash pass plus (almost always) one cache line.
+class GroupIndex {
+ public:
+  explicit GroupIndex(size_t expected) {
+    size_t cap = 16;
+    while (cap < 2 * expected) cap <<= 1;
+    slots_.assign(cap, Slot{0, kEmpty});
   }
-  return key;
-}
 
-/// Attempts the position-wise least common subsumer of `rows`; returns true
-/// and fills `merged` iff every column's non-⊥ entries agree.
-bool TryMerge(const Table& t, const std::vector<size_t>& rows,
-              SymbolVec* merged) {
-  merged->assign(t.num_cols(), Symbol::Null());
-  (*merged)[0] = t.at(rows.front(), 0);
-  for (size_t j = 1; j < t.num_cols(); ++j) {
-    Symbol cell = Symbol::Null();
-    for (size_t i : rows) {
-      Symbol s = t.at(i, j);
-      if (s.is_null()) continue;
-      if (cell.is_null()) {
-        cell = s;
-      } else if (cell != s) {
-        return false;
+  /// Returns the group id for `key`, inserting the next id on first sight.
+  size_t FindOrInsert(const std::string& key) {
+    uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis.
+    for (char c : key) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+    h |= 1;  // Reserve 0 so hash==0 can't alias an empty slot.
+    const size_t mask = slots_.size() - 1;
+    size_t idx = static_cast<size_t>(h) & mask;
+    while (slots_[idx].group != kEmpty) {
+      if (slots_[idx].hash == h) {
+        const Key& k = keys_[slots_[idx].group];
+        if (k.len == key.size() &&
+            arena_.compare(k.off, k.len, key) == 0) {
+          return slots_[idx].group;
+        }
       }
+      idx = (idx + 1) & mask;
     }
-    (*merged)[j] = cell;
+    const size_t g = keys_.size();
+    keys_.push_back(Key{arena_.size(), key.size()});
+    arena_.append(key);
+    slots_[idx] = Slot{h, static_cast<uint32_t>(g)};
+    return g;
   }
-  return true;
-}
+
+ private:
+  static constexpr uint32_t kEmpty = 0xffffffffu;
+  struct Slot {
+    uint64_t hash;
+    uint32_t group;
+  };
+  struct Key {
+    size_t off, len;
+  };
+  std::vector<Slot> slots_;
+  std::vector<Key> keys_;
+  std::string arena_;
+};
+
+/// Specialization for the common CleanUp shape where the 𝒜-set is one
+/// attribute labelling one column: the whole grouping key packs into a
+/// single u64 (row-attribute handle << 32 | cell handle, ⊥ = 0), so a
+/// lookup is one integer mix and one probe — no byte strings at all.
+class GroupIndex64 {
+ public:
+  explicit GroupIndex64(size_t expected) {
+    size_t cap = 16;
+    while (cap < 2 * expected) cap <<= 1;
+    slots_.assign(cap, Slot{0, kEmpty});
+  }
+
+  size_t FindOrInsert(uint64_t key) {
+    uint64_t h = key + 0x9e3779b97f4a7c15ull;  // splitmix64 finalizer.
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+    h ^= h >> 31;
+    const size_t mask = slots_.size() - 1;
+    size_t idx = static_cast<size_t>(h) & mask;
+    while (slots_[idx].group != kEmpty) {
+      if (slots_[idx].key == key) return slots_[idx].group;
+      idx = (idx + 1) & mask;
+    }
+    slots_[idx] = Slot{key, next_++};
+    return slots_[idx].group;
+  }
+
+ private:
+  static constexpr uint32_t kEmpty = 0xffffffffu;
+  struct Slot {
+    uint64_t key;
+    uint32_t group;
+  };
+  std::vector<Slot> slots_;
+  uint32_t next_ = 0;
+};
 
 }  // namespace
 
 Result<Table> CleanUp(const Table& rho, const SymbolVec& by_attrs,
                       const SymbolVec& on_row_attrs, Symbol result_name) {
   TABULAR_TRACE_SPAN("cleanup", "algebra");
-  SymbolSet candidate_attrs(on_row_attrs.begin(), on_row_attrs.end());
+  // Candidate row attributes, deduplicated; the list is almost always tiny,
+  // so a linear scan beats a node-based set.
+  SymbolVec candidate_attrs;
+  for (Symbol s : on_row_attrs) {
+    if (std::find(candidate_attrs.begin(), candidate_attrs.end(), s) ==
+        candidate_attrs.end()) {
+      candidate_attrs.push_back(s);
+    }
+  }
+  const auto is_candidate = [&](Symbol s) {
+    for (Symbol c : candidate_attrs) {
+      if (c == s) return true;
+    }
+    return false;
+  };
+  const size_t m = rho.height();
+  const size_t width = rho.width();
 
-  // Group candidate rows, remembering first-appearance order.
-  std::map<std::string, size_t> group_index;
+  // Column positions of each 𝒜-attribute, hoisted once — the per-row key
+  // below then touches exactly those columns instead of scanning the whole
+  // attribute row per row per attribute.
+  std::vector<std::vector<size_t>> by_cols(by_attrs.size());
+  for (size_t a = 0; a < by_attrs.size(); ++a) {
+    by_cols[a] = rho.ColumnsNamed(by_attrs[a]);
+  }
+
+  // Group candidate rows, remembering first-appearance order. The grouping
+  // key is the row attribute plus, per 𝒜-attribute, the ⊥-stripped *set*
+  // of entries under columns with that attribute — canonicalized as sorted
+  // unique raw handles, which is injective on sets, so two rows key equal
+  // exactly when the paper's attribute-set grouping makes them equal.
   std::vector<std::vector<size_t>> groups;
   // For output ordering: for each data row, either "pass through" or "group
   // g emitted at its first member's position".
   std::vector<long> row_group(rho.num_rows(), -1);
-  for (size_t i = 1; i <= rho.height(); ++i) {
-    if (!candidate_attrs.contains(rho.at(i, 0))) continue;
-    std::string key = GroupKey(rho, i, by_attrs);
-    auto [it, inserted] = group_index.try_emplace(std::move(key), groups.size());
-    if (inserted) groups.emplace_back();
-    groups[it->second].push_back(i);
-    row_group[i] = static_cast<long>(it->second);
-  }
-
-  // Decide each group's merged row (or keep originals on conflict).
-  std::vector<bool> group_merged(groups.size(), false);
-  std::vector<SymbolVec> merged_rows(groups.size());
-  for (size_t g = 0; g < groups.size(); ++g) {
-    if (groups[g].size() < 2) continue;
-    group_merged[g] = TryMerge(rho, groups[g], &merged_rows[g]);
-  }
-
-  Table out(1, rho.num_cols());
-  out.set_name(result_name);
-  for (size_t j = 1; j < rho.num_cols(); ++j) out.set(0, j, rho.at(0, j));
-  for (size_t i = 1; i <= rho.height(); ++i) {
-    long g = row_group[i];
-    if (g < 0 || !group_merged[g]) {
-      out.AppendRow(rho.Row(i));
-      continue;
+  const SymbolVec& row_attrs = rho.RowAttrs();
+  if (by_cols.size() == 1 && by_cols[0].size() == 1) {
+    // One 𝒜-attribute over one column: the ⊥-stripped entry set is the
+    // cell itself (or empty), so the u64-keyed index applies.
+    const core::Column& by_col = rho.DataColumn(by_cols[0][0]);
+    GroupIndex64 group_index(m);
+    for (size_t i = 1; i <= m; ++i) {
+      if (!is_candidate(row_attrs[i - 1])) continue;
+      const uint64_t key =
+          (static_cast<uint64_t>(row_attrs[i - 1].raw_id()) << 32) |
+          by_col.Get(i - 1).raw_id();
+      const size_t g = group_index.FindOrInsert(key);
+      if (g == groups.size()) groups.emplace_back();
+      groups[g].push_back(i);
+      row_group[i] = static_cast<long>(g);
     }
-    // Emit the merged tuple at the group's first member only.
-    if (groups[g].front() == i) out.AppendRow(merged_rows[g]);
+  } else {
+    GroupIndex group_index(m);
+    std::string key;
+    std::vector<uint32_t> entry_set;
+    for (size_t i = 1; i <= m; ++i) {
+      if (!is_candidate(row_attrs[i - 1])) continue;
+      key.clear();
+      AppendHandle(row_attrs[i - 1], &key);
+      for (const std::vector<size_t>& cols : by_cols) {
+        key.push_back('\x1e');
+        entry_set.clear();
+        for (size_t j : cols) {
+          Symbol s = rho.DataColumn(j).Get(i - 1);
+          if (!s.is_null()) entry_set.push_back(s.raw_id());
+        }
+        std::sort(entry_set.begin(), entry_set.end());
+        entry_set.erase(std::unique(entry_set.begin(), entry_set.end()),
+                        entry_set.end());
+        for (uint32_t id : entry_set) {
+          AppendHandle(Symbol::UncheckedFromRaw(id), &key);
+        }
+      }
+      const size_t g = group_index.FindOrInsert(key);
+      if (g == groups.size()) groups.emplace_back();
+      groups[g].push_back(i);
+      row_group[i] = static_cast<long>(g);
+    }
   }
+
+  // Fused merge pass, sparsity-aware: only the non-⊥ cells of rows in
+  // multi-member groups are visited, and each cell folds straight into its
+  // group's merged row; a conflict (two distinct non-⊥ values meeting in one
+  // column) disqualifies the group — merging requires a position-wise least
+  // common subsumer. Lazy all-⊥ chunks are skipped wholesale, and within
+  // materialized chunks 64-cell blocks whose raw handles OR to zero (⊥ is
+  // handle 0) are skipped with one vectorizable pass of loads.
+  std::vector<uint8_t> mergeable(groups.size(), 0);
+  for (size_t g = 0; g < groups.size(); ++g) {
+    mergeable[g] = groups[g].size() >= 2 ? 1 : 0;
+  }
+  std::vector<SymbolVec> merged_rows(groups.size());
+  std::vector<uint8_t> conflict(groups.size(), 0);
+  for (size_t j = 1; j <= width; ++j) {
+    const core::Column& col = rho.DataColumn(j);
+    const size_t nch = col.num_chunks();
+    for (size_t c = 0; c < nch; ++c) {
+      const Symbol* p = col.ChunkData(c);
+      if (p == nullptr) continue;
+      const size_t len = col.ChunkLen(c);
+      const size_t base = 1 + c * core::Column::kChunkSize;
+      // The fold visits a cell only if its 64-block, then its 8-cell
+      // sub-block, ORs non-zero (⊥ is handle 0) — grouped tables are
+      // near-diagonal, so almost everything is skipped by the literal-
+      // count OR loops, which compile to straight vector code (a runtime
+      // trip count would not).
+      const auto fold_cell = [&](size_t idx) {
+        const Symbol v = p[idx];
+        if (v.is_null()) return;
+        const long g = row_group[base + idx];
+        if (g < 0 || !mergeable[g]) return;
+        SymbolVec& merged = merged_rows[g];
+        if (merged.empty()) merged.assign(1 + width, Symbol::Null());
+        Symbol& cell = merged[j];
+        if (cell.is_null()) {
+          cell = v;
+        } else if (cell != v) {
+          conflict[g] = 1;
+        }
+      };
+      size_t k = 0;
+      for (; k + 64 <= len; k += 64) {
+        uint32_t any = 0;
+        for (size_t t = 0; t < 64; ++t) any |= p[k + t].raw_id();
+        if (any == 0) continue;
+        for (size_t s8 = 0; s8 < 64; s8 += 8) {
+          uint32_t any8 = 0;
+          for (size_t t = 0; t < 8; ++t) any8 |= p[k + s8 + t].raw_id();
+          if (any8 == 0) continue;
+          for (size_t t = 0; t < 8; ++t) fold_cell(k + s8 + t);
+        }
+      }
+      for (; k < len; ++k) fold_cell(k);
+    }
+  }
+  std::vector<uint8_t> group_merged(groups.size(), 0);
+  for (size_t g = 0; g < groups.size(); ++g) {
+    if (!mergeable[g] || conflict[g]) continue;
+    SymbolVec& merged = merged_rows[g];
+    if (merged.empty()) merged.assign(1 + width, Symbol::Null());
+    merged[0] = row_attrs[groups[g].front() - 1];
+    group_merged[g] = 1;
+  }
+
+  // Output plan: pass-through rows keep their position; a merged group is
+  // emitted once, at its first member's position.
+  struct PlanEntry {
+    bool merged;
+    size_t idx;  // Source row (pass-through) or group id (merged).
+  };
+  std::vector<PlanEntry> plan;
+  plan.reserve(m);
+  for (size_t i = 1; i <= m; ++i) {
+    const long g = row_group[i];
+    if (g < 0 || !group_merged[g]) {
+      plan.push_back({false, i});
+    } else if (groups[g].front() == i) {
+      plan.push_back({true, static_cast<size_t>(g)});
+    }
+  }
+
+  SymbolVec out_row_attrs;
+  out_row_attrs.reserve(plan.size());
+  for (const PlanEntry& e : plan) {
+    out_row_attrs.push_back(e.merged ? merged_rows[e.idx][0]
+                                     : row_attrs[e.idx - 1]);
+  }
+  // Emit per column through a reusable scratch buffer: one bulk AppendSpan
+  // per column instead of per-cell appends, and all-⊥ columns (common in
+  // sparse tabulars) stay fully lazy via AppendNulls.
+  std::vector<core::Column> data(width);
+  SymbolVec buf(plan.size());
+  const bool single_chunk = m <= core::Column::kChunkSize;
+  for (size_t j = 1; j <= width; ++j) {
+    const core::Column& src = rho.DataColumn(j);
+    uint32_t any = 0;
+    if (single_chunk) {
+      // All source rows live in chunk 0: hoist the pointer and gather by
+      // index instead of paying per-cell chunk resolution in Get.
+      const Symbol* p = src.ChunkData(0);
+      for (size_t r = 0; r < plan.size(); ++r) {
+        const PlanEntry& e = plan[r];
+        const Symbol v = e.merged ? merged_rows[e.idx][j]
+                         : p == nullptr ? Symbol::Null()
+                                        : p[e.idx - 1];
+        any |= v.raw_id();
+        buf[r] = v;
+      }
+    } else {
+      for (size_t r = 0; r < plan.size(); ++r) {
+        const PlanEntry& e = plan[r];
+        const Symbol v =
+            e.merged ? merged_rows[e.idx][j] : src.Get(e.idx - 1);
+        any |= v.raw_id();
+        buf[r] = v;
+      }
+    }
+    if (any != 0) {
+      data[j - 1].AppendSpan(buf.data(), buf.size());
+    } else {
+      data[j - 1].AppendNulls(buf.size());
+    }
+  }
+  Table out = Table::FromColumns(result_name, rho.ColAttrs(),
+                                 std::move(out_row_attrs), std::move(data));
   static obs::OpCounters counters("algebra.cleanup");
   counters.Record(rho.height(), out.height());
   return out;

@@ -231,4 +231,34 @@ Table SyntheticSales(size_t parts, size_t regions,
   return t;
 }
 
+Table SyntheticPivotedSales(size_t parts, size_t regions,
+                            unsigned sparsity_permille) {
+  using core::Symbol;
+  Table t(2 + parts, 2 + regions);
+  t.set_name(Symbol::Name("Sales"));
+  t.set(0, 1, Symbol::Name("Part"));
+  t.set(1, 0, Symbol::Name("Region"));
+  const Symbol sold_attr = Symbol::Name("Sold");
+  for (size_t j = 0; j < regions; ++j) {
+    t.set(0, 2 + j, sold_attr);
+    t.set(1, 2 + j, Symbol::Value("r" + std::to_string(j)));
+  }
+  // Same deterministic LCG as SyntheticSales, so the two fixtures carry the
+  // same (part, region) → sold assignment at equal sparsity.
+  uint64_t state = 0x9e3779b97f4a7c15ULL;
+  auto next = [&state]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<unsigned>(state >> 33);
+  };
+  for (size_t i = 0; i < parts; ++i) {
+    t.set(2 + i, 1, Symbol::Value("p" + std::to_string(i)));
+    for (size_t j = 0; j < regions; ++j) {
+      if (next() % 1000 < sparsity_permille) continue;
+      t.set(2 + i, 2 + j,
+            Symbol::Number(static_cast<int64_t>((i * 37 + j * 11) % 997)));
+    }
+  }
+  return t;
+}
+
 }  // namespace tabular::fixtures

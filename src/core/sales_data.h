@@ -65,6 +65,14 @@ core::Table Figure5MergedGolden();
 core::Table SyntheticSales(size_t parts, size_t regions,
                            unsigned sparsity_permille = 125);
 
+/// A scaled synthetic analogue of `SalesInfo2Table()` for benchmarks: the
+/// pivoted shape with one `Sold` column per region, a `Region` data row
+/// carrying the region labels, and `parts` data rows. The fraction
+/// `sparsity_permille` of (part, region) cells is ⊥, deterministically —
+/// exactly the ⊥ combinations MERGE keeps.
+core::Table SyntheticPivotedSales(size_t parts, size_t regions,
+                                  unsigned sparsity_permille = 125);
+
 }  // namespace tabular::fixtures
 
 #endif  // TABULAR_CORE_SALES_DATA_H_

@@ -3,13 +3,195 @@
 #include <algorithm>
 #include <cassert>
 #include <sstream>
+#include <utility>
 
 namespace tabular::core {
+
+// -- Column ------------------------------------------------------------------
+
+namespace {
+
+/// Thread-local cache of retired chunk buffers, all with capacity exactly
+/// Column::kChunkSize. Kernels build and destroy many short-lived tables —
+/// Group/CleanUp churn thousands of small shard tables, and bench/REPL loops
+/// retire multi-gigacell results between calls; recycling the 16 KiB buffers
+/// turns the per-chunk malloc/free pair (plus the page churn glibc's trim
+/// causes at this allocation rate) into a pop/push. Capped at 8192 buffers
+/// = 128 MiB per thread, enough to recycle a 3-column × 10M-row result
+/// table between kernel invocations.
+constexpr size_t kChunkFreelistCap = 8192;
+thread_local std::vector<std::vector<Symbol>> t_chunk_freelist;
+
+}  // namespace
+
+void Column::MaterializeChunk(std::vector<Symbol>& ch, size_t len) {
+  if (!t_chunk_freelist.empty()) {
+    ch = std::move(t_chunk_freelist.back());
+    t_chunk_freelist.pop_back();
+    // Released buffers are cleared, so resize value-initializes: Symbol's
+    // default state is ⊥ (raw id 0), giving an all-⊥ prefix.
+    ch.resize(len);
+  } else {
+    ch.reserve(kChunkSize);
+    ch.resize(len);
+  }
+}
+
+void Column::ReleaseChunk(std::vector<Symbol>& ch) {
+  if (ch.capacity() == kChunkSize && t_chunk_freelist.size() < kChunkFreelistCap) {
+    ch.clear();
+    t_chunk_freelist.push_back(std::move(ch));
+  } else {
+    std::vector<Symbol>().swap(ch);
+  }
+}
+
+Column::~Column() {
+  if (!chunk0_.empty()) ReleaseChunk(chunk0_);
+  for (std::vector<Symbol>& ch : rest_) {
+    if (!ch.empty()) ReleaseChunk(ch);
+  }
+}
+
+void Column::ResizeNull(size_t n) {
+  size_ = n;
+  const size_t want = num_chunks();
+  // Drop storage beyond the new span.
+  const size_t keep_rest = want > 1 ? want - 1 : 0;
+  if (rest_.size() > keep_rest) {
+    for (size_t k = keep_rest; k < rest_.size(); ++k) {
+      if (!rest_[k].empty()) ReleaseChunk(rest_[k]);
+    }
+    rest_.resize(keep_rest);
+  }
+  if (want == 0) {
+    if (!chunk0_.empty()) ReleaseChunk(chunk0_);
+    return;
+  }
+  // Re-pad materialized chunks whose span length changed (the old tail on a
+  // grow, the new tail on a shrink).
+  if (!chunk0_.empty() && chunk0_.size() != ChunkLen(0)) {
+    chunk0_.resize(ChunkLen(0));
+  }
+  for (size_t k = 0; k < rest_.size(); ++k) {
+    if (!rest_[k].empty() && rest_[k].size() != ChunkLen(k + 1)) {
+      rest_[k].resize(ChunkLen(k + 1));
+    }
+  }
+}
+
+void Column::Append(Symbol s) {
+  if (s.is_null()) {
+    AppendNulls(1);  // Keeps lazy tails lazy.
+    return;
+  }
+  const size_t c = size_ >> kChunkBits;
+  const size_t off = size_ & kChunkMask;
+  std::vector<Symbol>& ch = ChunkSlot(c);
+  if (ch.empty()) MaterializeChunk(ch, off);
+  ch.push_back(s);
+  ++size_;
+}
+
+void Column::AppendNulls(size_t n) {
+  while (n > 0) {
+    const size_t c = size_ >> kChunkBits;
+    const size_t off = size_ & kChunkMask;
+    const size_t take = std::min(n, kChunkSize - off);
+    // A materialized tail keeps vector length == fill; lazy or absent
+    // chunks just extend the span.
+    std::vector<Symbol>* ch = nullptr;
+    if (c == 0) {
+      ch = &chunk0_;
+    } else if (c - 1 < rest_.size()) {
+      ch = &rest_[c - 1];
+    }
+    if (ch != nullptr && !ch->empty()) ch->resize(off + take);
+    size_ += take;
+    n -= take;
+  }
+}
+
+void Column::AppendFill(Symbol v, size_t n) {
+  if (v.is_null()) {
+    AppendNulls(n);
+    return;
+  }
+  while (n > 0) {
+    const size_t c = size_ >> kChunkBits;
+    const size_t off = size_ & kChunkMask;
+    const size_t take = std::min(n, kChunkSize - off);
+    std::vector<Symbol>& ch = ChunkSlot(c);
+    if (ch.empty()) MaterializeChunk(ch, off);
+    ch.resize(off + take, v);
+    size_ += take;
+    n -= take;
+  }
+}
+
+void Column::AppendSpan(const Symbol* p, size_t n) {
+  while (n > 0) {
+    const size_t c = size_ >> kChunkBits;
+    const size_t off = size_ & kChunkMask;
+    const size_t put = std::min(n, kChunkSize - off);
+    std::vector<Symbol>& ch = ChunkSlot(c);
+    if (ch.empty()) MaterializeChunk(ch, off);
+    ch.insert(ch.end(), p, p + put);
+    size_ += put;
+    p += put;
+    n -= put;
+  }
+}
+
+void Column::AppendRange(const Column& src, size_t begin, size_t n) {
+  while (n > 0) {
+    const size_t c = begin >> kChunkBits;
+    const size_t off = begin & kChunkMask;
+    const size_t take = std::min(n, src.ChunkLen(c) - off);
+    const Symbol* p = src.ChunkData(c);
+    if (p == nullptr) {
+      AppendNulls(take);
+    } else {
+      AppendSpan(p + off, take);
+    }
+    begin += take;
+    n -= take;
+  }
+}
+
+void Column::AppendGather(const Column& src, const std::vector<size_t>& rows) {
+  for (size_t r : rows) Append(src.Get(r));
+}
+
+bool operator==(const Column& a, const Column& b) {
+  if (a.size_ != b.size_) return false;
+  for (size_t c = 0; c < a.num_chunks(); ++c) {
+    const Symbol* pa = a.ChunkData(c);
+    const Symbol* pb = b.ChunkData(c);
+    if (pa == nullptr && pb == nullptr) continue;
+    const size_t len = a.ChunkLen(c);
+    if (pa == nullptr || pb == nullptr) {
+      const Symbol* p = pa == nullptr ? pb : pa;
+      for (size_t i = 0; i < len; ++i) {
+        if (!p[i].is_null()) return false;
+      }
+      continue;
+    }
+    if (!std::equal(pa, pa + len, pb)) return false;
+  }
+  return true;
+}
+
+// -- Table -------------------------------------------------------------------
 
 Table::Table() : Table(1, 1) {}
 
 Table::Table(size_t num_rows, size_t num_cols)
-    : num_rows_(num_rows), num_cols_(num_cols), cells_(num_rows * num_cols) {
+    : num_rows_(num_rows),
+      num_cols_(num_cols),
+      row_attrs_(num_rows - 1),
+      col_attrs_(num_cols - 1),
+      data_(num_cols - 1, core::Column(num_rows - 1)) {
   assert(num_rows >= 1 && num_cols >= 1);
 }
 
@@ -25,10 +207,26 @@ Result<Table> Table::FromRows(std::vector<SymbolVec> rows) {
                                      std::to_string(r.size()));
     }
   }
-  Table t(rows.size(), cols);
-  for (size_t i = 0; i < rows.size(); ++i) {
-    for (size_t j = 0; j < cols; ++j) t.set(i, j, rows[i][j]);
-  }
+  Table t(1, cols);
+  t.set_name(rows[0][0]);
+  for (size_t j = 1; j < cols; ++j) t.col_attrs_[j - 1] = rows[0][j];
+  for (size_t i = 1; i < rows.size(); ++i) t.AppendRow(rows[i]);
+  return t;
+}
+
+Table Table::FromColumns(Symbol name, SymbolVec col_attrs,
+                         SymbolVec row_attrs, std::vector<core::Column> data) {
+  assert(data.size() == col_attrs.size());
+#ifndef NDEBUG
+  for (const core::Column& c : data) assert(c.size() == row_attrs.size());
+#endif
+  Table t;
+  t.num_rows_ = 1 + row_attrs.size();
+  t.num_cols_ = 1 + col_attrs.size();
+  t.name_ = name;
+  t.row_attrs_ = std::move(row_attrs);
+  t.col_attrs_ = std::move(col_attrs);
+  t.data_ = std::move(data);
   return t;
 }
 
@@ -47,20 +245,6 @@ Table Table::Parse(
   return std::move(t).value();
 }
 
-SymbolVec Table::ColumnAttributes() const {
-  SymbolVec out;
-  out.reserve(width());
-  for (size_t j = 1; j < num_cols_; ++j) out.push_back(at(0, j));
-  return out;
-}
-
-SymbolVec Table::RowAttributes() const {
-  SymbolVec out;
-  out.reserve(height());
-  for (size_t i = 1; i < num_rows_; ++i) out.push_back(at(i, 0));
-  return out;
-}
-
 SymbolVec Table::Row(size_t i) const {
   SymbolVec out;
   out.reserve(num_cols_);
@@ -77,26 +261,24 @@ SymbolVec Table::Column(size_t j) const {
 
 void Table::AppendRow(const SymbolVec& row) {
   assert(row.size() == num_cols_);
-  cells_.insert(cells_.end(), row.begin(), row.end());
+  row_attrs_.push_back(row[0]);
+  for (size_t j = 1; j < num_cols_; ++j) data_[j - 1].Append(row[j]);
   ++num_rows_;
 }
 
 void Table::AppendColumn(const SymbolVec& col) {
   assert(col.size() == num_rows_);
-  SymbolVec next;
-  next.reserve(num_rows_ * (num_cols_ + 1));
-  for (size_t i = 0; i < num_rows_; ++i) {
-    for (size_t j = 0; j < num_cols_; ++j) next.push_back(at(i, j));
-    next.push_back(col[i]);
-  }
-  cells_ = std::move(next);
+  col_attrs_.push_back(col[0]);
+  data_.emplace_back();
+  core::Column& c = data_.back();
+  for (size_t i = 1; i < num_rows_; ++i) c.Append(col[i]);
   ++num_cols_;
 }
 
 std::vector<size_t> Table::ColumnsNamed(Symbol attr) const {
   std::vector<size_t> out;
   for (size_t j = 1; j < num_cols_; ++j) {
-    if (at(0, j) == attr) out.push_back(j);
+    if (col_attrs_[j - 1] == attr) out.push_back(j);
   }
   return out;
 }
@@ -104,7 +286,7 @@ std::vector<size_t> Table::ColumnsNamed(Symbol attr) const {
 std::vector<size_t> Table::RowsNamed(Symbol attr) const {
   std::vector<size_t> out;
   for (size_t i = 1; i < num_rows_; ++i) {
-    if (at(i, 0) == attr) out.push_back(i);
+    if (row_attrs_[i - 1] == attr) out.push_back(i);
   }
   return out;
 }
@@ -112,7 +294,7 @@ std::vector<size_t> Table::RowsNamed(Symbol attr) const {
 SymbolSet Table::RowEntries(size_t i, Symbol attr) const {
   SymbolSet out;
   for (size_t j = 1; j < num_cols_; ++j) {
-    if (at(0, j) == attr) out.insert(at(i, j));
+    if (col_attrs_[j - 1] == attr) out.insert(at(i, j));
   }
   return out;
 }
@@ -120,20 +302,33 @@ SymbolSet Table::RowEntries(size_t i, Symbol attr) const {
 SymbolSet Table::ColumnEntries(size_t j, Symbol attr) const {
   SymbolSet out;
   for (size_t i = 1; i < num_rows_; ++i) {
-    if (at(i, 0) == attr) out.insert(at(i, j));
+    if (row_attrs_[i - 1] == attr) out.insert(at(i, j));
   }
   return out;
 }
 
 SymbolSet Table::AllSymbols() const {
   SymbolSet out;
-  for (Symbol s : cells_) out.insert(s);
+  out.insert(name_);
+  out.insert(row_attrs_.begin(), row_attrs_.end());
+  out.insert(col_attrs_.begin(), col_attrs_.end());
+  for (const core::Column& col : data_) {
+    for (size_t c = 0; c < col.num_chunks(); ++c) {
+      const Symbol* p = col.ChunkData(c);
+      if (p == nullptr) {
+        out.insert(Symbol::Null());
+        continue;
+      }
+      out.insert(p, p + col.ChunkLen(c));
+    }
+  }
   return out;
 }
 
 bool operator==(const Table& a, const Table& b) {
   return a.num_rows_ == b.num_rows_ && a.num_cols_ == b.num_cols_ &&
-         a.cells_ == b.cells_;
+         a.name_ == b.name_ && a.row_attrs_ == b.row_attrs_ &&
+         a.col_attrs_ == b.col_attrs_ && a.data_ == b.data_;
 }
 
 namespace {
@@ -175,8 +370,26 @@ bool Table::ColumnsSubsumeEachOther(const Table& rho, size_t j,
 
 Table Table::Transposed() const {
   Table out(num_cols_, num_rows_);
-  for (size_t i = 0; i < num_rows_; ++i) {
-    for (size_t j = 0; j < num_cols_; ++j) out.set(j, i, at(i, j));
+  out.name_ = name_;
+  out.row_attrs_ = col_attrs_;
+  out.col_attrs_ = row_attrs_;
+  // Tile the data transpose so both the source column reads and the
+  // destination column writes stay within one chunk per tile row.
+  constexpr size_t kTile = 64;
+  const size_t h = height();
+  const size_t w = width();
+  for (size_t jb = 0; jb < w; jb += kTile) {
+    const size_t je = std::min(w, jb + kTile);
+    for (size_t ib = 0; ib < h; ib += kTile) {
+      const size_t ie = std::min(h, ib + kTile);
+      for (size_t j = jb; j < je; ++j) {
+        const core::Column& src = data_[j];
+        for (size_t i = ib; i < ie; ++i) {
+          Symbol s = src.Get(i);
+          if (!s.is_null()) out.data_[i].Set(j, s);
+        }
+      }
+    }
   }
   return out;
 }

@@ -1,6 +1,7 @@
 #ifndef TABULAR_CORE_TABLE_H_
 #define TABULAR_CORE_TABLE_H_
 
+#include <cassert>
 #include <cstddef>
 #include <initializer_list>
 #include <string>
@@ -11,6 +12,140 @@
 #include "core/symbol.h"
 
 namespace tabular::core {
+
+/// One data column of a `Table`, stored as fixed-size chunks of interned
+/// symbol handles (the dictionary codes of the process-wide symbol pool —
+/// a `Symbol` *is* its 4-byte dictionary handle, so a column is a flat
+/// dictionary-encoded vector in the column-store sense).
+///
+/// Invariants:
+///   * every chunk except the last spans exactly `kChunkSize` cells; the
+///     last spans `size() - (num_chunks() - 1) * kChunkSize`;
+///   * a chunk is either *materialized* (its vector holds one handle per
+///     cell) or *lazy* (an empty vector standing for an all-⊥ span).
+///
+/// Lazy chunks make all-⊥ construction O(size / kChunkSize): a fresh
+/// `Table(rows, cols)` allocates no cell storage at all, and sparse kernels
+/// (GROUP's one-value-per-column output) only materialize the chunks they
+/// write. `Set` of ⊥ into a lazy chunk is a no-op.
+///
+/// Thread-safety: concurrent reads are wait-free (handle loads). A write
+/// may materialize a chunk, so parallel kernels must either partition work
+/// by chunk (each chunk written by one task only) or pre-`Materialize`.
+class Column {
+ public:
+  static constexpr size_t kChunkBits = 12;
+  static constexpr size_t kChunkSize = size_t{1} << kChunkBits;  // 4096 cells
+  static constexpr size_t kChunkMask = kChunkSize - 1;
+
+  Column() = default;
+  /// An all-⊥ column of `n` cells (every chunk lazy) — O(1), no allocation.
+  explicit Column(size_t n) : size_(n) {}
+  ~Column();
+  Column(const Column&) = default;
+  Column(Column&&) = default;
+  Column& operator=(const Column&) = default;
+  Column& operator=(Column&&) = default;
+
+  size_t size() const { return size_; }
+  size_t num_chunks() const { return (size_ + kChunkSize - 1) >> kChunkBits; }
+  /// Cells spanned by chunk `c`.
+  size_t ChunkLen(size_t c) const {
+    return c + 1 < num_chunks() ? kChunkSize : size_ - c * kChunkSize;
+  }
+
+  Symbol Get(size_t i) const {
+    const size_t c = i >> kChunkBits;
+    if (c == 0) {
+      return chunk0_.empty() ? Symbol::Null() : chunk0_[i & kChunkMask];
+    }
+    if (c - 1 >= rest_.size() || rest_[c - 1].empty()) return Symbol::Null();
+    return rest_[c - 1][i & kChunkMask];
+  }
+
+  void Set(size_t i, Symbol s) {
+    const size_t c = i >> kChunkBits;
+    std::vector<Symbol>* ch;
+    if (c == 0) {
+      ch = &chunk0_;
+    } else {
+      if (c - 1 >= rest_.size()) {
+        if (s.is_null()) return;  // Absent chunks are already all-⊥.
+        rest_.resize(c);
+      }
+      ch = &rest_[c - 1];
+    }
+    if (ch->empty()) {
+      if (s.is_null()) return;  // Lazy chunks are already all-⊥.
+      MaterializeChunk(*ch, ChunkLen(c));
+    }
+    (*ch)[i & kChunkMask] = s;
+  }
+
+  /// Chunk cells, or nullptr for a lazy (all-⊥) chunk.
+  const Symbol* ChunkData(size_t c) const {
+    if (c == 0) return chunk0_.empty() ? nullptr : chunk0_.data();
+    if (c - 1 >= rest_.size() || rest_[c - 1].empty()) return nullptr;
+    return rest_[c - 1].data();
+  }
+  /// Chunk cells for writing; materializes a lazy chunk (⊥-filled).
+  Symbol* MutableChunkData(size_t c) {
+    std::vector<Symbol>& ch = ChunkSlot(c);
+    if (ch.empty()) MaterializeChunk(ch, ChunkLen(c));
+    return ch.data();
+  }
+
+  /// Materializes every chunk (so concurrent position-disjoint `Set`s on
+  /// shared chunks stay race-free).
+  void Materialize() {
+    for (size_t c = 0; c < num_chunks(); ++c) MutableChunkData(c);
+  }
+
+  /// Grows (or shrinks) to `n` cells; new cells are ⊥ and lazy.
+  void ResizeNull(size_t n);
+
+  // -- Bulk builders (append at the tail) ------------------------------------
+
+  void Append(Symbol s);
+  /// Appends `n` ⊥ cells without materializing anything.
+  void AppendNulls(size_t n);
+  /// Appends `n` copies of `v`.
+  void AppendFill(Symbol v, size_t n);
+  /// Appends the `n` cells at `p` (bulk memcpy into tail chunks).
+  void AppendSpan(const Symbol* p, size_t n);
+  /// Appends cells [begin, begin + n) of `src` (chunk-level copies; lazy
+  /// source spans stay lazy when the destination is chunk-aligned).
+  void AppendRange(const Column& src, size_t begin, size_t n);
+  /// Appends `src.Get(r)` for every r in `rows`.
+  void AppendGather(const Column& src, const std::vector<size_t>& rows);
+
+  /// Cell-wise equality (⊥-aware across lazy/materialized chunks).
+  friend bool operator==(const Column& a, const Column& b);
+
+ private:
+  /// The chunk-`c` slot, created (lazy) if the storage doesn't reach it yet.
+  std::vector<Symbol>& ChunkSlot(size_t c) {
+    if (c == 0) return chunk0_;
+    if (c - 1 >= rest_.size()) rest_.resize(c);
+    return rest_[c - 1];
+  }
+  /// Fills `ch` with `len` ⊥ cells, reusing a pooled chunk buffer when one
+  /// is available (see the thread-local freelist in table.cc).
+  static void MaterializeChunk(std::vector<Symbol>& ch, size_t len);
+  /// Returns `ch`'s buffer to the pool (or frees it) and leaves it empty.
+  static void ReleaseChunk(std::vector<Symbol>& ch);
+
+  // Invariants: a materialized interior chunk holds exactly kChunkSize
+  // cells; a materialized tail chunk holds exactly its fill (= ChunkLen).
+  // `rest_` may be *shorter* than num_chunks() - 1 — missing entries, like
+  // empty vectors, stand for lazy all-⊥ spans, so an all-⊥ column of any
+  // size allocates nothing at all.
+  size_t size_ = 0;
+  std::vector<Symbol> chunk0_;             // Chunk 0, inline (the common
+                                           // single-chunk column needs no
+                                           // chunk-table allocation).
+  std::vector<std::vector<Symbol>> rest_;  // Chunks 1... (possibly short).
+};
 
 /// A table of the tabular database model (paper §2, Figure 2).
 ///
@@ -27,18 +162,30 @@ namespace tabular::core {
 /// distinct, and data may occur in attribute positions (Figure 1's
 /// SalesInfo3). Row/column indices in this API are *physical*: row 0 is the
 /// attribute row, column 0 the attribute column.
+///
+/// Storage is columnar (DESIGN.md §11): the name and the two attribute
+/// vectors are small side arrays, and each data column is a `Column` of
+/// dictionary-encoded chunks. The physical-index API below is unchanged
+/// from the row-major representation; kernels that want chunk-at-a-time
+/// access use `DataColumn`/`MutableDataColumn` and the attribute refs.
 class Table {
  public:
   /// The minimal table: a single cell holding ⊥ (height 0, width 0).
   Table();
 
   /// An all-⊥ table with `num_rows` × `num_cols` physical cells.
-  /// Both must be ≥ 1.
+  /// Both must be ≥ 1. O(cells / Column::kChunkSize), not O(cells).
   Table(size_t num_rows, size_t num_cols);
 
   /// Builds a table from explicit cell rows; every row must have the same
   /// length ≥ 1. The first row is the attribute row (first cell = name).
   static Result<Table> FromRows(std::vector<SymbolVec> rows);
+
+  /// Assembles a table directly from columnar parts: `data.size()` must
+  /// equal `col_attrs.size()` and every column's size must equal
+  /// `row_attrs.size()`. The cheap path for vectorized kernels.
+  static Table FromColumns(Symbol name, SymbolVec col_attrs,
+                           SymbolVec row_attrs, std::vector<Column> data);
 
   /// Convenience fixture builder: each cell is parsed with `ParseCell`
   /// ("#" → ⊥, "!x" → name x, else value). Aborts on ragged input — for
@@ -58,35 +205,65 @@ class Table {
 
   // -- Cell access (physical indices) ---------------------------------------
 
-  Symbol at(size_t i, size_t j) const { return cells_[i * num_cols_ + j]; }
-  void set(size_t i, size_t j, Symbol s) { cells_[i * num_cols_ + j] = s; }
+  Symbol at(size_t i, size_t j) const {
+    if (i == 0) return j == 0 ? name_ : col_attrs_[j - 1];
+    if (j == 0) return row_attrs_[i - 1];
+    return data_[j - 1].Get(i - 1);
+  }
+  void set(size_t i, size_t j, Symbol s) {
+    if (i == 0) {
+      (j == 0 ? name_ : col_attrs_[j - 1]) = s;
+    } else if (j == 0) {
+      row_attrs_[i - 1] = s;
+    } else {
+      data_[j - 1].Set(i - 1, s);
+    }
+  }
 
   /// τ⁰₀, the table name.
-  Symbol name() const { return at(0, 0); }
-  void set_name(Symbol s) { set(0, 0, s); }
+  Symbol name() const { return name_; }
+  void set_name(Symbol s) { name_ = s; }
 
   /// τ⁰_j for 1 ≤ j ≤ width().
-  Symbol ColumnAttribute(size_t j) const { return at(0, j); }
+  Symbol ColumnAttribute(size_t j) const { return col_attrs_[j - 1]; }
   /// τ_i⁰ for 1 ≤ i ≤ height().
-  Symbol RowAttribute(size_t i) const { return at(i, 0); }
+  Symbol RowAttribute(size_t i) const { return row_attrs_[i - 1]; }
   /// τ_i^j data entry for i, j ≥ 1.
-  Symbol Data(size_t i, size_t j) const { return at(i, j); }
+  Symbol Data(size_t i, size_t j) const { return data_[j - 1].Get(i - 1); }
 
   /// The attribute row τ⁰_{>0} (without the name), in column order.
-  SymbolVec ColumnAttributes() const;
+  SymbolVec ColumnAttributes() const { return col_attrs_; }
   /// The attribute column τ_{>0}⁰ (without the name), in row order.
-  SymbolVec RowAttributes() const;
+  SymbolVec RowAttributes() const { return row_attrs_; }
 
   /// Physical row `i` as a vector of `num_cols()` symbols.
   SymbolVec Row(size_t i) const;
   /// Physical column `j` as a vector of `num_rows()` symbols.
   SymbolVec Column(size_t j) const;
 
+  // -- Columnar access (vectorized-kernel API) ------------------------------
+
+  /// Data column of physical column `j`, 1 ≤ j ≤ width(); cell `i - 1` of
+  /// the column is physical cell (i, j).
+  const core::Column& DataColumn(size_t j) const { return data_[j - 1]; }
+  core::Column& MutableDataColumn(size_t j) { return data_[j - 1]; }
+  /// The attribute vectors as flat arrays (entry i ↔ physical index i + 1).
+  const SymbolVec& RowAttrs() const { return row_attrs_; }
+  const SymbolVec& ColAttrs() const { return col_attrs_; }
+  SymbolVec& MutableRowAttrs() { return row_attrs_; }
+  SymbolVec& MutableColAttrs() { return col_attrs_; }
+  /// Materializes every chunk of every data column (see Column::Set for
+  /// when parallel writers need this).
+  void MaterializeAll() {
+    for (core::Column& c : data_) c.Materialize();
+  }
+
   // -- Structural edits -----------------------------------------------------
 
   /// Appends a physical row; `row.size()` must equal `num_cols()`.
   void AppendRow(const SymbolVec& row);
   /// Appends a physical column; `col.size()` must equal `num_rows()`.
+  /// O(num_rows), unlike the row-major layout's full rebuild.
   void AppendColumn(const SymbolVec& col);
 
   // -- Attribute-based access (paper §2 terminology) -------------------------
@@ -137,7 +314,10 @@ class Table {
  private:
   size_t num_rows_;
   size_t num_cols_;
-  SymbolVec cells_;  // Row-major, num_rows_ × num_cols_.
+  Symbol name_;
+  SymbolVec row_attrs_;             // height() entries.
+  SymbolVec col_attrs_;             // width() entries.
+  std::vector<core::Column> data_;  // width() columns of height() cells.
 };
 
 }  // namespace tabular::core

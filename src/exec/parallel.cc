@@ -176,8 +176,10 @@ void ParallelFor(size_t n, size_t min_parallel,
   TABULAR_TRACE_SPAN("parallel_for", "exec");
   ThreadPool::Instance().Run(threads, chunks, [&](size_t c) {
     TABULAR_TRACE_SPAN("parallel_for.range", "exec");
-    const size_t begin = n * c / chunks;
-    const size_t end = n * (c + 1) / chunks;
+    // SplitPoint, not n * c / chunks: the product wraps for n near
+    // SIZE_MAX and would hand workers garbage (even inverted) ranges.
+    const size_t begin = SplitPoint(n, chunks, c);
+    const size_t end = SplitPoint(n, chunks, c + 1);
     if (begin < end) fn(begin, end);
   });
 }

@@ -48,6 +48,16 @@ void ParallelFor(size_t n, size_t min_parallel,
 /// cells the fork/join overhead dominates any speedup.
 inline constexpr size_t kDefaultSerialCutoff = 1 << 14;
 
+/// Boundary `i` of the balanced partition of [0, n) into `parts` contiguous
+/// ranges: range `i` is [SplitPoint(n, parts, i), SplitPoint(n, parts, i+1)),
+/// with the first n % parts ranges one element longer. Equivalent to the
+/// naive `n * i / parts` but overflow-safe for any n ≤ SIZE_MAX: the naive
+/// product wraps once n exceeds SIZE_MAX / parts, silently collapsing or
+/// reordering range boundaries.
+inline constexpr size_t SplitPoint(size_t n, size_t parts, size_t i) {
+  return i * (n / parts) + (i < n % parts ? i : n % parts);
+}
+
 /// Sorts [first, last) with `comp`: chunk-sorts a power-of-two static
 /// partition in parallel, then pairwise `inplace_merge` passes (parallel
 /// across disjoint pairs within each pass). Not stable. Small or
@@ -61,7 +71,7 @@ void ParallelSort(RandomIt first, RandomIt last, Compare comp) {
     std::sort(first, last, comp);
     return;
   }
-  const auto bound = [n, chunks](size_t c) { return n * c / chunks; };
+  const auto bound = [n, chunks](size_t c) { return SplitPoint(n, chunks, c); };
   ParallelFor(chunks, 1, [&](size_t cb, size_t ce) {
     for (size_t c = cb; c < ce; ++c) {
       std::sort(first + bound(c), first + bound(c + 1), comp);

@@ -74,7 +74,20 @@ Result<std::vector<std::vector<CsvField>>> ParseCsv(std::string_view csv) {
         ++i;
         break;
       case '\r':
+        // Record terminator: lone CR (classic Mac) or CRLF (DOS) — the CR
+        // ends the record and an immediately following LF belongs to the
+        // same terminator. The old behavior of silently swallowing the CR
+        // glued "a\rb" into one field "ab" and collapsed whole CR-terminated
+        // files into a single record.
+        if (any || !field.text.empty() || !record.empty()) {
+          record.push_back(std::move(field));
+          records.push_back(std::move(record));
+        }
+        field = CsvField{};
+        record.clear();
+        any = false;
         ++i;
+        if (i < csv.size() && csv[i] == '\n') ++i;
         break;
       case '\n':
         if (any || !field.text.empty() || !record.empty()) {

@@ -241,8 +241,11 @@ Result<TabularDatabase> CanonicalDecode(const RelationalDatabase& rep) {
       for (size_t c = cb; c < ce; ++c) {
         Appearances& a = chunks[c];
         std::unordered_set<Symbol> seen_rows, seen_cols;
-        const size_t lo = run.begin + ncells * c / nchunks;
-        const size_t hi = run.begin + ncells * (c + 1) / nchunks;
+        // SplitPoint, not ncells * c / nchunks: the product wraps for
+        // near-SIZE_MAX runs and would scan garbage ranges.
+        const size_t lo = run.begin + exec::SplitPoint(ncells, nchunks, c);
+        const size_t hi =
+            run.begin + exec::SplitPoint(ncells, nchunks, c + 1);
         for (size_t i = lo; i < hi; ++i) {
           const Symbol rid = (*cells[i])[1];
           const Symbol cid = (*cells[i])[2];
@@ -280,8 +283,12 @@ Result<TabularDatabase> CanonicalDecode(const RelationalDatabase& rep) {
       t.set(0, j + 1, attr);
     }
     // Cell fill: each tuple owns its (row, col) slot (FD-checked), so
-    // ranges write disjoint cells. Errors are flagged and reported by a
-    // serial rescan so the message matches the serial path.
+    // ranges write disjoint cells. The scattered writes land on shared
+    // chunks, so materialize them up front — a lazy chunk would otherwise
+    // be resized racily by the first writer (see core::Column::Set).
+    // Errors are flagged and reported by a serial rescan so the message
+    // matches the serial path.
+    t.MaterializeAll();
     std::atomic<bool> missing_val{false};
     exec::ParallelFor(ncells, exec::kDefaultSerialCutoff / 4,
                       [&](size_t begin, size_t end) {

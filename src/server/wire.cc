@@ -245,7 +245,7 @@ Status ReadExact(int fd, char* data, size_t len, bool* eof) {
 }  // namespace
 
 Status WriteFrame(int fd, std::string_view payload) {
-  if (payload.empty() || payload.size() > kMaxFramePayload) {
+  if (payload.size() > kMaxFramePayload) {
     return Status::InvalidArgument("frame payload of " +
                                    std::to_string(payload.size()) +
                                    " bytes out of range");
@@ -266,11 +266,12 @@ Result<std::optional<std::string>> ReadFrame(int fd) {
   for (int i = 0; i < 4; ++i) {
     len |= static_cast<uint32_t>(static_cast<uint8_t>(prefix[i])) << (8 * i);
   }
-  if (len == 0 || len > kMaxFramePayload) {
+  if (len > kMaxFramePayload) {
     return Status::ParseError("frame length " + std::to_string(len) +
                               " out of range (max " +
                               std::to_string(kMaxFramePayload) + ")");
   }
+  if (len == 0) return std::optional<std::string>(std::string());
   std::string payload(len, '\0');
   TABULAR_RETURN_NOT_OK(ReadExact(fd, payload.data(), len, &eof));
   if (eof) {

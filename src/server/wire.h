@@ -16,11 +16,16 @@ namespace tabular::server {
 ///   frame   := u32le payload_length, payload
 ///   payload := u8 message_type, body
 ///
-/// `payload_length` counts the type byte, so it is at least 1 and at most
-/// `kMaxFramePayload`; a larger prefix is rejected before any allocation
-/// (a 4-byte frame must not commandeer 4 GiB of buffer). Integers are
-/// little-endian; strings are u32le length + bytes. Requests flow client →
-/// server; every request yields exactly one `kOk` or `kError` response.
+/// The framing layer is payload-agnostic: `payload_length` may be any value
+/// in [0, `kMaxFramePayload`], and a zero-length frame round-trips through
+/// `WriteFrame`/`ReadFrame` symmetrically (both sides used to disagree on
+/// whether an empty frame was legal). A larger prefix is rejected before
+/// any allocation (a 4-byte frame must not commandeer 4 GiB of buffer).
+/// The *message* layer is stricter: a conforming payload starts with its
+/// type byte, so decoders and the request dispatcher reject empty payloads
+/// as a parse error. Integers are little-endian; strings are u32le length +
+/// bytes. Requests flow client → server; every request yields exactly one
+/// `kOk` or `kError` response.
 
 constexpr uint32_t kMaxFramePayload = 64u << 20;  // 64 MiB
 

@@ -168,13 +168,27 @@ TEST(CsvTest, ClosingQuoteThenDelimiterStillFine) {
   EXPECT_TRUE(r->Contains({V("ab"), V("cd")}));
 }
 
-TEST(CsvTest, BareCarriageReturnInUnquotedFieldIsDropped) {
-  // Outside quotes, \r is line-ending noise and never reaches field text —
-  // so a value containing \r must be written quoted to survive (see the
-  // round-trip test below).
-  auto r = ReadCsvRelation("R", "A,B\nx\ry,z\r\n");
+TEST(CsvTest, BareCarriageReturnTerminatesRecord) {
+  // Outside quotes a lone CR is the classic-Mac record terminator, on par
+  // with LF and CRLF. It used to be swallowed silently, which glued "x\ry"
+  // into one field "xy" and collapsed whole CR-terminated files into a
+  // single record.
+  auto r = ReadCsvRelation("R", "A,B\rx,y\rz,w\r");
   ASSERT_TRUE(r.ok()) << r.status().ToString();
-  EXPECT_TRUE(r->Contains({V("xy"), V("z")}));
+  EXPECT_EQ(r->size(), 2u);
+  EXPECT_TRUE(r->Contains({V("x"), V("y")}));
+  EXPECT_TRUE(r->Contains({V("z"), V("w")}));
+}
+
+TEST(CsvTest, MixedLineTerminatorsParseRecordByRecord) {
+  auto r = ReadCsvRelation("R", "A,B\r\nx,y\rz,w\n");
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->size(), 2u);
+  EXPECT_TRUE(r->Contains({V("x"), V("y")}));
+  EXPECT_TRUE(r->Contains({V("z"), V("w")}));
+  // A CR mid-record ends it, so the short record is diagnosed instead of
+  // being glued to the next line's first field.
+  EXPECT_FALSE(ReadCsvRelation("R", "A,B\nx\ry,z\n").ok());
 }
 
 TEST(CsvTest, RoundTripNullVersusEmptyValue) {
@@ -204,7 +218,9 @@ TEST(CsvTest, RoundTripPropertyOverNastyStrings) {
   std::vector<Symbol> values = {
       NUL(),          V(""),         V("plain"),   V("a,b"),
       V("\"quoted\""), V("a\nb\nc"),  V("\r"),      V("trail\n"),
-      V("\"\""),      V(",,"),       V(" spaced "), V("a\"b")};
+      V("\"\""),      V(",,"),       V(" spaced "), V("a\"b"),
+      // Lone-CR and CRLF inside fields: written quoted, read back verbatim.
+      V("a\rb"),      V("line1\r\nline2"), V("\r\n")};
   rel::Relation r = rel::Relation::Make("R", {"A", "B"});
   for (Symbol a : values) {
     for (Symbol b : values) {

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <mutex>
 #include <numeric>
 #include <vector>
 
@@ -46,6 +47,49 @@ TEST(ParallelTest, ParallelForCoversRangeExactlyOnce) {
   });
   EXPECT_TRUE(std::all_of(hits.begin(), hits.end(),
                           [](int h) { return h == 1; }));
+}
+
+TEST(ParallelTest, SplitPointIsOverflowSafeNearSizeMax) {
+  // The naive boundary `n * i / parts` wraps once n exceeds
+  // SIZE_MAX / parts, collapsing or inverting ranges; SplitPoint must hand
+  // back a monotone, balanced partition for any n up to SIZE_MAX.
+  for (size_t n : {SIZE_MAX, SIZE_MAX - 7, SIZE_MAX / 2 + 3}) {
+    for (size_t parts : {size_t{1}, size_t{3}, size_t{7}, size_t{64}}) {
+      EXPECT_EQ(SplitPoint(n, parts, 0), 0u);
+      EXPECT_EQ(SplitPoint(n, parts, parts), n);
+      size_t prev = 0;
+      for (size_t i = 1; i <= parts; ++i) {
+        const size_t b = SplitPoint(n, parts, i);
+        ASSERT_GT(b, prev) << "n=" << n << " parts=" << parts << " i=" << i;
+        const size_t len = b - prev;
+        EXPECT_TRUE(len == n / parts || len == n / parts + 1)
+            << "n=" << n << " parts=" << parts << " i=" << i;
+        prev = b;
+      }
+    }
+  }
+}
+
+TEST(ParallelTest, ParallelForNearSizeMaxProducesExactCover) {
+  // Only the handed-out ranges are recorded (nobody iterates SIZE_MAX
+  // cells); they must form a contiguous exact cover of [0, n) with no
+  // wrapped or inverted bounds.
+  ScopedThreads st(4);
+  const size_t n = SIZE_MAX - 3;
+  std::mutex mu;
+  std::vector<std::pair<size_t, size_t>> ranges;
+  ParallelFor(n, 1, [&](size_t begin, size_t end) {
+    std::lock_guard<std::mutex> lock(mu);
+    ranges.emplace_back(begin, end);
+  });
+  std::sort(ranges.begin(), ranges.end());
+  ASSERT_FALSE(ranges.empty());
+  EXPECT_EQ(ranges.front().first, 0u);
+  EXPECT_EQ(ranges.back().second, n);
+  for (size_t i = 0; i < ranges.size(); ++i) {
+    EXPECT_LT(ranges[i].first, ranges[i].second);
+    if (i > 0) EXPECT_EQ(ranges[i].first, ranges[i - 1].second);
+  }
 }
 
 TEST(ParallelTest, SmallInputStaysSerial) {

@@ -206,6 +206,47 @@ TEST(ProgramCacheTest, LruEvictionDropsTheColdestEntry) {
   EXPECT_FALSE(hit);  // B was evicted
 }
 
+TEST(ProgramCacheTest, AccountingStaysConsistentUnderEvictionPressure) {
+  // Every lookup is exactly one hit or one miss — eviction churn and
+  // negatively cached entries (front-end failures) must not double-count or
+  // drop lookups, and the entry count must respect capacity throughout.
+  ProgramCache::Options options;
+  options.capacity = 3;
+  ProgramCache cache(options);
+  const core::TabularDatabase db = Db(kSalesFlat);
+  // Cycle of 5 distinct keys (capacity 3) with a negatively cached program
+  // (bad arity) interleaved; LCG-scrambled order so re-lookups mix hits
+  // (recently used survives) and misses (evicted or first-seen).
+  const std::vector<std::string> programs = {
+      "A <- transpose (Sales);",   "B <- transpose (Sales);",
+      "C <- project {Part} (Sales);", "Bad <- union (Sales);",
+      "D <- transpose (Sales); D2 <- transpose (D);",
+  };
+  uint64_t lookups = 0;
+  uint64_t state = 0x5EED;
+  for (int round = 0; round < 40; ++round) {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    const std::string& text = programs[(state >> 33) % programs.size()];
+    bool hit = false;
+    auto entry = cache.Get(text, db, &hit);
+    ASSERT_NE(entry, nullptr);
+    if (text.compare(0, 3, "Bad") == 0) {
+      EXPECT_FALSE(entry->front_end.ok());  // negative entry, cached like any
+    } else {
+      EXPECT_TRUE(entry->front_end.ok());
+    }
+    ++lookups;
+    EXPECT_EQ(cache.hits() + cache.misses(), lookups);
+    EXPECT_LE(cache.size(), options.capacity);
+    // Cached entries (even misses that just compiled) are live: size equals
+    // insertions minus evictions.
+    EXPECT_EQ(cache.size(), cache.misses() - cache.evictions());
+  }
+  EXPECT_GT(cache.evictions(), 0u);  // 5 keys through 3 slots must churn
+  EXPECT_GT(cache.hits(), 0u);
+  EXPECT_EQ(cache.hits() + cache.misses(), lookups);
+}
+
 TEST(ProgramCacheTest, ZeroCapacityCompilesEveryTime) {
   ProgramCache::Options options;
   options.capacity = 0;

@@ -238,14 +238,41 @@ TEST(WireFrameTest, OversizedLengthPrefixRejectedBeforeAllocation) {
   EXPECT_EQ(f.status().code(), StatusCode::kParseError);
 }
 
-TEST(WireFrameTest, ZeroLengthFrameIsAParseError) {
+TEST(WireFrameTest, ZeroLengthFrameRoundTripsSymmetrically) {
+  // The framing layer is payload-agnostic: an empty frame is well-formed on
+  // both sides (the writer used to reject what the reader also rejected,
+  // with different status codes — now both accept). Rejecting empty
+  // *messages* is the dispatcher's job, not the framer's.
   SocketPair sp;
-  std::string prefix;
-  PutU32(&prefix, 0);  // a payload must hold at least the type byte
-  ASSERT_EQ(::write(sp.a, prefix.data(), prefix.size()), 4);
+  ASSERT_TRUE(WriteFrame(sp.a, "").ok());
+  ASSERT_TRUE(WriteFrame(sp.a, "after").ok());
+  auto f1 = ReadFrame(sp.b);
+  ASSERT_TRUE(f1.ok()) << f1.status().ToString();
+  ASSERT_TRUE(f1->has_value());
+  EXPECT_EQ(**f1, "");
+  auto f2 = ReadFrame(sp.b);  // stream stays in sync after an empty frame
+  ASSERT_TRUE(f2.ok());
+  ASSERT_TRUE(f2->has_value());
+  EXPECT_EQ(**f2, "after");
+}
+
+TEST(WireFrameTest, MaxPayloadBoundaryFrameRoundTrips) {
+  // Exactly kMaxFramePayload is legal; one byte more is rejected by the
+  // writer before anything hits the wire.
+  SocketPair sp;
+  const std::string big(kMaxFramePayload, 'm');
+  std::thread writer([&] { EXPECT_TRUE(WriteFrame(sp.a, big).ok()); });
   auto f = ReadFrame(sp.b);
-  ASSERT_FALSE(f.ok());
-  EXPECT_EQ(f.status().code(), StatusCode::kParseError);
+  writer.join();
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  ASSERT_TRUE(f->has_value());
+  EXPECT_EQ((*f)->size(), static_cast<size_t>(kMaxFramePayload));
+  EXPECT_EQ((*f)->front(), 'm');
+  EXPECT_EQ((*f)->back(), 'm');
+
+  Status st = WriteFrame(sp.a, std::string(kMaxFramePayload + 1, 'x'));
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
 }
 
 // -- Malformed-byte fuzz -----------------------------------------------------
@@ -267,8 +294,18 @@ TEST(WireFuzzTest, RandomBytesNeverCrashReadFrame) {
   Lcg rng(0xF00D);
   for (int round = 0; round < 200; ++round) {
     SocketPair sp;
-    const size_t len = rng.Next() % 64;
     std::string junk;
+    // Seeded corpus: the boundary frames that used to be mis-handled —
+    // an empty frame (len == 0, now well-formed) and an exactly-64MiB
+    // length prefix with a truncated payload — each followed by random
+    // bytes. Remaining rounds are pure random junk.
+    if (round == 0) {
+      PutU32(&junk, 0);
+    } else if (round == 1) {
+      PutU32(&junk, kMaxFramePayload);
+      junk += "short";
+    }
+    const size_t len = rng.Next() % 64;
     for (size_t i = 0; i < len; ++i) {
       junk.push_back(static_cast<char>(rng.Next() & 0xFF));
     }
