@@ -21,6 +21,10 @@ Usage:
   check_bench_json.py --json BENCH_server.json \
       --min-counter ta_connections=64 --min-counter ta_cache_hit_rate=0.9
 
+  # Enforce a ceiling (latency regression gates — every entry carrying the
+  # counter must stay at or below the bound):
+  check_bench_json.py --json BENCH_server.json --max-counter ta_p99_ms=100
+
 Exit status 0 when every check passes, 1 otherwise.
 """
 
@@ -36,19 +40,20 @@ def fail(msg):
     return 1
 
 
-def parse_min_counter(spec):
-    key, sep, value = spec.partition("=")
-    if not sep or not key:
-        raise argparse.ArgumentTypeError(
-            f"--min-counter expects KEY=VALUE, got {spec!r}")
-    try:
-        return key, float(value)
-    except ValueError as e:
-        raise argparse.ArgumentTypeError(
-            f"--min-counter {spec!r}: {e}") from e
+def parse_key_value(flag):
+    def parse(spec):
+        key, sep, value = spec.partition("=")
+        if not sep or not key:
+            raise argparse.ArgumentTypeError(
+                f"{flag} expects KEY=VALUE, got {spec!r}")
+        try:
+            return key, float(value)
+        except ValueError as e:
+            raise argparse.ArgumentTypeError(f"{flag} {spec!r}: {e}") from e
+    return parse
 
 
-def check_file(path, expects, expect_counters, min_counters):
+def check_file(path, expects, expect_counters, min_counters, max_counters):
     try:
         with open(path, encoding="utf-8") as f:
             doc = json.load(f)
@@ -103,9 +108,22 @@ def check_file(path, expects, expect_counters, min_counters):
             return fail(f"{path}: counter '{key}' max {best} is below the "
                         f"required floor {floor}")
 
+    for key, ceiling in max_counters:
+        holders = [b for b in benchmarks if key in b]
+        if not holders:
+            return fail(f"{path}: counter '{key}' missing from every "
+                        f"benchmark entry (--max-counter {key}={ceiling})")
+        # A ceiling is a regression gate: every run configuration (e.g.
+        # every connection count) must stay under it, so check the worst.
+        worst = max(float(b[key]) for b in holders)
+        if not math.isfinite(worst) or worst > ceiling:
+            return fail(f"{path}: counter '{key}' max {worst} exceeds the "
+                        f"allowed ceiling {ceiling}")
+
     print(f"check_bench_json: OK: {path}: {len(benchmarks)} benchmarks, "
           f"{len(expect_counters)} expected counters present, "
-          f"{len(min_counters)} counter floors met")
+          f"{len(min_counters)} counter floors met, "
+          f"{len(max_counters)} counter ceilings met")
     return 0
 
 
@@ -118,9 +136,15 @@ def main():
     parser.add_argument("--expect-counter", action="append", default=[],
                         help="counter key required on at least one benchmark")
     parser.add_argument("--min-counter", action="append", default=[],
-                        type=parse_min_counter, metavar="KEY=VALUE",
+                        type=parse_key_value("--min-counter"),
+                        metavar="KEY=VALUE",
                         help="require some benchmark entry's counter KEY to "
                              "be >= VALUE")
+    parser.add_argument("--max-counter", action="append", default=[],
+                        type=parse_key_value("--max-counter"),
+                        metavar="KEY=VALUE",
+                        help="require every benchmark entry carrying counter "
+                             "KEY to be <= VALUE")
     parser.add_argument("--run", nargs=argparse.REMAINDER, default=None,
                         help="bench command to execute before validating")
     args = parser.parse_args()
@@ -134,7 +158,7 @@ def main():
     status = 0
     for path in args.json:
         status |= check_file(path, args.expect, args.expect_counter,
-                             args.min_counter)
+                             args.min_counter, args.max_counter)
     return status
 
 

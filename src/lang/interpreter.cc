@@ -134,6 +134,7 @@ size_t ExpectedArgCount(OpKind op) {
 }  // namespace
 
 Status Interpreter::Run(const Program& program, TabularDatabase* db) {
+  TABULAR_TRACE_SPAN("interpreter.run", "lang");
   steps_ = 0;
   last_commit_path_.clear();
   optimize_stats_ = OptimizeStats{};

@@ -1,0 +1,83 @@
+#include "obs/exposition.h"
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tabular::obs {
+
+namespace {
+
+bool PrometheusNameChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+/// "# HELP name obs <kind> <registry name>" + "# TYPE name <kind>".
+void AppendHeader(const std::string& name, std::string_view registry_name,
+                  const char* kind, std::string* out) {
+  *out += "# HELP " + name + " obs " + kind + " ";
+  out->append(registry_name);
+  *out += "\n# TYPE " + name + " " + kind + "\n";
+}
+
+void AppendHistogram(const std::string& name,
+                     const Histogram::Snapshot& snap, std::string* out) {
+  // Cumulative buckets up to the highest populated one; `le` is the
+  // inclusive upper bound of log2 bucket k, i.e. 2^k - 1 (bucket 0 holds
+  // exactly the zeros). The overflow bucket has no finite bound and is
+  // covered by +Inf alone.
+  size_t top = 0;
+  uint64_t total = snap.buckets[Histogram::kNumBuckets - 1];
+  for (size_t k = 0; k + 1 < Histogram::kNumBuckets; ++k) {
+    if (snap.buckets[k] != 0) top = k;
+    total += snap.buckets[k];
+  }
+  uint64_t cumulative = 0;
+  for (size_t k = 0; k <= top; ++k) {
+    cumulative += snap.buckets[k];
+    const uint64_t le =
+        k == 0 ? 0 : ((uint64_t{1} << k) - 1);
+    *out += name + "_bucket{le=\"" + std::to_string(le) +
+            "\"} " + std::to_string(cumulative) + "\n";
+  }
+  // `count` and the buckets are independent relaxed atomics, so a scrape
+  // racing a Record may catch them out of step; report the larger so the
+  // cumulative series stays monotone and +Inf == _count always holds.
+  const uint64_t inf = total > snap.count ? total : snap.count;
+  *out += name + "_bucket{le=\"+Inf\"} " + std::to_string(inf) + "\n";
+  *out += name + "_sum " + std::to_string(snap.sum) + "\n";
+  *out += name + "_count " + std::to_string(inf) + "\n";
+}
+
+}  // namespace
+
+std::string PrometheusName(std::string_view name) {
+  std::string out = "tabular_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    out.push_back(PrometheusNameChar(c) ? c : '_');
+  }
+  return out;
+}
+
+std::string RenderPrometheus() {
+  std::string out;
+  for (const auto& [name, value] : CounterEntries()) {
+    const std::string prom = PrometheusName(name);
+    AppendHeader(prom, name, "counter", &out);
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : GaugeEntries()) {
+    const std::string prom = PrometheusName(name);
+    AppendHeader(prom, name, "gauge", &out);
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, snap] : HistogramEntries()) {
+    const std::string prom = PrometheusName(name);
+    AppendHeader(prom, name, "histogram", &out);
+    AppendHistogram(prom, snap, &out);
+  }
+  return out;
+}
+
+}  // namespace tabular::obs

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
+#include <cmath>
 #include <deque>
 #include <map>
 #include <memory>
@@ -217,6 +218,42 @@ Histogram::Snapshot Histogram::Snap() const {
   return s;
 }
 
+Histogram::Snapshot Histogram::Delta(const Snapshot& after,
+                                     const Snapshot& before) {
+  Snapshot d;
+  d.count = after.count - before.count;
+  d.sum = after.sum - before.sum;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    d.buckets[i] = after.buckets[i] - before.buckets[i];
+  }
+  return d;
+}
+
+double HistogramPercentile(const Histogram::Snapshot& snap, double p) {
+  if (snap.count == 0) return 0.0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // The rank-th smallest recorded value is the quantile sample.
+  uint64_t rank = static_cast<uint64_t>(std::ceil(p * snap.count));
+  if (rank == 0) rank = 1;
+  if (rank > snap.count) rank = snap.count;
+  uint64_t cumulative = 0;
+  for (size_t k = 0; k < Histogram::kNumBuckets; ++k) {
+    if (snap.buckets[k] == 0) continue;
+    if (cumulative + snap.buckets[k] < rank) {
+      cumulative += snap.buckets[k];
+      continue;
+    }
+    if (k == 0) return 0.0;
+    const double lower = std::ldexp(1.0, static_cast<int>(k) - 1);
+    if (k == Histogram::kNumBuckets - 1) return lower;  // unbounded above
+    const double fraction = static_cast<double>(rank - cumulative) /
+                            static_cast<double>(snap.buckets[k]);
+    return lower + fraction * lower;  // upper edge = 2 * lower
+  }
+  return 0.0;  // count said there were samples, buckets disagreed (racing)
+}
+
 Counter& GetCounter(std::string_view name) {
   return Registry::Instance().GetCounter(name);
 }
@@ -231,6 +268,18 @@ Histogram& GetHistogram(std::string_view name) {
 
 uint64_t CounterValue(std::string_view name) {
   return Registry::Instance().CounterValueByName(name);
+}
+
+std::vector<std::pair<std::string, uint64_t>> CounterEntries() {
+  return Registry::Instance().CounterEntries();
+}
+
+std::vector<std::pair<std::string, int64_t>> GaugeEntries() {
+  return Registry::Instance().GaugeEntries();
+}
+
+std::vector<std::pair<std::string, Histogram::Snapshot>> HistogramEntries() {
+  return Registry::Instance().HistogramEntries();
 }
 
 std::string MetricsSnapshot() {

@@ -7,6 +7,8 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace tabular::obs {
 
@@ -70,6 +72,10 @@ class Histogram {
     std::array<uint64_t, kNumBuckets> buckets{};
   };
   Snapshot Snap() const;
+  /// The recordings that happened between two snapshots of the same
+  /// histogram: per-field `after - before`. Benches and the server isolate
+  /// one run's distribution from a process-lifetime histogram this way.
+  static Snapshot Delta(const Snapshot& after, const Snapshot& before);
   const std::string& name() const { return name_; }
 
  private:
@@ -94,6 +100,25 @@ Histogram& GetHistogram(std::string_view name);
 /// Current value of the counter named `name`, or 0 when it does not exist
 /// (yet). For benches and tests that diff snapshots.
 uint64_t CounterValue(std::string_view name);
+
+/// Point-in-time (name, value) views of the whole registry, sorted by
+/// name. These feed the renderers (MetricsSnapshot/MetricsJson/
+/// RenderPrometheus) and the server's per-request operator-counter deltas.
+std::vector<std::pair<std::string, uint64_t>> CounterEntries();
+std::vector<std::pair<std::string, int64_t>> GaugeEntries();
+std::vector<std::pair<std::string, Histogram::Snapshot>> HistogramEntries();
+
+/// The p-quantile (p in [0, 1]) of a histogram snapshot, estimated by
+/// linear interpolation inside the log2 bucket holding the quantile sample
+/// (the same convention Prometheus' histogram_quantile uses), so results
+/// land exactly on bucket boundaries when ranks do:
+///   * empty snapshot → 0
+///   * the sample is a zero (bucket 0) → 0
+///   * bucket k ≥ 1 interpolates across [2^(k-1), 2^k]; a single-sample
+///     histogram therefore reports the *upper* edge of its bucket
+///   * the overflow bucket (values ≥ 2^63) reports its lower edge 2^63,
+///     since its upper edge is unbounded
+double HistogramPercentile(const Histogram::Snapshot& snap, double p);
 
 /// The standard counter triple of a table operator: `<prefix>.calls`,
 /// `<prefix>.rows_in`, `<prefix>.rows_out`. Construct once (function-local

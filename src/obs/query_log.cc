@@ -1,0 +1,80 @@
+#include "obs/query_log.h"
+
+namespace tabular::obs {
+
+uint64_t Fnv1a64(std::string_view text) {
+  uint64_t hash = 14695981039346656037ull;
+  for (char c : text) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+QueryLog::QueryLog(size_t capacity) {
+  size_t cap = 8;
+  while (cap < capacity) cap <<= 1;
+  capacity_ = cap;
+  slots_ = std::make_unique<Slot[]>(capacity_);
+}
+
+void QueryLog::Observe(const QueryLogEntry& entry) {
+  const uint64_t threshold = threshold_us_.load(std::memory_order_relaxed);
+  if (threshold == kDisabled || entry.latency_us < threshold) return;
+  const uint64_t i = next_.fetch_add(1, std::memory_order_acq_rel);
+  Slot& slot = slots_[i & (capacity_ - 1)];
+  slot.seq.store(2 * i + 1, std::memory_order_release);
+  slot.start_ns.store(entry.start_ns, std::memory_order_relaxed);
+  slot.request_id.store(entry.request_id, std::memory_order_relaxed);
+  slot.session_id.store(entry.session_id, std::memory_order_relaxed);
+  slot.program_hash.store(entry.program_hash, std::memory_order_relaxed);
+  slot.latency_us.store(entry.latency_us, std::memory_order_relaxed);
+  slot.rows_in.store(entry.rows_in, std::memory_order_relaxed);
+  slot.rows_out.store(entry.rows_out, std::memory_order_relaxed);
+  slot.snapshot_version.store(entry.snapshot_version,
+                              std::memory_order_relaxed);
+  slot.rewrites_applied.store(entry.rewrites_applied,
+                              std::memory_order_relaxed);
+  slot.cache_hit.store(entry.cache_hit ? 1 : 0, std::memory_order_relaxed);
+  slot.ok.store(entry.ok ? 1 : 0, std::memory_order_relaxed);
+  slot.seq.store(2 * i + 2, std::memory_order_release);
+}
+
+std::vector<QueryLogEntry> QueryLog::Drain() {
+  std::lock_guard<std::mutex> lock(drain_mu_);
+  const uint64_t next = next_.load(std::memory_order_acquire);
+  uint64_t first = drained_;
+  if (next - first > capacity_) {
+    // The ring lapped the watermark: the oldest undrained entries are gone.
+    dropped_.fetch_add(next - capacity_ - first, std::memory_order_relaxed);
+    first = next - capacity_;
+  }
+  std::vector<QueryLogEntry> out;
+  out.reserve(static_cast<size_t>(next - first));
+  for (uint64_t i = first; i < next; ++i) {
+    Slot& slot = slots_[i & (capacity_ - 1)];
+    const uint64_t want = 2 * i + 2;
+    if (slot.seq.load(std::memory_order_acquire) != want) continue;
+    QueryLogEntry e;
+    e.start_ns = slot.start_ns.load(std::memory_order_relaxed);
+    e.request_id = slot.request_id.load(std::memory_order_relaxed);
+    e.session_id = slot.session_id.load(std::memory_order_relaxed);
+    e.program_hash = slot.program_hash.load(std::memory_order_relaxed);
+    e.latency_us = slot.latency_us.load(std::memory_order_relaxed);
+    e.rows_in = slot.rows_in.load(std::memory_order_relaxed);
+    e.rows_out = slot.rows_out.load(std::memory_order_relaxed);
+    e.snapshot_version =
+        slot.snapshot_version.load(std::memory_order_relaxed);
+    e.rewrites_applied =
+        slot.rewrites_applied.load(std::memory_order_relaxed);
+    e.cache_hit = slot.cache_hit.load(std::memory_order_relaxed) != 0;
+    e.ok = slot.ok.load(std::memory_order_relaxed) != 0;
+    // A writer lapping the ring mid-copy invalidates the copy; drop it.
+    if (slot.seq.load(std::memory_order_acquire) != want) continue;
+    out.push_back(e);
+  }
+  drained_ = next;
+  return out;
+}
+
+}  // namespace tabular::obs

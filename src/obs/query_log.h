@@ -1,0 +1,106 @@
+#ifndef TABULAR_OBS_QUERY_LOG_H_
+#define TABULAR_OBS_QUERY_LOG_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tabular::obs {
+
+/// One slow request, MySQL-slow-log style but fixed-width: a query log
+/// entry carries only numeric fields (the program is identified by its
+/// FNV-1a hash, not its text) so the ring can record them lock-free.
+struct QueryLogEntry {
+  uint64_t start_ns = 0;        ///< TraceNowNs() when handling began
+  uint64_t request_id = 0;      ///< client-assigned id (0: none sent)
+  uint64_t session_id = 0;      ///< server session the request ran on
+  uint64_t program_hash = 0;    ///< Fnv1a64 of the program text
+  uint64_t latency_us = 0;      ///< wall time spent handling the request
+  uint64_t rows_in = 0;         ///< data rows in the pinned snapshot
+  uint64_t rows_out = 0;        ///< data rows in the produced database
+  uint64_t snapshot_version = 0;
+  uint32_t rewrites_applied = 0;  ///< certified optimizer rewrites in use
+  bool cache_hit = false;         ///< compiled form served from cache
+  bool ok = true;                 ///< request succeeded
+};
+
+/// FNV-1a 64-bit — the stable program-text hash of slow-log entries
+/// (std::hash is implementation-defined, useless for cross-run grepping).
+uint64_t Fnv1a64(std::string_view text);
+
+/// Lock-free ring of the most recent requests at least as slow as the
+/// threshold. Writers (`Observe`) are wait-free seqlock slot writes, like
+/// the tracing ring; once the ring wraps, older undrained entries are
+/// overwritten (the log favors recency over completeness, and counts what
+/// it lost). `Drain` returns the entries recorded since the previous
+/// drain, oldest first.
+class QueryLog {
+ public:
+  /// `capacity` is rounded up to a power of two (minimum 8).
+  explicit QueryLog(size_t capacity = 128);
+
+  /// Threshold in microseconds; entries strictly faster are ignored.
+  /// 0 records everything; `kDisabled` records nothing.
+  static constexpr uint64_t kDisabled = UINT64_MAX;
+  void set_threshold_micros(uint64_t us) {
+    threshold_us_.store(us, std::memory_order_relaxed);
+  }
+  uint64_t threshold_micros() const {
+    return threshold_us_.load(std::memory_order_relaxed);
+  }
+
+  /// Records `entry` if it is at or above the threshold.
+  void Observe(const QueryLogEntry& entry);
+
+  /// Entries recorded since the last Drain (capped at ring capacity),
+  /// oldest first, then advances the drain watermark past them. Entries
+  /// recorded concurrently with the drain are picked up next time.
+  std::vector<QueryLogEntry> Drain();
+
+  /// Total entries ever recorded (drained or not).
+  uint64_t recorded() const {
+    return next_.load(std::memory_order_acquire);
+  }
+  /// Entries overwritten before any drain could see them.
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  /// Seqlock slot: `seq` is 2*index+1 while a writer fills the fields and
+  /// 2*index+2 once they are stable; every field is a relaxed atomic so a
+  /// draining reader racing a lapping writer stays race-free.
+  struct Slot {
+    std::atomic<uint64_t> seq{0};
+    std::atomic<uint64_t> start_ns{0};
+    std::atomic<uint64_t> request_id{0};
+    std::atomic<uint64_t> session_id{0};
+    std::atomic<uint64_t> program_hash{0};
+    std::atomic<uint64_t> latency_us{0};
+    std::atomic<uint64_t> rows_in{0};
+    std::atomic<uint64_t> rows_out{0};
+    std::atomic<uint64_t> snapshot_version{0};
+    std::atomic<uint32_t> rewrites_applied{0};
+    std::atomic<uint8_t> cache_hit{0};
+    std::atomic<uint8_t> ok{0};
+  };
+
+  size_t capacity_ = 0;  // power of two
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<uint64_t> threshold_us_{kDisabled};
+  std::atomic<uint64_t> next_{0};
+  std::atomic<uint64_t> dropped_{0};
+  std::mutex drain_mu_;            // serializes drains, not writers
+  uint64_t drained_ = 0;           // guarded by drain_mu_
+};
+
+}  // namespace tabular::obs
+
+#endif  // TABULAR_OBS_QUERY_LOG_H_

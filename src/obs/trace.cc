@@ -1,5 +1,7 @@
 #include "obs/trace.h"
 
+#include "obs/metrics.h"
+
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -29,6 +31,9 @@ struct Slot {
   std::atomic<uint64_t> start_ns{0};
   std::atomic<uint64_t> dur_ns{0};
   std::atomic<uint32_t> tid{0};
+  std::atomic<uint32_t> num_args{0};
+  std::atomic<const char*> arg_names[kMaxSpanArgs] = {};
+  std::atomic<uint64_t> arg_values[kMaxSpanArgs] = {};
 };
 
 Slot g_ring[kRingSize];
@@ -81,6 +86,8 @@ struct ExportedEvent {
   uint64_t start_ns;
   uint64_t dur_ns;
   uint32_t tid;
+  uint32_t num_args;
+  SpanArg args[kMaxSpanArgs];
 };
 
 /// Stable snapshot of the ring: skips slots caught mid-write or already
@@ -100,6 +107,12 @@ std::vector<ExportedEvent> SnapshotRing() {
     e.start_ns = slot.start_ns.load(std::memory_order_relaxed);
     e.dur_ns = slot.dur_ns.load(std::memory_order_relaxed);
     e.tid = slot.tid.load(std::memory_order_relaxed);
+    e.num_args = slot.num_args.load(std::memory_order_relaxed);
+    if (e.num_args > kMaxSpanArgs) e.num_args = kMaxSpanArgs;
+    for (uint32_t a = 0; a < e.num_args; ++a) {
+      e.args[a].name = slot.arg_names[a].load(std::memory_order_relaxed);
+      e.args[a].value = slot.arg_values[a].load(std::memory_order_relaxed);
+    }
     // Re-check: if the slot was reused while we copied, drop the copy.
     if (slot.seq.load(std::memory_order_acquire) != want) continue;
     events.push_back(e);
@@ -155,7 +168,7 @@ void SetCurrentThreadName(std::string_view name) {
 namespace internal {
 
 void RecordSpan(const char* name, const char* category, uint64_t start_ns,
-                uint64_t dur_ns) {
+                uint64_t dur_ns, const SpanArg* args, size_t num_args) {
   const uint64_t i = g_next.fetch_add(1, std::memory_order_relaxed);
   Slot& slot = g_ring[i & kRingMask];
   slot.seq.store(2 * i + 1, std::memory_order_release);
@@ -164,6 +177,13 @@ void RecordSpan(const char* name, const char* category, uint64_t start_ns,
   slot.start_ns.store(start_ns, std::memory_order_relaxed);
   slot.dur_ns.store(dur_ns, std::memory_order_relaxed);
   slot.tid.store(CurrentThreadId(), std::memory_order_relaxed);
+  if (num_args > kMaxSpanArgs) num_args = kMaxSpanArgs;
+  slot.num_args.store(static_cast<uint32_t>(num_args),
+                      std::memory_order_relaxed);
+  for (size_t a = 0; a < num_args; ++a) {
+    slot.arg_names[a].store(args[a].name, std::memory_order_relaxed);
+    slot.arg_values[a].store(args[a].value, std::memory_order_relaxed);
+  }
   slot.seq.store(2 * i + 2, std::memory_order_release);
 }
 
@@ -227,13 +247,36 @@ std::string Tracing::ToJson() {
     AppendJsonEscaped(e.name == nullptr ? "?" : e.name, &out);
     out += "\",\"cat\":\"";
     AppendJsonEscaped(e.category == nullptr ? "?" : e.category, &out);
-    out += "\"}";
+    out += "\"";
+    if (e.num_args > 0) {
+      out += ",\"args\":{";
+      for (uint32_t a = 0; a < e.num_args; ++a) {
+        if (a > 0) out.push_back(',');
+        out += "\"";
+        AppendJsonEscaped(e.args[a].name == nullptr ? "?" : e.args[a].name,
+                          &out);
+        out += "\":" + std::to_string(e.args[a].value);
+      }
+      out += "}";
+    }
+    out += "}";
   }
   out += "]}";
+  // Exporters read this gauge to learn how much of the trace was lost to
+  // ring wrap (oldest events overwritten).
+  GetGauge("obs.trace.dropped")
+      .Set(static_cast<int64_t>(DroppedCount()));
   return out;
 }
 
 bool Tracing::WriteJson(const std::string& path) {
+  const size_t dropped = DroppedCount();
+  if (dropped > 0) {
+    std::fprintf(stderr,
+                 "tabular: trace ring wrapped; %zu oldest event(s) were "
+                 "dropped from the export\n",
+                 dropped);
+  }
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) return false;
   const std::string json = ToJson();

@@ -68,11 +68,24 @@ void SetCurrentThreadName(std::string_view name);
 /// Monotonic nanoseconds since the process's trace epoch.
 uint64_t TraceNowNs();
 
+/// One numeric tag on a span, exported under the event's Chrome-trace
+/// "args" object. `name` must point to static storage (a string literal):
+/// the ring stores the pointer, not a copy.
+struct SpanArg {
+  const char* name = nullptr;
+  uint64_t value = 0;
+};
+
+/// Span arg slots per ring event. Spans carrying more keep the first ones.
+constexpr size_t kMaxSpanArgs = 6;
+
 namespace internal {
 /// Records one completed span. `name` and `category` must point to static
 /// storage (string literals): the ring stores the pointers, not copies.
+/// `args` (up to kMaxSpanArgs) are copied into the slot.
 void RecordSpan(const char* name, const char* category, uint64_t start_ns,
-                uint64_t dur_ns);
+                uint64_t dur_ns, const SpanArg* args = nullptr,
+                size_t num_args = 0);
 }  // namespace internal
 
 /// RAII span: records [construction, destruction) on the calling thread's
@@ -90,16 +103,27 @@ class TraceSpan {
   ~TraceSpan() {
     if (name_ != nullptr) {
       internal::RecordSpan(name_, category_, start_ns_,
-                           TraceNowNs() - start_ns_);
+                           TraceNowNs() - start_ns_, args_, num_args_);
     }
   }
   TraceSpan(const TraceSpan&) = delete;
   TraceSpan& operator=(const TraceSpan&) = delete;
 
+  /// Tags the span: exported as `"args":{"<name>":<value>,...}`. `name`
+  /// must be a string literal. Tags beyond kMaxSpanArgs are dropped, as is
+  /// everything when tracing was off at construction. The request handler
+  /// uses this for session/request/cache/snapshot context.
+  void Arg(const char* name, uint64_t value) {
+    if (name_ == nullptr || num_args_ >= kMaxSpanArgs) return;
+    args_[num_args_++] = SpanArg{name, value};
+  }
+
  private:
   const char* name_ = nullptr;
   const char* category_ = nullptr;
   uint64_t start_ns_ = 0;
+  SpanArg args_[kMaxSpanArgs] = {};
+  size_t num_args_ = 0;
 };
 
 #define TABULAR_OBS_CONCAT_IMPL_(a, b) a##b

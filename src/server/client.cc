@@ -56,12 +56,21 @@ Result<Client> Client::ConnectUnix(const std::string& path) {
   return Client(fd);
 }
 
-Client::Client(Client&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_),
+      negotiation_done_(other.negotiation_done_),
+      negotiated_(other.negotiated_),
+      next_request_id_(other.next_request_id_) {
+  other.fd_ = -1;
+}
 
 Client& Client::operator=(Client&& other) noexcept {
   if (this != &other) {
     Close();
     fd_ = other.fd_;
+    negotiation_done_ = other.negotiation_done_;
+    negotiated_ = other.negotiated_;
+    next_request_id_ = other.next_request_id_;
     other.fd_ = -1;
   }
   return *this;
@@ -105,12 +114,47 @@ Status Client::Ping() {
   return ExpectOk(resp);
 }
 
-Result<RunResponse> Client::Run(const std::string& program, bool commit,
-                                bool want_dump) {
+Result<PingResponse> Client::Negotiate() {
+  PingRequest req;
+  req.has_features = true;
+  req.features = kServerFeatures;
+  TABULAR_ASSIGN_OR_RETURN(std::string resp,
+                           RoundTrip(EncodePingRequest(req)));
+  if (!resp.empty() && resp[0] == static_cast<char>(MsgType::kError)) {
+    return ErrorStatus(resp);
+  }
+  PingResponse pong;
+  TABULAR_RETURN_NOT_OK(DecodePingResponse(resp, &pong));
+  negotiated_ = pong;
+  negotiation_done_ = true;
+  return pong;
+}
+
+Status Client::EnsureNegotiated(uint8_t required) {
+  if (!negotiation_done_) {
+    TABULAR_RETURN_NOT_OK(Negotiate().status());
+  }
+  if ((negotiated_.features & required) != required) {
+    return Status::InvalidArgument(
+        "server (protocol version " +
+        std::to_string(negotiated_.protocol_version) +
+        ") did not grant the required feature bits " +
+        std::to_string(required));
+  }
+  return Status::OK();
+}
+
+Result<RunResponse> Client::RunInternal(const std::string& program,
+                                        bool commit, bool want_dump,
+                                        bool profile) {
   RunRequest req;
   req.program = program;
   req.commit = commit;
   req.want_dump = want_dump;
+  req.profile = profile;
+  if ((negotiated_.features & kFeatureRequestIds) != 0) {
+    req.request_id = next_request_id_++;
+  }
   TABULAR_ASSIGN_OR_RETURN(std::string resp,
                            RoundTrip(EncodeRunRequest(req)));
   if (!resp.empty() && resp[0] == static_cast<char>(MsgType::kError)) {
@@ -119,6 +163,23 @@ Result<RunResponse> Client::Run(const std::string& program, bool commit,
   RunResponse out;
   TABULAR_RETURN_NOT_OK(DecodeRunResponse(resp, &out));
   return out;
+}
+
+Result<RunResponse> Client::Run(const std::string& program, bool commit,
+                                bool want_dump) {
+  // Negotiate lazily so runs carry request ids when the server supports
+  // them; a failed negotiation (e.g. a half-dead socket) surfaces here.
+  if (!negotiation_done_) {
+    TABULAR_RETURN_NOT_OK(Negotiate().status());
+  }
+  return RunInternal(program, commit, want_dump, /*profile=*/false);
+}
+
+Result<RunResponse> Client::Profile(const std::string& program,
+                                    bool commit) {
+  TABULAR_RETURN_NOT_OK(EnsureNegotiated(kFeatureProfile));
+  return RunInternal(program, commit, /*want_dump=*/false,
+                     /*profile=*/true);
 }
 
 Result<Client::Dump> Client::DumpDatabase() {
@@ -176,6 +237,28 @@ Result<std::string> Client::Metrics() {
     return ErrorStatus(resp);
   }
   return DecodeOkString(resp);
+}
+
+Result<std::string> Client::MetricsProm() {
+  TABULAR_RETURN_NOT_OK(EnsureNegotiated(kFeaturePrometheus));
+  TABULAR_ASSIGN_OR_RETURN(
+      std::string resp, RoundTrip(EncodeBareRequest(MsgType::kMetricsProm)));
+  if (!resp.empty() && resp[0] == static_cast<char>(MsgType::kError)) {
+    return ErrorStatus(resp);
+  }
+  return DecodeOkString(resp);
+}
+
+Result<SlowLogResponse> Client::SlowLog() {
+  TABULAR_RETURN_NOT_OK(EnsureNegotiated(kFeatureSlowLog));
+  TABULAR_ASSIGN_OR_RETURN(
+      std::string resp, RoundTrip(EncodeBareRequest(MsgType::kSlowLog)));
+  if (!resp.empty() && resp[0] == static_cast<char>(MsgType::kError)) {
+    return ErrorStatus(resp);
+  }
+  SlowLogResponse out;
+  TABULAR_RETURN_NOT_OK(DecodeSlowLogResponse(resp, &out));
+  return out;
 }
 
 Status Client::Shutdown() {

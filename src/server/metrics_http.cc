@@ -1,0 +1,141 @@
+#include "server/metrics_http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/exposition.h"
+#include "obs/trace.h"
+
+namespace tabular::server {
+
+Result<std::unique_ptr<MetricsHttpServer>> MetricsHttpServer::Start(
+    const std::string& host, uint16_t port) {
+  std::unique_ptr<MetricsHttpServer> server(new MetricsHttpServer());
+  server->listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (server->listen_fd_ < 0) {
+    return Status::Internal(std::string("metrics socket failed: ") +
+                            std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(server->listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one,
+               sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad metrics host: " + host);
+  }
+  if (::bind(server->listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Status::Internal("metrics bind to " + host + ":" +
+                            std::to_string(port) + " failed: " +
+                            std::strerror(errno));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(server->listen_fd_, reinterpret_cast<sockaddr*>(&bound),
+                &len);
+  server->port_ = ntohs(bound.sin_port);
+  if (::listen(server->listen_fd_, 16) != 0) {
+    return Status::Internal(std::string("metrics listen failed: ") +
+                            std::strerror(errno));
+  }
+  server->accept_thread_ = std::thread([s = server.get()] {
+    obs::SetCurrentThreadName("tabulard-metrics");
+    s->AcceptLoop();
+  });
+  return server;
+}
+
+void MetricsHttpServer::AcceptLoop() {
+  while (!stopped_.load(std::memory_order_acquire)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int rc = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (rc < 0 && errno != EINTR) return;
+    if (stopped_.load(std::memory_order_acquire)) return;
+    if (rc <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) continue;
+    HandleConnection(fd);
+    ::close(fd);
+  }
+}
+
+void MetricsHttpServer::HandleConnection(int fd) {
+  // A scrape request fits in one read in practice; keep reading until the
+  // header terminator or a small cap so a slow writer cannot wedge us.
+  std::string request;
+  char buf[2048];
+  while (request.size() < 16 * 1024 &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    pollfd pfd{fd, POLLIN, 0};
+    int rc = ::poll(&pfd, 1, /*timeout_ms=*/1000);
+    if (rc <= 0) return;
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;
+    }
+    request.append(buf, static_cast<size_t>(n));
+  }
+
+  const bool is_get = request.rfind("GET ", 0) == 0;
+  const size_t path_start = 4;
+  const size_t path_end = request.find(' ', path_start);
+  std::string path = is_get && path_end != std::string::npos
+                         ? request.substr(path_start, path_end - path_start)
+                         : "";
+
+  std::string body;
+  std::string status_line;
+  std::string content_type = "text/plain; charset=utf-8";
+  if (!is_get) {
+    status_line = "HTTP/1.0 405 Method Not Allowed";
+    body = "only GET is supported\n";
+  } else if (path == "/metrics") {
+    status_line = "HTTP/1.0 200 OK";
+    content_type = "text/plain; version=0.0.4; charset=utf-8";
+    body = obs::RenderPrometheus();
+  } else {
+    status_line = "HTTP/1.0 404 Not Found";
+    body = "try /metrics\n";
+  }
+
+  std::string response = status_line + "\r\nContent-Type: " + content_type +
+                         "\r\nContent-Length: " +
+                         std::to_string(body.size()) +
+                         "\r\nConnection: close\r\n\r\n" + body;
+  size_t off = 0;
+  while (off < response.size()) {
+    ssize_t n = ::send(fd, response.data() + off, response.size() - off,
+                       MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    off += static_cast<size_t>(n);
+  }
+}
+
+void MetricsHttpServer::Shutdown() {
+  bool expected = false;
+  if (!stopped_.compare_exchange_strong(expected, true,
+                                        std::memory_order_acq_rel)) {
+    return;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+MetricsHttpServer::~MetricsHttpServer() { Shutdown(); }
+
+}  // namespace tabular::server

@@ -1,0 +1,50 @@
+#ifndef TABULAR_SERVER_METRICS_HTTP_H_
+#define TABULAR_SERVER_METRICS_HTTP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "core/status.h"
+
+namespace tabular::server {
+
+/// Plain-HTTP sidecar for Prometheus scrapes: GET /metrics returns
+/// `obs::RenderPrometheus()` as text/plain (exposition format 0.0.4), any
+/// other path is a 404. It deliberately speaks just enough HTTP/1.0 for
+/// `curl` and a Prometheus scraper — one short-lived connection per
+/// scrape, response closed after the body — so tabulard's binary protocol
+/// stays the only long-lived surface. Runs its own accept thread; scrapes
+/// are handled inline (they are rare and cheap next to query traffic).
+class MetricsHttpServer {
+ public:
+  /// Binds `host:port` (port 0 picks an ephemeral port) and starts
+  /// serving.
+  static Result<std::unique_ptr<MetricsHttpServer>> Start(
+      const std::string& host, uint16_t port);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  uint16_t port() const { return port_; }
+
+  /// Stops accepting, closes the socket, joins the thread. Idempotent.
+  void Shutdown();
+
+ private:
+  MetricsHttpServer() = default;
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::atomic<bool> stopped_{false};
+  std::thread accept_thread_;
+};
+
+}  // namespace tabular::server
+
+#endif  // TABULAR_SERVER_METRICS_HTTP_H_

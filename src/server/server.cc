@@ -13,8 +13,12 @@
 #include <cstring>
 #include <utility>
 
+#include <map>
+
 #include "io/grid_format.h"
+#include "obs/exposition.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/trace.h"
 #include "server/wire.h"
 
@@ -32,14 +36,51 @@ obs::Counter& RequestErrorCounter() {
   return c;
 }
 
+/// Canonical latency source: bench_server and the Prometheus exposition
+/// both derive p50/p99 from this histogram's buckets.
 obs::Histogram& RequestLatency() {
-  static obs::Histogram& h = obs::GetHistogram("server.request_micros");
+  static obs::Histogram& h = obs::GetHistogram("server.request.latency");
   return h;
 }
 
 std::string JsonField(const char* key, uint64_t v, bool last = false) {
   return std::string("\"") + key + "\":" + std::to_string(v) +
          (last ? "" : ",");
+}
+
+/// Σ data rows over every table — the slow-log's rows_in/rows_out.
+uint64_t TotalDataRows(const core::TabularDatabase& db) {
+  uint64_t rows = 0;
+  for (const core::Table& t : db.tables()) rows += t.height();
+  return rows;
+}
+
+/// Counter deltas across a profiled execution, as a JSON object keyed by
+/// registry name ({"algebra.group.calls":5,...}). Under concurrent
+/// sessions other requests' operator work leaks into the window; profile
+/// counters are attribution hints, not an audit.
+std::string CounterDeltaJson(
+    const std::map<std::string, uint64_t>& before) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [name, value] : obs::CounterEntries()) {
+    auto it = before.find(name);
+    const uint64_t prior = it == before.end() ? 0 : it->second;
+    if (value == prior) continue;
+    if (!first) out.push_back(',');
+    first = false;
+    out += "\"" + name + "\":" + std::to_string(value - prior);
+  }
+  out += "}";
+  return out;
+}
+
+std::map<std::string, uint64_t> CounterValues() {
+  std::map<std::string, uint64_t> values;
+  for (const auto& [name, value] : obs::CounterEntries()) {
+    values[name] = value;
+  }
+  return values;
 }
 
 }  // namespace
@@ -64,13 +105,22 @@ std::string ServerStats::ToJson() const {
 Server::Server(ServerOptions options, core::TabularDatabase initial)
     : options_(std::move(options)),
       versions_(std::make_unique<VersionedDatabase>(std::move(initial))),
-      cache_(options_.cache) {}
+      cache_(options_.cache) {
+  slow_log_.set_threshold_micros(options_.slow_query_micros);
+}
 
 Result<std::unique_ptr<Server>> Server::Start(core::TabularDatabase initial,
                                               ServerOptions options) {
   std::unique_ptr<Server> server(
       new Server(std::move(options), std::move(initial)));
   TABULAR_RETURN_NOT_OK(server->Listen());
+  if (server->options_.metrics_port >= 0) {
+    TABULAR_ASSIGN_OR_RETURN(
+        server->metrics_http_,
+        MetricsHttpServer::Start(
+            server->options_.host,
+            static_cast<uint16_t>(server->options_.metrics_port)));
+  }
   server->accept_thread_ = std::thread([s = server.get()] {
     obs::SetCurrentThreadName("tabulard-accept");
     s->AcceptLoop();
@@ -168,7 +218,10 @@ void Server::AcceptLoop() {
       continue;
     }
 
-    sessions_total_.fetch_add(1, std::memory_order_relaxed);
+    // Session ids are 1-based: the id tags every trace span and slow-log
+    // entry the session produces, and 0 is the "unknown" sentinel.
+    const uint64_t session_id =
+        sessions_total_.fetch_add(1, std::memory_order_relaxed) + 1;
     sessions_active_.fetch_add(1, std::memory_order_relaxed);
     opened.Add(1);
     active_gauge.Set(
@@ -188,9 +241,9 @@ void Server::AcceptLoop() {
     SessionSlot* raw = slot.get();
     raw->fd = fd;
     sessions_.push_back(std::move(slot));
-    raw->thread = std::thread([this, raw] {
+    raw->thread = std::thread([this, raw, session_id] {
       obs::SetCurrentThreadName("tabulard-session");
-      SessionLoop(raw->fd);
+      SessionLoop(raw->fd, session_id);
       ::close(raw->fd);
       sessions_active_.fetch_sub(1, std::memory_order_relaxed);
       active_gauge.Set(static_cast<int64_t>(
@@ -201,7 +254,7 @@ void Server::AcceptLoop() {
   }
 }
 
-void Server::SessionLoop(int fd) {
+void Server::SessionLoop(int fd, uint64_t session_id) {
   while (true) {
     // Idle wait: wake on request bytes, on peer close, or on shutdown (the
     // wake pipe stays readable once signaled, so every session sees it).
@@ -226,8 +279,19 @@ void Server::SessionLoop(int fd) {
 
     in_flight_.fetch_add(1, std::memory_order_acq_rel);
     const uint64_t t0 = obs::TraceNowNs();
-    std::string response = HandleRequest(**frame);
-    RequestLatency().Record((obs::TraceNowNs() - t0) / 1000);
+    obs::QueryLogEntry audit;
+    std::string response = HandleRequest(**frame, session_id, &audit);
+    const uint64_t latency_us = (obs::TraceNowNs() - t0) / 1000;
+    RequestLatency().Record(latency_us);
+    // A run request set the program hash (FNV-1a is never 0); finish the
+    // audit record with what only this loop knows and offer it to the
+    // slow-query log.
+    if (audit.program_hash != 0) {
+      audit.start_ns = t0;
+      audit.session_id = session_id;
+      audit.latency_us = latency_us;
+      slow_log_.Observe(audit);
+    }
     in_flight_.fetch_sub(1, std::memory_order_acq_rel);
     if (!WriteFrame(fd, response).ok()) return;
     // Drain semantics: the request that was in flight when shutdown was
@@ -236,8 +300,14 @@ void Server::SessionLoop(int fd) {
   }
 }
 
-std::string Server::HandleRequest(const std::string& payload) {
-  TABULAR_TRACE_SPAN("server.request", "server");
+std::string Server::HandleRequest(const std::string& payload,
+                                  uint64_t session_id,
+                                  obs::QueryLogEntry* audit) {
+  // The root span of the request: everything the handler does (interpreter
+  // and kernel spans included) nests under it in the exported trace, and
+  // its args identify which session's track the request ran on.
+  obs::TraceSpan root("server.request", "server");
+  root.Arg("session", session_id);
   requests_.fetch_add(1, std::memory_order_relaxed);
   RequestCounter().Add(1);
 
@@ -251,10 +321,28 @@ std::string Server::HandleRequest(const std::string& payload) {
     return error(StatusCode::kParseError, "empty payload");
   }
   switch (static_cast<MsgType>(static_cast<uint8_t>(payload[0]))) {
-    case MsgType::kPing:
-      return EncodeOkEmpty();
+    case MsgType::kPing: {
+      PingRequest ping;
+      Status parsed = DecodePingRequest(payload, &ping);
+      if (!parsed.ok()) return error(parsed.code(), parsed.message());
+      if (!ping.has_features) return EncodeOkEmpty();  // version-1 ping
+      PingResponse pong;
+      pong.features =
+          static_cast<uint8_t>(ping.features & options_.feature_mask);
+      pong.protocol_version = kProtocolVersion;
+      return EncodePingResponse(pong);
+    }
     case MsgType::kRun:
-      return HandleRun(payload);
+      return HandleRun(payload, session_id, &root, audit);
+    case MsgType::kSlowLog: {
+      SlowLogResponse resp;
+      resp.threshold_micros = slow_log_.threshold_micros();
+      resp.entries = slow_log_.Drain();
+      resp.dropped = slow_log_.dropped();
+      return EncodeSlowLogResponse(resp);
+    }
+    case MsgType::kMetricsProm:
+      return EncodeOkString(obs::RenderPrometheus());
     case MsgType::kDump: {
       Snapshot snap = versions_->Current();
       std::string out;
@@ -289,17 +377,25 @@ std::string Server::HandleRequest(const std::string& payload) {
                    std::to_string(static_cast<uint8_t>(payload[0])));
 }
 
-std::string Server::HandleRun(const std::string& payload) {
+std::string Server::HandleRun(const std::string& payload,
+                              uint64_t session_id, obs::TraceSpan* root,
+                              obs::QueryLogEntry* audit) {
+  (void)session_id;  // the session loop stamps it onto `audit`
   TABULAR_TRACE_SPAN("server.run", "server");
-  auto error = [this](StatusCode code, std::string message) {
+  auto error = [this, audit](StatusCode code, std::string message) {
     request_errors_.fetch_add(1, std::memory_order_relaxed);
     RequestErrorCounter().Add(1);
+    audit->ok = false;
     return EncodeError(ErrorResponse{code, std::move(message)});
   };
 
   RunRequest req;
   Status parsed = DecodeRunRequest(payload, &req);
   if (!parsed.ok()) return error(parsed.code(), parsed.message());
+  // From here on the request is auditable: the hash marks `audit` live.
+  audit->program_hash = obs::Fnv1a64(req.program);
+  audit->request_id = req.request_id;
+  if (req.request_id != 0) root->Arg("request", req.request_id);
 
   // Pin a snapshot: everything below reads this immutable version, no
   // matter how many commits land concurrently.
@@ -307,9 +403,16 @@ std::string Server::HandleRun(const std::string& payload) {
   bool cache_hit = false;
   std::shared_ptr<const CompiledProgram> compiled =
       cache_.Get(req.program, *snap.db, &cache_hit);
+  root->Arg("snapshot", snap.version);
+  root->Arg("cache_hit", cache_hit ? 1 : 0);
+  audit->snapshot_version = snap.version;
+  audit->cache_hit = cache_hit;
+  audit->rows_in = TotalDataRows(*snap.db);
   if (!compiled->front_end.ok()) {
     return error(compiled->front_end.code(), compiled->front_end.message());
   }
+  audit->rewrites_applied =
+      static_cast<uint32_t>(compiled->optimize_stats.applied);
 
   // Execute against a private copy. The front end already ran (analysis
   // and certified rewrites are part of the cached compile), so the
@@ -318,6 +421,9 @@ std::string Server::HandleRun(const std::string& payload) {
   lang::InterpreterOptions interp = options_.interp;
   interp.analyze_first = false;
   interp.optimize = false;
+  interp.profile = req.profile;
+  std::map<std::string, uint64_t> counters_before;
+  if (req.profile) counters_before = CounterValues();
   lang::Interpreter interpreter(interp);
   Status run = interpreter.Run(compiled->executable(), &work);
   if (!run.ok()) {
@@ -334,6 +440,12 @@ std::string Server::HandleRun(const std::string& payload) {
       static_cast<uint32_t>(compiled->optimize_stats.applied);
   resp.rewrites_rejected =
       static_cast<uint32_t>(compiled->optimize_stats.rejected);
+  if (req.profile) {
+    resp.has_profile = true;
+    resp.profile_text = obs::RenderProfile(interpreter.profile());
+    resp.counters_json = CounterDeltaJson(counters_before);
+  }
+  audit->rows_out = TotalDataRows(work);
   if (req.want_dump) resp.dump = io::SerializeDatabase(work);
   if (req.commit) {
     Result<uint64_t> committed =
@@ -373,6 +485,7 @@ void Server::Shutdown() {
     return;
   }
   if (accept_thread_.joinable()) accept_thread_.join();
+  if (metrics_http_ != nullptr) metrics_http_->Shutdown();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;

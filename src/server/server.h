@@ -13,8 +13,12 @@
 #include "core/database.h"
 #include "core/status.h"
 #include "lang/interpreter.h"
+#include "obs/query_log.h"
+#include "obs/trace.h"
+#include "server/metrics_http.h"
 #include "server/program_cache.h"
 #include "server/version.h"
+#include "server/wire.h"
 
 namespace tabular::server {
 
@@ -34,6 +38,17 @@ struct ServerOptions {
   double drain_seconds = 5.0;
   /// Refuse connections beyond this many concurrent sessions.
   size_t max_sessions = 1024;
+  /// Requests at least this slow (wall micros) enter the slow-query log;
+  /// `obs::QueryLog::kDisabled` turns the log off. The daemon maps
+  /// `--slow-ms` / `TABULAR_SLOW_MS` onto this.
+  uint64_t slow_query_micros = 100000;
+  /// Features this server negotiates (intersected with the client's ping
+  /// byte). Defaults to everything; tests set 0 to impersonate a
+  /// version-1 server.
+  uint8_t feature_mask = kServerFeatures;
+  /// Prometheus /metrics HTTP port: -1 disables the endpoint, 0 picks an
+  /// ephemeral port (read it back with `metrics_port()`).
+  int metrics_port = -1;
 };
 
 /// Point-in-time server statistics (the Stats request renders these as
@@ -76,6 +91,10 @@ class Server {
   uint16_t port() const { return port_; }
   /// "unix:<path>" or "<host>:<port>".
   const std::string& endpoint() const { return endpoint_; }
+  /// Bound Prometheus /metrics HTTP port; -1 when the endpoint is off.
+  int metrics_port() const {
+    return metrics_http_ == nullptr ? -1 : metrics_http_->port();
+  }
 
   /// Flags the server to shut down: new connections are refused from this
   /// point on. Non-blocking; safe from any thread, including session
@@ -99,20 +118,27 @@ class Server {
   ServerStats Stats() const;
   const VersionedDatabase& versions() const { return *versions_; }
   ProgramCache& cache() { return cache_; }
+  obs::QueryLog& slow_log() { return slow_log_; }
 
  private:
   Server(ServerOptions options, core::TabularDatabase initial);
   Status Listen();
   void AcceptLoop();
-  void SessionLoop(int fd);
+  void SessionLoop(int fd, uint64_t session_id);
   /// One request frame → one response payload. Never fails: protocol and
-  /// execution errors become kError payloads.
-  std::string HandleRequest(const std::string& payload);
-  std::string HandleRun(const std::string& payload);
+  /// execution errors become kError payloads. Run requests fill `audit`
+  /// (everything but the latency, which the session loop measures) for the
+  /// slow-query log.
+  std::string HandleRequest(const std::string& payload, uint64_t session_id,
+                            obs::QueryLogEntry* audit);
+  std::string HandleRun(const std::string& payload, uint64_t session_id,
+                        obs::TraceSpan* root, obs::QueryLogEntry* audit);
 
   ServerOptions options_;
   std::unique_ptr<VersionedDatabase> versions_;
   ProgramCache cache_;
+  obs::QueryLog slow_log_;
+  std::unique_ptr<MetricsHttpServer> metrics_http_;
 
   int listen_fd_ = -1;
   uint16_t port_ = 0;

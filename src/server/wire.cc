@@ -99,8 +99,57 @@ Status ExpectType(WireCursor* cur, MsgType want) {
 
 constexpr uint8_t kFlagCommit = 1;
 constexpr uint8_t kFlagWantDump = 2;
+constexpr uint8_t kFlagProfile = 4;
+constexpr uint8_t kFlagRequestId = 8;
+constexpr uint8_t kKnownRunFlags =
+    kFlagCommit | kFlagWantDump | kFlagProfile | kFlagRequestId;
+
+/// Marker byte introducing the optional RunResponse profile extension.
+constexpr uint8_t kRunRespProfileExt = 1;
 
 }  // namespace
+
+std::string EncodePingRequest(const PingRequest& req) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(MsgType::kPing));
+  if (req.has_features) PutU8(&out, req.features);
+  return out;
+}
+
+Status DecodePingRequest(std::string_view payload, PingRequest* req) {
+  WireCursor cur(payload);
+  TABULAR_RETURN_NOT_OK(ExpectType(&cur, MsgType::kPing));
+  if (cur.AtEnd()) {
+    req->has_features = false;
+    req->features = 0;
+    return Status::OK();
+  }
+  req->has_features = true;
+  TABULAR_RETURN_NOT_OK(cur.GetU8(&req->features));
+  return cur.ExpectEnd();
+}
+
+std::string EncodePingResponse(const PingResponse& resp) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(MsgType::kOk));
+  PutU8(&out, resp.features);
+  PutU32(&out, resp.protocol_version);
+  return out;
+}
+
+Status DecodePingResponse(std::string_view payload, PingResponse* resp) {
+  WireCursor cur(payload);
+  TABULAR_RETURN_NOT_OK(ExpectType(&cur, MsgType::kOk));
+  if (cur.AtEnd()) {
+    // A version-1 server's empty kOk: no features, no negotiation.
+    resp->features = 0;
+    resp->protocol_version = 1;
+    return Status::OK();
+  }
+  TABULAR_RETURN_NOT_OK(cur.GetU8(&resp->features));
+  TABULAR_RETURN_NOT_OK(cur.GetU32(&resp->protocol_version));
+  return cur.ExpectEnd();
+}
 
 std::string EncodeRunRequest(const RunRequest& req) {
   std::string out;
@@ -108,8 +157,11 @@ std::string EncodeRunRequest(const RunRequest& req) {
   uint8_t flags = 0;
   if (req.commit) flags |= kFlagCommit;
   if (req.want_dump) flags |= kFlagWantDump;
+  if (req.profile) flags |= kFlagProfile;
+  if (req.request_id != 0) flags |= kFlagRequestId;
   PutU8(&out, flags);
   PutString(&out, req.program);
+  if (req.request_id != 0) PutU64(&out, req.request_id);
   return out;
 }
 
@@ -118,12 +170,17 @@ Status DecodeRunRequest(std::string_view payload, RunRequest* req) {
   TABULAR_RETURN_NOT_OK(ExpectType(&cur, MsgType::kRun));
   uint8_t flags = 0;
   TABULAR_RETURN_NOT_OK(cur.GetU8(&flags));
-  if ((flags & ~(kFlagCommit | kFlagWantDump)) != 0) {
+  if ((flags & ~kKnownRunFlags) != 0) {
     return Status::ParseError("unknown run flags " + std::to_string(flags));
   }
   req->commit = (flags & kFlagCommit) != 0;
   req->want_dump = (flags & kFlagWantDump) != 0;
+  req->profile = (flags & kFlagProfile) != 0;
   TABULAR_RETURN_NOT_OK(cur.GetString(&req->program));
+  req->request_id = 0;
+  if ((flags & kFlagRequestId) != 0) {
+    TABULAR_RETURN_NOT_OK(cur.GetU64(&req->request_id));
+  }
   return cur.ExpectEnd();
 }
 
@@ -137,6 +194,14 @@ std::string EncodeRunResponse(const RunResponse& resp) {
   PutU32(&out, resp.rewrites_applied);
   PutU32(&out, resp.rewrites_rejected);
   PutString(&out, resp.dump);
+  // The profile extension trails the version-1 body behind a marker byte
+  // and is only emitted when the request carried kFlagProfile, so clients
+  // that did not ask (version-1 clients cannot) get byte-identical frames.
+  if (resp.has_profile) {
+    PutU8(&out, kRunRespProfileExt);
+    PutString(&out, resp.profile_text);
+    PutString(&out, resp.counters_json);
+  }
   return out;
 }
 
@@ -152,6 +217,80 @@ Status DecodeRunResponse(std::string_view payload, RunResponse* resp) {
   TABULAR_RETURN_NOT_OK(cur.GetU32(&resp->rewrites_applied));
   TABULAR_RETURN_NOT_OK(cur.GetU32(&resp->rewrites_rejected));
   TABULAR_RETURN_NOT_OK(cur.GetString(&resp->dump));
+  resp->has_profile = false;
+  resp->profile_text.clear();
+  resp->counters_json.clear();
+  if (!cur.AtEnd()) {
+    uint8_t marker = 0;
+    TABULAR_RETURN_NOT_OK(cur.GetU8(&marker));
+    if (marker != kRunRespProfileExt) {
+      return Status::ParseError("unknown run response extension " +
+                                std::to_string(marker));
+    }
+    resp->has_profile = true;
+    TABULAR_RETURN_NOT_OK(cur.GetString(&resp->profile_text));
+    TABULAR_RETURN_NOT_OK(cur.GetString(&resp->counters_json));
+  }
+  return cur.ExpectEnd();
+}
+
+std::string EncodeSlowLogResponse(const SlowLogResponse& resp) {
+  std::string out;
+  PutU8(&out, static_cast<uint8_t>(MsgType::kOk));
+  PutU64(&out, resp.threshold_micros);
+  PutU64(&out, resp.dropped);
+  PutU32(&out, static_cast<uint32_t>(resp.entries.size()));
+  for (const obs::QueryLogEntry& e : resp.entries) {
+    PutU64(&out, e.start_ns);
+    PutU64(&out, e.request_id);
+    PutU64(&out, e.session_id);
+    PutU64(&out, e.program_hash);
+    PutU64(&out, e.latency_us);
+    PutU64(&out, e.rows_in);
+    PutU64(&out, e.rows_out);
+    PutU64(&out, e.snapshot_version);
+    PutU32(&out, e.rewrites_applied);
+    PutU8(&out, e.cache_hit ? 1 : 0);
+    PutU8(&out, e.ok ? 1 : 0);
+  }
+  return out;
+}
+
+Status DecodeSlowLogResponse(std::string_view payload,
+                             SlowLogResponse* resp) {
+  WireCursor cur(payload);
+  TABULAR_RETURN_NOT_OK(ExpectType(&cur, MsgType::kOk));
+  TABULAR_RETURN_NOT_OK(cur.GetU64(&resp->threshold_micros));
+  TABULAR_RETURN_NOT_OK(cur.GetU64(&resp->dropped));
+  uint32_t count = 0;
+  TABULAR_RETURN_NOT_OK(cur.GetU32(&count));
+  // Each entry is at least 66 body bytes; a count that cannot fit in the
+  // remaining payload is rejected before the reserve.
+  if (count > kMaxFramePayload / 66) {
+    return Status::ParseError("slow log entry count " +
+                              std::to_string(count) + " out of range");
+  }
+  resp->entries.clear();
+  resp->entries.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    obs::QueryLogEntry e;
+    TABULAR_RETURN_NOT_OK(cur.GetU64(&e.start_ns));
+    TABULAR_RETURN_NOT_OK(cur.GetU64(&e.request_id));
+    TABULAR_RETURN_NOT_OK(cur.GetU64(&e.session_id));
+    TABULAR_RETURN_NOT_OK(cur.GetU64(&e.program_hash));
+    TABULAR_RETURN_NOT_OK(cur.GetU64(&e.latency_us));
+    TABULAR_RETURN_NOT_OK(cur.GetU64(&e.rows_in));
+    TABULAR_RETURN_NOT_OK(cur.GetU64(&e.rows_out));
+    TABULAR_RETURN_NOT_OK(cur.GetU64(&e.snapshot_version));
+    TABULAR_RETURN_NOT_OK(cur.GetU32(&e.rewrites_applied));
+    uint8_t cache_hit = 0;
+    uint8_t ok = 0;
+    TABULAR_RETURN_NOT_OK(cur.GetU8(&cache_hit));
+    TABULAR_RETURN_NOT_OK(cur.GetU8(&ok));
+    e.cache_hit = cache_hit != 0;
+    e.ok = ok != 0;
+    resp->entries.push_back(e);
+  }
   return cur.ExpectEnd();
 }
 

@@ -5,8 +5,10 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "core/status.h"
+#include "obs/query_log.h"
 
 namespace tabular::server {
 
@@ -29,22 +31,55 @@ namespace tabular::server {
 
 constexpr uint32_t kMaxFramePayload = 64u << 20;  // 64 MiB
 
-/// Protocol revision, echoed by Hello-free Ping responses via Stats.
-constexpr uint32_t kProtocolVersion = 1;
+/// Protocol revision. Version 2 adds feature negotiation over kPing (a
+/// client feature byte in the ping body, echoed back with the negotiated
+/// set), request-scoped run flags (profile, client-assigned request ids),
+/// and the kSlowLog/kMetricsProm requests. Version-1 peers interoperate
+/// unchanged: their empty pings get the legacy empty kOk, their run frames
+/// carry no new flags, and their responses are byte-identical.
+constexpr uint32_t kProtocolVersion = 2;
+
+/// Capability bits negotiated over kPing. A version-1 peer implicitly has
+/// none. The server answers with the intersection of the client's bits and
+/// its own mask, so either side can be configured down for compatibility
+/// testing.
+constexpr uint8_t kFeatureRequestIds = 1;  ///< kRun may carry a request id
+constexpr uint8_t kFeatureProfile = 2;     ///< kRun may ask for a profile
+constexpr uint8_t kFeatureSlowLog = 4;     ///< kSlowLog is understood
+constexpr uint8_t kFeaturePrometheus = 8;  ///< kMetricsProm is understood
+constexpr uint8_t kServerFeatures = kFeatureRequestIds | kFeatureProfile |
+                                    kFeatureSlowLog | kFeaturePrometheus;
 
 enum class MsgType : uint8_t {
   // Requests.
-  kPing = 1,      ///< body: empty                 → Ok: empty
+  kPing = 1,      ///< body: empty | u8 features   → Ok: empty | Negotiation
   kRun = 2,       ///< body: RunRequest            → Ok: RunResponse
   kDump = 3,      ///< body: empty                 → Ok: u64 version, str db
   kTables = 4,    ///< body: empty                 → Ok: str (one name/line)
   kStats = 5,     ///< body: empty                 → Ok: str JSON
   kMetrics = 6,   ///< body: empty                 → Ok: str JSON
   kShutdown = 7,  ///< body: empty                 → Ok: empty; server drains
+  kSlowLog = 8,   ///< body: empty                 → Ok: SlowLogResponse
+  kMetricsProm = 9,  ///< body: empty              → Ok: str Prometheus text
 
   // Responses.
   kOk = 64,
   kError = 65,
+};
+
+/// kPing body (version ≥ 2): the features the client can use. The legacy
+/// empty body means "no features".
+struct PingRequest {
+  bool has_features = false;  ///< false: version-1 empty-body ping
+  uint8_t features = 0;
+};
+
+/// kOk answer to a feature-carrying ping: the negotiated feature set (an
+/// intersection — never more than the client offered) plus the server's
+/// protocol revision. Legacy pings get the legacy empty kOk instead.
+struct PingResponse {
+  uint8_t features = 0;
+  uint32_t protocol_version = kProtocolVersion;
 };
 
 /// Execute a TA program on the server.
@@ -52,6 +87,8 @@ struct RunRequest {
   std::string program;    ///< surface-syntax program text
   bool commit = true;     ///< install the result as a new version
   bool want_dump = false; ///< return the resulting database's grid text
+  bool profile = false;   ///< run instrumented; response carries the profile
+  uint64_t request_id = 0;  ///< client-assigned id (0: none; not sent)
 };
 
 struct RunResponse {
@@ -62,6 +99,16 @@ struct RunResponse {
   uint32_t rewrites_applied = 0;   ///< certified rewrites in the cached form
   uint32_t rewrites_rejected = 0;
   std::string dump;                ///< grid text when `want_dump`, else ""
+  bool has_profile = false;        ///< trailing profile extension present
+  std::string profile_text;        ///< obs::RenderProfile tree
+  std::string counters_json;       ///< per-operator OpCounters deltas (JSON)
+};
+
+/// kOk answer to kSlowLog: the slow-query ring drained oldest-first.
+struct SlowLogResponse {
+  uint64_t threshold_micros = 0;  ///< obs::QueryLog::kDisabled when off
+  uint64_t dropped = 0;           ///< entries lost to ring wrap, ever
+  std::vector<obs::QueryLogEntry> entries;
 };
 
 struct ErrorResponse {
@@ -96,10 +143,24 @@ class WireCursor {
 };
 
 /// Full payloads (type byte + body). Decoders check the type byte.
+///
+/// Backward compatibility is structural: every version-2 addition is either
+/// behind a run-flag bit (request id), an optional trailing extension that
+/// is only emitted when the request asked for it (profile), or a new
+/// message type — so a version-1 encoder's bytes still decode, and a
+/// version-1 decoder never sees bytes it cannot parse.
+std::string EncodePingRequest(const PingRequest& req);
+Status DecodePingRequest(std::string_view payload, PingRequest* req);
+std::string EncodePingResponse(const PingResponse& resp);
+/// Accepts both the negotiated form and the legacy empty kOk (which
+/// decodes as features = 0, protocol_version = 1).
+Status DecodePingResponse(std::string_view payload, PingResponse* resp);
 std::string EncodeRunRequest(const RunRequest& req);
 Status DecodeRunRequest(std::string_view payload, RunRequest* req);
 std::string EncodeRunResponse(const RunResponse& resp);
 Status DecodeRunResponse(std::string_view payload, RunResponse* resp);
+std::string EncodeSlowLogResponse(const SlowLogResponse& resp);
+Status DecodeSlowLogResponse(std::string_view payload, SlowLogResponse* resp);
 std::string EncodeError(const ErrorResponse& err);
 Status DecodeError(std::string_view payload, ErrorResponse* err);
 /// kOk with a raw string body (Dump/Tables/Stats/Metrics responses).

@@ -29,6 +29,9 @@
 #include "io/grid_format.h"
 #include "lang/interpreter.h"
 #include "lang/parser.h"
+#include "obs/metrics.h"
+#include "obs/query_log.h"
+#include "obs/trace.h"
 #include "server/client.h"
 #include "server/program_cache.h"
 #include "server/server.h"
@@ -538,7 +541,7 @@ TEST(ServerTest, ClientShutdownRequestDrainsTheServer) {
   live.server->Shutdown();
 }
 
-// -- Hostile peers -----------------------------------------------------------
+// -- Request-scoped observability --------------------------------------------
 
 int RawConnect(uint16_t port) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -551,6 +554,270 @@ int RawConnect(uint16_t port) {
             0);
   return fd;
 }
+
+/// Sends one raw HTTP request to localhost `port` and returns the whole
+/// response (the metrics responder is HTTP/1.0: it closes after one).
+std::string HttpGet(uint16_t port, std::string_view request) {
+  const int fd = RawConnect(port);
+  EXPECT_EQ(::send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(ServerObsTest, NegotiationGrantsTheFullFeatureSet) {
+  LiveServer live;
+  Client client = live.Connect();
+  EXPECT_EQ(client.features(), 0);  // nothing before negotiation
+  auto negotiated = client.Negotiate();
+  ASSERT_TRUE(negotiated.ok()) << negotiated.status().ToString();
+  EXPECT_EQ(negotiated->features, kServerFeatures);
+  EXPECT_EQ(negotiated->protocol_version, kProtocolVersion);
+  EXPECT_EQ(client.features(), kServerFeatures);
+}
+
+TEST(ServerObsTest, ZeroFeatureMaskServerGrantsNothingButStillServes) {
+  // A server configured down to the version-1 feature set: runs work, the
+  // version-2 conveniences fail client-side with a clear error instead of
+  // sending frames the server would not understand.
+  ServerOptions options;
+  options.feature_mask = 0;
+  LiveServer live{Db(kSalesFlat), std::move(options)};
+  Client client = live.Connect();
+  auto negotiated = client.Negotiate();
+  ASSERT_TRUE(negotiated.ok());
+  EXPECT_EQ(negotiated->features, 0);
+
+  auto run = client.Run("Parts <- project {Part} (Sales);", /*commit=*/false);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_FALSE(run->has_profile);
+
+  for (Status st : {client.Profile("T <- transpose (Sales);").status(),
+                    client.SlowLog().status(),
+                    client.MetricsProm().status()}) {
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(st.message().find("feature"), std::string::npos)
+        << st.ToString();
+  }
+}
+
+TEST(ServerObsTest, Version1RawFramesGetByteIdenticalAnswers) {
+  // A PR-6-era client speaks version 1: bare pings and two-flag run frames.
+  // The new server's answers must be byte-for-byte what a version-1 server
+  // sent — no negotiation bytes, no trailing extensions.
+  LiveServer live;
+  const int fd = RawConnect(live.server->port());
+
+  ASSERT_TRUE(WriteFrame(fd, EncodeBareRequest(MsgType::kPing)).ok());
+  auto pong = ReadFrame(fd);
+  ASSERT_TRUE(pong.ok());
+  ASSERT_TRUE(pong->has_value());
+  EXPECT_EQ(**pong, EncodeOkEmpty());
+
+  // Hand-built version-1 run frame: type, flags (commit | want_dump),
+  // program string — nothing else.
+  std::string run;
+  PutU8(&run, static_cast<uint8_t>(MsgType::kRun));
+  PutU8(&run, 0x03);
+  PutString(&run, "Parts <- project {Part} (Sales);");
+  ASSERT_TRUE(WriteFrame(fd, run).ok());
+  auto resp = ReadFrame(fd);
+  ASSERT_TRUE(resp.ok());
+  ASSERT_TRUE(resp->has_value());
+  RunResponse decoded;
+  ASSERT_TRUE(DecodeRunResponse(**resp, &decoded).ok());
+  EXPECT_FALSE(decoded.has_profile);
+  EXPECT_NE(decoded.dump.find("!Parts"), std::string::npos);
+  // Re-encoding the decoded fields reproduces the payload exactly: the
+  // response carried only the version-1 bytes.
+  EXPECT_EQ(EncodeRunResponse(decoded), **resp);
+  ::close(fd);
+}
+
+TEST(ServerObsTest, ProfileOverTheWireCarriesTreeAndCounterDeltas) {
+  LiveServer live;
+  Client client = live.Connect();
+  const std::string program = "G <- group by {Region} on {Sold} (Sales);";
+  auto profiled = client.Profile(program);
+  ASSERT_TRUE(profiled.ok()) << profiled.status().ToString();
+  ASSERT_TRUE(profiled->has_profile);
+  // The rendered tree attributes instantiations and shapes per statement.
+  EXPECT_NE(profiled->profile_text.find("inst="), std::string::npos)
+      << profiled->profile_text;
+  EXPECT_NE(profiled->profile_text.find("group by {Region}"),
+            std::string::npos);
+  // The counter deltas name the operators the run exercised.
+  EXPECT_NE(profiled->counters_json.find("\"algebra.group.calls\":1"),
+            std::string::npos)
+      << profiled->counters_json;
+  EXPECT_NE(profiled->counters_json.find("algebra.group.rows_in"),
+            std::string::npos);
+
+  // A plain run on the same session stays extension-free.
+  auto plain = client.Run(program, /*commit=*/false);
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain->has_profile);
+  EXPECT_TRUE(plain->profile_text.empty());
+}
+
+TEST(ServerObsTest, SlowLogDrainsOverTheWire) {
+  ServerOptions options;
+  options.slow_query_micros = 0;  // log every request
+  LiveServer live{Db(kSalesFlat), std::move(options)};
+  Client client = live.Connect();
+  const std::string program = "Parts <- project {Part} (Sales);";
+  ASSERT_TRUE(client.Run(program, /*commit=*/false).ok());
+  ASSERT_TRUE(client.Run(program, /*commit=*/false).ok());
+
+  auto slow = client.SlowLog();
+  ASSERT_TRUE(slow.ok()) << slow.status().ToString();
+  EXPECT_EQ(slow->threshold_micros, 0u);
+  ASSERT_EQ(slow->entries.size(), 2u);  // pings and drains are not runs
+  const obs::QueryLogEntry& first = slow->entries[0];
+  const obs::QueryLogEntry& second = slow->entries[1];
+  EXPECT_EQ(first.program_hash, obs::Fnv1a64(program));
+  EXPECT_EQ(first.session_id, second.session_id);
+  EXPECT_GE(first.session_id, 1u);
+  // The client attached consecutive request ids under kFeatureRequestIds.
+  EXPECT_GT(first.request_id, 0u);
+  EXPECT_EQ(second.request_id, first.request_id + 1);
+  EXPECT_EQ(first.rows_in, 2u);  // kSalesFlat data rows
+  EXPECT_EQ(first.snapshot_version, 1u);
+  EXPECT_FALSE(first.cache_hit);
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_TRUE(first.ok);
+
+  // Drained means drained: a second request sees an empty log.
+  auto again = client.SlowLog();
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(again->entries.empty());
+}
+
+TEST(ServerObsTest, FailedRunsEnterTheSlowLogAsErrors) {
+  ServerOptions options;
+  options.slow_query_micros = 0;
+  LiveServer live{Db(kSalesFlat), std::move(options)};
+  Client client = live.Connect();
+  ASSERT_FALSE(client.Run("T <- union (Sales);").ok());
+  auto slow = client.SlowLog();
+  ASSERT_TRUE(slow.ok());
+  ASSERT_EQ(slow->entries.size(), 1u);
+  EXPECT_FALSE(slow->entries[0].ok);
+  EXPECT_EQ(slow->entries[0].program_hash,
+            obs::Fnv1a64("T <- union (Sales);"));
+}
+
+TEST(ServerObsTest, DisabledSlowLogAnswersWithTheSentinel) {
+  ServerOptions options;
+  options.slow_query_micros = obs::QueryLog::kDisabled;
+  LiveServer live{Db(kSalesFlat), std::move(options)};
+  Client client = live.Connect();
+  ASSERT_TRUE(client.Run("Parts <- project {Part} (Sales);").ok());
+  auto slow = client.SlowLog();
+  ASSERT_TRUE(slow.ok());
+  EXPECT_EQ(slow->threshold_micros, obs::QueryLog::kDisabled);
+  EXPECT_TRUE(slow->entries.empty());
+}
+
+TEST(ServerObsTest, RequestLatencyHistogramIsTheCanonicalSource) {
+  // The bench derives its p50/p99 from server.request.latency; every
+  // request a session handles must land exactly one recording there.
+  LiveServer live;
+  obs::Histogram& latency = obs::GetHistogram("server.request.latency");
+  const obs::Histogram::Snapshot before = latency.Snap();
+  Client client = live.Connect();
+  ASSERT_TRUE(client.Ping().ok());
+  ASSERT_TRUE(client.Run("Parts <- project {Part} (Sales);",
+                         /*commit=*/false)
+                  .ok());
+  ASSERT_TRUE(client.Tables().ok());
+  const obs::Histogram::Snapshot delta =
+      obs::Histogram::Delta(latency.Snap(), before);
+  // Ping (plus the lazy negotiation ping), run, tables: at least 3.
+  EXPECT_GE(delta.count, 3u);
+  EXPECT_GE(obs::HistogramPercentile(delta, 0.99),
+            obs::HistogramPercentile(delta, 0.5));
+}
+
+TEST(ServerObsTest, TraceSpansNestInterpreterUnderTaggedRequestRoots) {
+  // The TABULAR_TRACE story: concurrent sessions produce one root
+  // "server.request" span per request, tagged with session/request ids and
+  // snapshot/cache context, with the interpreter's span nested inside on
+  // the same thread's track.
+  obs::Tracing::Clear();
+  obs::Tracing::Enable();
+  {
+    LiveServer live;
+    std::vector<std::thread> workers;
+    for (int w = 0; w < 3; ++w) {
+      workers.emplace_back([&live, w] {
+        Client client = live.Connect();
+        const std::string table = "W" + std::to_string(w);
+        ASSERT_TRUE(
+            client.Run(table + " <- project {Part} (Sales);",
+                       /*commit=*/false)
+                .ok());
+      });
+    }
+    for (auto& t : workers) t.join();
+  }
+  obs::Tracing::Disable();
+  const std::string json = obs::Tracing::ToJson();
+  EXPECT_NE(json.find("\"server.request\""), std::string::npos);
+  EXPECT_NE(json.find("\"interpreter.run\""), std::string::npos);
+  EXPECT_NE(json.find("\"session\":"), std::string::npos);
+  EXPECT_NE(json.find("\"request\":"), std::string::npos);
+  EXPECT_NE(json.find("\"snapshot\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"cache_hit\":0"), std::string::npos);
+  obs::Tracing::Clear();
+}
+
+TEST(ServerObsTest, PrometheusExpositionOverWireAndHttpAgree) {
+  ServerOptions options;
+  options.metrics_port = 0;  // ephemeral HTTP endpoint
+  LiveServer live{Db(kSalesFlat), std::move(options)};
+  ASSERT_GT(live.server->metrics_port(), 0);
+  Client client = live.Connect();
+  ASSERT_TRUE(client.Run("Parts <- project {Part} (Sales);",
+                         /*commit=*/false)
+                  .ok());
+
+  auto wire = client.MetricsProm();
+  ASSERT_TRUE(wire.ok()) << wire.status().ToString();
+  EXPECT_NE(
+      wire->find("# TYPE tabular_server_request_latency histogram"),
+      std::string::npos)
+      << *wire;
+  EXPECT_NE(wire->find("tabular_server_request_latency_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+
+  const std::string ok = HttpGet(
+      static_cast<uint16_t>(live.server->metrics_port()),
+      "GET /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_NE(ok.find("200 OK"), std::string::npos) << ok;
+  EXPECT_NE(ok.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(ok.find("tabular_server_request_latency_count"),
+            std::string::npos);
+
+  EXPECT_NE(HttpGet(static_cast<uint16_t>(live.server->metrics_port()),
+                    "GET /favicon.ico HTTP/1.0\r\n\r\n")
+                .find("404"),
+            std::string::npos);
+  EXPECT_NE(HttpGet(static_cast<uint16_t>(live.server->metrics_port()),
+                    "POST /metrics HTTP/1.0\r\n\r\n")
+                .find("405"),
+            std::string::npos);
+}
+
+// -- Hostile peers -----------------------------------------------------------
 
 TEST(ServerFuzzTest, WellFramedGarbageGetsAnErrorAndTheSessionLives) {
   LiveServer live;

@@ -139,6 +139,257 @@ TEST(WireMessageTest, RunResponseRoundTrip) {
   EXPECT_EQ(out.dump, resp.dump);
 }
 
+// -- Version-2 negotiation and request-scoped extensions ---------------------
+
+TEST(WireNegotiationTest, FeaturePingRoundTrips) {
+  PingRequest req;
+  req.has_features = true;
+  req.features = kServerFeatures;
+  PingRequest out;
+  ASSERT_TRUE(DecodePingRequest(EncodePingRequest(req), &out).ok());
+  EXPECT_TRUE(out.has_features);
+  EXPECT_EQ(out.features, kServerFeatures);
+
+  PingResponse resp;
+  resp.features = kFeatureProfile | kFeatureSlowLog;
+  resp.protocol_version = kProtocolVersion;
+  PingResponse back;
+  ASSERT_TRUE(DecodePingResponse(EncodePingResponse(resp), &back).ok());
+  EXPECT_EQ(back.features, kFeatureProfile | kFeatureSlowLog);
+  EXPECT_EQ(back.protocol_version, kProtocolVersion);
+}
+
+TEST(WireNegotiationTest, LegacyEmptyPingMeansNoFeatures) {
+  // A version-1 client's bare kPing must decode as "no features offered";
+  // a version-1 server's empty kOk must decode as "nothing granted".
+  PingRequest req;
+  req.has_features = true;  // stale values must be overwritten
+  req.features = 0xFF;
+  ASSERT_TRUE(DecodePingRequest(EncodeBareRequest(MsgType::kPing), &req).ok());
+  EXPECT_FALSE(req.has_features);
+  EXPECT_EQ(req.features, 0);
+
+  PingResponse resp;
+  resp.features = 0xFF;
+  resp.protocol_version = 99;
+  ASSERT_TRUE(DecodePingResponse(EncodeOkEmpty(), &resp).ok());
+  EXPECT_EQ(resp.features, 0);
+  EXPECT_EQ(resp.protocol_version, 1u);
+}
+
+TEST(WireNegotiationTest, FeaturelessPingEncodesByteIdenticallyToVersion1) {
+  // The negotiation is opt-in at the byte level: not offering features
+  // produces exactly the version-1 frame.
+  EXPECT_EQ(EncodePingRequest(PingRequest{}),
+            EncodeBareRequest(MsgType::kPing));
+}
+
+TEST(WireMessageTest, RunRequestProfileAndRequestIdRoundTrip) {
+  RunRequest req;
+  req.program = "T <- group by {Region} on {Sold} (Sales);";
+  req.commit = false;
+  req.want_dump = true;
+  req.profile = true;
+  req.request_id = 0xABCDEF0123456789ull;
+  RunRequest out;
+  ASSERT_TRUE(DecodeRunRequest(EncodeRunRequest(req), &out).ok());
+  EXPECT_EQ(out.program, req.program);
+  EXPECT_FALSE(out.commit);
+  EXPECT_TRUE(out.want_dump);
+  EXPECT_TRUE(out.profile);
+  EXPECT_EQ(out.request_id, req.request_id);
+}
+
+TEST(WireMessageTest, DefaultRunRequestEncodesByteIdenticallyToVersion1) {
+  // The version-1 layout was: type byte, flags byte, program string. With
+  // no profile and no request id, the version-2 encoder must reproduce it
+  // bit for bit — that is the whole backward-compatibility argument.
+  RunRequest req;
+  req.program = "T <- transpose (Sales);";
+  req.commit = true;
+  req.want_dump = false;
+  std::string v1;
+  PutU8(&v1, static_cast<uint8_t>(MsgType::kRun));
+  PutU8(&v1, 0x01);  // kFlagCommit only
+  PutString(&v1, req.program);
+  EXPECT_EQ(EncodeRunRequest(req), v1);
+}
+
+TEST(WireMessageTest, RunRequestIdWithoutItsFlagIsTrailingGarbage) {
+  // The trailing id is read only when the flag bit says so; a stray extra
+  // u64 without the bit must fail ExpectEnd, not be silently consumed.
+  RunRequest req;
+  req.program = "p";
+  std::string payload = EncodeRunRequest(req);
+  PutU64(&payload, 7);
+  RunRequest out;
+  Status st = DecodeRunRequest(payload, &out);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+}
+
+TEST(WireMessageTest, RunResponseProfileExtensionRoundTrips) {
+  RunResponse resp;
+  resp.executed_version = 3;
+  resp.steps = 5;
+  resp.has_profile = true;
+  resp.profile_text = "├─ [1] T <- transpose (Sales);  inst=1 in=2x4\n";
+  resp.counters_json = R"({"algebra.transpose.calls":1})";
+  RunResponse out;
+  ASSERT_TRUE(DecodeRunResponse(EncodeRunResponse(resp), &out).ok());
+  EXPECT_TRUE(out.has_profile);
+  EXPECT_EQ(out.profile_text, resp.profile_text);
+  EXPECT_EQ(out.counters_json, resp.counters_json);
+}
+
+TEST(WireMessageTest, ProfilelessRunResponseEncodesByteIdenticallyToVersion1) {
+  RunResponse resp;
+  resp.executed_version = 41;
+  resp.committed_version = 42;
+  resp.cache_hit = true;
+  resp.steps = 17;
+  resp.rewrites_applied = 3;
+  resp.rewrites_rejected = 1;
+  resp.dump = "!T | !A\n";
+  std::string v1;
+  PutU8(&v1, static_cast<uint8_t>(MsgType::kOk));
+  PutU64(&v1, 41);
+  PutU64(&v1, 42);
+  PutU8(&v1, 1);
+  PutU64(&v1, 17);
+  PutU32(&v1, 3);
+  PutU32(&v1, 1);
+  PutString(&v1, resp.dump);
+  EXPECT_EQ(EncodeRunResponse(resp), v1);
+}
+
+TEST(WireMessageTest, UnknownRunResponseExtensionMarkerRejected) {
+  RunResponse resp;
+  resp.executed_version = 1;
+  std::string payload = EncodeRunResponse(resp);
+  payload.push_back(0x7F);  // not kRunRespProfileExt
+  RunResponse out;
+  Status st = DecodeRunResponse(payload, &out);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+}
+
+TEST(WireMessageTest, DecodeClearsStaleProfileFields) {
+  RunResponse with;
+  with.has_profile = true;
+  with.profile_text = "tree";
+  with.counters_json = "{}";
+  RunResponse out;
+  ASSERT_TRUE(DecodeRunResponse(EncodeRunResponse(with), &out).ok());
+  // Re-decode a profile-less payload into the same struct: the extension
+  // fields must reset, not leak the previous response's profile.
+  ASSERT_TRUE(DecodeRunResponse(EncodeRunResponse(RunResponse{}), &out).ok());
+  EXPECT_FALSE(out.has_profile);
+  EXPECT_TRUE(out.profile_text.empty());
+  EXPECT_TRUE(out.counters_json.empty());
+}
+
+obs::QueryLogEntry SlowEntry(uint64_t latency_us) {
+  obs::QueryLogEntry e;
+  e.start_ns = 123456789;
+  e.request_id = 9;
+  e.session_id = 2;
+  e.program_hash = obs::Fnv1a64("T <- transpose (Sales);");
+  e.latency_us = latency_us;
+  e.rows_in = 8;
+  e.rows_out = 4;
+  e.snapshot_version = 5;
+  e.rewrites_applied = 1;
+  e.cache_hit = true;
+  e.ok = false;
+  return e;
+}
+
+TEST(WireMessageTest, SlowLogResponseRoundTripsEveryField) {
+  SlowLogResponse resp;
+  resp.threshold_micros = 100000;
+  resp.dropped = 3;
+  resp.entries.push_back(SlowEntry(150000));
+  resp.entries.push_back(SlowEntry(2000000));
+  SlowLogResponse out;
+  ASSERT_TRUE(DecodeSlowLogResponse(EncodeSlowLogResponse(resp), &out).ok());
+  EXPECT_EQ(out.threshold_micros, 100000u);
+  EXPECT_EQ(out.dropped, 3u);
+  ASSERT_EQ(out.entries.size(), 2u);
+  const obs::QueryLogEntry& e = out.entries[0];
+  EXPECT_EQ(e.start_ns, 123456789u);
+  EXPECT_EQ(e.request_id, 9u);
+  EXPECT_EQ(e.session_id, 2u);
+  EXPECT_EQ(e.program_hash, obs::Fnv1a64("T <- transpose (Sales);"));
+  EXPECT_EQ(e.latency_us, 150000u);
+  EXPECT_EQ(e.rows_in, 8u);
+  EXPECT_EQ(e.rows_out, 4u);
+  EXPECT_EQ(e.snapshot_version, 5u);
+  EXPECT_EQ(e.rewrites_applied, 1u);
+  EXPECT_TRUE(e.cache_hit);
+  EXPECT_FALSE(e.ok);
+  EXPECT_EQ(out.entries[1].latency_us, 2000000u);
+}
+
+TEST(WireMessageTest, SlowLogEntryCountBeyondTheFrameCapRejected) {
+  // A hostile count must be rejected before the reserve, not after an
+  // attempted multi-gigabyte allocation.
+  std::string payload;
+  PutU8(&payload, static_cast<uint8_t>(MsgType::kOk));
+  PutU64(&payload, 0);           // threshold
+  PutU64(&payload, 0);           // dropped
+  PutU32(&payload, 0xFFFFFFFF);  // entry count
+  SlowLogResponse out;
+  Status st = DecodeSlowLogResponse(payload, &out);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+}
+
+TEST(WireMessageTest, TruncatedVersion2PayloadsAreParseErrors) {
+  // Every strict prefix of every version-2 message, fed to every decoder:
+  // the only outcomes are a clean decode (a prefix can be a valid shorter
+  // message — a 1-byte ping prefix is the legacy ping) or kParseError.
+  // Never a crash, never a partial read reported as success by the
+  // message's own decoder.
+  RunRequest run;
+  run.program = "T <- transpose (Sales);";
+  run.profile = true;
+  run.request_id = 77;
+  SlowLogResponse slow;
+  slow.threshold_micros = 10;
+  slow.entries.push_back(SlowEntry(11));
+  PingRequest ping;
+  ping.has_features = true;
+  ping.features = kServerFeatures;
+  RunResponse prof;
+  prof.has_profile = true;
+  prof.profile_text = "tree";
+  prof.counters_json = "{}";
+  const std::string payloads[] = {
+      EncodeRunRequest(run),
+      EncodeSlowLogResponse(slow),
+      EncodePingRequest(ping),
+      EncodeRunResponse(prof),
+  };
+  for (const std::string& payload : payloads) {
+    for (size_t cut = 1; cut < payload.size(); ++cut) {
+      const std::string prefix = payload.substr(0, cut);
+      RunRequest out_run;
+      RunResponse out_resp;
+      SlowLogResponse out_slow;
+      PingRequest out_ping;
+      for (Status st : {DecodeRunRequest(prefix, &out_run),
+                        DecodeSlowLogResponse(prefix, &out_slow),
+                        DecodePingRequest(prefix, &out_ping),
+                        DecodeRunResponse(prefix, &out_resp)}) {
+        if (!st.ok()) {
+          EXPECT_EQ(st.code(), StatusCode::kParseError) << "cut=" << cut;
+        }
+      }
+    }
+  }
+}
+
 TEST(WireMessageTest, ErrorRoundTripPreservesCode) {
   ErrorResponse err;
   err.code = StatusCode::kUndefined;
@@ -339,10 +590,16 @@ TEST(WireFuzzTest, RandomPayloadsNeverCrashDecoders) {
     RunRequest req;
     RunResponse resp;
     ErrorResponse err;
+    PingRequest ping_req;
+    PingResponse ping_resp;
+    SlowLogResponse slow;
     // Decoders must return a Status, never crash; contents are unchecked.
     (void)DecodeRunRequest(payload, &req);
     (void)DecodeRunResponse(payload, &resp);
     (void)DecodeError(payload, &err);
+    (void)DecodePingRequest(payload, &ping_req);
+    (void)DecodePingResponse(payload, &ping_resp);
+    (void)DecodeSlowLogResponse(payload, &slow);
   }
 }
 

@@ -7,10 +7,15 @@
 //   run <program.ta>       execute and commit a new database version
 //   query <program.ta>     execute read-only; prints the resulting
 //                          database (grid format) to stdout
+//   profile <program.ta>   execute read-only with server-side
+//                          instrumentation; prints the profile tree and
+//                          the per-operator counter deltas
 //   dump                   print the current database (grid format)
 //   tables                 list table names, one per line
 //   stats                  server statistics as JSON
-//   metrics                server metrics registry as JSON
+//   metrics [--prom]       server metrics registry as JSON, or in
+//                          Prometheus text exposition format
+//   slowlog                drain the server's slow-query log
 //   shutdown               ask the server to shut down gracefully
 //
 // Exit codes: 0 success, 1 server-side error, 2 usage/connection failure.
@@ -29,8 +34,9 @@ namespace {
 constexpr const char* kUsage =
     R"(usage: tabular_cli [--connect host:port | --unix path] <command> [args]
 
-commands: ping, run <program.ta>, query <program.ta>, dump, tables, stats,
-metrics, shutdown (default endpoint: --connect 127.0.0.1:7690)
+commands: ping, run <program.ta>, query <program.ta>, profile <program.ta>,
+dump, tables, stats, metrics [--prom], slowlog, shutdown
+(default endpoint: --connect 127.0.0.1:7690)
 )";
 
 bool ReadFile(const std::string& path, std::string* out) {
@@ -143,6 +149,56 @@ int main(int argc, char** argv) {
     }
     return 0;
   }
+  if (command == "profile") {
+    if (command_arg.empty()) {
+      std::fprintf(stderr, "tabular_cli: profile requires a .ta file\n%s",
+                   kUsage);
+      return 2;
+    }
+    std::string program;
+    if (!ReadFile(command_arg, &program)) {
+      std::fprintf(stderr, "tabular_cli: cannot read '%s'\n",
+                   command_arg.c_str());
+      return 2;
+    }
+    auto result = client.Profile(program);
+    if (!result.ok()) return fail(result.status());
+    std::printf("snapshot version %llu (%s, %llu step(s), %u rewrite(s))\n",
+                static_cast<unsigned long long>(result->executed_version),
+                result->cache_hit ? "cache hit" : "compiled",
+                static_cast<unsigned long long>(result->steps),
+                result->rewrites_applied);
+    std::fputs(result->profile_text.c_str(), stdout);
+    std::printf("counters: %s\n", result->counters_json.c_str());
+    return 0;
+  }
+  if (command == "slowlog") {
+    auto log = client.SlowLog();
+    if (!log.ok()) return fail(log.status());
+    if (log->threshold_micros == tabular::obs::QueryLog::kDisabled) {
+      std::printf("slow-query log disabled\n");
+    } else {
+      std::printf("threshold %llu us, %zu entr%s, %llu dropped\n",
+                  static_cast<unsigned long long>(log->threshold_micros),
+                  log->entries.size(),
+                  log->entries.size() == 1 ? "y" : "ies",
+                  static_cast<unsigned long long>(log->dropped));
+    }
+    for (const tabular::obs::QueryLogEntry& e : log->entries) {
+      std::printf("prog=%016llx lat=%lluus session=%llu request=%llu "
+                  "snapshot=%llu rows=%llu->%llu rewrites=%u %s %s\n",
+                  static_cast<unsigned long long>(e.program_hash),
+                  static_cast<unsigned long long>(e.latency_us),
+                  static_cast<unsigned long long>(e.session_id),
+                  static_cast<unsigned long long>(e.request_id),
+                  static_cast<unsigned long long>(e.snapshot_version),
+                  static_cast<unsigned long long>(e.rows_in),
+                  static_cast<unsigned long long>(e.rows_out),
+                  e.rewrites_applied, e.cache_hit ? "hit" : "miss",
+                  e.ok ? "ok" : "error");
+    }
+    return 0;
+  }
   if (command == "dump") {
     auto dump = client.DumpDatabase();
     if (!dump.ok()) return fail(dump.status());
@@ -162,6 +218,17 @@ int main(int argc, char** argv) {
     return 0;
   }
   if (command == "metrics") {
+    if (command_arg == "--prom") {
+      auto metrics = client.MetricsProm();
+      if (!metrics.ok()) return fail(metrics.status());
+      std::fputs(metrics->c_str(), stdout);
+      return 0;
+    }
+    if (!command_arg.empty()) {
+      std::fprintf(stderr, "tabular_cli: metrics takes only --prom\n%s",
+                   kUsage);
+      return 2;
+    }
     auto metrics = client.Metrics();
     if (!metrics.ok()) return fail(metrics.status());
     std::printf("%s\n", metrics->c_str());

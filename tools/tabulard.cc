@@ -41,6 +41,11 @@ options:
   --no-optimize        skip the certified rewrite engine when compiling
   --drain-seconds <s>  graceful-shutdown drain deadline (default 5)
   --max-sessions <n>   concurrent session limit (default 1024)
+  --slow-ms <ms>       slow-query log threshold in milliseconds
+                       (default 100, or TABULAR_SLOW_MS; negative disables;
+                       drain with `tabular_cli slowlog`)
+  --metrics-port <n>   serve Prometheus text format on plain-HTTP
+                       GET /metrics at this port (0 = ephemeral; default off)
   --quiet              no startup banner
   -h, --help           show this help
 )";
@@ -66,6 +71,16 @@ int main(int argc, char** argv) {
   std::string db_path;
   std::string listen = "127.0.0.1:0";
   bool quiet = false;
+
+  // TABULAR_SLOW_MS seeds the slow-query threshold; --slow-ms overrides it.
+  auto slow_ms_to_micros = [](double ms) {
+    return ms < 0 ? tabular::obs::QueryLog::kDisabled
+                  : static_cast<uint64_t>(ms * 1000.0);
+  };
+  if (const char* env = std::getenv("TABULAR_SLOW_MS");
+      env != nullptr && *env != '\0') {
+    options.slow_query_micros = slow_ms_to_micros(std::strtod(env, nullptr));
+  }
 
   auto need_value = [&](int& i, const char* flag) -> const char* {
     if (i + 1 >= argc) {
@@ -107,6 +122,15 @@ int main(int argc, char** argv) {
       if (v == nullptr) return 2;
       options.max_sessions =
           static_cast<size_t>(std::strtoull(v, nullptr, 10));
+    } else if (arg == "--slow-ms") {
+      const char* v = need_value(i, "--slow-ms");
+      if (v == nullptr) return 2;
+      options.slow_query_micros = slow_ms_to_micros(std::strtod(v, nullptr));
+    } else if (arg == "--metrics-port") {
+      const char* v = need_value(i, "--metrics-port");
+      if (v == nullptr) return 2;
+      options.metrics_port =
+          static_cast<int>(std::strtol(v, nullptr, 10));
     } else if (arg == "--quiet") {
       quiet = true;
     } else {
@@ -160,6 +184,10 @@ int main(int argc, char** argv) {
                 (*server)->endpoint().c_str(),
                 (*server)->versions().Current().db->size(),
                 options.cache.capacity);
+    if ((*server)->metrics_port() >= 0) {
+      std::printf("tabulard: metrics on http://%s:%d/metrics\n",
+                  options.host.c_str(), (*server)->metrics_port());
+    }
     std::fflush(stdout);
   }
 
