@@ -9,6 +9,7 @@
 
 #include <string>
 
+#include "analysis/cost.h"
 #include "analysis/shape.h"
 #include "bench_util.h"
 #include "core/sales_data.h"
@@ -157,6 +158,68 @@ void BM_Fig4UnrollInterpOptimized(benchmark::State& state) {
   RunFig4(state, /*optimize=*/true);
 }
 BENCHMARK(BM_Fig4UnrollInterpOptimized)->Arg(8)->Arg(64)->Arg(512);
+
+/// A plan-selection trap with `copies` independent blocks: each products
+/// Sales with a tiny column-disjoint Tags table, then filters the result
+/// with an identity select. The greedy first-fires-wins engine reaches
+/// select-pushdown-product first (earlier statement index) and strands a
+/// residual `Big <- select Part = Part (Sales)` that identity removal can
+/// no longer erase (target != argument); cost-ranked selection applies the
+/// strictly cheaper identity removal instead — Tags having >= 2 rows makes
+/// the pushdown plan strictly worse, never a tie.
+std::string PushdownTrapProgram(int64_t copies) {
+  std::string src;
+  for (int64_t i = 0; i < copies; ++i) {
+    const std::string big = "Big" + std::to_string(i);
+    src += big + " <- product (Sales, Tags);\n";
+    src += big + " <- select Part = Part (" + big + ");\n";
+  }
+  return src;
+}
+
+TabularDatabase TrapDb(size_t parts, size_t regions) {
+  TabularDatabase db = SalesDb(parts, regions);
+  db.Add(Table::Parse(
+      {{"!Tags", "!Tag"}, {"#", "hot"}, {"#", "cold"}}));
+  return db;
+}
+
+/// Times the cost-ranked pass over the trap program and reports the static
+/// plan-quality win over the greedy engine: `ta_cost_win_pct` =
+/// (greedy_work - ranked_work) / greedy_work × 100, floored (> 0) by
+/// check_bench_json in ctest and CI.
+void BM_CostRankedPlanSelection(benchmark::State& state) {
+  const tabular::lang::Program program =
+      MustParse(PushdownTrapProgram(state.range(0)));
+  const tabular::analysis::AbstractDatabase initial =
+      tabular::analysis::AbstractDatabase::FromDatabase(TrapDb(64, 8));
+  tabular::lang::OptimizerOptions ranked;  // cost_rank is the default
+  tabular::lang::OptimizerOptions greedy;
+  greedy.cost_rank = false;
+  for (auto _ : state) {
+    tabular::lang::Program plan =
+        tabular::lang::OptimizeProgram(program, initial, ranked);
+    benchmark::DoNotOptimize(plan);
+  }
+  const uint64_t ranked_work =
+      tabular::analysis::EstimateCost(
+          tabular::lang::OptimizeProgram(program, initial, ranked), initial)
+          .total_work;
+  const uint64_t greedy_work =
+      tabular::analysis::EstimateCost(
+          tabular::lang::OptimizeProgram(program, initial, greedy), initial)
+          .total_work;
+  state.counters["ta_ranked_work"] = static_cast<double>(ranked_work);
+  state.counters["ta_greedy_work"] = static_cast<double>(greedy_work);
+  state.counters["ta_cost_win_pct"] =
+      greedy_work == 0
+          ? 0.0
+          : 100.0 *
+                (static_cast<double>(greedy_work) -
+                 static_cast<double>(ranked_work)) /
+                static_cast<double>(greedy_work);
+}
+BENCHMARK(BM_CostRankedPlanSelection)->Arg(4)->Arg(16);
 
 }  // namespace
 

@@ -7,6 +7,9 @@
 #      tabular_cli, dump the committed result.
 #   3. Byte-compare server result against the golden.
 #   4. SIGTERM the daemon and assert it drains and exits 0.
+#   5. Restart with admission control (TABULAR_ADMIT_MAX_ROWS): the same
+#      restructuring program — statically unbounded through MERGE — must
+#      now be refused before execution, while a bounded program still runs.
 #
 # Usage: scripts/server_smoke.sh <build-dir>
 
@@ -72,6 +75,40 @@ wait "$DAEMON_PID" || WAIT_STATUS=$?
 [ ! -e "$SOCK" ] || fail "tabulard left its unix socket behind"
 DAEMON_PID=""
 
+# 5. Admission control: under a row budget (seeded from the environment,
+# the deployment path), the statically-unbounded restructuring program is
+# rejected before execution; a bounded program on the same daemon runs.
+SOCK2="$WORK/tabulard-admit.sock"
+TABULAR_ADMIT_MAX_ROWS=1000000 \
+  "$DAEMON_BIN" --db "$DB" --unix "$SOCK2" --quiet &
+DAEMON_PID=$!
+
+for _ in $(seq 1 100); do
+  if "$CLI_BIN" --unix "$SOCK2" ping >/dev/null 2>&1; then
+    break
+  fi
+  kill -0 "$DAEMON_PID" 2>/dev/null || fail "admission tabulard died during startup"
+  sleep 0.1
+done
+
+ADMIT_ERR="$WORK/admit.err"
+if "$CLI_BIN" --unix "$SOCK2" run "$PROGRAM" 2> "$ADMIT_ERR"; then
+  fail "admission-controlled tabulard executed a statically-unbounded program"
+fi
+grep -q "AdmissionRejected" "$ADMIT_ERR" \
+  || fail "rejection did not carry AdmissionRejected: $(cat "$ADMIT_ERR")"
+grep -q "statically unbounded" "$ADMIT_ERR" \
+  || fail "rejection did not name the unbounded verdict: $(cat "$ADMIT_ERR")"
+
+"$CLI_BIN" --unix "$SOCK2" run "$REPO_DIR/examples/fig1.ta" \
+  || fail "admission-controlled tabulard refused a bounded program"
+
+kill -TERM "$DAEMON_PID"
+WAIT_STATUS=0
+wait "$DAEMON_PID" || WAIT_STATUS=$?
+[ "$WAIT_STATUS" -eq 0 ] || fail "admission tabulard exited $WAIT_STATUS on SIGTERM"
+DAEMON_PID=""
+
 rm -rf "$WORK"
 echo "server_smoke: OK: server output byte-identical to single-shot golden," \
-     "graceful shutdown exited 0"
+     "graceful shutdown exited 0, admission rejected the unbounded program"

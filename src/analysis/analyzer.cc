@@ -790,33 +790,20 @@ class Analyzer {
 
   // -- Shape transfer --------------------------------------------------------
 
-  static uint64_t SatAdd(uint64_t a, uint64_t b) {
-    if (a == CardInterval::kInf || b == CardInterval::kInf) {
-      return CardInterval::kInf;
-    }
-    return a > CardInterval::kInf - b ? CardInterval::kInf : a + b;
-  }
-
-  static uint64_t SatMul(uint64_t a, uint64_t b) {
-    if (a == 0 || b == 0) return 0;
-    if (a == CardInterval::kInf || b == CardInterval::kInf) {
-      return CardInterval::kInf;
-    }
-    return a > CardInterval::kInf / b ? CardInterval::kInf : a * b;
-  }
-
-  /// SETNEW's data-row count: m ↦ m·2^(m-1), saturating.
+  /// SETNEW's data-row count: m ↦ m·2^(m-1), saturating (helpers shared
+  /// with the cost model live on CardInterval).
   static uint64_t SetNewRows(uint64_t m) {
     if (m == 0) return 0;
     if (m == CardInterval::kInf || m - 1 >= 63) return CardInterval::kInf;
-    return SatMul(m, uint64_t{1} << (m - 1));
+    return CardInterval::SatMul(m, uint64_t{1} << (m - 1));
   }
 
   /// How many tables one executed SPLIT stages: one per distinct value
   /// combination among the data rows of each carrier, so at most
   /// carriers × data rows (and possibly none at all).
   static CardInterval SplitCount(const TableShape& in) {
-    return CardInterval::AtMost(SatMul(in.count.hi, in.row_card.hi));
+    return CardInterval::AtMost(
+        CardInterval::SatMul(in.count.hi, in.row_card.hi));
   }
 
   /// The output shape of one instantiation. `in2` is used by the binary
@@ -951,8 +938,9 @@ class Analyzer {
         } else {
           out.must_cols = MustSet::Top();
         }
-        out.col_card = CardInterval::AtMost(
-            SatAdd(in1.col_card.hi, SatMul(in1.row_card.hi, in1.col_card.hi)));
+        out.col_card = CardInterval::AtMost(CardInterval::SatAdd(
+            in1.col_card.hi,
+            CardInterval::SatMul(in1.row_card.hi, in1.col_card.hi)));
         break;
       case OpKind::kMerge:
         // by-attrs' rows are consumed and become columns; every column
@@ -975,9 +963,9 @@ class Analyzer {
           } else {
             out.must_rows = MustSet::Top();
           }
-          out.col_card = CardInterval::AtMost(
-              SatAdd(SatAdd(in1.col_card.hi, in1.col_card.hi),
-                     params[1].elems.size()));
+          out.col_card = CardInterval::AtMost(CardInterval::SatAdd(
+              CardInterval::SatAdd(in1.col_card.hi, in1.col_card.hi),
+              params[1].elems.size()));
         } else {
           out.must_rows = MustSet::Top();
           out.col_card = CardInterval::Top();
@@ -996,14 +984,15 @@ class Analyzer {
           });
           out.must_rows = MustSet::Of(params[0].elems);
           out.row_card = CardInterval::Range(
-              SatAdd(params[0].elems.size(), 1),
-              SatAdd(params[0].elems.size(), in1.row_card.hi));
+              CardInterval::SatAdd(params[0].elems.size(), 1),
+              CardInterval::SatAdd(params[0].elems.size(),
+                                   in1.row_card.hi));
         } else {
           out.rows = AttrSet::Top();
           out.must_cols = MustSet::Top();
           out.must_rows = MustSet::Top();
           out.row_card = CardInterval::AtMost(
-              SatAdd(in1.row_card.hi, in1.col_card.hi));
+              CardInterval::SatAdd(in1.row_card.hi, in1.col_card.hi));
         }
         out.col_card = CardInterval::AtMost(in1.col_card.hi);
         break;
@@ -1056,9 +1045,11 @@ class Analyzer {
         out.col_card = in1.col_card.PlusConst(1);
         if (op == OpKind::kSetNew) {
           // Every input row reappears (tagged) in its singleton subset,
-          // but the data-row count explodes to m·2^(m-1).
-          out.row_card = CardInterval{SetNewRows(in1.row_card.lo),
-                                      SetNewRows(in1.row_card.hi)};
+          // but the data-row count explodes to m·2^(m-1). A saturated
+          // lower bound clamps at kInf-1 (∞ is upper-bound-only).
+          uint64_t lo = SetNewRows(in1.row_card.lo);
+          if (lo == CardInterval::kInf) lo = CardInterval::kInf - 1;
+          out.row_card = CardInterval{lo, SetNewRows(in1.row_card.hi)};
         }
         break;
       }

@@ -1,0 +1,263 @@
+#include "analysis/cost.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "analysis/analyzer.h"
+#include "core/symbol.h"
+
+namespace tabular::analysis {
+
+using core::Symbol;
+using core::SymbolSet;
+using lang::Assignment;
+using lang::DropStatement;
+using lang::OpKind;
+using lang::Program;
+using lang::Statement;
+using lang::WhileLoop;
+
+uint64_t CostWeight(OpKind op) {
+  switch (op) {
+    // Relabel-only: no data row is touched.
+    case OpKind::kRename:
+    case OpKind::kTranspose:
+    case OpKind::kSwitch:
+      return 1;
+    // One linear pass over the rows.
+    case OpKind::kSelect:
+    case OpKind::kSelectConst:
+    case OpKind::kProject:
+    case OpKind::kPurge:
+    case OpKind::kTupleNew:
+      return 2;
+    // Concatenation plus a dedup pass.
+    case OpKind::kUnion:
+      return 3;
+    // Pairwise row subsumption across the two operands.
+    case OpKind::kDifference:
+    case OpKind::kIntersection:
+      return 4;
+    case OpKind::kProduct:
+      return 6;
+    // Hash-restructuring families.
+    case OpKind::kGroup:
+    case OpKind::kMerge:
+    case OpKind::kSplit:
+    case OpKind::kCollapse:
+      return 8;
+    // Quadratic row-subsumption within one table.
+    case OpKind::kCleanUp:
+      return 10;
+    // Exponential subset expansion.
+    case OpKind::kSetNew:
+      return 12;
+  }
+  return 4;
+}
+
+std::string FormatCost(uint64_t v) {
+  return v == CardInterval::kInf ? "∞" : std::to_string(v);
+}
+
+namespace {
+
+constexpr uint64_t kInf = CardInterval::kInf;
+
+/// Iteration cap for the loop-invariant fixpoint, mirroring
+/// `AnalyzerOptions::max_fixpoint_iterations`'s default.
+constexpr size_t kMaxFixpointIterations = 64;
+
+/// Post-state of one statement under the analyzer's own transfer
+/// (including the while-fixpoint and its guard exit refinement).
+AbstractDatabase PostState(const Statement& s, const AbstractDatabase& in) {
+  Program one;
+  one.statements.push_back(s);
+  AnalyzerOptions options;
+  options.check_dead_stores = false;
+  return AnalyzeProgram(one, in, options).final_state;
+}
+
+AbstractDatabase PostStateOfBody(const std::vector<Statement>& body,
+                                 const AbstractDatabase& in) {
+  Program p;
+  p.statements = body;
+  AnalyzerOptions options;
+  options.check_dead_stores = false;
+  return AnalyzeProgram(p, in, options).final_state;
+}
+
+/// Upper bound on the total data rows of one pool: carriers × per-table
+/// rows.
+uint64_t PoolRows(const TableShape& s) {
+  return CardInterval::SatMul(s.count.hi, s.row_card.hi);
+}
+
+/// Rows reachable through parameter `p` at `state`: the pool-row sum over
+/// the literal names it can denote; ∞ for wildcard/pair parameters.
+uint64_t ParamRows(const lang::Param& p, const AbstractDatabase& state) {
+  SymbolSet names;
+  bool universal = false;
+  CollectParamNames(p, &names, &universal);
+  if (universal) return kInf;
+  uint64_t rows = 0;
+  for (Symbol n : names) {
+    rows = CardInterval::SatAdd(rows, PoolRows(state.ShapeOf(n)));
+  }
+  return rows;
+}
+
+class Walker {
+ public:
+  explicit Walker(CostReport* report) : report_(report) {}
+
+  /// Costs `stmts` from `state`; paths are `prefix`-qualified. Returns the
+  /// post-state of the sequence.
+  AbstractDatabase Walk(const std::vector<Statement>& stmts,
+                        AbstractDatabase state, const std::string& prefix,
+                        bool unbounded_loop) {
+    for (size_t i = 0; i < stmts.size(); ++i) {
+      const std::string path =
+          prefix.empty() ? std::to_string(i + 1)
+                         : prefix + "." + std::to_string(i + 1);
+      const Statement& s = stmts[i];
+      if (const auto* a = std::get_if<Assignment>(&s.node)) {
+        state = CostAssignment(*a, s, state, path, unbounded_loop);
+      } else if (std::get_if<DropStatement>(&s.node)) {
+        // A drop is a metadata update: constant work, nothing produced.
+        StatementCost c;
+        c.path = path;
+        c.is_drop = true;
+        c.in_unbounded_loop = unbounded_loop;
+        c.work = unbounded_loop ? kInf : 1;
+        Push(std::move(c));
+        state = PostState(s, state);
+      } else {
+        state = CostWhile(std::get<WhileLoop>(s.node), s, state, path,
+                          unbounded_loop);
+      }
+    }
+    return state;
+  }
+
+ private:
+  AbstractDatabase CostAssignment(const Assignment& a, const Statement& s,
+                                  const AbstractDatabase& state,
+                                  const std::string& path,
+                                  bool unbounded_loop) {
+    AbstractDatabase post = PostState(s, state);
+    StatementCost c;
+    c.path = path;
+    c.op = a.op;
+    c.in_unbounded_loop = unbounded_loop;
+    uint64_t rows_in = 0;
+    for (const lang::Param& arg : a.args) {
+      rows_in = CardInterval::SatAdd(rows_in, ParamRows(arg, state));
+    }
+    c.out_rows = ParamRows(a.target, post);
+    SymbolSet names;
+    bool universal = false;
+    CollectParamNames(a.target, &names, &universal);
+    if (universal) {
+      c.out_cols = kInf;
+    } else {
+      for (Symbol n : names) {
+        c.out_cols = std::max(c.out_cols, post.ShapeOf(n).col_card.hi);
+      }
+    }
+    c.out_bytes = CardInterval::SatMul(
+        c.out_rows, CardInterval::SatMul(c.out_cols, kCostHandleBytes));
+    c.work = unbounded_loop
+                 ? kInf
+                 : CardInterval::SatMul(
+                       CostWeight(a.op),
+                       CardInterval::SatAdd(
+                           CardInterval::SatAdd(rows_in, c.out_rows), 1));
+    Push(std::move(c));
+    return post;
+  }
+
+  AbstractDatabase CostWhile(const WhileLoop& loop, const Statement& s,
+                             const AbstractDatabase& state,
+                             const std::string& path, bool unbounded_loop) {
+    SymbolSet guard;
+    bool universal = false;
+    CollectParamNames(loop.condition, &guard, &universal);
+    if (!GuardDefinitelyFalse(state, guard, universal)) {
+      // One abstract body pass separates "at most one iteration" (the
+      // guard provably fails afterwards) from an unbounded trip count.
+      const AbstractDatabase once = PostStateOfBody(loop.body, state);
+      if (GuardDefinitelyFalse(once, guard, universal)) {
+        Walk(loop.body, state, path, unbounded_loop);
+      } else {
+        // Cost the body against the widened loop invariant — the same
+        // iterate-and-join the analyzer's while-fixpoint performs.
+        AbstractDatabase inv = state;
+        bool stable = false;
+        for (size_t iter = 0; iter < kMaxFixpointIterations; ++iter) {
+          AbstractDatabase next = inv;
+          next.Join(PostStateOfBody(loop.body, inv), /*widen=*/true);
+          if (next == inv) {
+            stable = true;
+            break;
+          }
+          inv = std::move(next);
+        }
+        if (!stable) inv.WildcardWrite();
+        Walk(loop.body, std::move(inv), path, /*unbounded_loop=*/true);
+      }
+    }
+    // Dead body (guard provably false at entry): zero iterations, zero
+    // cost, no entries. The loop's post-state always comes from the
+    // analyzer so its guard exit refinement applies.
+    return PostState(s, state);
+  }
+
+  void Push(StatementCost cost) {
+    StatementCost& c = report_->statements.emplace_back(std::move(cost));
+    if (report_->peak_rows_path.empty() || c.out_rows > report_->peak_rows) {
+      report_->peak_rows = c.out_rows;
+      report_->peak_rows_path = c.path;
+    }
+    if (report_->peak_bytes_path.empty() ||
+        c.out_bytes > report_->peak_bytes) {
+      report_->peak_bytes = c.out_bytes;
+      report_->peak_bytes_path = c.path;
+    }
+    report_->total_work = CardInterval::SatAdd(report_->total_work, c.work);
+    if (report_->unbounded_path.empty() && c.unbounded()) {
+      report_->unbounded_path = c.path;
+    }
+  }
+
+  CostReport* report_;
+};
+
+}  // namespace
+
+CostReport EstimateCost(const Program& program,
+                        const AbstractDatabase& initial) {
+  CostReport report;
+  Walker walker(&report);
+  walker.Walk(program.statements, initial, /*prefix=*/"",
+              /*unbounded_loop=*/false);
+  return report;
+}
+
+int CompareCost(const CostReport& a, const CostReport& b) {
+  if (a.total_work != b.total_work) {
+    return a.total_work < b.total_work ? -1 : 1;
+  }
+  if (a.peak_bytes != b.peak_bytes) {
+    return a.peak_bytes < b.peak_bytes ? -1 : 1;
+  }
+  if (a.statements.size() != b.statements.size()) {
+    return a.statements.size() < b.statements.size() ? -1 : 1;
+  }
+  return 0;
+}
+
+}  // namespace tabular::analysis

@@ -65,23 +65,29 @@ std::string MustSet::ToString() const {
   return out;
 }
 
-namespace {
-
-uint64_t SatAdd(uint64_t a, uint64_t b) {
-  if (a == CardInterval::kInf || b == CardInterval::kInf) {
-    return CardInterval::kInf;
-  }
-  return a > CardInterval::kInf - b ? CardInterval::kInf : a + b;
+uint64_t CardInterval::SatAdd(uint64_t a, uint64_t b) {
+  if (a == kInf || b == kInf) return kInf;
+  // `a >= kInf - b` (not `>`) so a sum landing *exactly* on the sentinel
+  // saturates too: 2^64-1 is indistinguishable from ∞ in this encoding and
+  // must never masquerade as an exact finite count.
+  return a >= kInf - b ? kInf : a + b;
 }
 
-/// 0·∞ = 0: a count multiplied by a provably-zero count is zero no matter
-/// how unbounded the other side is (e.g. PRODUCT rows with an empty side).
-uint64_t SatMul(uint64_t a, uint64_t b) {
+uint64_t CardInterval::SatMul(uint64_t a, uint64_t b) {
   if (a == 0 || b == 0) return 0;
-  if (a == CardInterval::kInf || b == CardInterval::kInf) {
-    return CardInterval::kInf;
-  }
-  return a > CardInterval::kInf / b ? CardInterval::kInf : a * b;
+  if (a == kInf || b == kInf) return kInf;
+  // Saturate when a·b ≥ kInf, i.e. a > ⌊(kInf-1)/b⌋ — this catches both
+  // true overflow and an exact landing on the sentinel (kInf is composite:
+  // e.g. 3 · 6148914691236517205 == 2^64-1).
+  return a > (kInf - 1) / b ? kInf : a * b;
+}
+
+namespace {
+
+/// Lower bounds never carry the ∞ sentinel (struct invariant): a saturated
+/// lower bound clamps to the largest representable finite count.
+uint64_t ClampLo(uint64_t lo) {
+  return lo == CardInterval::kInf ? CardInterval::kInf - 1 : lo;
 }
 
 }  // namespace
@@ -97,15 +103,15 @@ void CardInterval::Widen(const CardInterval& o) {
 }
 
 CardInterval CardInterval::Plus(const CardInterval& o) const {
-  return CardInterval{SatAdd(lo, o.lo), SatAdd(hi, o.hi)};
+  return CardInterval{ClampLo(SatAdd(lo, o.lo)), SatAdd(hi, o.hi)};
 }
 
 CardInterval CardInterval::Times(const CardInterval& o) const {
-  return CardInterval{SatMul(lo, o.lo), SatMul(hi, o.hi)};
+  return CardInterval{ClampLo(SatMul(lo, o.lo)), SatMul(hi, o.hi)};
 }
 
 CardInterval CardInterval::PlusConst(uint64_t n) const {
-  return CardInterval{SatAdd(lo, n), SatAdd(hi, n)};
+  return CardInterval{ClampLo(SatAdd(lo, n)), SatAdd(hi, n)};
 }
 
 std::string CardInterval::ToString() const {

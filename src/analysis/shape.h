@@ -102,9 +102,24 @@ struct MustSet {
 /// A `[lo, hi]` interval over non-negative counts, with hi = ∞ for the
 /// unbounded top. Used for per-table data-row and data-column counts and
 /// for the number of tables carrying a name.
+///
+/// Invariant: the ∞ sentinel only ever appears as an *upper* bound. The
+/// arithmetic helpers clamp a saturating lower bound at `kInf - 1`, so
+/// `hi == kInf` always means "unbounded" and `lo` is always a realizable
+/// finite count.
 struct CardInterval {
   /// Sentinel for an unbounded upper end.
   static constexpr uint64_t kInf = UINT64_MAX;
+
+  /// Saturating scalar sums and products shared by the analyzer's transfer
+  /// functions and the cost model. A result that would *reach* the kInf
+  /// sentinel saturates to it (a finite count numerically equal to the
+  /// sentinel is indistinguishable from ∞, so it must be reported as ∞ —
+  /// never as an exact value, and never wrapped). 0·∞ = 0: a count
+  /// multiplied by a provably-zero count is zero no matter how unbounded
+  /// the other side is (e.g. PRODUCT rows with an empty side).
+  static uint64_t SatAdd(uint64_t a, uint64_t b);
+  static uint64_t SatMul(uint64_t a, uint64_t b);
 
   uint64_t lo = 0;
   uint64_t hi = kInf;
@@ -134,6 +149,9 @@ struct CardInterval {
   void Widen(const CardInterval& o);
 
   /// Saturating pointwise arithmetic for operator transfer functions.
+  /// Upper bounds saturate to the ∞ sentinel; lower bounds clamp at
+  /// `kInf - 1` (see the struct invariant) so `[kInf-1, ∞)` — not the
+  /// contradictory "=∞" — is the most saturated interval expressible.
   CardInterval Plus(const CardInterval& o) const;
   CardInterval Times(const CardInterval& o) const;
   /// Adds a constant to both ends (saturating).

@@ -16,6 +16,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "ParseError";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kAdmissionRejected:
+      return "AdmissionRejected";
   }
   return "Unknown";
 }

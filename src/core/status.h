@@ -30,6 +30,12 @@ enum class StatusCode {
   kParseError,
   /// An internal invariant was violated; indicates a library bug.
   kInternal,
+  /// The static cost analysis rejected the program before execution: a
+  /// statement's resource bound (rows, bytes, or an unbounded verdict)
+  /// exceeds the server's admission limits. The message names the
+  /// offending statement path. Never raised by the library core — only by
+  /// admission-controlling front ends (tabulard).
+  kAdmissionRejected,
 };
 
 /// Returns a short human-readable label for `code` (e.g. "InvalidArgument").
@@ -63,6 +69,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status AdmissionRejected(std::string msg) {
+    return Status(StatusCode::kAdmissionRejected, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -8,6 +8,7 @@
 
 #include "algebra/ops.h"
 #include "analysis/analyzer.h"
+#include "analysis/cost.h"
 #include "exec/parallel.h"
 #include "obs/trace.h"
 
@@ -545,6 +546,50 @@ obs::ProfileNode Explain(const Program& program) {
   obs::ProfileNode root;
   root.label = "program";
   BuildExplain(program.statements, "", &root);
+  return root;
+}
+
+namespace {
+
+/// Resolves a dotted statement path ("2", "2.1") to its EXPLAIN node.
+obs::ProfileNode* NodeAtPath(obs::ProfileNode* root, const std::string& path) {
+  obs::ProfileNode* node = root;
+  size_t pos = 0;
+  while (pos < path.size()) {
+    const size_t dot = path.find('.', pos);
+    const size_t end = dot == std::string::npos ? path.size() : dot;
+    const size_t index =
+        static_cast<size_t>(std::stoull(path.substr(pos, end - pos)));
+    if (index == 0 || index > node->children.size()) return nullptr;
+    node = &node->children[index - 1];
+    pos = dot == std::string::npos ? path.size() : dot + 1;
+  }
+  return node;
+}
+
+}  // namespace
+
+obs::ProfileNode Explain(const Program& program,
+                         const analysis::AbstractDatabase& initial) {
+  obs::ProfileNode root = Explain(program);
+  const analysis::CostReport cost = analysis::EstimateCost(program, initial);
+  for (const analysis::StatementCost& c : cost.statements) {
+    obs::ProfileNode* node = NodeAtPath(&root, c.path);
+    if (node == nullptr) continue;
+    if (c.is_drop) {
+      node->label += "  est work<=" + analysis::FormatCost(c.work);
+    } else {
+      node->label += "  est rows<=" + analysis::FormatCost(c.out_rows) +
+                     " bytes<=" + analysis::FormatCost(c.out_bytes) +
+                     " work<=" + analysis::FormatCost(c.work);
+    }
+  }
+  root.label += "  est work<=" + analysis::FormatCost(cost.total_work) +
+                " peak rows<=" + analysis::FormatCost(cost.peak_rows) +
+                " peak bytes<=" + analysis::FormatCost(cost.peak_bytes);
+  if (cost.unbounded()) {
+    root.label += "  UNBOUNDED at [" + cost.unbounded_path + "]";
+  }
   return root;
 }
 

@@ -108,6 +108,14 @@ Status RunProgram(const Program& program, TabularDatabase* db);
 /// `obs::RenderProfile(node, {.show_times = false})`.
 obs::ProfileNode Explain(const Program& program);
 
+/// EXPLAIN with static cost annotations: every costed statement's label
+/// gains the cost model's bounds against `initial` (`rows<=`, `bytes<=`,
+/// `work<=`; ∞ = statically unbounded) and the root label carries the
+/// program totals — the same numbers tabulard's admission control checks.
+/// See `analysis::EstimateCost`.
+obs::ProfileNode Explain(const Program& program,
+                         const analysis::AbstractDatabase& initial);
+
 }  // namespace tabular::lang
 
 #endif  // TABULAR_LANG_INTERPRETER_H_

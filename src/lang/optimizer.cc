@@ -1,5 +1,6 @@
 #include "lang/optimizer.h"
 
+#include <algorithm>
 #include <map>
 #include <optional>
 #include <set>
@@ -8,6 +9,7 @@
 #include <vector>
 
 #include "analysis/analyzer.h"
+#include "analysis/cost.h"
 #include "analysis/diagnostics.h"
 #include "analysis/validate.h"
 #include "obs/metrics.h"
@@ -234,6 +236,46 @@ bool StaticallyTotal(const Assignment& a) {
     default:
       return false;
   }
+}
+
+/// Extends `StaticallyTotal` to the partial restructuring kernels GROUP
+/// and MERGE when the abstract state discharges their runtime contracts
+/// for every carrier on every run: literal non-empty parameter sets
+/// (disjoint for GROUP), every GROUP 'by' attribute certainly a column,
+/// every MERGE 'by' attribute certainly a row, and at least one 'on'
+/// attribute certainly a column. A may-absent argument stays total — the
+/// statement is then a no-op, not a failure.
+bool ProvablyTotal(const Assignment& a, const AbstractDatabase& before) {
+  if (StaticallyTotal(a)) return true;
+  if (a.op != OpKind::kGroup && a.op != OpKind::kMerge) return false;
+  if (a.args.size() != 1) return false;
+  std::optional<Symbol> src = LitName(a.args[0]);
+  if (!src.has_value()) return false;
+  std::optional<SymbolSet> s0 = LitSet(a.params[0]);
+  std::optional<SymbolSet> s1 = LitSet(a.params[1]);
+  if (!s0.has_value() || !s1.has_value() || s0->empty() || s1->empty()) {
+    return false;
+  }
+  const TableShape in = before.ShapeOf(*src);
+  if (a.op == OpKind::kGroup) {
+    // group by s0 on s1.
+    for (Symbol b : *s0) {
+      if (s1->contains(b)) return false;
+      if (!in.must_cols.CertainlyContains(b)) return false;
+    }
+    for (Symbol o : *s1) {
+      if (in.must_cols.CertainlyContains(o)) return true;
+    }
+    return false;
+  }
+  // merge on s0 by s1.
+  bool on_labels_column = false;
+  for (Symbol o : *s0) on_labels_column |= in.must_cols.CertainlyContains(o);
+  if (!on_labels_column) return false;
+  for (Symbol b : *s1) {
+    if (!in.must_rows.CertainlyContains(b)) return false;
+  }
+  return true;
 }
 
 /// A proposed rewrite of the top-level statement window [index,
@@ -488,18 +530,203 @@ std::optional<Candidate> MatchWhileUnroll(const std::vector<Statement>& ss,
   return Candidate{"while-unroll", i, 1, w->body};
 }
 
-std::optional<Candidate> FindCandidate(
+/// Shared gate of the product-pushdown rules: the rewrite overwrites `X`
+/// one statement earlier, so the side still read afterwards must not be
+/// `X`, and each source must be `X` itself or certainly present — a
+/// may-absent source would turn a statement into a no-op on one side of
+/// the rewrite only, leaving `X` with different values.
+bool PushdownSidesOk(Symbol x, Symbol filtered, Symbol other,
+                     const AbstractDatabase& before) {
+  if (other == x) return false;
+  if (filtered == x) return true;
+  return before.ShapeOf(filtered).certain && before.ShapeOf(other).certain;
+}
+
+/// `X <- product (R, S); X <- select A B (X)` pushes the filter into the
+/// product side that owns both filter columns:
+/// `X <- select A B (R); X <- product (X, S)`. Sound when the other side
+/// provably lacks A and B — each paired row's A/B entries then come from
+/// the filtered side, so filtering the pairs equals filtering that side's
+/// rows first. Cost: the filter pass runs over |R| rows instead of
+/// |R|·|S|.
+std::optional<Candidate> MatchSelectPushdownProduct(
+    const std::vector<Statement>& ss, size_t i,
+    const AbstractDatabase& before) {
+  if (i + 1 >= ss.size()) return std::nullopt;
+  const auto* prod = std::get_if<Assignment>(&ss[i].node);
+  const auto* sel = std::get_if<Assignment>(&ss[i + 1].node);
+  if (prod == nullptr || sel == nullptr || prod->op != OpKind::kProduct ||
+      sel->op != OpKind::kSelect) {
+    return std::nullopt;
+  }
+  std::optional<Symbol> x = LitName(prod->target);
+  if (!x.has_value() || prod->args.size() != 2) return std::nullopt;
+  if (LitName(sel->target) != x || sel->args.size() != 1 ||
+      LitName(sel->args[0]) != x) {
+    return std::nullopt;
+  }
+  std::optional<Symbol> a = LitSingleton(sel->params[0]);
+  std::optional<Symbol> b = LitSingleton(sel->params[1]);
+  if (!a.has_value() || !b.has_value()) return std::nullopt;
+  for (size_t side = 0; side < 2; ++side) {
+    std::optional<Symbol> filtered = LitName(prod->args[side]);
+    std::optional<Symbol> other = LitName(prod->args[1 - side]);
+    if (!filtered.has_value() || !other.has_value()) break;
+    if (!PushdownSidesOk(*x, *filtered, *other, before)) continue;
+    const TableShape other_shape = before.ShapeOf(*other);
+    if (!other_shape.cols.DefinitelyLacks(*a) ||
+        !other_shape.cols.DefinitelyLacks(*b)) {
+      continue;
+    }
+    Assignment first = *sel;  // X <- select A B (R)
+    first.args[0] = Param::Literal(*filtered);
+    Assignment second = *prod;  // X <- product (X, S), side order kept
+    second.args[side] = Param::Literal(*x);
+    std::vector<Statement> repl(2);
+    repl[0].node = std::move(first);
+    repl[1].node = std::move(second);
+    return Candidate{"select-pushdown-product", i, 2, std::move(repl)};
+  }
+  return std::nullopt;
+}
+
+/// `X <- product (R, S); X <- project P (X)` narrows the R side before the
+/// product when P keeps every column of S:
+/// `X <- project P∩cols(R) (R); X <- product (X, S)`. Requires both
+/// column layouts exactly known (may-set = must-set) and disjoint, so the
+/// split of P across the sides is unambiguous.
+std::optional<Candidate> MatchProjectPushdownProduct(
+    const std::vector<Statement>& ss, size_t i,
+    const AbstractDatabase& before) {
+  if (i + 1 >= ss.size()) return std::nullopt;
+  const auto* prod = std::get_if<Assignment>(&ss[i].node);
+  const auto* proj = std::get_if<Assignment>(&ss[i + 1].node);
+  if (prod == nullptr || proj == nullptr || prod->op != OpKind::kProduct ||
+      proj->op != OpKind::kProject) {
+    return std::nullopt;
+  }
+  std::optional<Symbol> x = LitName(prod->target);
+  if (!x.has_value() || prod->args.size() != 2) return std::nullopt;
+  if (LitName(proj->target) != x || proj->args.size() != 1 ||
+      LitName(proj->args[0]) != x) {
+    return std::nullopt;
+  }
+  std::optional<SymbolSet> p = LitSet(proj->params[0]);
+  if (!p.has_value()) return std::nullopt;
+  // Exact column layout: every column the side may carry is certain.
+  auto exact_cols = [&](Symbol name,
+                        SymbolSet* out) -> bool {
+    const TableShape shape = before.ShapeOf(name);
+    if (shape.cols.top) return false;
+    for (Symbol c : shape.cols.elems) {
+      if (!shape.must_cols.CertainlyContains(c)) return false;
+    }
+    *out = shape.cols.elems;
+    return true;
+  };
+  for (size_t side = 0; side < 2; ++side) {
+    std::optional<Symbol> filtered = LitName(prod->args[side]);
+    std::optional<Symbol> other = LitName(prod->args[1 - side]);
+    if (!filtered.has_value() || !other.has_value()) break;
+    if (!PushdownSidesOk(*x, *filtered, *other, before)) continue;
+    SymbolSet filtered_cols, other_cols;
+    if (!exact_cols(*filtered, &filtered_cols) ||
+        !exact_cols(*other, &other_cols)) {
+      continue;
+    }
+    bool ok = true;
+    for (Symbol c : other_cols) {
+      ok = ok && p->contains(c) && !filtered_cols.contains(c);
+    }
+    if (!ok) continue;
+    // The narrowing must drop something, or project-superset already
+    // covers the window more cheaply.
+    SymbolSet kept;
+    for (Symbol c : filtered_cols) {
+      if (p->contains(c)) kept.insert(c);
+    }
+    if (kept.size() == filtered_cols.size()) continue;
+    Assignment first = *proj;  // X <- project P∩cols(R) (R)
+    first.args[0] = Param::Literal(*filtered);
+    first.params[0] = Param{};
+    for (Symbol c : kept) {
+      ParamItem item;
+      if (c.is_null()) {
+        item.kind = ParamItem::Kind::kNull;
+      } else {
+        item.kind = ParamItem::Kind::kSymbol;
+        item.symbol = c;
+      }
+      first.params[0].positive.push_back(std::move(item));
+    }
+    Assignment second = *prod;  // X <- product (X, S)
+    second.args[side] = Param::Literal(*x);
+    std::vector<Statement> repl(2);
+    repl[0].node = std::move(first);
+    repl[1].node = std::move(second);
+    return Candidate{"project-pushdown-product", i, 2, std::move(repl)};
+  }
+  return std::nullopt;
+}
+
+/// `X <- group/merge …; Y <- filter …` with disjoint name sets swaps the
+/// pair, floating cheap filters (select/selectconst/project) upstream
+/// through the expensive restructuring statements so they become adjacent
+/// to their producers and the pushdown/no-op rules can fire. Sound only
+/// when neither statement can fail: the restructuring side must be
+/// provably total (GROUP/MERGE kernel contracts discharged via the
+/// must-sets), or the reorder could move work across a failing statement.
+std::optional<Candidate> MatchFilterHoist(const std::vector<Statement>& ss,
+                                          size_t i,
+                                          const AbstractDatabase& before) {
+  if (i + 1 >= ss.size()) return std::nullopt;
+  const auto* heavy = std::get_if<Assignment>(&ss[i].node);
+  const auto* filter = std::get_if<Assignment>(&ss[i + 1].node);
+  if (heavy == nullptr || filter == nullptr) return std::nullopt;
+  if (heavy->op != OpKind::kGroup && heavy->op != OpKind::kMerge) {
+    return std::nullopt;
+  }
+  if (filter->op != OpKind::kSelect && filter->op != OpKind::kSelectConst &&
+      filter->op != OpKind::kProject) {
+    return std::nullopt;
+  }
+  if (!StaticallyTotal(*filter) || !ProvablyTotal(*heavy, before)) {
+    return std::nullopt;
+  }
+  SymbolSet heavy_names, filter_names;
+  bool universal = false;
+  CollectAllNames(ss[i], &heavy_names, &universal);
+  CollectAllNames(ss[i + 1], &filter_names, &universal);
+  if (universal) return std::nullopt;
+  for (Symbol nm : filter_names) {
+    if (heavy_names.contains(nm)) return std::nullopt;
+  }
+  std::vector<Statement> repl;
+  repl.push_back(ss[i + 1]);
+  repl.push_back(ss[i]);
+  return Candidate{"filter-hoist", i, 2, std::move(repl)};
+}
+
+/// Every candidate of the current round, in (statement index, rule) order.
+/// Cost-ranked mode re-orders this list by the static cost of the plan
+/// each candidate produces; the legacy first-fires-wins mode takes the
+/// front — for it, the pushdown rules deliberately precede the no-op
+/// rules at the same index to document that a fixed rule order (any fixed
+/// order) can strand the plan in a local optimum: a pushdown consumes the
+/// window a cheaper removal rule needed (see bench_optimizer).
+std::vector<Candidate> FindCandidates(
     const std::vector<Statement>& ss,
     const std::vector<AbstractDatabase>& before,
     const std::set<std::string>& rejected) {
+  std::vector<Candidate> out;
   for (size_t i = 0; i < ss.size(); ++i) {
-    std::optional<Candidate> c;
     auto consider = [&](std::optional<Candidate> m) {
-      if (!c.has_value() && m.has_value() &&
-          !rejected.contains(Fingerprint(*m, ss))) {
-        c = std::move(m);
+      if (m.has_value() && !rejected.contains(Fingerprint(*m, ss))) {
+        out.push_back(std::move(*m));
       }
     };
+    consider(MatchSelectPushdownProduct(ss, i, before[i]));
+    consider(MatchProjectPushdownProduct(ss, i, before[i]));
     consider(MatchSelectIdentity(ss, i, before[i]));
     consider(MatchProjectSuperset(ss, i, before[i]));
     consider(MatchRenameAbsent(ss, i, before[i]));
@@ -507,11 +734,11 @@ std::optional<Candidate> FindCandidate(
     consider(MatchFuseProjects(ss, i, before[i]));
     consider(MatchCancelBeforeDrop(ss, i));
     consider(MatchDropHoist(ss, i));
+    consider(MatchFilterHoist(ss, i, before[i]));
     consider(MatchWhileNeverEntered(ss, i, before[i]));
     consider(MatchWhileUnroll(ss, i, before[i]));
-    if (c.has_value()) return c;
   }
-  return std::nullopt;
+  return out;
 }
 
 /// Abstract state *before* each top-level statement (index 0 = initial).
@@ -536,15 +763,24 @@ std::vector<AbstractDatabase> StatesBefore(const Program& program,
 std::string RenderRewriteJson(const RewriteRecord& r, std::string_view file) {
   using analysis::JsonEscape;
   // An uncertified record with no validator reason was kept on the rules'
-  // own soundness argument (validation off): "trusted".
+  // own soundness argument (validation off): "trusted". A cost-rejected
+  // candidate never reached the validator at all.
   const char* verdict =
-      r.certified ? "certified" : (r.reason.empty() ? "trusted" : "rejected");
+      r.cost_rejected
+          ? "cost-rejected"
+          : (r.certified ? "certified"
+                         : (r.reason.empty() ? "trusted" : "rejected"));
   std::string out = "{\"file\":\"" + JsonEscape(file) + "\",\"rewrite\":\"" +
                     JsonEscape(r.rule) + "\",\"path\":\"" +
                     JsonEscape(r.path) + "\",\"verdict\":\"" + verdict +
                     "\",\"certified\":" + (r.certified ? "true" : "false") +
                     ",\"before\":\"" + JsonEscape(r.before) +
                     "\",\"after\":\"" + JsonEscape(r.after) + "\"";
+  if (r.cost_ranked) {
+    // Chosen-vs-rejected plan costs (static total work; "∞" = unbounded).
+    out += ",\"cost_before\":\"" + analysis::FormatCost(r.cost_before) +
+           "\",\"cost_after\":\"" + analysis::FormatCost(r.cost_after) + "\"";
+  }
   if (!r.reason.empty()) {
     out += ",\"reason\":\"" + JsonEscape(r.reason) + "\"";
   }
@@ -555,6 +791,38 @@ std::string RenderRewriteJson(const RewriteRecord& r, std::string_view file) {
   return out;
 }
 
+namespace {
+
+/// `current` with the candidate's window replaced.
+Program ApplyCandidate(const Program& current, const Candidate& cand) {
+  Program rewritten;
+  rewritten.statements.assign(current.statements.begin(),
+                              current.statements.begin() + cand.index);
+  for (const Statement& s : cand.replacement) {
+    rewritten.statements.push_back(s);
+  }
+  rewritten.statements.insert(
+      rewritten.statements.end(),
+      current.statements.begin() + cand.index + cand.consumed,
+      current.statements.end());
+  return rewritten;
+}
+
+RewriteRecord MakeRecord(const Candidate& cand, const Program& current) {
+  RewriteRecord record;
+  record.rule = cand.rule;
+  record.path = std::to_string(cand.index + 1);
+  record.before =
+      WindowText(current.statements, cand.index, cand.consumed);
+  for (const Statement& s : cand.replacement) {
+    if (!record.after.empty()) record.after += " ";
+    record.after += s.ToString();
+  }
+  return record;
+}
+
+}  // namespace
+
 Program OptimizeProgram(const Program& program,
                         const AbstractDatabase& initial,
                         const OptimizerOptions& options,
@@ -563,58 +831,101 @@ Program OptimizeProgram(const Program& program,
       obs::GetCounter("optimizer.rewrites_applied");
   static obs::Counter& rejected_counter =
       obs::GetCounter("optimizer.rewrites_rejected");
+  static obs::Counter& cost_rejected_counter =
+      obs::GetCounter("optimizer.rewrites_cost_rejected");
 
   Program current = program;
   std::set<std::string> rejected;
-  for (size_t step = 0; step < options.max_rewrites; ++step) {
+  analysis::CostReport current_cost;
+  if (options.cost_rank) current_cost = analysis::EstimateCost(current, initial);
+
+  // Each round gathers every candidate of the current plan, orders it
+  // (static plan cost under `cost_rank`, statement order otherwise), and
+  // applies the first survivor; rejected candidates are fingerprinted so
+  // they are proposed at most once per window text. `attempts` preserves
+  // the option's contract: at most max_rewrites processed candidates.
+  size_t attempts = 0;
+  while (attempts < options.max_rewrites) {
     std::vector<AbstractDatabase> before = StatesBefore(current, initial);
-    std::optional<Candidate> cand =
-        FindCandidate(current.statements, before, rejected);
-    if (!cand.has_value()) break;
+    std::vector<Candidate> cands =
+        FindCandidates(current.statements, before, rejected);
+    if (cands.empty()) break;
 
-    Program rewritten;
-    rewritten.statements.assign(current.statements.begin(),
-                                current.statements.begin() + cand->index);
-    for (const Statement& s : cand->replacement) {
-      rewritten.statements.push_back(s);
-    }
-    rewritten.statements.insert(
-        rewritten.statements.end(),
-        current.statements.begin() + cand->index + cand->consumed,
-        current.statements.end());
-
-    RewriteRecord record;
-    record.rule = cand->rule;
-    record.path = std::to_string(cand->index + 1);
-    record.before = WindowText(current.statements, cand->index,
-                               cand->consumed);
-    for (const Statement& s : cand->replacement) {
-      if (!record.after.empty()) record.after += " ";
-      record.after += s.ToString();
-    }
-
-    bool keep = true;
-    if (options.validate_rewrites) {
-      analysis::ValidationReport report =
-          analysis::ValidateTranslation(current, rewritten, initial);
-      keep = report.certified;
-      record.certified = report.certified;
-      record.reason = report.reason;
-      record.divergent_at = report.divergent_path;
+    struct Scored {
+      Candidate cand;
+      Program rewritten;
+      analysis::CostReport cost;
+    };
+    std::vector<Scored> scored;
+    scored.reserve(options.cost_rank ? cands.size() : 1);
+    if (options.cost_rank) {
+      for (Candidate& c : cands) {
+        Scored s;
+        s.rewritten = ApplyCandidate(current, c);
+        s.cost = analysis::EstimateCost(s.rewritten, initial);
+        s.cand = std::move(c);
+        scored.push_back(std::move(s));
+      }
+      // Cheapest plan first; ties keep statement order (determinism).
+      std::stable_sort(scored.begin(), scored.end(),
+                       [](const Scored& a, const Scored& b) {
+                         return analysis::CompareCost(a.cost, b.cost) < 0;
+                       });
     } else {
-      record.certified = false;  // kept, but unproven
+      Scored s;
+      s.rewritten = ApplyCandidate(current, cands.front());
+      s.cand = std::move(cands.front());
+      scored.push_back(std::move(s));
     }
 
-    if (keep) {
-      applied_counter.Add(1);
-      if (stats != nullptr) ++stats->applied;
-      current = std::move(rewritten);
-    } else {
+    bool applied = false;
+    for (Scored& s : scored) {
+      if (attempts >= options.max_rewrites) break;
+      ++attempts;
+      RewriteRecord record = MakeRecord(s.cand, current);
+      if (options.cost_rank) {
+        record.cost_ranked = true;
+        record.cost_before = current_cost.total_work;
+        record.cost_after = s.cost.total_work;
+        if (analysis::CompareCost(s.cost, current_cost) > 0) {
+          // Strictly more expensive plan: lost on cost alone, never sent
+          // to the validator.
+          cost_rejected_counter.Add(1);
+          if (stats != nullptr) ++stats->cost_rejected;
+          record.cost_rejected = true;
+          rejected.insert(Fingerprint(s.cand, current.statements));
+          if (stats != nullptr) stats->records.push_back(std::move(record));
+          continue;
+        }
+      }
+      bool keep = true;
+      if (options.validate_rewrites) {
+        analysis::ValidationReport report =
+            analysis::ValidateTranslation(current, s.rewritten, initial);
+        keep = report.certified;
+        record.certified = report.certified;
+        record.reason = report.reason;
+        record.divergent_at = report.divergent_path;
+      } else {
+        record.certified = false;  // kept, but unproven
+      }
+      if (keep) {
+        applied_counter.Add(1);
+        if (stats != nullptr) ++stats->applied;
+        if (stats != nullptr) stats->records.push_back(std::move(record));
+        current = std::move(s.rewritten);
+        if (options.cost_rank) current_cost = std::move(s.cost);
+        applied = true;
+        break;
+      }
       rejected_counter.Add(1);
       if (stats != nullptr) ++stats->rejected;
-      rejected.insert(Fingerprint(*cand, current.statements));
+      rejected.insert(Fingerprint(s.cand, current.statements));
+      if (stats != nullptr) stats->records.push_back(std::move(record));
     }
-    if (stats != nullptr) stats->records.push_back(std::move(record));
+    // When nothing applied, every processed candidate was fingerprinted,
+    // so the next round's gather strictly shrinks and the loop converges.
+    (void)applied;
   }
   return current;
 }

@@ -62,6 +62,16 @@ struct RewriteRecord {
   /// Validator sync point where refinement first broke ("0" = entry state,
   /// a statement count, or "exit"); empty when certified or unvalidated.
   std::string divergent_at;
+  /// Cost-ranked mode (`OptimizerOptions::cost_rank`): the static total
+  /// work of the current plan and of the plan this rewrite would produce
+  /// (`analysis::CostReport::total_work`; `CardInterval::kInf` =
+  /// unbounded), and whether the candidate lost on cost alone — it would
+  /// have produced a strictly more expensive plan and was never sent to
+  /// the validator.
+  bool cost_ranked = false;
+  uint64_t cost_before = 0;
+  uint64_t cost_after = 0;
+  bool cost_rejected = false;
 };
 
 /// One rewrite attempt as a single-line JSON object for machine-readable
@@ -75,6 +85,10 @@ std::string RenderRewriteJson(const RewriteRecord& r, std::string_view file);
 struct OptimizeStats {
   size_t applied = 0;   ///< rewrites kept (certified, or trusted)
   size_t rejected = 0;  ///< rewrites the validator refused
+  /// Candidates dropped in cost-ranked mode because the plan they produce
+  /// is statically more expensive than the current one (never counted in
+  /// `rejected` — losing on cost is not a soundness failure).
+  size_t cost_rejected = 0;
   std::vector<RewriteRecord> records;
 };
 
@@ -86,6 +100,15 @@ struct OptimizerOptions {
   bool validate_rewrites = true;
   /// Upper bound on accepted-plus-rejected candidates, a divergence guard.
   size_t max_rewrites = 256;
+  /// Rank every candidate of a round by the static cost of the plan it
+  /// produces (`analysis::EstimateCost`) and apply the cheapest one whose
+  /// plan does not regress the current cost; candidates that would make
+  /// the plan strictly more expensive are dropped (`cost_rejected`).
+  /// Turning this off restores the legacy first-fires-wins engine: the
+  /// first rule to match in statement order is applied unconditionally —
+  /// which can strand the plan in a local optimum (see bench_optimizer's
+  /// `ta_cost_win_pct`).
+  bool cost_rank = true;
 };
 
 /// The rule-based rewrite engine. Candidates are proposed by a fixed rule

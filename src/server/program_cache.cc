@@ -84,6 +84,14 @@ std::shared_ptr<const CompiledProgram> ProgramCache::Compile(
     compiled->optimized = lang::OptimizeProgram(
         compiled->parsed, coarse, opt, &compiled->optimize_stats);
   }
+
+  // Cost the final plan against the *exact* image of the compiling
+  // snapshot: the coarsened image's ≥1 row classes have no finite upper
+  // bound, so admission-grade estimates need the real shapes. See the
+  // CompiledProgram doc for how observed-rows feedback covers databases
+  // that share the fingerprint but not the row counts.
+  compiled->cost = analysis::EstimateCost(compiled->optimized,
+                                          AbstractDatabase::FromDatabase(db));
   return compiled;
 }
 

@@ -1,7 +1,10 @@
 #ifndef TABULAR_SERVER_PROGRAM_CACHE_H_
 #define TABULAR_SERVER_PROGRAM_CACHE_H_
 
+#include <algorithm>
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <list>
 #include <map>
 #include <memory>
@@ -9,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/cost.h"
 #include "analysis/diagnostics.h"
 #include "analysis/shape.h"
 #include "core/database.h"
@@ -34,6 +38,40 @@ struct CompiledProgram {
   lang::OptimizeStats optimize_stats;
   /// Analyzer warnings (errors land in `front_end`).
   std::vector<analysis::Diagnostic> warnings;
+
+  /// Static cost summary of `optimized` against the *exact* shapes of the
+  /// database that first compiled this entry (not the coarsened cache
+  /// image, whose [1,∞) row classes would make every estimate ∞). Later
+  /// databases sharing the fingerprint may differ in row counts; the
+  /// observed-rows feedback below corrects the drift. Admission control is
+  /// therefore a pure lookup on the hot path.
+  analysis::CostReport cost;
+
+  /// Adaptive feedback: the largest total data-row count any successful
+  /// run of this entry has produced (0 = never run). Written lock-free by
+  /// session threads after execution, read by admission.
+  mutable std::atomic<uint64_t> observed_rows{0};
+
+  void RecordObservedRows(uint64_t rows) const {
+    uint64_t seen = observed_rows.load(std::memory_order_relaxed);
+    while (rows > seen && !observed_rows.compare_exchange_weak(
+                              seen, rows, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// The row bound admission compares against `--max-est-rows`: the static
+  /// peak, corrected by observation once the entry has run. Observation
+  /// can shrink an over-estimate (down to twice the largest observed run
+  /// — re-planning headroom) but never below what was actually seen, and
+  /// an unbounded static verdict is never overridden.
+  uint64_t EffectiveRowEstimate() const {
+    const uint64_t stat = cost.peak_rows;
+    if (stat == analysis::CardInterval::kInf) return stat;
+    const uint64_t seen = observed_rows.load(std::memory_order_relaxed);
+    if (seen == 0) return stat;
+    return std::max(
+        std::min(stat, analysis::CardInterval::SatMul(seen, 2)), seen);
+  }
 
   const lang::Program& executable() const { return optimized; }
 };

@@ -414,6 +414,48 @@ std::string Server::HandleRun(const std::string& payload,
   audit->rewrites_applied =
       static_cast<uint32_t>(compiled->optimize_stats.applied);
 
+  // Admission control: a pure lookup on the cached cost summary — no
+  // analysis runs on the hot path. Rejection happens before the private
+  // copy below, so an over-budget program costs the server nothing but
+  // the compile (which negative-caches like any other front-end verdict
+  // would not — admission is re-checked per request, since limits and
+  // observed-rows feedback both move).
+  if (options_.max_est_rows > 0 || options_.max_est_bytes > 0) {
+    static obs::Counter& admitted =
+        obs::GetCounter("server.admission.admitted");
+    static obs::Counter& rejected =
+        obs::GetCounter("server.admission.rejected");
+    static obs::Counter& unbounded =
+        obs::GetCounter("server.admission.unbounded");
+    const analysis::CostReport& cost = compiled->cost;
+    if (cost.unbounded()) {
+      unbounded.Add(1);
+      rejected.Add(1);
+      return error(StatusCode::kAdmissionRejected,
+                   "statement " + cost.unbounded_path +
+                       ": statically unbounded resource use");
+    }
+    const uint64_t est_rows = compiled->EffectiveRowEstimate();
+    if (options_.max_est_rows > 0 && est_rows > options_.max_est_rows) {
+      rejected.Add(1);
+      return error(StatusCode::kAdmissionRejected,
+                   "statement " + cost.peak_rows_path + ": estimated rows " +
+                       analysis::FormatCost(est_rows) + " exceed limit " +
+                       std::to_string(options_.max_est_rows));
+    }
+    if (options_.max_est_bytes > 0 &&
+        cost.peak_bytes > options_.max_est_bytes) {
+      rejected.Add(1);
+      return error(StatusCode::kAdmissionRejected,
+                   "statement " + cost.peak_bytes_path +
+                       ": estimated bytes " +
+                       analysis::FormatCost(cost.peak_bytes) +
+                       " exceed limit " +
+                       std::to_string(options_.max_est_bytes));
+    }
+    admitted.Add(1);
+  }
+
   // Execute against a private copy. The front end already ran (analysis
   // and certified rewrites are part of the cached compile), so the
   // interpreter runs the compiled form directly.
@@ -446,6 +488,10 @@ std::string Server::HandleRun(const std::string& payload,
     resp.counters_json = CounterDeltaJson(counters_before);
   }
   audit->rows_out = TotalDataRows(work);
+  // Feed the run's true output size back into the cache entry: admission's
+  // effective row estimate tightens toward observation (adaptive
+  // re-planning without recompiling).
+  compiled->RecordObservedRows(audit->rows_out);
   if (req.want_dump) resp.dump = io::SerializeDatabase(work);
   if (req.commit) {
     Result<uint64_t> committed =

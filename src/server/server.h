@@ -49,6 +49,15 @@ struct ServerOptions {
   /// Prometheus /metrics HTTP port: -1 disables the endpoint, 0 picks an
   /// ephemeral port (read it back with `metrics_port()`).
   int metrics_port = -1;
+  /// Static admission control (0 = limit off). When either limit is set,
+  /// every Run request's cached cost summary is checked before execution:
+  /// a statically unbounded program, an effective row estimate above
+  /// `max_est_rows`, or a peak byte estimate above `max_est_bytes` is
+  /// rejected with `StatusCode::kAdmissionRejected` naming the offending
+  /// statement. The daemon maps `--max-est-rows` / `TABULAR_ADMIT_MAX_ROWS`
+  /// (and the `-bytes` pair) onto these.
+  uint64_t max_est_rows = 0;
+  uint64_t max_est_bytes = 0;
 };
 
 /// Point-in-time server statistics (the Stats request renders these as

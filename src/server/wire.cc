@@ -307,7 +307,7 @@ Status DecodeError(std::string_view payload, ErrorResponse* err) {
   TABULAR_RETURN_NOT_OK(ExpectType(&cur, MsgType::kError));
   uint8_t code = 0;
   TABULAR_RETURN_NOT_OK(cur.GetU8(&code));
-  if (code > static_cast<uint8_t>(StatusCode::kInternal)) {
+  if (code > static_cast<uint8_t>(StatusCode::kAdmissionRejected)) {
     return Status::ParseError("unknown status code " + std::to_string(code));
   }
   err->code = static_cast<StatusCode>(code);

@@ -11,6 +11,7 @@
 #include <string_view>
 
 #include "analysis/analyzer.h"
+#include "analysis/cost.h"
 #include "analysis/diagnostics.h"
 #include "analysis/shape.h"
 #include "core/symbol.h"
@@ -487,6 +488,143 @@ TEST(AnalysisSoundnessTest, ExamplesStayWithinAbstractBounds) {
     }
   }
   EXPECT_GE(checked, 3u);
+}
+
+// -- CardInterval saturation boundaries --------------------------------------
+
+TEST(CardIntervalSatTest, AddSaturatesExactlyAtTheSentinel) {
+  constexpr uint64_t inf = CardInterval::kInf;
+  EXPECT_EQ(CardInterval::SatAdd(0, 0), 0u);
+  // One below the sentinel is still a finite value...
+  EXPECT_EQ(CardInterval::SatAdd(inf - 2, 1), inf - 1);
+  // ...but an exact landing on 2^64-1 must read as ∞, not as a finite sum.
+  EXPECT_EQ(CardInterval::SatAdd(inf - 1, 1), inf);
+  EXPECT_EQ(CardInterval::SatAdd(1, inf - 1), inf);
+  EXPECT_EQ(CardInterval::SatAdd(inf - 1, inf - 1), inf);
+  EXPECT_EQ(CardInterval::SatAdd(inf, 0), inf);
+  EXPECT_EQ(CardInterval::SatAdd(0, inf), inf);
+  EXPECT_EQ(CardInterval::SatAdd(inf, inf), inf);
+}
+
+TEST(CardIntervalSatTest, MulSaturatesWithoutWrapping) {
+  constexpr uint64_t inf = CardInterval::kInf;
+  EXPECT_EQ(CardInterval::SatMul(0, inf), 0u);  // 0·∞ = 0 (empty pool)
+  EXPECT_EQ(CardInterval::SatMul(inf, 0), 0u);
+  EXPECT_EQ(CardInterval::SatMul(1, inf), inf);
+  EXPECT_EQ(CardInterval::SatMul(inf, inf), inf);
+  // kInf = 2^64-1 = 3 × 6148914691236517205 is composite: an exact landing
+  // on the sentinel must saturate, not masquerade as a finite product.
+  EXPECT_EQ(CardInterval::SatMul(3, 6148914691236517205ULL), inf);
+  EXPECT_EQ(CardInterval::SatMul(6148914691236517205ULL, 3), inf);
+  // 2 × 2^63 wraps to 0 in raw uint64 arithmetic; saturation catches it.
+  EXPECT_EQ(CardInterval::SatMul(2, uint64_t{1} << 63), inf);
+  EXPECT_EQ(CardInterval::SatMul(uint64_t{1} << 32, uint64_t{1} << 32), inf);
+  // The largest products strictly below the sentinel stay exact.
+  EXPECT_EQ(CardInterval::SatMul((uint64_t{1} << 32) - 1, uint64_t{1} << 32),
+            ((uint64_t{1} << 32) - 1) << 32);
+}
+
+TEST(CardIntervalSatTest, IntervalOpsKeepInfOutOfLowerBounds) {
+  // The ∞ sentinel may only appear as an *upper* bound: a lower bound
+  // that would saturate clamps at kInf-1 ("at least astronomically many"),
+  // keeping lo <= hi and Exact(kInf) unconstructible via arithmetic.
+  const CardInterval big = CardInterval::Exact(CardInterval::kInf - 1);
+  const CardInterval sum = big.Plus(CardInterval::Exact(1));
+  EXPECT_EQ(sum.lo, CardInterval::kInf - 1);
+  EXPECT_EQ(sum.hi, CardInterval::kInf);
+  const CardInterval prod = big.Times(CardInterval::Exact(2));
+  EXPECT_EQ(prod.lo, CardInterval::kInf - 1);
+  EXPECT_EQ(prod.hi, CardInterval::kInf);
+  const CardInterval bumped = big.PlusConst(1);
+  EXPECT_EQ(bumped.lo, CardInterval::kInf - 1);
+  EXPECT_EQ(bumped.hi, CardInterval::kInf);
+}
+
+// -- Static cost model --------------------------------------------------------
+
+TEST(CostModelTest, BoundedProgramGetsExactFiniteBounds) {
+  auto program = lang::ParseProgram("T <- select Part = Part (Sales);");
+  ASSERT_TRUE(program.ok());
+  const CostReport r = EstimateCost(*program, StateFor(kSalesFlat));
+  EXPECT_FALSE(r.unbounded());
+  ASSERT_EQ(r.statements.size(), 1u);
+  const StatementCost& c = r.statements[0];
+  EXPECT_EQ(c.path, "1");
+  // SELECT A=A is the identity transfer: 2 rows in, exactly 2 out.
+  EXPECT_EQ(c.out_rows, 2u);
+  EXPECT_EQ(c.out_cols, 3u);
+  EXPECT_EQ(c.out_bytes, 2u * 3u * kCostHandleBytes);
+  EXPECT_EQ(c.work, CostWeight(lang::OpKind::kSelect) * (2 + 2 + 1));
+  EXPECT_EQ(r.total_work, c.work);
+  EXPECT_EQ(r.peak_rows, 2u);
+  EXPECT_EQ(r.peak_rows_path, "1");
+  EXPECT_EQ(r.peak_bytes_path, "1");
+}
+
+TEST(CostModelTest, UnboundedLoopBodyReportsInfiniteWork) {
+  // The guard is never provably drained, so the trip count is unbounded:
+  // every body statement's work saturates even though its row bound stays
+  // finite (a loop can spin forever over a bounded table).
+  auto program =
+      lang::ParseProgram("while Sales do { T <- union (Sales, Sales); }");
+  ASSERT_TRUE(program.ok());
+  const CostReport r = EstimateCost(*program, StateFor(kSalesFlat));
+  ASSERT_EQ(r.statements.size(), 1u);
+  EXPECT_EQ(r.statements[0].path, "1.1");
+  EXPECT_TRUE(r.statements[0].in_unbounded_loop);
+  EXPECT_EQ(r.statements[0].work, CardInterval::kInf);
+  EXPECT_TRUE(r.unbounded());
+  EXPECT_EQ(r.unbounded_path, "1.1");
+  EXPECT_EQ(r.total_work, CardInterval::kInf);
+}
+
+TEST(CostModelTest, DeadLoopBodyCostsNothing) {
+  // The guard names a definitely-absent table: zero iterations, no cost
+  // entries at all.
+  auto program =
+      lang::ParseProgram("while Gone do { T <- product (Sales, Sales); }");
+  ASSERT_TRUE(program.ok());
+  const CostReport r = EstimateCost(*program, StateFor(kSalesFlat));
+  EXPECT_TRUE(r.statements.empty());
+  EXPECT_EQ(r.total_work, 0u);
+  EXPECT_FALSE(r.unbounded());
+}
+
+TEST(CostModelTest, SingleIterationLoopIsCostedOnce) {
+  // A single-carrier self-difference provably drains the guard after one
+  // abstract pass: the body is costed once, at the entry state, finite.
+  auto program =
+      lang::ParseProgram("while Sales do { Sales <- difference (Sales, Sales); }");
+  ASSERT_TRUE(program.ok());
+  const CostReport r = EstimateCost(*program, StateFor(kSalesFlat));
+  ASSERT_EQ(r.statements.size(), 1u);
+  EXPECT_FALSE(r.statements[0].in_unbounded_loop);
+  EXPECT_NE(r.statements[0].work, CardInterval::kInf);
+  EXPECT_FALSE(r.unbounded());
+}
+
+TEST(CostModelTest, CompareCostIsLexicographic) {
+  CostReport a, b;
+  a.total_work = 10;
+  b.total_work = 20;
+  EXPECT_LT(CompareCost(a, b), 0);
+  EXPECT_GT(CompareCost(b, a), 0);
+  b.total_work = 10;
+  a.peak_bytes = 5;
+  b.peak_bytes = 9;
+  EXPECT_LT(CompareCost(a, b), 0);
+  b.peak_bytes = 5;
+  EXPECT_EQ(CompareCost(a, b), 0);
+  b.statements.emplace_back();
+  EXPECT_LT(CompareCost(a, b), 0);  // fewer statements breaks the tie
+  b.statements.clear();
+  b.total_work = CardInterval::kInf;
+  EXPECT_LT(CompareCost(a, b), 0);  // any bounded plan beats unbounded
+}
+
+TEST(CostModelTest, FormatCostRendersInfinitySymbol) {
+  EXPECT_EQ(FormatCost(42), "42");
+  EXPECT_EQ(FormatCost(CardInterval::kInf), "∞");
 }
 
 // -- Diagnostic ordering -----------------------------------------------------

@@ -368,6 +368,133 @@ TEST(ServerTest, RepeatedProgramsHitTheCompiledProgramCache) {
   EXPECT_EQ(live.server->cache().misses(), 1u);
 }
 
+// -- Admission control --------------------------------------------------------
+
+constexpr std::string_view kSalesTags =
+    "!Sales | !Part  | !Region | !Sold\n"
+    "#      | nuts   | east    | 50\n"
+    "#      | bolts  | west    | 60\n"
+    "\n"
+    "!Tags | !Tag\n"
+    "#     | hot\n"
+    "#     | cold\n";
+
+ServerOptions Admit(uint64_t max_rows, uint64_t max_bytes = 0) {
+  ServerOptions options;
+  options.max_est_rows = max_rows;
+  options.max_est_bytes = max_bytes;
+  return options;
+}
+
+TEST(ServerAdmissionTest, StaticallyUnboundedProgramsNeverStartExecuting) {
+  LiveServer live{Db(kSalesFlat), Admit(1000000)};
+  Client client = live.Connect();
+  obs::Counter& rejected = obs::GetCounter("server.admission.rejected");
+  obs::Counter& unbounded = obs::GetCounter("server.admission.unbounded");
+  const uint64_t rejected_before = rejected.Value();
+  const uint64_t unbounded_before = unbounded.Value();
+  // Sales never changes inside the body, so this loop would spin forever
+  // if executed; the cost model proves the trip count unbounded and
+  // admission refuses before the interpreter ever sees it.
+  auto run = client.Run("while Sales do { T <- union (Sales, Sales); }");
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kAdmissionRejected);
+  EXPECT_NE(run.status().message().find("statement 1.1"), std::string::npos)
+      << run.status().ToString();
+  EXPECT_NE(run.status().message().find("statically unbounded"),
+            std::string::npos);
+  EXPECT_EQ(rejected.Value(), rejected_before + 1);
+  EXPECT_EQ(unbounded.Value(), unbounded_before + 1);
+  // Nothing committed, and the session survives its refused request.
+  EXPECT_EQ(live.server->versions().Current().version, 1u);
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST(ServerAdmissionTest, EstimatedRowsOverTheLimitRejectWithThePath) {
+  LiveServer live{Db(kSalesTags), Admit(/*max_rows=*/3)};
+  Client client = live.Connect();
+  obs::Counter& admitted = obs::GetCounter("server.admission.admitted");
+  const uint64_t admitted_before = admitted.Value();
+  auto run = client.Run("Big <- product (Sales, Tags);");
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kAdmissionRejected);
+  EXPECT_NE(run.status().message().find("statement 1"), std::string::npos)
+      << run.status().ToString();
+  EXPECT_NE(run.status().message().find("estimated rows 4 exceed limit 3"),
+            std::string::npos)
+      << run.status().ToString();
+  EXPECT_EQ(live.server->versions().Current().version, 1u);
+
+  // An in-budget program on the same server is admitted and runs.
+  auto ok = client.Run("Parts <- project {Part} (Sales);");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(admitted.Value(), admitted_before + 1);
+}
+
+TEST(ServerAdmissionTest, EstimatedBytesOverTheLimitReject) {
+  LiveServer live{Db(kSalesTags), Admit(/*max_rows=*/0, /*max_bytes=*/8)};
+  Client client = live.Connect();
+  auto run = client.Run("Big <- product (Sales, Tags);");
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kAdmissionRejected);
+  EXPECT_NE(run.status().message().find("estimated bytes"), std::string::npos)
+      << run.status().ToString();
+  EXPECT_NE(run.status().message().find("exceed limit 8"), std::string::npos);
+}
+
+TEST(ServerAdmissionTest, RejectionIsServedFromTheCompiledProgramCache) {
+  LiveServer live{Db(kSalesTags), Admit(/*max_rows=*/3)};
+  Client client = live.Connect();
+  const std::string program = "Big <- product (Sales, Tags);";
+  ASSERT_FALSE(client.Run(program).ok());
+  auto again = client.Run(program);
+  ASSERT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kAdmissionRejected);
+  // The second rejection cost one cache lookup, not a recompile: the cost
+  // summary lives on the cached entry.
+  EXPECT_EQ(live.server->cache().hits(), 1u);
+  EXPECT_EQ(live.server->cache().misses(), 1u);
+}
+
+TEST(ServerAdmissionTest, ObservedRowsFeedTheNextAdmissionDecision) {
+  LiveServer live{Db(kSalesTags), Admit(/*max_rows=*/5)};
+  Client client = live.Connect();
+  const std::string program = "Big <- product (Sales, Tags);";
+  // The static peak is 4 rows — under the limit — so the first run is
+  // admitted. Executing it materializes 8 total data rows (Sales 2 +
+  // Tags 2 + Big 4), which the session records on the cache entry.
+  auto first = client.Run(program, /*commit=*/false);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  // Observation overrides the optimistic static bound: the same program
+  // is now refused without rerunning it.
+  auto second = client.Run(program, /*commit=*/false);
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kAdmissionRejected);
+  EXPECT_NE(second.status().message().find("exceed limit 5"),
+            std::string::npos)
+      << second.status().ToString();
+}
+
+TEST(ProgramCacheTest, EffectiveRowEstimateBlendsStaticAndObserved) {
+  CompiledProgram p;
+  p.cost.peak_rows = 1000;
+  EXPECT_EQ(p.EffectiveRowEstimate(), 1000u);  // never run: static bound
+  p.RecordObservedRows(10);
+  EXPECT_EQ(p.EffectiveRowEstimate(), 20u);  // 2x headroom over observed
+  p.RecordObservedRows(6);                   // smaller runs never regress it
+  EXPECT_EQ(p.EffectiveRowEstimate(), 20u);
+  p.RecordObservedRows(600);
+  EXPECT_EQ(p.EffectiveRowEstimate(), 1000u);  // capped at the static bound
+  p.RecordObservedRows(4000);  // observed above static: trust observation
+  EXPECT_EQ(p.EffectiveRowEstimate(), 4000u);
+
+  CompiledProgram unbounded;
+  unbounded.cost.peak_rows = analysis::CardInterval::kInf;
+  unbounded.RecordObservedRows(10);
+  // An unbounded static verdict is never overridden by a finite run.
+  EXPECT_EQ(unbounded.EffectiveRowEstimate(), analysis::CardInterval::kInf);
+}
+
 // -- Byte identity with the single-shot interpreter --------------------------
 
 TEST(ServerTest, ExamplesMatchTheSingleShotInterpreterByteForByte) {

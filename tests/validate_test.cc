@@ -12,6 +12,7 @@
 #include <string_view>
 #include <variant>
 
+#include "analysis/cost.h"
 #include "analysis/shape.h"
 #include "analysis/validate.h"
 #include "core/symbol.h"
@@ -362,6 +363,100 @@ TEST(RewriteEngineTest, ValidateRewritesOffKeepsCandidatesUnproven) {
   EXPECT_EQ(stats.applied, 1u);
   ASSERT_EQ(stats.records.size(), 1u);
   EXPECT_FALSE(stats.records[0].certified);  // kept, but unproven
+}
+
+// -- Cost-ranked plan selection ----------------------------------------------
+
+/// Sales plus a tiny column-disjoint Tags table (2 rows) and an Empt table
+/// with no data rows — the fixtures for the plan-selection tests.
+constexpr std::string_view kTrapGrid =
+    "!Sales | !Part  | !Region | !Sold\n"
+    "#      | nuts   | east    | 50\n"
+    "#      | bolts  | west    | 60\n"
+    "\n"
+    "!Tags | !Tag\n"
+    "#     | hot\n"
+    "#     | cold\n"
+    "\n"
+    "!Empt | !Tag\n";
+
+uint64_t PlanWork(const lang::Program& plan, std::string_view grid) {
+  return EstimateCost(plan, AbstractDatabase::FromDatabase(Db(grid)))
+      .total_work;
+}
+
+TEST(CostRankTest, RankedSelectionEscapesThePushdownTrap) {
+  // Greedy first-fires-wins reaches select-pushdown-product first (earlier
+  // statement index): the identity select becomes `Big <- select Part =
+  // Part (Sales)` whose target != argument, so identity removal can never
+  // fire again and the residual select survives. Cost-ranked selection
+  // applies the strictly cheaper identity removal instead.
+  const std::string_view src =
+      "Big <- product (Sales, Tags);\n"
+      "Big <- select Part = Part (Big);\n";
+  const AbstractDatabase initial = AbstractDatabase::FromDatabase(Db(kTrapGrid));
+
+  lang::OptimizeStats ranked_stats;
+  lang::Program ranked =
+      lang::OptimizeProgram(Parse(src), initial, {}, &ranked_stats);
+  EXPECT_EQ(ranked.statements.size(), 1u);  // just the product
+  for (const auto& rec : ranked_stats.records) {
+    if (!rec.cost_rejected) {
+      EXPECT_TRUE(rec.certified) << rec.rule << ": " << rec.reason;
+    }
+    EXPECT_TRUE(rec.cost_ranked);
+  }
+
+  lang::OptimizerOptions greedy_options;
+  greedy_options.cost_rank = false;
+  lang::Program greedy =
+      lang::OptimizeProgram(Parse(src), initial, greedy_options);
+  EXPECT_EQ(greedy.statements.size(), 2u);  // stranded residual select
+  EXPECT_LT(PlanWork(ranked, kTrapGrid), PlanWork(greedy, kTrapGrid));
+
+  ExpectByteIdentical(src, kTrapGrid);
+}
+
+TEST(CostRankTest, CostRaisingCandidateRejectedWithoutValidation) {
+  // Empt is certainly empty, so the product output has zero rows and the
+  // select after it is nearly free; pushing the select down onto Sales
+  // would *raise* total work (it runs over 2 rows instead of 0). The
+  // ranked engine must refuse the candidate on cost alone — and since the
+  // select is not an identity (Part != Region), no other rule applies.
+  const std::string_view src =
+      "Big <- product (Sales, Empt);\n"
+      "Big <- select Part = Region (Big);\n";
+  const AbstractDatabase initial = AbstractDatabase::FromDatabase(Db(kTrapGrid));
+
+  lang::OptimizeStats stats;
+  lang::Program optimized = lang::OptimizeProgram(Parse(src), initial, {}, &stats);
+  EXPECT_EQ(optimized.statements.size(), 2u);  // plan unchanged
+  EXPECT_EQ(stats.applied, 0u);
+  EXPECT_EQ(stats.rejected, 0u);  // cost losses are not soundness failures
+  EXPECT_GE(stats.cost_rejected, 1u);
+  ASSERT_FALSE(stats.records.empty());
+  const lang::RewriteRecord& rec = stats.records[0];
+  EXPECT_EQ(rec.rule, "select-pushdown-product");
+  EXPECT_TRUE(rec.cost_rejected);
+  EXPECT_TRUE(rec.cost_ranked);
+  EXPECT_GT(rec.cost_after, rec.cost_before);
+
+  // The JSON rendering carries the verdict and both costs.
+  const std::string json = lang::RenderRewriteJson(rec, "p.ta");
+  EXPECT_NE(json.find("\"cost-rejected\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cost_before\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"cost_after\""), std::string::npos) << json;
+
+  // The greedy engine, trusting first-fires-wins, walks right into it.
+  lang::OptimizerOptions greedy_options;
+  greedy_options.cost_rank = false;
+  lang::OptimizeStats greedy_stats;
+  lang::Program greedy =
+      lang::OptimizeProgram(Parse(src), initial, greedy_options, &greedy_stats);
+  EXPECT_GE(greedy_stats.applied, 1u);
+  EXPECT_GT(PlanWork(greedy, kTrapGrid), PlanWork(optimized, kTrapGrid));
+
+  ExpectByteIdentical(src, kTrapGrid);
 }
 
 // -- Byte-identity across the shipped examples -------------------------------

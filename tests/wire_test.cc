@@ -400,6 +400,40 @@ TEST(WireMessageTest, ErrorRoundTripPreservesCode) {
   EXPECT_EQ(out.message, err.message);
 }
 
+TEST(WireMessageTest, AdmissionRejectedRoundTripsAsTheLastKnownCode) {
+  ErrorResponse err;
+  err.code = StatusCode::kAdmissionRejected;
+  err.message = "statement 1: estimated rows 4 exceed limit 3";
+  const std::string payload = EncodeError(err);
+  ErrorResponse out;
+  ASSERT_TRUE(DecodeError(payload, &out).ok());
+  EXPECT_EQ(out.code, StatusCode::kAdmissionRejected);
+  EXPECT_EQ(out.message, err.message);
+
+  // One past the last status code is a parse error, not a wild cast.
+  std::string bumped = payload;
+  bumped[1] =
+      static_cast<char>(static_cast<uint8_t>(StatusCode::kAdmissionRejected) +
+                        1);
+  Status st = DecodeError(bumped, &out);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kParseError);
+  EXPECT_NE(st.message().find("unknown status code"), std::string::npos);
+}
+
+TEST(WireMessageTest, TruncatedAdmissionErrorIsAParseError) {
+  ErrorResponse err;
+  err.code = StatusCode::kAdmissionRejected;
+  err.message = "statement 2: statically unbounded resource use";
+  const std::string payload = EncodeError(err);
+  for (size_t cut = 0; cut < payload.size(); ++cut) {
+    ErrorResponse out;
+    Status st = DecodeError(payload.substr(0, cut), &out);
+    ASSERT_FALSE(st.ok()) << "cut=" << cut;
+    EXPECT_EQ(st.code(), StatusCode::kParseError) << "cut=" << cut;
+  }
+}
+
 TEST(WireMessageTest, TruncatedRunRequestBodyIsAParseError) {
   std::string payload = EncodeRunRequest(RunRequest{"program text", true, false});
   for (size_t cut = 1; cut < payload.size(); ++cut) {

@@ -9,6 +9,8 @@
 //   1  errors found (or warnings, under --werror)
 //   2  usage, file-read, or parse failure
 
+#include <cstdint>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -16,6 +18,7 @@
 #include <vector>
 
 #include "analysis/analyzer.h"
+#include "analysis/cost.h"
 #include "analysis/diagnostics.h"
 #include "analysis/shape.h"
 #include "core/database.h"
@@ -23,8 +26,10 @@
 #include "io/csv.h"
 #include "io/grid_format.h"
 #include "lang/ast.h"
+#include "lang/interpreter.h"
 #include "lang/optimizer.h"
 #include "lang/parser.h"
+#include "obs/profile.h"
 #include "relational/canonical.h"
 
 namespace {
@@ -49,6 +54,15 @@ options:
                      per diagnostic (file, severity, path, message[, note])
   --optimize         run the translation-validated rewrite engine and print
                      each certified rewrite as a diff plus a summary report
+  --cost             print the static cost table: per-statement row/byte/work
+                     bounds from the shape analysis ("∞" = statically
+                     unbounded) plus program totals — the same numbers
+                     tabulard's admission control checks. Costs the optimized
+                     plan when combined with --optimize. A statically
+                     unbounded program warns (exit 1 under --werror).
+  --cost-budget-rows <n>   with --cost: warn when the peak row bound exceeds n
+  --cost-budget-bytes <n>  with --cost: warn when the peak byte bound exceeds n
+  --cost-budget-work <n>   with --cost: warn when total work bound exceeds n
   -h, --help         show this help
 )";
 
@@ -76,6 +90,10 @@ int main(int argc, char** argv) {
   bool werror = false;
   bool json = false;
   bool optimize = false;
+  bool cost = false;
+  uint64_t cost_budget_rows = 0;   // 0 = no budget
+  uint64_t cost_budget_bytes = 0;
+  uint64_t cost_budget_work = 0;
   tabular::analysis::AnalyzerOptions options;
 
   auto need_value = [&](int& i, const char* flag) -> const char* {
@@ -102,6 +120,20 @@ int main(int argc, char** argv) {
       json = true;
     } else if (arg == "--optimize") {
       optimize = true;
+    } else if (arg == "--cost") {
+      cost = true;
+    } else if (arg == "--cost-budget-rows") {
+      const char* value = need_value(i, "--cost-budget-rows");
+      if (value == nullptr) return 2;
+      cost_budget_rows = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--cost-budget-bytes") {
+      const char* value = need_value(i, "--cost-budget-bytes");
+      if (value == nullptr) return 2;
+      cost_budget_bytes = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--cost-budget-work") {
+      const char* value = need_value(i, "--cost-budget-work");
+      if (value == nullptr) return 2;
+      cost_budget_work = std::strtoull(value, nullptr, 10);
     } else if (arg == "--db") {
       const char* value = need_value(i, "--db");
       if (value == nullptr) return 2;
@@ -212,9 +244,12 @@ int main(int argc, char** argv) {
     warnings += tabular::analysis::CountSeverity(result.diagnostics,
                                                  Severity::kWarning);
 
+    // The plan --cost reports on: the certified rewrite when --optimize is
+    // given (what the interpreter would actually run), the parse otherwise.
+    tabular::lang::Program plan = *program;
     if (optimize) {
       tabular::lang::OptimizeStats stats;
-      tabular::lang::OptimizeProgram(*program, initial, {}, &stats);
+      plan = tabular::lang::OptimizeProgram(*program, initial, {}, &stats);
       rewrites_applied += stats.applied;
       rewrites_rejected += stats.rejected;
       for (const tabular::lang::RewriteRecord& r : stats.records) {
@@ -241,6 +276,65 @@ int main(int argc, char** argv) {
             "{\"file\":\"" + tabular::analysis::JsonEscape(file) +
             "\",\"rewrites_applied\":" + std::to_string(stats.applied) +
             ",\"rewrites_rejected\":" + std::to_string(stats.rejected) + "}");
+      }
+    }
+
+    if (cost) {
+      using tabular::analysis::FormatCost;
+      const tabular::analysis::CostReport report =
+          tabular::analysis::EstimateCost(plan, initial);
+      auto cost_warn = [&](const std::string& path, const std::string& msg) {
+        ++warnings;
+        if (json) {
+          Diagnostic d;
+          d.severity = Severity::kWarning;
+          d.path = path;
+          d.message = msg;
+          json_objects.push_back(tabular::analysis::RenderJson(d, file));
+        } else {
+          std::cout << file << ":" << path << ": warning: " << msg << "\n";
+        }
+      };
+      if (json) {
+        // Bounds are strings, not numbers: "∞" has no JSON-number form.
+        for (const tabular::analysis::StatementCost& c : report.statements) {
+          json_objects.push_back(
+              "{\"file\":\"" + tabular::analysis::JsonEscape(file) +
+              "\",\"cost_path\":\"" + c.path + "\",\"est_rows\":\"" +
+              FormatCost(c.out_rows) + "\",\"est_bytes\":\"" +
+              FormatCost(c.out_bytes) + "\",\"est_work\":\"" +
+              FormatCost(c.work) + "\"}");
+        }
+        json_objects.push_back(
+            "{\"file\":\"" + tabular::analysis::JsonEscape(file) +
+            "\",\"cost_total_work\":\"" + FormatCost(report.total_work) +
+            "\",\"cost_peak_rows\":\"" + FormatCost(report.peak_rows) +
+            "\",\"cost_peak_bytes\":\"" + FormatCost(report.peak_bytes) +
+            "\",\"cost_unbounded_at\":\"" + report.unbounded_path + "\"}");
+      } else {
+        tabular::obs::RenderProfileOptions render;
+        render.show_times = false;
+        std::cout << tabular::obs::RenderProfile(
+            tabular::lang::Explain(plan, initial), render);
+      }
+      if (report.unbounded()) {
+        cost_warn(report.unbounded_path,
+                  "statically unbounded resource use (cost analysis)");
+      }
+      if (cost_budget_rows > 0 && report.peak_rows > cost_budget_rows) {
+        cost_warn(report.peak_rows_path,
+                  "peak row bound " + FormatCost(report.peak_rows) +
+                      " exceeds budget " + std::to_string(cost_budget_rows));
+      }
+      if (cost_budget_bytes > 0 && report.peak_bytes > cost_budget_bytes) {
+        cost_warn(report.peak_bytes_path,
+                  "peak byte bound " + FormatCost(report.peak_bytes) +
+                      " exceeds budget " + std::to_string(cost_budget_bytes));
+      }
+      if (cost_budget_work > 0 && report.total_work > cost_budget_work) {
+        cost_warn("exit",
+                  "total work bound " + FormatCost(report.total_work) +
+                      " exceeds budget " + std::to_string(cost_budget_work));
       }
     }
   }

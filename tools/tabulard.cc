@@ -46,6 +46,12 @@ options:
                        drain with `tabular_cli slowlog`)
   --metrics-port <n>   serve Prometheus text format on plain-HTTP
                        GET /metrics at this port (0 = ephemeral; default off)
+  --max-est-rows <n>   admission control: reject programs whose static row
+                       estimate exceeds n before executing them (default 0 =
+                       off, or TABULAR_ADMIT_MAX_ROWS); statically unbounded
+                       programs are rejected whenever admission is on
+  --max-est-bytes <n>  admission control on the static peak byte estimate
+                       (default 0 = off, or TABULAR_ADMIT_MAX_BYTES)
   --quiet              no startup banner
   -h, --help           show this help
 )";
@@ -80,6 +86,15 @@ int main(int argc, char** argv) {
   if (const char* env = std::getenv("TABULAR_SLOW_MS");
       env != nullptr && *env != '\0') {
     options.slow_query_micros = slow_ms_to_micros(std::strtod(env, nullptr));
+  }
+  // Same pattern for the admission limits: env seeds, flag overrides.
+  if (const char* env = std::getenv("TABULAR_ADMIT_MAX_ROWS");
+      env != nullptr && *env != '\0') {
+    options.max_est_rows = std::strtoull(env, nullptr, 10);
+  }
+  if (const char* env = std::getenv("TABULAR_ADMIT_MAX_BYTES");
+      env != nullptr && *env != '\0') {
+    options.max_est_bytes = std::strtoull(env, nullptr, 10);
   }
 
   auto need_value = [&](int& i, const char* flag) -> const char* {
@@ -131,6 +146,14 @@ int main(int argc, char** argv) {
       if (v == nullptr) return 2;
       options.metrics_port =
           static_cast<int>(std::strtol(v, nullptr, 10));
+    } else if (arg == "--max-est-rows") {
+      const char* v = need_value(i, "--max-est-rows");
+      if (v == nullptr) return 2;
+      options.max_est_rows = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--max-est-bytes") {
+      const char* v = need_value(i, "--max-est-bytes");
+      if (v == nullptr) return 2;
+      options.max_est_bytes = std::strtoull(v, nullptr, 10);
     } else if (arg == "--quiet") {
       quiet = true;
     } else {
