@@ -109,6 +109,22 @@ wait "$DAEMON_PID" || WAIT_STATUS=$?
 [ "$WAIT_STATUS" -eq 0 ] || fail "admission tabulard exited $WAIT_STATUS on SIGTERM"
 DAEMON_PID=""
 
+# 6. A misconfigured admission limit fails loudly instead of silently
+# disabling the safety rail (strtoull of garbage would yield 0 = off).
+if TABULAR_ADMIT_MAX_ROWS=notanumber \
+    "$DAEMON_BIN" --db "$DB" --unix "$WORK/bad.sock" --quiet 2> "$WORK/bad.err"; then
+  fail "tabulard started with TABULAR_ADMIT_MAX_ROWS=notanumber"
+fi
+grep -q "TABULAR_ADMIT_MAX_ROWS" "$WORK/bad.err" \
+  || fail "bad admission limit did not name the variable: $(cat "$WORK/bad.err")"
+if "$DAEMON_BIN" --db "$DB" --unix "$WORK/bad.sock" --quiet \
+    --max-est-rows 10x 2> "$WORK/bad2.err"; then
+  fail "tabulard started with --max-est-rows 10x"
+fi
+grep -q "max-est-rows" "$WORK/bad2.err" \
+  || fail "bad --max-est-rows did not name the flag: $(cat "$WORK/bad2.err")"
+
 rm -rf "$WORK"
 echo "server_smoke: OK: server output byte-identical to single-shot golden," \
-     "graceful shutdown exited 0, admission rejected the unbounded program"
+     "graceful shutdown exited 0, admission rejected the unbounded program," \
+     "misconfigured limits refused at startup"

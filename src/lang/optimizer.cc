@@ -836,19 +836,29 @@ Program OptimizeProgram(const Program& program,
 
   Program current = program;
   std::set<std::string> rejected;
+  // Cost-rejections live in their own set, scoped to the current plan:
+  // losing on cost is relative to the plan at hand, so any applied rewrite
+  // clears the set and previously too-expensive candidates compete again.
+  // Validator rejections stay in `rejected` for the whole search — an
+  // unsound rewrite does not become sound when its surroundings change
+  // (the fingerprint covers the window text, which may be untouched).
+  std::set<std::string> cost_rejected;
   analysis::CostReport current_cost;
   if (options.cost_rank) current_cost = analysis::EstimateCost(current, initial);
 
   // Each round gathers every candidate of the current plan, orders it
   // (static plan cost under `cost_rank`, statement order otherwise), and
   // applies the first survivor; rejected candidates are fingerprinted so
-  // they are proposed at most once per window text. `attempts` preserves
-  // the option's contract: at most max_rewrites processed candidates.
+  // they are proposed at most once per window text and plan. `attempts`
+  // preserves the option's contract: at most max_rewrites processed
+  // candidates.
   size_t attempts = 0;
   while (attempts < options.max_rewrites) {
     std::vector<AbstractDatabase> before = StatesBefore(current, initial);
+    std::set<std::string> skip = rejected;
+    skip.insert(cost_rejected.begin(), cost_rejected.end());
     std::vector<Candidate> cands =
-        FindCandidates(current.statements, before, rejected);
+        FindCandidates(current.statements, before, skip);
     if (cands.empty()) break;
 
     struct Scored {
@@ -893,7 +903,7 @@ Program OptimizeProgram(const Program& program,
           cost_rejected_counter.Add(1);
           if (stats != nullptr) ++stats->cost_rejected;
           record.cost_rejected = true;
-          rejected.insert(Fingerprint(s.cand, current.statements));
+          cost_rejected.insert(Fingerprint(s.cand, current.statements));
           if (stats != nullptr) stats->records.push_back(std::move(record));
           continue;
         }
@@ -915,6 +925,9 @@ Program OptimizeProgram(const Program& program,
         if (stats != nullptr) stats->records.push_back(std::move(record));
         current = std::move(s.rewritten);
         if (options.cost_rank) current_cost = std::move(s.cost);
+        // The plan changed: cost comparisons against the old plan are
+        // stale, so its cost-rejections are open for reconsideration.
+        cost_rejected.clear();
         applied = true;
         break;
       }
@@ -923,7 +936,8 @@ Program OptimizeProgram(const Program& program,
       rejected.insert(Fingerprint(s.cand, current.statements));
       if (stats != nullptr) stats->records.push_back(std::move(record));
     }
-    // When nothing applied, every processed candidate was fingerprinted,
+    // When nothing applied, every processed candidate was fingerprinted
+    // into one of the two sets and neither is cleared without an apply,
     // so the next round's gather strictly shrinks and the loop converges.
     (void)applied;
   }

@@ -17,6 +17,7 @@
 #include "analysis/shape.h"
 #include "core/database.h"
 #include "core/status.h"
+#include "core/symbol.h"
 #include "lang/ast.h"
 #include "lang/optimizer.h"
 
@@ -42,21 +43,36 @@ struct CompiledProgram {
   /// Static cost summary of `optimized` against the *exact* shapes of the
   /// database that first compiled this entry (not the coarsened cache
   /// image, whose [1,∞) row classes would make every estimate ∞). Later
-  /// databases sharing the fingerprint may differ in row counts; the
-  /// observed-rows feedback below corrects the drift. Admission control is
-  /// therefore a pure lookup on the hot path.
+  /// databases sharing the fingerprint agree with the compiling one per
+  /// pool up to the fingerprint's row-size class (one doubling — see
+  /// `SchemaFingerprint`), and the observed feedback below corrects the
+  /// residual drift. Admission control is therefore a pure lookup on the
+  /// hot path.
   analysis::CostReport cost;
 
-  /// Adaptive feedback: the largest total data-row count any successful
-  /// run of this entry has produced (0 = never run). Written lock-free by
-  /// session threads after execution, read by admission.
+  /// Pool names the program assigns to (targets of assignment statements,
+  /// recursively through while bodies), collected from `optimized` at
+  /// compile time. `writes_all_pools` is set when some target is a
+  /// wildcard/pair parameter that can denote any name. The session loop
+  /// uses this to measure the program's *own* output after a run — the
+  /// observation fed back below must be commensurate with `cost.peak_rows`
+  /// (a per-written-pool bound), not the whole-database row total, which
+  /// would fold in resident tables the program never touched.
+  core::SymbolSet written_pools;
+  bool writes_all_pools = false;
+
+  /// Adaptive feedback: the largest per-written-pool data-row count (and
+  /// matching byte footprint) any successful run of this entry has
+  /// produced (0 = never run). Written lock-free by session threads after
+  /// execution, read by admission.
   mutable std::atomic<uint64_t> observed_rows{0};
+  mutable std::atomic<uint64_t> observed_bytes{0};
 
   void RecordObservedRows(uint64_t rows) const {
-    uint64_t seen = observed_rows.load(std::memory_order_relaxed);
-    while (rows > seen && !observed_rows.compare_exchange_weak(
-                              seen, rows, std::memory_order_relaxed)) {
-    }
+    RecordMax(&observed_rows, rows);
+  }
+  void RecordObservedBytes(uint64_t bytes) const {
+    RecordMax(&observed_bytes, bytes);
   }
 
   /// The row bound admission compares against `--max-est-rows`: the static
@@ -65,15 +81,33 @@ struct CompiledProgram {
   /// — re-planning headroom) but never below what was actually seen, and
   /// an unbounded static verdict is never overridden.
   uint64_t EffectiveRowEstimate() const {
-    const uint64_t stat = cost.peak_rows;
+    return Blend(cost.peak_rows,
+                 observed_rows.load(std::memory_order_relaxed));
+  }
+
+  /// Same blend for `--max-est-bytes` against the written-pool byte
+  /// footprint observed after each run.
+  uint64_t EffectiveByteEstimate() const {
+    return Blend(cost.peak_bytes,
+                 observed_bytes.load(std::memory_order_relaxed));
+  }
+
+  const lang::Program& executable() const { return optimized; }
+
+ private:
+  static void RecordMax(std::atomic<uint64_t>* slot, uint64_t v) {
+    uint64_t seen = slot->load(std::memory_order_relaxed);
+    while (v > seen &&
+           !slot->compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  static uint64_t Blend(uint64_t stat, uint64_t seen) {
     if (stat == analysis::CardInterval::kInf) return stat;
-    const uint64_t seen = observed_rows.load(std::memory_order_relaxed);
     if (seen == 0) return stat;
     return std::max(
         std::min(stat, analysis::CardInterval::SatMul(seen, 2)), seen);
   }
-
-  const lang::Program& executable() const { return optimized; }
 };
 
 /// The abstract image a cached compile is certified against: the exact
@@ -85,8 +119,14 @@ struct CompiledProgram {
 /// image are sound for every database that hits the cache entry.
 analysis::AbstractDatabase CoarsenedSchema(const core::TabularDatabase& db);
 
-/// Deterministic rendering of `CoarsenedSchema(db)` — the schema half of
-/// the cache key. Stable across runs (symbol order, not interning order).
+/// Deterministic rendering of `CoarsenedSchema(db)` plus each pool's
+/// row-count size class (log₂ bucket) — the schema half of the cache key.
+/// Stable across runs (symbol order, not interning order). The size class
+/// keeps the cached cost estimate honest: databases sharing an entry can
+/// differ per pool by at most one doubling, so an admission estimate
+/// computed against the first-compiling database is stale by a bounded
+/// factor (and the observed feedback on `CompiledProgram` closes the
+/// rest).
 std::string SchemaFingerprint(const core::TabularDatabase& db);
 
 /// Thread-safe LRU cache of compiled programs keyed by

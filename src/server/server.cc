@@ -8,6 +8,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -53,6 +54,35 @@ uint64_t TotalDataRows(const core::TabularDatabase& db) {
   uint64_t rows = 0;
   for (const core::Table& t : db.tables()) rows += t.height();
   return rows;
+}
+
+/// Peak data rows (and matching byte footprint) over the pools `p`
+/// writes, measured on the post-run database. This is the observation
+/// commensurate with `cost.peak_rows`/`peak_bytes` — both are
+/// per-written-pool bounds — unlike the whole-database row total, which
+/// would fold in resident tables the program never touched and, on any
+/// database larger than the admission limit, permanently reject every
+/// program after its first run.
+void ObservedWrittenPoolPeaks(const CompiledProgram& p,
+                              const core::TabularDatabase& db,
+                              uint64_t* peak_rows, uint64_t* peak_bytes) {
+  std::map<core::Symbol, std::pair<uint64_t, uint64_t>, core::SymbolLess>
+      pools;
+  for (const core::Table& t : db.tables()) {
+    if (!p.writes_all_pools && p.written_pools.count(t.name()) == 0) {
+      continue;
+    }
+    auto& [rows, bytes] = pools[t.name()];
+    rows += t.height();
+    bytes += static_cast<uint64_t>(t.height()) * t.width() *
+             analysis::kCostHandleBytes;
+  }
+  *peak_rows = 0;
+  *peak_bytes = 0;
+  for (const auto& [name, rb] : pools) {
+    *peak_rows = std::max(*peak_rows, rb.first);
+    *peak_bytes = std::max(*peak_bytes, rb.second);
+  }
 }
 
 /// Counter deltas across a profiled execution, as a JSON object keyed by
@@ -443,14 +473,13 @@ std::string Server::HandleRun(const std::string& payload,
                        analysis::FormatCost(est_rows) + " exceed limit " +
                        std::to_string(options_.max_est_rows));
     }
-    if (options_.max_est_bytes > 0 &&
-        cost.peak_bytes > options_.max_est_bytes) {
+    const uint64_t est_bytes = compiled->EffectiveByteEstimate();
+    if (options_.max_est_bytes > 0 && est_bytes > options_.max_est_bytes) {
       rejected.Add(1);
       return error(StatusCode::kAdmissionRejected,
                    "statement " + cost.peak_bytes_path +
                        ": estimated bytes " +
-                       analysis::FormatCost(cost.peak_bytes) +
-                       " exceed limit " +
+                       analysis::FormatCost(est_bytes) + " exceed limit " +
                        std::to_string(options_.max_est_bytes));
     }
     admitted.Add(1);
@@ -489,9 +518,14 @@ std::string Server::HandleRun(const std::string& payload,
   }
   audit->rows_out = TotalDataRows(work);
   // Feed the run's true output size back into the cache entry: admission's
-  // effective row estimate tightens toward observation (adaptive
-  // re-planning without recompiling).
-  compiled->RecordObservedRows(audit->rows_out);
+  // effective estimates tighten toward observation (adaptive re-planning
+  // without recompiling). Measured over the pools the program writes, the
+  // same quantity the static peaks bound.
+  uint64_t observed_rows = 0;
+  uint64_t observed_bytes = 0;
+  ObservedWrittenPoolPeaks(*compiled, work, &observed_rows, &observed_bytes);
+  compiled->RecordObservedRows(observed_rows);
+  compiled->RecordObservedBytes(observed_bytes);
   if (req.want_dump) resp.dump = io::SerializeDatabase(work);
   if (req.commit) {
     Result<uint64_t> committed =

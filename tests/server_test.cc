@@ -109,7 +109,8 @@ TEST(VersionedDatabaseTest, PinnedSnapshotsOutliveNewerCommits) {
 // -- Cache keying ------------------------------------------------------------
 
 TEST(SchemaFingerprintTest, RowContentDoesNotChangeTheFingerprint) {
-  // Same columns, different data rows, both nonempty: one coarsened class.
+  // Same columns, different data rows within one log2 size class (2 and 3
+  // rows): one coarsened class, one bucket, one fingerprint.
   const std::string fp2 = SchemaFingerprint(Db(kSalesFlat));
   const std::string fp3 = SchemaFingerprint(
       Db("!Sales | !Part  | !Region | !Sold\n"
@@ -117,6 +118,21 @@ TEST(SchemaFingerprintTest, RowContentDoesNotChangeTheFingerprint) {
          "#      | bolts  | west    | 60\n"
          "#      | screws | north   | 70\n"));
   EXPECT_EQ(fp2, fp3);
+}
+
+TEST(SchemaFingerprintTest, CrossingARowSizeClassRekeys) {
+  // 2 rows and 4 rows land in different log2 buckets: the entry's cached
+  // cost report is only reused for databases within one doubling of the
+  // compiling one, so a much larger database gets a fresh, honest
+  // estimate instead of the stale small one.
+  const std::string fp2 = SchemaFingerprint(Db(kSalesFlat));
+  const std::string fp4 = SchemaFingerprint(
+      Db("!Sales | !Part  | !Region | !Sold\n"
+         "#      | nuts   | east    | 50\n"
+         "#      | bolts  | west    | 60\n"
+         "#      | screws | north   | 70\n"
+         "#      | nails  | south   | 80\n"));
+  EXPECT_NE(fp2, fp4);
 }
 
 TEST(SchemaFingerprintTest, EmptyAndNonemptyTablesDiffer) {
@@ -151,13 +167,15 @@ TEST(ProgramCacheTest, SecondLookupHitsAndSharesTheEntry) {
   EXPECT_EQ(cache.size(), 1u);
 }
 
-TEST(ProgramCacheTest, SameShapeDifferentRowsStillHits) {
+TEST(ProgramCacheTest, SameShapeAndSizeClassDifferentRowsStillHits) {
   ProgramCache cache;
   cache.Get("T <- project {Part} (Sales);", Db(kSalesFlat));
   bool hit = false;
   cache.Get("T <- project {Part} (Sales);",
             Db("!Sales | !Part  | !Region | !Sold\n"
-               "#      | screws | north   | 70\n"),
+               "#      | screws | north   | 70\n"
+               "#      | nails  | south   | 80\n"
+               "#      | bolts  | west    | 90\n"),
             &hit);
   EXPECT_TRUE(hit);
 }
@@ -457,22 +475,71 @@ TEST(ServerAdmissionTest, RejectionIsServedFromTheCompiledProgramCache) {
 }
 
 TEST(ServerAdmissionTest, ObservedRowsFeedTheNextAdmissionDecision) {
-  LiveServer live{Db(kSalesTags), Admit(/*max_rows=*/5)};
+  // Sales (2 rows) × Tags (2 rows), plus a one-row Extra used to grow Tags
+  // in place without leaving its fingerprint size class.
+  LiveServer live{Db("!Sales | !Part  | !Region | !Sold\n"
+                     "#      | nuts   | east    | 50\n"
+                     "#      | bolts  | west    | 60\n"
+                     "\n"
+                     "!Tags | !Tag\n"
+                     "#     | hot\n"
+                     "#     | cold\n"
+                     "\n"
+                     "!Extra | !Tag\n"
+                     "#      | warm\n"),
+                  Admit(/*max_rows=*/5)};
   Client client = live.Connect();
   const std::string program = "Big <- product (Sales, Tags);";
-  // The static peak is 4 rows — under the limit — so the first run is
-  // admitted. Executing it materializes 8 total data rows (Sales 2 +
-  // Tags 2 + Big 4), which the session records on the cache entry.
+  // Static peak: Big = 2 × 2 = 4 rows ≤ 5 — admitted. The run feeds back
+  // Big's observed 4 rows (the pool the program writes — NOT the
+  // whole-database total, which would poison admission with resident
+  // tables the program never touched).
   auto first = client.Run(program, /*commit=*/false);
   ASSERT_TRUE(first.ok()) << first.status().ToString();
-  // Observation overrides the optimistic static bound: the same program
-  // is now refused without rerunning it.
+  // Grow Tags to 3 rows. Same log2 size class as 2, so the cached entry —
+  // and its now-optimistic static estimate of 4 — is reused as-is.
+  auto grow = client.Run("Tags <- union (Tags, Extra);");
+  ASSERT_TRUE(grow.ok()) << grow.status().ToString();
+  // The stale estimate (4 ≤ 5) admits the bigger product once more...
   auto second = client.Run(program, /*commit=*/false);
-  ASSERT_FALSE(second.ok());
-  EXPECT_EQ(second.status().code(), StatusCode::kAdmissionRejected);
-  EXPECT_NE(second.status().message().find("exceed limit 5"),
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_TRUE(second->cache_hit);
+  // ...but its observed 6-row output overrides the optimistic static
+  // bound: the next run is refused without executing.
+  auto third = client.Run(program, /*commit=*/false);
+  ASSERT_FALSE(third.ok());
+  EXPECT_EQ(third.status().code(), StatusCode::kAdmissionRejected);
+  EXPECT_NE(third.status().message().find("exceed limit 5"),
             std::string::npos)
-      << second.status().ToString();
+      << third.status().ToString();
+}
+
+TEST(ServerAdmissionTest, ResidentRowsOutsideTheProgramNeverCountAgainstIt) {
+  // The database's total row count (8) already exceeds the limit (5). A
+  // program whose own output is small must be admitted run after run:
+  // feedback measures the pools the program writes, so the resident
+  // Archive rows are invisible to it.
+  LiveServer live{Db("!Archive | !K\n"
+                     "#        | a\n"
+                     "#        | b\n"
+                     "#        | c\n"
+                     "#        | d\n"
+                     "#        | e\n"
+                     "#        | f\n"
+                     "\n"
+                     "!Sales | !Part  | !Region\n"
+                     "#      | nuts   | east\n"
+                     "#      | bolts  | west\n"),
+                  Admit(/*max_rows=*/5)};
+  Client client = live.Connect();
+  obs::Counter& admitted = obs::GetCounter("server.admission.admitted");
+  const uint64_t admitted_before = admitted.Value();
+  for (int i = 0; i < 3; ++i) {
+    auto run = client.Run("Parts <- project {Part} (Sales);",
+                          /*commit=*/false);
+    ASSERT_TRUE(run.ok()) << "run " << i << ": " << run.status().ToString();
+  }
+  EXPECT_EQ(admitted.Value(), admitted_before + 3);
 }
 
 TEST(ProgramCacheTest, EffectiveRowEstimateBlendsStaticAndObserved) {
@@ -493,6 +560,29 @@ TEST(ProgramCacheTest, EffectiveRowEstimateBlendsStaticAndObserved) {
   unbounded.RecordObservedRows(10);
   // An unbounded static verdict is never overridden by a finite run.
   EXPECT_EQ(unbounded.EffectiveRowEstimate(), analysis::CardInterval::kInf);
+}
+
+TEST(ProgramCacheTest, EffectiveByteEstimateBlendsStaticAndObserved) {
+  CompiledProgram p;
+  p.cost.peak_bytes = 4000;
+  EXPECT_EQ(p.EffectiveByteEstimate(), 4000u);  // never run: static bound
+  p.RecordObservedBytes(100);
+  EXPECT_EQ(p.EffectiveByteEstimate(), 200u);  // 2x headroom over observed
+  p.RecordObservedBytes(8000);  // observed above static: trust observation
+  EXPECT_EQ(p.EffectiveByteEstimate(), 8000u);
+}
+
+TEST(ProgramCacheTest, CompiledEntriesKnowTheirWrittenPools) {
+  ProgramCache cache;
+  auto entry = cache.Get(
+      "T <- project {Part} (Sales);\n"
+      "U <- transpose (T);",
+      Db(kSalesFlat));
+  ASSERT_NE(entry, nullptr);
+  ASSERT_TRUE(entry->front_end.ok()) << entry->front_end.ToString();
+  EXPECT_FALSE(entry->writes_all_pools);
+  EXPECT_EQ(entry->written_pools.count(core::Symbol::Name("T")), 1u);
+  EXPECT_EQ(entry->written_pools.count(core::Symbol::Name("Sales")), 0u);
 }
 
 // -- Byte identity with the single-shot interpreter --------------------------

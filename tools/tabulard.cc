@@ -56,6 +56,19 @@ options:
   -h, --help           show this help
 )";
 
+// Admission limits are safety rails: a value that does not parse exactly
+// as a non-negative decimal must fail loudly, not silently become 0 (= the
+// limit the operator thinks is in force is off).
+bool ParseLimit(const char* s, uint64_t* out) {
+  if (s == nullptr || *s < '0' || *s > '9') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (errno != 0 || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
 // Signal handling: the handler only writes one byte to a self-pipe
 // (async-signal-safe); the main thread blocks on the pipe and runs the
 // graceful shutdown outside signal context.
@@ -90,11 +103,23 @@ int main(int argc, char** argv) {
   // Same pattern for the admission limits: env seeds, flag overrides.
   if (const char* env = std::getenv("TABULAR_ADMIT_MAX_ROWS");
       env != nullptr && *env != '\0') {
-    options.max_est_rows = std::strtoull(env, nullptr, 10);
+    if (!ParseLimit(env, &options.max_est_rows)) {
+      std::fprintf(stderr,
+                   "tabulard: error: TABULAR_ADMIT_MAX_ROWS='%s' is not a "
+                   "row count\n",
+                   env);
+      return 2;
+    }
   }
   if (const char* env = std::getenv("TABULAR_ADMIT_MAX_BYTES");
       env != nullptr && *env != '\0') {
-    options.max_est_bytes = std::strtoull(env, nullptr, 10);
+    if (!ParseLimit(env, &options.max_est_bytes)) {
+      std::fprintf(stderr,
+                   "tabulard: error: TABULAR_ADMIT_MAX_BYTES='%s' is not a "
+                   "byte count\n",
+                   env);
+      return 2;
+    }
   }
 
   auto need_value = [&](int& i, const char* flag) -> const char* {
@@ -149,11 +174,23 @@ int main(int argc, char** argv) {
     } else if (arg == "--max-est-rows") {
       const char* v = need_value(i, "--max-est-rows");
       if (v == nullptr) return 2;
-      options.max_est_rows = std::strtoull(v, nullptr, 10);
+      if (!ParseLimit(v, &options.max_est_rows)) {
+        std::fprintf(stderr,
+                     "tabulard: error: --max-est-rows '%s' is not a row "
+                     "count\n",
+                     v);
+        return 2;
+      }
     } else if (arg == "--max-est-bytes") {
       const char* v = need_value(i, "--max-est-bytes");
       if (v == nullptr) return 2;
-      options.max_est_bytes = std::strtoull(v, nullptr, 10);
+      if (!ParseLimit(v, &options.max_est_bytes)) {
+        std::fprintf(stderr,
+                     "tabulard: error: --max-est-bytes '%s' is not a byte "
+                     "count\n",
+                     v);
+        return 2;
+      }
     } else if (arg == "--quiet") {
       quiet = true;
     } else {
